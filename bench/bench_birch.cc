@@ -1,0 +1,74 @@
+// Micro-benchmarks for the clustering substrate: BIRCH pre-clustering
+// throughput at WALRUS's 12-dimensional window signatures (section 5.3
+// requires near-linear clustering) and k-means for comparison.
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/birch.h"
+#include "cluster/kmeans.h"
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+std::vector<float> BlobData(int n, int dim, int blobs, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> points;
+  points.reserve(static_cast<size_t>(n) * dim);
+  std::vector<std::vector<float>> centers;
+  for (int b = 0; b < blobs; ++b) {
+    std::vector<float> c(dim);
+    for (float& v : c) v = rng.NextFloat();
+    centers.push_back(c);
+  }
+  for (int i = 0; i < n; ++i) {
+    const std::vector<float>& c = centers[i % blobs];
+    for (int d = 0; d < dim; ++d) {
+      points.push_back(c[d] + 0.03f * (rng.NextFloat() - 0.5f));
+    }
+  }
+  return points;
+}
+
+void BM_BirchPreCluster(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<float> points = BlobData(n, 12, 12, 7);
+  BirchParams params;
+  params.threshold = 0.05;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BirchPreCluster(points.data(), n, 12, params));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BirchPreCluster)->Arg(300)->Arg(3000)->Arg(30000);
+
+void BM_BirchThresholdSweep(benchmark::State& state) {
+  std::vector<float> points = BlobData(3000, 12, 12, 8);
+  double threshold = state.range(0) / 1000.0;
+  BirchParams params;
+  params.threshold = threshold;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BirchPreCluster(points.data(), 3000, 12, params));
+  }
+}
+BENCHMARK(BM_BirchThresholdSweep)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_KMeans(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::vector<float> points = BlobData(n, 12, 12, 9);
+  KMeansParams params;
+  params.k = 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeansCluster(points.data(), n, 12, params));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KMeans)->Arg(300)->Arg(3000);
+
+}  // namespace
+}  // namespace walrus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+#include "baselines/color_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "image/color.h"
+
+namespace walrus {
+
+ColorHistogramRetriever::ColorHistogramRetriever(ColorHistogramParams params)
+    : params_(params) {
+  WALRUS_CHECK(params.bins_per_channel >= 2 && params.bins_per_channel <= 32);
+}
+
+Result<std::vector<float>> ColorHistogramRetriever::ComputeHistogram(
+    const ImageF& image) const {
+  if (image.empty()) return Status::InvalidArgument("empty image");
+  WALRUS_ASSIGN_OR_RETURN(ImageF rgb,
+                          ConvertColorSpace(image, ColorSpace::kRGB));
+  int bins = params_.bins_per_channel;
+  std::vector<float> histogram(static_cast<size_t>(bins) * bins * bins, 0.0f);
+  for (int y = 0; y < rgb.height(); ++y) {
+    for (int x = 0; x < rgb.width(); ++x) {
+      int r = Clamp(static_cast<int>(rgb.At(0, x, y) * bins), 0, bins - 1);
+      int g = Clamp(static_cast<int>(rgb.At(1, x, y) * bins), 0, bins - 1);
+      int b = Clamp(static_cast<int>(rgb.At(2, x, y) * bins), 0, bins - 1);
+      histogram[(static_cast<size_t>(r) * bins + g) * bins + b] += 1.0f;
+    }
+  }
+  float total = static_cast<float>(rgb.PixelCount());
+  for (float& v : histogram) v /= total;
+  return histogram;
+}
+
+Status ColorHistogramRetriever::AddImage(uint64_t image_id,
+                                         const ImageF& image) {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<float> histogram,
+                          ComputeHistogram(image));
+  entries_.push_back({image_id, std::move(histogram)});
+  return Status::OK();
+}
+
+Result<std::vector<HistogramMatch>> ColorHistogramRetriever::Query(
+    const ImageF& query, int top_k) const {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<float> q, ComputeHistogram(query));
+  std::vector<HistogramMatch> matches;
+  matches.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    double d = params_.use_l1 ? L1Distance(q, e.histogram)
+                              : L2Distance(q, e.histogram);
+    matches.push_back({e.image_id, d});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const HistogramMatch& a, const HistogramMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.image_id < b.image_id;
+            });
+  if (top_k > 0 && static_cast<int>(matches.size()) > top_k) {
+    matches.resize(top_k);
+  }
+  return matches;
+}
+
+}  // namespace walrus

@@ -1,0 +1,53 @@
+#ifndef WALRUS_BASELINES_COLOR_HISTOGRAM_H_
+#define WALRUS_BASELINES_COLOR_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// QBIC-style global color-histogram retriever [Nib93]: the classical
+/// baseline whose failure on translated/scaled objects with differing
+/// backgrounds motivates WALRUS (paper section 1.1). Quantizes RGB into
+/// bins_per_channel^3 buckets and compares normalized histograms.
+struct ColorHistogramParams {
+  int bins_per_channel = 4;
+  /// Distance: true = L1 (histogram intersection complement), false = L2.
+  bool use_l1 = true;
+};
+
+struct HistogramMatch {
+  uint64_t image_id = 0;
+  double distance = 0.0;
+};
+
+class ColorHistogramRetriever {
+ public:
+  explicit ColorHistogramRetriever(
+      ColorHistogramParams params = ColorHistogramParams());
+
+  Status AddImage(uint64_t image_id, const ImageF& image);
+  size_t size() const { return entries_.size(); }
+
+  Result<std::vector<HistogramMatch>> Query(const ImageF& query,
+                                            int top_k) const;
+
+  /// Normalized histogram of an RGB image (helper, exposed for tests).
+  Result<std::vector<float>> ComputeHistogram(const ImageF& image) const;
+
+ private:
+  struct Entry {
+    uint64_t image_id = 0;
+    std::vector<float> histogram;
+  };
+
+  ColorHistogramParams params_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_BASELINES_COLOR_HISTOGRAM_H_

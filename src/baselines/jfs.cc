@@ -1,0 +1,70 @@
+#include "baselines/jfs.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "image/color.h"
+#include "image/transform.h"
+#include "wavelet/haar2d.h"
+
+namespace walrus {
+
+JfsRetriever::JfsRetriever(JfsParams params) : params_(params) {
+  WALRUS_CHECK_GE(params.rescale, 8);
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(params.rescale)));
+  WALRUS_CHECK_GE(params.keep_coefficients, 1);
+}
+
+Result<JfsRetriever::Entry> JfsRetriever::ComputeEntry(
+    const ImageF& image) const {
+  if (image.empty()) return Status::InvalidArgument("empty image");
+  ImageF scaled = Resize(image, params_.rescale, params_.rescale,
+                         ResizeFilter::kBilinear);
+  WALRUS_ASSIGN_OR_RETURN(ImageF converted,
+                          ConvertColorSpace(scaled, params_.color_space));
+  Entry entry;
+  int n = params_.rescale;
+  for (int c = 0; c < 3; ++c) {
+    SquareMatrix plane(n);
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) plane.At(x, y) = converted.At(c, x, y);
+    }
+    SquareMatrix transform = HaarStandard2D(plane);
+    entry.channels[c] =
+        TruncateTransform(transform, params_.keep_coefficients);
+  }
+  return entry;
+}
+
+Status JfsRetriever::AddImage(uint64_t image_id, const ImageF& image) {
+  WALRUS_ASSIGN_OR_RETURN(Entry entry, ComputeEntry(image));
+  entry.image_id = image_id;
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<std::vector<JfsMatch>> JfsRetriever::Query(const ImageF& query,
+                                                  int top_k) const {
+  WALRUS_ASSIGN_OR_RETURN(Entry q, ComputeEntry(query));
+  std::vector<JfsMatch> matches;
+  matches.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    double score = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      score += JfsScore(q.channels[c], e.channels[c], params_.rescale,
+                        params_.bin_weights[c], params_.average_weights[c]);
+    }
+    matches.push_back({e.image_id, score});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const JfsMatch& a, const JfsMatch& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.image_id < b.image_id;
+            });
+  if (top_k > 0 && static_cast<int>(matches.size()) > top_k) {
+    matches.resize(top_k);
+  }
+  return matches;
+}
+
+}  // namespace walrus

@@ -1,0 +1,63 @@
+#ifndef WALRUS_BASELINES_JFS_H_
+#define WALRUS_BASELINES_JFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "image/image.h"
+#include "wavelet/quantize.h"
+
+namespace walrus {
+
+/// "Fast multiresolution image querying" baseline [JFS95]: whole-image
+/// Haar signature truncated to the largest-magnitude coefficients with only
+/// their signs retained, scored with per-frequency-bin weights. Another
+/// single-signature system WALRUS's region model is contrasted with.
+struct JfsParams {
+  int rescale = 128;
+  ColorSpace color_space = ColorSpace::kYIQ;  // the paper's best space
+  /// Coefficients kept per channel (paper: 40..60 for their data).
+  int keep_coefficients = 60;
+  /// Weight of the average-intensity term per channel.
+  float average_weights[3] = {5.0f, 3.0f, 3.0f};
+  /// Bin weights w[min(max(i,j),5)] per channel (luminance row is the
+  /// paper's scanned-query table, chroma reuse it scaled).
+  float bin_weights[3][6] = {
+      {0.891f, 0.581f, 0.488f, 0.497f, 0.430f, 0.402f},
+      {0.624f, 0.406f, 0.342f, 0.348f, 0.301f, 0.281f},
+      {0.624f, 0.406f, 0.342f, 0.348f, 0.301f, 0.281f},
+  };
+};
+
+struct JfsMatch {
+  uint64_t image_id = 0;
+  double score = 0.0;  // lower = more similar
+};
+
+class JfsRetriever {
+ public:
+  explicit JfsRetriever(JfsParams params = JfsParams());
+
+  Status AddImage(uint64_t image_id, const ImageF& image);
+  size_t size() const { return entries_.size(); }
+
+  /// Scores every indexed image and returns the best `top_k` (ascending
+  /// score).
+  Result<std::vector<JfsMatch>> Query(const ImageF& query, int top_k) const;
+
+ private:
+  struct Entry {
+    uint64_t image_id = 0;
+    TruncatedSignature channels[3];
+  };
+
+  Result<Entry> ComputeEntry(const ImageF& image) const;
+
+  JfsParams params_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_BASELINES_JFS_H_

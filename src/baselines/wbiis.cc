@@ -1,0 +1,144 @@
+#include "baselines/wbiis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "image/color.h"
+#include "image/transform.h"
+#include "wavelet/daubechies.h"
+
+namespace walrus {
+
+WbiisRetriever::WbiisRetriever(WbiisParams params) : params_(params) {
+  WALRUS_CHECK_GE(params.rescale, 64);
+  WALRUS_CHECK(params.rescale % 32 == 0);
+}
+
+Result<WbiisRetriever::Feature> WbiisRetriever::ComputeFeature(
+    const ImageF& image) const {
+  if (image.empty()) return Status::InvalidArgument("empty image");
+  ImageF scaled = Resize(image, params_.rescale, params_.rescale,
+                         ResizeFilter::kBilinear);
+  WALRUS_ASSIGN_OR_RETURN(ImageF converted,
+                          ConvertColorSpace(scaled, params_.color_space));
+
+  Feature feature;
+  int n = params_.rescale;
+  for (int c = 0; c < 3; ++c) {
+    SquareMatrix plane(n);
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) plane.At(x, y) = converted.At(c, x, y);
+    }
+    SquareMatrix t4 = Daub4Transform2D(plane, 4);
+    SquareMatrix t5 = Daub4Transform2D(plane, 5);
+
+    // 16x16 corner of the 4-level transform.
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) feature.corner4.push_back(t4.At(x, y));
+    }
+    // 8x8 corner of the 5-level transform + its standard deviation.
+    double sum = 0.0;
+    double sum2 = 0.0;
+    int ll = n >> 5;  // low-low band side after 5 levels (4 for n=128)
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) feature.corner5.push_back(t5.At(x, y));
+    }
+    for (int y = 0; y < ll; ++y) {
+      for (int x = 0; x < ll; ++x) {
+        double v = t5.At(x, y);
+        sum += v;
+        sum2 += v * v;
+      }
+    }
+    double count = static_cast<double>(ll) * ll;
+    double mean = sum / count;
+    double var = sum2 / count - mean * mean;
+    feature.sigma[c] = var > 0.0 ? static_cast<float>(std::sqrt(var)) : 0.0f;
+  }
+  return feature;
+}
+
+Status WbiisRetriever::AddImage(uint64_t image_id, const ImageF& image) {
+  WALRUS_ASSIGN_OR_RETURN(Feature feature, ComputeFeature(image));
+  feature.image_id = image_id;
+  features_.push_back(std::move(feature));
+  return Status::OK();
+}
+
+double WbiisRetriever::CornerDistance(const std::vector<float>& a,
+                                      const std::vector<float>& b,
+                                      int side) const {
+  WALRUS_DCHECK_EQ(a.size(), b.size());
+  int per_channel = side * side;
+  int half = side / 2;
+  double total = 0.0;
+  for (int c = 0; c < 3; ++c) {
+    double channel_sum = 0.0;
+    const float* pa = a.data() + c * per_channel;
+    const float* pb = b.data() + c * per_channel;
+    for (int y = 0; y < side; ++y) {
+      for (int x = 0; x < side; ++x) {
+        double d = static_cast<double>(pa[y * side + x]) - pb[y * side + x];
+        double w = (x < half && y < half) ? params_.lowband_weight : 1.0;
+        channel_sum += w * d * d;
+      }
+    }
+    total += params_.channel_weights[c] * channel_sum;
+  }
+  return std::sqrt(total);
+}
+
+Result<std::vector<BaselineMatch>> WbiisRetriever::Query(const ImageF& query,
+                                                         int top_k) const {
+  WALRUS_ASSIGN_OR_RETURN(Feature q, ComputeFeature(query));
+
+  // Step 1: variance filter.
+  std::vector<const Feature*> survivors;
+  survivors.reserve(features_.size());
+  for (const Feature& f : features_) {
+    bool pass = false;
+    for (int c = 0; c < 3 && !pass; ++c) {
+      float band = params_.variance_band * (q.sigma[c] + 1e-6f);
+      if (std::fabs(f.sigma[c] - q.sigma[c]) < band) pass = true;
+    }
+    if (pass) survivors.push_back(&f);
+  }
+  // Degenerate queries (uniform images) may filter everything out; fall
+  // back to scoring the whole database.
+  if (survivors.empty()) {
+    for (const Feature& f : features_) survivors.push_back(&f);
+  }
+
+  // Step 2: coarse ranking on the 5-level corner.
+  std::vector<std::pair<double, const Feature*>> coarse;
+  coarse.reserve(survivors.size());
+  for (const Feature* f : survivors) {
+    coarse.emplace_back(CornerDistance(q.corner5, f->corner5, 8), f);
+  }
+  std::sort(coarse.begin(), coarse.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t keep = std::max<size_t>(
+      static_cast<size_t>(top_k),
+      static_cast<size_t>(params_.refine_fraction * coarse.size()));
+  keep = std::min(keep, coarse.size());
+
+  // Step 3: final ranking on the 4-level corner.
+  std::vector<BaselineMatch> matches;
+  matches.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    const Feature* f = coarse[i].second;
+    matches.push_back({f->image_id, CornerDistance(q.corner4, f->corner4, 16)});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const BaselineMatch& a, const BaselineMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.image_id < b.image_id;
+            });
+  if (top_k > 0 && static_cast<int>(matches.size()) > top_k) {
+    matches.resize(top_k);
+  }
+  return matches;
+}
+
+}  // namespace walrus

@@ -1,0 +1,74 @@
+#ifndef WALRUS_BASELINES_WBIIS_H_
+#define WALRUS_BASELINES_WBIIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// WBIIS-style whole-image retriever [WWFW98], the system the paper
+/// compares against in Figures 7/8. Each image is rescaled to a fixed
+/// square, converted to the working color space, and transformed with
+/// 4- and 5-level Daubechies-4 wavelets per channel. Search runs in three
+/// steps: (1) crude filter on the standard deviation of the 5-level
+/// low-low band, (2) weighted distance on the 5-level 8x8 corner,
+/// (3) final ranking by weighted distance on the 4-level 16x16 corner.
+struct WbiisParams {
+  int rescale = 128;
+  ColorSpace color_space = ColorSpace::kYCC;
+  /// Step 1 keeps target t when |sigma_t - sigma_q| < variance_band *
+  /// sigma_q (per channel, any channel passing keeps the image).
+  float variance_band = 0.5f;
+  /// Step 2 keeps this fraction of the step-1 survivors for final ranking.
+  float refine_fraction = 0.3f;
+  /// Channel weights in the distance (luminance first).
+  float channel_weights[3] = {1.0f, 0.7f, 0.7f};
+  /// Extra weight on the low-low band vs detail subbands.
+  float lowband_weight = 2.0f;
+};
+
+/// One ranked result (smaller distance = better).
+struct BaselineMatch {
+  uint64_t image_id = 0;
+  double distance = 0.0;
+};
+
+class WbiisRetriever {
+ public:
+  explicit WbiisRetriever(WbiisParams params = WbiisParams());
+
+  /// Indexes `image` (any color space; converted internally).
+  Status AddImage(uint64_t image_id, const ImageF& image);
+
+  size_t size() const { return features_.size(); }
+
+  /// Three-step search; returns up to `top_k` images by ascending distance.
+  Result<std::vector<BaselineMatch>> Query(const ImageF& query,
+                                           int top_k) const;
+
+ private:
+  struct Feature {
+    uint64_t image_id = 0;
+    /// Per channel: stddev of the 5-level low-low band.
+    float sigma[3] = {0, 0, 0};
+    /// Per channel 16x16 corner of the 4-level transform (flattened).
+    std::vector<float> corner4;
+    /// Per channel 8x8 corner of the 5-level transform (flattened).
+    std::vector<float> corner5;
+  };
+
+  Result<Feature> ComputeFeature(const ImageF& image) const;
+  double CornerDistance(const std::vector<float>& a,
+                        const std::vector<float>& b, int side) const;
+
+  WbiisParams params_;
+  std::vector<Feature> features_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_BASELINES_WBIIS_H_

@@ -1,0 +1,90 @@
+#include "cluster/birch.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "cluster/cf_tree.h"
+
+namespace walrus {
+namespace {
+
+/// Rebuilds `tree` with a larger threshold by re-inserting its leaf
+/// subclusters (BIRCH's threshold-raising rebuild; cheaper than rescanning
+/// the data because CFs are additive).
+CfTree RebuildWithThreshold(const CfTree& tree, double new_threshold,
+                            const BirchParams& params) {
+  CfTree rebuilt(tree.dim(), new_threshold, params.branching,
+                 params.leaf_entries);
+  for (const CfVector& cf : tree.LeafClusters()) {
+    rebuilt.InsertCf(cf);
+  }
+  return rebuilt;
+}
+
+}  // namespace
+
+BirchResult BirchPreCluster(const float* points, int n, int dim,
+                            const BirchParams& params) {
+  WALRUS_CHECK_GE(n, 1);
+  WALRUS_CHECK_GE(dim, 1);
+  WALRUS_CHECK_GT(params.threshold_growth, 1.0);
+
+  CfTree tree(dim, params.threshold, params.branching, params.leaf_entries);
+  BirchResult result;
+  for (int i = 0; i < n; ++i) {
+    tree.InsertPoint(points + static_cast<size_t>(i) * dim);
+    if (params.max_nodes > 0 && tree.node_count() > params.max_nodes) {
+      double new_threshold =
+          tree.threshold() <= 0.0
+              ? 1e-3
+              : tree.threshold() * params.threshold_growth;
+      tree = RebuildWithThreshold(tree, new_threshold, params);
+      ++result.rebuilds;
+    }
+  }
+
+  result.clusters = tree.LeafClusters();
+  result.final_threshold = tree.threshold();
+  result.centroids.reserve(result.clusters.size());
+  for (const CfVector& cf : result.clusters) {
+    result.centroids.push_back(cf.Centroid());
+  }
+
+  // Final assignment pass: nearest subcluster centroid per point.
+  result.assignments.resize(n);
+  for (int i = 0; i < n; ++i) {
+    const float* p = points + static_cast<size_t>(i) * dim;
+    int best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      const std::vector<float>& centroid = result.centroids[c];
+      double dist = 0.0;
+      for (int k = 0; k < dim; ++k) {
+        double d = static_cast<double>(p[k]) - centroid[k];
+        dist += d * d;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = static_cast<int>(c);
+      }
+    }
+    result.assignments[i] = best;
+  }
+  return result;
+}
+
+BirchResult BirchPreCluster(const std::vector<std::vector<float>>& points,
+                            const BirchParams& params) {
+  WALRUS_CHECK(!points.empty());
+  int dim = static_cast<int>(points[0].size());
+  std::vector<float> flat;
+  flat.reserve(points.size() * dim);
+  for (const auto& p : points) {
+    WALRUS_CHECK_EQ(static_cast<int>(p.size()), dim);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  return BirchPreCluster(flat.data(), static_cast<int>(points.size()), dim,
+                         params);
+}
+
+}  // namespace walrus

@@ -1,0 +1,106 @@
+#include "cluster/cf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace walrus {
+
+CfVector CfVector::FromPoint(const float* point, int dim) {
+  CfVector cf(dim);
+  cf.AddPoint(point, dim);
+  return cf;
+}
+
+void CfVector::AddPoint(const float* point, int dim) {
+  if (ls_.empty()) ls_.assign(dim, 0.0);
+  WALRUS_DCHECK_EQ(dim, this->dim());
+  for (int i = 0; i < dim; ++i) {
+    double v = point[i];
+    ls_[i] += v;
+    ss_ += v * v;
+  }
+  ++count_;
+}
+
+void CfVector::Merge(const CfVector& other) {
+  if (other.empty()) return;
+  if (ls_.empty()) ls_.assign(other.dim(), 0.0);
+  WALRUS_DCHECK_EQ(dim(), other.dim());
+  for (int i = 0; i < dim(); ++i) ls_[i] += other.ls_[i];
+  ss_ += other.ss_;
+  count_ += other.count_;
+}
+
+std::vector<float> CfVector::Centroid() const {
+  WALRUS_CHECK_GT(count_, 0);
+  std::vector<float> c(ls_.size());
+  double inv = 1.0 / static_cast<double>(count_);
+  for (size_t i = 0; i < ls_.size(); ++i) {
+    c[i] = static_cast<float>(ls_[i] * inv);
+  }
+  return c;
+}
+
+double CfVector::Radius() const {
+  if (count_ <= 1) return 0.0;
+  double inv = 1.0 / static_cast<double>(count_);
+  double centroid_norm2 = 0.0;
+  for (double v : ls_) centroid_norm2 += (v * inv) * (v * inv);
+  double r2 = ss_ * inv - centroid_norm2;
+  return r2 > 0.0 ? std::sqrt(r2) : 0.0;
+}
+
+double CfVector::Diameter() const {
+  if (count_ <= 1) return 0.0;
+  double n = static_cast<double>(count_);
+  double ls_norm2 = 0.0;
+  for (double v : ls_) ls_norm2 += v * v;
+  double d2 = (2.0 * n * ss_ - 2.0 * ls_norm2) / (n * (n - 1.0));
+  return d2 > 0.0 ? std::sqrt(d2) : 0.0;
+}
+
+double CfVector::CentroidDistance(const CfVector& a, const CfVector& b) {
+  WALRUS_DCHECK_EQ(a.dim(), b.dim());
+  WALRUS_DCHECK(a.count_ > 0 && b.count_ > 0);
+  double inv_a = 1.0 / static_cast<double>(a.count_);
+  double inv_b = 1.0 / static_cast<double>(b.count_);
+  double sum = 0.0;
+  for (int i = 0; i < a.dim(); ++i) {
+    double d = a.ls_[i] * inv_a - b.ls_[i] * inv_b;
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double CfVector::MergedRadius(const CfVector& other) const {
+  int64_t n = count_ + other.count_;
+  if (n <= 1) return 0.0;
+  double inv = 1.0 / static_cast<double>(n);
+  double ss = ss_ + other.ss_;
+  double centroid_norm2 = 0.0;
+  for (int i = 0; i < dim(); ++i) {
+    double ls = ls_[i] + other.ls_[i];
+    centroid_norm2 += (ls * inv) * (ls * inv);
+  }
+  double r2 = ss * inv - centroid_norm2;
+  return r2 > 0.0 ? std::sqrt(r2) : 0.0;
+}
+
+double CfVector::MergedRadiusWithPoint(const float* point, int dim) const {
+  WALRUS_DCHECK_EQ(dim, this->dim());
+  int64_t n = count_ + 1;
+  double inv = 1.0 / static_cast<double>(n);
+  double ss = ss_;
+  double centroid_norm2 = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    double v = point[i];
+    ss += v * v;
+    double ls = ls_[i] + v;
+    centroid_norm2 += (ls * inv) * (ls * inv);
+  }
+  double r2 = ss * inv - centroid_norm2;
+  return r2 > 0.0 ? std::sqrt(r2) : 0.0;
+}
+
+}  // namespace walrus

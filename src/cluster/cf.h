@@ -1,0 +1,63 @@
+#ifndef WALRUS_CLUSTER_CF_H_
+#define WALRUS_CLUSTER_CF_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace walrus {
+
+/// BIRCH Clustering Feature [ZRL96]: the sufficient statistics
+/// (N, LS, SS) of a set of d-dimensional points, where LS is the linear sum
+/// and SS the sum of squared norms. CFs are additive, which is what makes
+/// the CF-tree incremental: absorbing a point or merging two subclusters is
+/// O(d) and exact.
+class CfVector {
+ public:
+  CfVector() = default;
+  explicit CfVector(int dim) : ls_(dim, 0.0) {}
+
+  /// CF of a single point.
+  static CfVector FromPoint(const float* point, int dim);
+
+  int dim() const { return static_cast<int>(ls_.size()); }
+  int64_t count() const { return count_; }
+  const std::vector<double>& linear_sum() const { return ls_; }
+  double square_sum() const { return ss_; }
+
+  bool empty() const { return count_ == 0; }
+
+  /// Adds one point (dimension must match; empty CFs adopt it).
+  void AddPoint(const float* point, int dim);
+
+  /// Adds another CF (the additivity theorem).
+  void Merge(const CfVector& other);
+
+  /// Centroid LS/N. Undefined for empty CFs (checked).
+  std::vector<float> Centroid() const;
+
+  /// Root-mean-square distance of member points from the centroid:
+  /// sqrt(SS/N - ||LS/N||^2). This is BIRCH's radius R.
+  double Radius() const;
+
+  /// Average pairwise distance diameter D =
+  /// sqrt((2N*SS - 2||LS||^2) / (N(N-1))); 0 when N < 2.
+  double Diameter() const;
+
+  /// Euclidean distance between the centroids of two CFs (BIRCH metric D0).
+  static double CentroidDistance(const CfVector& a, const CfVector& b);
+
+  /// Radius of the union of this CF and `other` without materializing it.
+  double MergedRadius(const CfVector& other) const;
+
+  /// Radius of the union of this CF and a single point.
+  double MergedRadiusWithPoint(const float* point, int dim) const;
+
+ private:
+  int64_t count_ = 0;
+  std::vector<double> ls_;
+  double ss_ = 0.0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CLUSTER_CF_H_

@@ -1,0 +1,191 @@
+#include "cluster/cf_tree.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace walrus {
+
+struct CfTree::Node {
+  bool is_leaf = true;
+  /// Parallel arrays: entries[i] summarizes children[i]'s subtree (internal)
+  /// or subcluster i (leaf).
+  std::vector<CfVector> entries;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+CfTree::CfTree(CfTree&&) noexcept = default;
+CfTree& CfTree::operator=(CfTree&&) noexcept = default;
+CfTree::~CfTree() = default;
+
+CfTree::CfTree(int dim, double threshold, int branching, int leaf_entries)
+    : dim_(dim),
+      threshold_(threshold),
+      branching_(branching),
+      leaf_entries_(leaf_entries),
+      root_(std::make_unique<Node>()) {
+  WALRUS_CHECK_GE(dim, 1);
+  WALRUS_CHECK_GE(threshold, 0.0);
+  WALRUS_CHECK_GE(branching, 2);
+  WALRUS_CHECK_GE(leaf_entries, 2);
+  node_count_ = 1;
+}
+
+namespace {
+
+/// Index of the entry whose centroid is closest to cf's centroid.
+int ClosestEntry(const std::vector<CfVector>& entries, const CfVector& cf) {
+  WALRUS_DCHECK(!entries.empty());
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    double d = CfVector::CentroidDistance(entries[i], cf);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void CfTree::InsertPoint(const float* point) {
+  InsertCf(CfVector::FromPoint(point, dim_));
+  // point_count_ is maintained by InsertCf.
+}
+
+void CfTree::InsertCf(const CfVector& cf) {
+  WALRUS_CHECK_EQ(cf.dim(), dim_);
+  WALRUS_CHECK(!cf.empty());
+  point_count_ += cf.count();
+  InsertOutcome outcome = InsertIntoSubtree(root_.get(), cf);
+  if (outcome.new_sibling != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    CfVector left_cf(dim_);
+    for (const CfVector& e : root_->entries) left_cf.Merge(e);
+    CfVector right_cf(dim_);
+    for (const CfVector& e : outcome.new_sibling->entries) right_cf.Merge(e);
+    new_root->entries.push_back(std::move(left_cf));
+    new_root->entries.push_back(std::move(right_cf));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(outcome.new_sibling));
+    root_ = std::move(new_root);
+    ++node_count_;
+  }
+}
+
+CfTree::InsertOutcome CfTree::InsertIntoSubtree(Node* node,
+                                                const CfVector& cf) {
+  InsertOutcome outcome;
+  if (node->is_leaf) {
+    if (!node->entries.empty()) {
+      int idx = ClosestEntry(node->entries, cf);
+      if (node->entries[idx].MergedRadius(cf) <= threshold_) {
+        node->entries[idx].Merge(cf);
+        return outcome;
+      }
+    }
+    node->entries.push_back(cf);
+    ++leaf_cluster_count_;
+    if (static_cast<int>(node->entries.size()) > leaf_entries_) {
+      outcome.new_sibling = SplitNode(node);
+    }
+    return outcome;
+  }
+
+  int idx = ClosestEntry(node->entries, cf);
+  InsertOutcome child_outcome = InsertIntoSubtree(node->children[idx].get(), cf);
+  node->entries[idx].Merge(cf);
+  if (child_outcome.new_sibling != nullptr) {
+    // Recompute the split child's CF and append the new sibling.
+    CfVector left_cf(dim_);
+    Node* child = node->children[idx].get();
+    if (child->is_leaf) {
+      for (const CfVector& e : child->entries) left_cf.Merge(e);
+    } else {
+      for (const CfVector& e : child->entries) left_cf.Merge(e);
+    }
+    node->entries[idx] = std::move(left_cf);
+    CfVector right_cf(dim_);
+    for (const CfVector& e : child_outcome.new_sibling->entries) {
+      right_cf.Merge(e);
+    }
+    node->entries.push_back(std::move(right_cf));
+    node->children.push_back(std::move(child_outcome.new_sibling));
+    if (static_cast<int>(node->entries.size()) > branching_) {
+      outcome.new_sibling = SplitNode(node);
+    }
+  }
+  return outcome;
+}
+
+std::unique_ptr<CfTree::Node> CfTree::SplitNode(Node* node) {
+  // Seed with the farthest pair of entry centroids, then assign each entry
+  // to the closer seed (BIRCH split).
+  size_t n = node->entries.size();
+  WALRUS_DCHECK_LE(2u, n);
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = CfVector::CentroidDistance(node->entries[i], node->entries[j]);
+      if (d > worst) {
+        worst = d;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  ++node_count_;
+
+  std::vector<CfVector> old_entries = std::move(node->entries);
+  std::vector<std::unique_ptr<Node>> old_children = std::move(node->children);
+  node->entries.clear();
+  node->children.clear();
+
+  // Copy the seeds: the loop below moves entries out of old_entries, and a
+  // moved-from seed must not be used for later distance comparisons.
+  const CfVector seed_cf_a = old_entries[seed_a];
+  const CfVector seed_cf_b = old_entries[seed_b];
+  for (size_t i = 0; i < n; ++i) {
+    double da = CfVector::CentroidDistance(old_entries[i], seed_cf_a);
+    double db = CfVector::CentroidDistance(old_entries[i], seed_cf_b);
+    bool to_sibling = i == seed_b || (i != seed_a && db < da);
+    Node* target = to_sibling ? sibling.get() : node;
+    target->entries.push_back(std::move(old_entries[i]));
+    if (!old_children.empty()) {
+      target->children.push_back(std::move(old_children[i]));
+    }
+  }
+  // Both sides are nonempty because the two seeds land on opposite sides.
+  WALRUS_DCHECK(!node->entries.empty() && !sibling->entries.empty());
+  return sibling;
+}
+
+void CfTree::CollectLeafClusters(const Node* node,
+                                 std::vector<CfVector>* out) const {
+  if (node->is_leaf) {
+    out->insert(out->end(), node->entries.begin(), node->entries.end());
+    return;
+  }
+  for (const auto& child : node->children) {
+    CollectLeafClusters(child.get(), out);
+  }
+}
+
+std::vector<CfVector> CfTree::LeafClusters() const {
+  std::vector<CfVector> out;
+  out.reserve(leaf_cluster_count_);
+  CollectLeafClusters(root_.get(), &out);
+  return out;
+}
+
+}  // namespace walrus

@@ -1,0 +1,70 @@
+#ifndef WALRUS_CLUSTER_CF_TREE_H_
+#define WALRUS_CLUSTER_CF_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cf.h"
+
+namespace walrus {
+
+/// Height-balanced CF-tree (BIRCH [ZRL96] section 4.1). Internal nodes hold
+/// up to `branching` (CF, child) entries; leaves hold up to `leaf_entries`
+/// subcluster CFs. A point descends along closest centroids; the closest
+/// leaf subcluster absorbs it if the merged radius stays within `threshold`,
+/// otherwise it starts a new subcluster. Overfull nodes split along the
+/// farthest entry pair, recursively up to the root.
+class CfTree {
+ public:
+  CfTree(int dim, double threshold, int branching = 8, int leaf_entries = 8);
+
+  CfTree(const CfTree&) = delete;
+  CfTree& operator=(const CfTree&) = delete;
+  CfTree(CfTree&&) noexcept;
+  CfTree& operator=(CfTree&&) noexcept;
+  ~CfTree();
+
+  /// Inserts one point (length == dim()).
+  void InsertPoint(const float* point);
+
+  /// Inserts a whole subcluster CF (used when rebuilding with a larger
+  /// threshold: leaf entries of the old tree are re-inserted wholesale).
+  void InsertCf(const CfVector& cf);
+
+  /// All leaf subcluster CFs, left to right.
+  std::vector<CfVector> LeafClusters() const;
+
+  int dim() const { return dim_; }
+  double threshold() const { return threshold_; }
+  int64_t point_count() const { return point_count_; }
+  /// Number of leaf subclusters currently in the tree.
+  int leaf_cluster_count() const { return leaf_cluster_count_; }
+  /// Total nodes (diagnostics / memory-bound rebuild policy).
+  int node_count() const { return node_count_; }
+
+ private:
+  struct Node;
+
+  /// Outcome of inserting into a subtree: if the child split, `new_sibling`
+  /// holds the extra node to add to the parent.
+  struct InsertOutcome {
+    std::unique_ptr<Node> new_sibling;
+  };
+
+  InsertOutcome InsertIntoSubtree(Node* node, const CfVector& cf);
+  std::unique_ptr<Node> SplitNode(Node* node);
+  void CollectLeafClusters(const Node* node, std::vector<CfVector>* out) const;
+
+  int dim_;
+  double threshold_;
+  int branching_;
+  int leaf_entries_;
+  int64_t point_count_ = 0;
+  int leaf_cluster_count_ = 0;
+  int node_count_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CLUSTER_CF_TREE_H_

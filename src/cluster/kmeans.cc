@@ -1,0 +1,118 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace walrus {
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int dim) {
+  double sum = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<std::vector<float>> SeedPlusPlus(const float* points, int n,
+                                             int dim, int k, Rng* rng) {
+  std::vector<std::vector<float>> centroids;
+  centroids.reserve(k);
+  int first = rng->NextInt(0, n - 1);
+  centroids.emplace_back(points + static_cast<size_t>(first) * dim,
+                         points + static_cast<size_t>(first + 1) * dim);
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    const std::vector<float>& last = centroids.back();
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double d = SquaredDistance(points + static_cast<size_t>(i) * dim,
+                                 last.data(), dim);
+      dist2[i] = std::min(dist2[i], d);
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with existing centroids.
+      int idx = rng->NextInt(0, n - 1);
+      centroids.emplace_back(points + static_cast<size_t>(idx) * dim,
+                             points + static_cast<size_t>(idx + 1) * dim);
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    double run = 0.0;
+    int chosen = n - 1;
+    for (int i = 0; i < n; ++i) {
+      run += dist2[i];
+      if (run >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.emplace_back(points + static_cast<size_t>(chosen) * dim,
+                           points + static_cast<size_t>(chosen + 1) * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeansCluster(const float* points, int n, int dim,
+                           const KMeansParams& params) {
+  WALRUS_CHECK_GE(n, 1);
+  WALRUS_CHECK_GE(dim, 1);
+  int k = std::min(params.k, n);
+  WALRUS_CHECK_GE(k, 1);
+
+  Rng rng(params.seed, /*stream=*/0x6b6d65616e73ULL);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, n, dim, k, &rng);
+  result.assignments.assign(n, -1);
+
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dim));
+  std::vector<int64_t> counts(k);
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool changed = false;
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    result.inertia = 0.0;
+
+    for (int i = 0; i < n; ++i) {
+      const float* p = points + static_cast<size_t>(i) * dim;
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(p, result.centroids[c].data(), dim);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+      result.inertia += best_dist;
+      ++counts[best];
+      for (int d = 0; d < dim; ++d) sums[best][d] += p[d];
+    }
+
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its old centroid
+      for (int d = 0; d < dim; ++d) {
+        result.centroids[c][d] =
+            static_cast<float>(sums[c][d] / static_cast<double>(counts[c]));
+      }
+    }
+    if (params.early_stop && !changed) break;
+  }
+  return result;
+}
+
+}  // namespace walrus

@@ -1,0 +1,36 @@
+#ifndef WALRUS_CLUSTER_KMEANS_H_
+#define WALRUS_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace walrus {
+
+/// Lloyd's k-means with k-means++ seeding. Included as an ablation baseline
+/// against BIRCH pre-clustering: k-means needs k fixed in advance and
+/// multiple passes, which is exactly why the paper picks BIRCH (linear,
+/// radius-bounded, cluster count adapts to image complexity).
+struct KMeansParams {
+  int k = 8;
+  int max_iterations = 50;
+  uint64_t seed = 1;
+  /// Stop when no assignment changes.
+  bool early_stop = true;
+};
+
+struct KMeansResult {
+  std::vector<std::vector<float>> centroids;
+  std::vector<int> assignments;
+  int iterations = 0;
+  double inertia = 0.0;  // sum of squared distances to assigned centroids
+};
+
+/// Clusters `n` points of dimension `dim` (point i at points + i*dim).
+/// k is clamped to n.
+KMeansResult KMeansCluster(const float* points, int n, int dim,
+                           const KMeansParams& params);
+
+}  // namespace walrus
+
+#endif  // WALRUS_CLUSTER_KMEANS_H_

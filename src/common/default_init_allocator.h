@@ -1,0 +1,42 @@
+#ifndef WALRUS_COMMON_DEFAULT_INIT_ALLOCATOR_H_
+#define WALRUS_COMMON_DEFAULT_INIT_ALLOCATOR_H_
+
+#include <memory>
+#include <utility>
+
+namespace walrus {
+
+/// Allocator adaptor that default-initializes instead of value-initializing
+/// on unparameterized construct() calls. For trivial element types this
+/// skips the zero-fill that std::vector<T>(n) performs -- measurable when a
+/// sliding-window signature grid allocates hundreds of megabytes that are
+/// fully overwritten immediately (see wavelet/sliding_window.cc).
+template <typename T, typename Alloc = std::allocator<T>>
+class DefaultInitAllocator : public Alloc {
+  using Traits = std::allocator_traits<Alloc>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<
+        U, typename Traits::template rebind_alloc<U>>;
+  };
+
+  using Alloc::Alloc;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;  // default-init: no zero fill for PODs
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    Traits::construct(static_cast<Alloc&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_DEFAULT_INIT_ALLOCATOR_H_

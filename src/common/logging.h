@@ -1,0 +1,94 @@
+#ifndef WALRUS_COMMON_LOGGING_H_
+#define WALRUS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace walrus {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is emitted; messages below it are dropped.
+/// Thread-compatible: set once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace walrus
+
+#define WALRUS_LOG(severity)                                          \
+  (::walrus::LogLevel::k##severity < ::walrus::GetLogLevel())         \
+      ? (void)0                                                       \
+      : ::walrus::internal::LogVoidify() &                            \
+            ::walrus::internal::LogMessage(::walrus::LogLevel::k##severity, \
+                                           __FILE__, __LINE__)        \
+                .stream()
+
+namespace walrus::internal {
+/// Lowest-precedence operand that turns the stream expression into void for
+/// the ternary in WALRUS_LOG.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+}  // namespace walrus::internal
+
+/// Fatal unless `condition` holds; always on, use for API contract checks.
+#define WALRUS_CHECK(condition)                                           \
+  (condition) ? (void)0                                                   \
+              : ::walrus::internal::LogVoidify() &                        \
+                    ::walrus::internal::LogMessage(                       \
+                        ::walrus::LogLevel::kFatal, __FILE__, __LINE__)   \
+                            .stream()                                     \
+                        << "Check failed: " #condition " "
+
+#define WALRUS_CHECK_EQ(a, b) WALRUS_CHECK((a) == (b))
+#define WALRUS_CHECK_NE(a, b) WALRUS_CHECK((a) != (b))
+#define WALRUS_CHECK_LT(a, b) WALRUS_CHECK((a) < (b))
+#define WALRUS_CHECK_LE(a, b) WALRUS_CHECK((a) <= (b))
+#define WALRUS_CHECK_GT(a, b) WALRUS_CHECK((a) > (b))
+#define WALRUS_CHECK_GE(a, b) WALRUS_CHECK((a) >= (b))
+
+/// Debug-only checks for hot paths.
+#ifdef NDEBUG
+#define WALRUS_DCHECK(condition) \
+  while (false) WALRUS_CHECK(condition)
+#else
+#define WALRUS_DCHECK(condition) WALRUS_CHECK(condition)
+#endif
+
+#define WALRUS_DCHECK_EQ(a, b) WALRUS_DCHECK((a) == (b))
+#define WALRUS_DCHECK_NE(a, b) WALRUS_DCHECK((a) != (b))
+#define WALRUS_DCHECK_LT(a, b) WALRUS_DCHECK((a) < (b))
+#define WALRUS_DCHECK_LE(a, b) WALRUS_DCHECK((a) <= (b))
+#define WALRUS_DCHECK_GT(a, b) WALRUS_DCHECK((a) > (b))
+#define WALRUS_DCHECK_GE(a, b) WALRUS_DCHECK((a) >= (b))
+
+#endif  // WALRUS_COMMON_LOGGING_H_

@@ -1,0 +1,56 @@
+#include "common/math_util.h"
+
+#include "common/logging.h"
+
+namespace walrus {
+
+float SquaredL2(const std::vector<float>& a, const std::vector<float>& b) {
+  WALRUS_DCHECK_EQ(a.size(), b.size());
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+float L2Distance(const std::vector<float>& a, const std::vector<float>& b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+float L1Distance(const std::vector<float>& a, const std::vector<float>& b) {
+  WALRUS_DCHECK_EQ(a.size(), b.size());
+  float sum = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+float LInfDistance(const std::vector<float>& a, const std::vector<float>& b) {
+  WALRUS_DCHECK_EQ(a.size(), b.size());
+  float best = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    float d = std::fabs(a[i] - b[i]);
+    if (d > best) best = d;
+  }
+  return best;
+}
+
+double Mean(const std::vector<float>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<float>& values) {
+  if (values.empty()) return 0.0;
+  double mean = Mean(values);
+  double sum = 0.0;
+  for (float v : values) {
+    double d = v - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace walrus

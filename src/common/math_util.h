@@ -1,0 +1,56 @@
+#ifndef WALRUS_COMMON_MATH_UTIL_H_
+#define WALRUS_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace walrus {
+
+/// True iff v is a power of two (v > 0).
+constexpr bool IsPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+constexpr int Log2Floor(uint32_t v) {
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// Smallest power of two >= v (v >= 1).
+constexpr uint32_t NextPowerOfTwo(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Clamps x into [lo, hi].
+template <typename T>
+constexpr T Clamp(T x, T lo, T hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// Squared Euclidean distance between equal-length vectors.
+float SquaredL2(const std::vector<float>& a, const std::vector<float>& b);
+
+/// Euclidean distance between equal-length vectors.
+float L2Distance(const std::vector<float>& a, const std::vector<float>& b);
+
+/// L1 (Manhattan) distance between equal-length vectors.
+float L1Distance(const std::vector<float>& a, const std::vector<float>& b);
+
+/// L-infinity (Chebyshev) distance between equal-length vectors.
+float LInfDistance(const std::vector<float>& a, const std::vector<float>& b);
+
+/// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<float>& values);
+
+/// Population variance of `values`; 0 for fewer than one element.
+double Variance(const std::vector<float>& values);
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_MATH_UTIL_H_

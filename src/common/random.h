@@ -1,0 +1,65 @@
+#ifndef WALRUS_COMMON_RANDOM_H_
+#define WALRUS_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace walrus {
+
+/// Deterministic PCG32 pseudo-random generator (O'Neill, pcg-random.org,
+/// XSH-RR variant). Used everywhere instead of std::mt19937 so that synthetic
+/// datasets and tests reproduce bit-identically across platforms and standard
+/// library implementations.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool NextBernoulli(double p);
+
+  /// Random permutation index sequence [0, n).
+  std::vector<int> Permutation(int n);
+
+  /// Fisher-Yates shuffle of `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = NextBounded(static_cast<uint32_t>(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_RANDOM_H_

@@ -1,0 +1,171 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace walrus {
+
+void BinaryWriter::PutU8(uint8_t v) { buffer_.push_back(v); }
+
+void BinaryWriter::PutU16(uint16_t v) {
+  buffer_.push_back(static_cast<uint8_t>(v));
+  buffer_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::PutFloat(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits);
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+void BinaryWriter::PutFloatVector(const std::vector<float>& v) {
+  PutU32(static_cast<uint32_t>(v.size()));
+  for (float f : v) PutFloat(f);
+}
+
+void BinaryWriter::PutBytes(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + n);
+}
+
+Status BinaryReader::Need(size_t n) {
+  if (pos_ + n > size_) {
+    return Status::Corruption("binary reader: truncated input (need " +
+                              std::to_string(n) + " bytes at offset " +
+                              std::to_string(pos_) + ", have " +
+                              std::to_string(size_ - pos_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::GetU8() {
+  WALRUS_RETURN_IF_ERROR(Need(1));
+  return data_[pos_++];
+}
+
+Result<uint16_t> BinaryReader::GetU16() {
+  WALRUS_RETURN_IF_ERROR(Need(2));
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> BinaryReader::GetU32() {
+  WALRUS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::GetU64() {
+  WALRUS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> BinaryReader::GetI32() {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> BinaryReader::GetI64() {
+  WALRUS_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<float> BinaryReader::GetFloat() {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t bits, GetU32());
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<double> BinaryReader::GetDouble() {
+  WALRUS_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::GetString() {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  WALRUS_RETURN_IF_ERROR(Need(n));
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<float>> BinaryReader::GetFloatVector() {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  WALRUS_RETURN_IF_ERROR(Need(static_cast<size_t>(n) * 4));
+  std::vector<float> v(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t bits = 0;
+    for (int b = 0; b < 4; ++b) {
+      bits |= static_cast<uint32_t>(data_[pos_ + b]) << (8 * b);
+    }
+    std::memcpy(&v[i], &bits, sizeof(float));
+    pos_ += 4;
+  }
+  return v;
+}
+
+Status BinaryReader::GetBytes(void* out, size_t n) {
+  WALRUS_RETURN_IF_ERROR(Need(n));
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t got = size == 0 ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) return Status::IOError("short read: " + path);
+  return bytes;
+}
+
+}  // namespace walrus

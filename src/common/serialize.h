@@ -1,0 +1,86 @@
+#ifndef WALRUS_COMMON_SERIALIZE_H_
+#define WALRUS_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace walrus {
+
+/// Appends fixed-width little-endian encodings to a byte buffer. All on-disk
+/// structures (catalog, R*-tree pages, signatures) are built from these
+/// primitives so the format is platform independent.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutFloat(float v);
+  void PutDouble(double v);
+  /// Length-prefixed (u32) byte string.
+  void PutString(const std::string& s);
+  /// Length-prefixed (u32) float vector.
+  void PutFloatVector(const std::vector<float>& v);
+  /// Raw bytes, no length prefix.
+  void PutBytes(const void* data, size_t n);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reads the encodings produced by BinaryWriter. Never reads past the end:
+/// each getter returns Status/Result and fails with Corruption on truncation.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int32_t> GetI32();
+  Result<int64_t> GetI64();
+  Result<float> GetFloat();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+  Result<std::vector<float>> GetFloatVector();
+  /// Copies `n` raw bytes into `out`.
+  Status GetBytes(void* out, size_t n);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+/// Writes `bytes` to `path`, replacing any existing file.
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+
+/// Reads the whole file at `path`.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_SERIALIZE_H_

@@ -1,0 +1,163 @@
+#ifndef WALRUS_COMMON_STATUS_H_
+#define WALRUS_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace walrus {
+
+/// Error categories used across the library. Modeled after absl::StatusCode,
+/// reduced to the cases this codebase actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or an error code plus message.
+///
+/// The library is exception-free (Google style); every operation that can
+/// fail for reasons other than programmer error returns a Status or a
+/// Result<T>. Programmer errors are caught with WALRUS_CHECK/WALRUS_DCHECK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so call sites can `return value;`
+  /// or `return Status::...;` directly (mirrors absl::StatusOr).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Aborts the process with `what` and the status text. Out-of-line so that
+/// Result<T> stays header-only without pulling in logging.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!status_.ok()) internal::DieOnBadResultAccess(status_);
+}
+
+/// Propagates an error Status from an expression that yields a Status.
+#define WALRUS_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::walrus::Status _walrus_status = (expr);       \
+    if (!_walrus_status.ok()) return _walrus_status; \
+  } while (0)
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define WALRUS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto WALRUS_CONCAT_(_walrus_result, __LINE__) = (expr);            \
+  if (!WALRUS_CONCAT_(_walrus_result, __LINE__).ok())                \
+    return WALRUS_CONCAT_(_walrus_result, __LINE__).status();        \
+  lhs = std::move(WALRUS_CONCAT_(_walrus_result, __LINE__)).value()
+
+#define WALRUS_CONCAT_INNER_(a, b) a##b
+#define WALRUS_CONCAT_(a, b) WALRUS_CONCAT_INNER_(a, b)
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_STATUS_H_

@@ -1,0 +1,54 @@
+#ifndef WALRUS_COMMON_THREAD_POOL_H_
+#define WALRUS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace walrus {
+
+/// Fixed-size worker pool for embarrassingly parallel batch work (parallel
+/// region extraction during index builds). Tasks may not throw.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Waits for all queued work, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Must not be called after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency, at least 1.
+  static int DefaultThreads();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_THREAD_POOL_H_

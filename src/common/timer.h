@@ -1,0 +1,30 @@
+#ifndef WALRUS_COMMON_TIMER_H_
+#define WALRUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace walrus {
+
+/// Monotonic wall-clock stopwatch used by benchmark harnesses and query
+/// response-time reporting.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_TIMER_H_

@@ -1,0 +1,67 @@
+#ifndef WALRUS_CORE_BITMAP_H_
+#define WALRUS_CORE_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace walrus {
+
+/// Coarse pixel-coverage bitmap for a region (paper section 5.3): one bit
+/// per k x k cell of the image, set when the cell is covered by at least one
+/// window of the region's cluster. The image-matching step unions these
+/// bitmaps to compute the area covered by (possibly overlapping) matched
+/// regions. With the paper's defaults (16x16) this is 32 bytes per region.
+class CoverageBitmap {
+ public:
+  /// All-clear bitmap with side x side cells.
+  explicit CoverageBitmap(int side);
+
+  /// Rebuilds from packed bytes produced by ToBytes().
+  CoverageBitmap(int side, const std::vector<uint8_t>& packed);
+
+  int side() const { return side_; }
+  int CellCount() const { return side_ * side_; }
+
+  void SetCell(int cx, int cy);
+  bool TestCell(int cx, int cy) const;
+  void Clear();
+
+  /// Marks every cell whose center pixel falls inside the window
+  /// [x, x+w) x [y, y+h) of an image_w x image_h image.
+  void MarkWindow(int x, int y, int w, int h, int image_w, int image_h);
+
+  /// ORs `other` into this bitmap (equal sides required).
+  void UnionWith(const CoverageBitmap& other);
+
+  /// Number of set cells.
+  int CountSet() const;
+
+  /// Fraction of cells set, i.e. the covered fraction of the image area.
+  double CoveredFraction() const;
+
+  /// Set cells in this OR other (without mutating either).
+  static int UnionCount(const CoverageBitmap& a, const CoverageBitmap& b);
+
+  /// Packs to ceil(side^2 / 8) bytes, row-major, LSB-first.
+  std::vector<uint8_t> ToBytes() const;
+
+  bool operator==(const CoverageBitmap& other) const {
+    return side_ == other.side_ && words_ == other.words_;
+  }
+
+ private:
+  int WordCount() const { return (side_ * side_ + 63) / 64; }
+  int BitIndex(int cx, int cy) const {
+    WALRUS_DCHECK(cx >= 0 && cx < side_ && cy >= 0 && cy < side_);
+    return cy * side_ + cx;
+  }
+
+  int side_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_BITMAP_H_

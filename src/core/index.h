@@ -1,0 +1,130 @@
+#ifndef WALRUS_CORE_INDEX_H_
+#define WALRUS_CORE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "core/region.h"
+#include "core/region_extractor.h"
+#include "image/image.h"
+#include "spatial/rstar_tree.h"
+#include "storage/catalog.h"
+#include "storage/disk_rstar.h"
+
+#include <optional>
+
+namespace walrus {
+
+/// Packs (image_id, region_id) into one R*-tree payload. Image ids must fit
+/// in 48 bits and region ids in 16.
+uint64_t EncodeRegionPayload(uint64_t image_id, uint32_t region_id);
+void DecodeRegionPayload(uint64_t payload, uint64_t* image_id,
+                         uint32_t* region_id);
+
+/// The WALRUS image database: every indexed image is decomposed into
+/// regions (section 5.3); region signatures go into an R*-tree (section
+/// 5.4) and region metadata (centroid, signature bounding box, coverage
+/// bitmap) into the catalog. Both parts serialize to disk.
+class WalrusIndex {
+ public:
+  explicit WalrusIndex(WalrusParams params);
+
+  WalrusIndex(const WalrusIndex&) = delete;
+  WalrusIndex& operator=(const WalrusIndex&) = delete;
+  WalrusIndex(WalrusIndex&&) = default;
+  WalrusIndex& operator=(WalrusIndex&&) = default;
+
+  const WalrusParams& params() const { return params_; }
+  const Catalog& catalog() const { return catalog_; }
+  /// The in-memory R*-tree. Empty when the index was opened paged
+  /// (is_paged()); use ProbeRange/ProbeNearest, which dispatch correctly.
+  const RStarTree& tree() const { return tree_; }
+
+  /// True when region probes are served from the on-disk page tree.
+  bool is_paged() const { return disk_tree_.has_value(); }
+
+  /// The paged backend, or nullptr for in-memory indexes (IO diagnostics).
+  const DiskRStarTree* disk_tree() const {
+    return disk_tree_.has_value() ? &*disk_tree_ : nullptr;
+  }
+
+  /// Region-signature probe: streams every indexed region whose rect
+  /// intersects `query` (in-memory or paged backend).
+  Status ProbeRange(
+      const Rect& query,
+      const std::function<bool(const Rect&, uint64_t)>& visitor) const;
+
+  /// k nearest region signatures to `point` (centroid mode).
+  Result<std::vector<std::pair<uint64_t, double>>> ProbeNearest(
+      const std::vector<float>& point, int k) const;
+
+  size_t ImageCount() const { return catalog_.size(); }
+  size_t RegionCount() const { return catalog_.TotalRegions(); }
+
+  /// Extracts regions from `image` and indexes them under `image_id`.
+  /// `stats` (optional) receives extraction diagnostics.
+  Status AddImage(uint64_t image_id, const std::string& name,
+                  const ImageF& image, ExtractionStats* stats = nullptr);
+
+  /// Removes an indexed image: its catalog record and every one of its
+  /// region entries in the R*-tree. NotFound when the id is not indexed.
+  Status RemoveImage(uint64_t image_id);
+
+  /// One image of a batch insert.
+  struct PendingImage {
+    uint64_t image_id = 0;
+    std::string name;
+    ImageF image;
+  };
+
+  /// Adds a batch of images, running region extraction (the expensive part:
+  /// wavelets + clustering) across `num_threads` workers and then inserting
+  /// serially. 0 threads = hardware concurrency. The batch is atomic: on
+  /// any extraction failure or duplicate id nothing is added.
+  Status AddImages(std::vector<PendingImage> images, int num_threads = 0);
+
+  /// Materializes the Region objects of an indexed image.
+  Result<std::vector<Region>> ImageRegions(uint64_t image_id) const;
+
+  /// Pixel area (width*height) of an indexed image.
+  Result<double> ImageArea(uint64_t image_id) const;
+
+  /// Persists to `<path_prefix>.catalog` (page file) and
+  /// `<path_prefix>.index` (params + R*-tree).
+  Status Save(const std::string& path_prefix) const;
+
+  /// Loads an index previously written by Save.
+  static Result<WalrusIndex> Open(const std::string& path_prefix);
+
+  /// Persists with a disk-resident page tree instead of the serialized
+  /// in-memory tree: `<path_prefix>.catalog`, `<path_prefix>.pmeta`
+  /// (params) and `<path_prefix>.ptree` (one R-tree node per page). An
+  /// index opened with OpenPaged answers queries by reading tree pages
+  /// through an LRU cache -- the paper's "disk-based index" deployment.
+  Status SavePaged(const std::string& path_prefix) const;
+
+  /// Opens a paged index written by SavePaged. The returned index is
+  /// read-only: AddImage/RemoveImage on it fail the id checks as usual but
+  /// the page tree never changes.
+  static Result<WalrusIndex> OpenPaged(const std::string& path_prefix);
+
+ private:
+  /// (Rect, payload) entries for every region in the catalog, in the
+  /// layout the trees index.
+  std::vector<std::pair<Rect, uint64_t>> CatalogEntries() const;
+
+  WalrusParams params_;
+  Catalog catalog_;
+  RStarTree tree_;
+  std::optional<DiskRStarTree> disk_tree_;
+};
+
+/// Serializes params (used by Save/Open; exposed for tests).
+void SerializeParams(const WalrusParams& params, BinaryWriter* writer);
+Result<WalrusParams> DeserializeParams(BinaryReader* reader);
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_INDEX_H_

@@ -1,0 +1,64 @@
+#include "core/params.h"
+
+#include "common/math_util.h"
+
+namespace walrus {
+
+int WalrusParams::Channels() const {
+  return color_space == ColorSpace::kGray ? 1 : 3;
+}
+
+int WalrusParams::SignatureDim() const {
+  return Channels() * signature_size * signature_size;
+}
+
+Status WalrusParams::Validate() const {
+  if (signature_size < 1 ||
+      !IsPowerOfTwo(static_cast<uint32_t>(signature_size))) {
+    return Status::InvalidArgument("signature_size must be a power of two");
+  }
+  if (min_window < 2 || !IsPowerOfTwo(static_cast<uint32_t>(min_window))) {
+    return Status::InvalidArgument("min_window must be a power of two >= 2");
+  }
+  if (max_window < min_window ||
+      !IsPowerOfTwo(static_cast<uint32_t>(max_window))) {
+    return Status::InvalidArgument(
+        "max_window must be a power of two >= min_window");
+  }
+  if (slide_step < 1 || !IsPowerOfTwo(static_cast<uint32_t>(slide_step))) {
+    return Status::InvalidArgument("slide_step must be a power of two >= 1");
+  }
+  if (signature_size > min_window) {
+    return Status::InvalidArgument(
+        "signature_size cannot exceed min_window");
+  }
+  if (cluster_epsilon < 0.0) {
+    return Status::InvalidArgument("cluster_epsilon must be >= 0");
+  }
+  if (bitmap_side < 1 || bitmap_side > 1024) {
+    return Status::InvalidArgument("bitmap_side out of range");
+  }
+  if (birch_branching < 2 || birch_leaf_entries < 2) {
+    return Status::InvalidArgument("birch node capacities must be >= 2");
+  }
+  if (kmeans_k < 0) {
+    return Status::InvalidArgument("kmeans_k must be >= 0");
+  }
+  if (min_cluster_windows < 1) {
+    return Status::InvalidArgument("min_cluster_windows must be >= 1");
+  }
+  if (refined_signature_size != 0) {
+    if (!IsPowerOfTwo(static_cast<uint32_t>(refined_signature_size)) ||
+        refined_signature_size <= signature_size) {
+      return Status::InvalidArgument(
+          "refined_signature_size must be a power of two > signature_size");
+    }
+    if (refined_signature_size > min_window) {
+      return Status::InvalidArgument(
+          "refined_signature_size cannot exceed min_window");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace walrus

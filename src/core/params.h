@@ -1,0 +1,78 @@
+#ifndef WALRUS_CORE_PARAMS_H_
+#define WALRUS_CORE_PARAMS_H_
+
+#include "cluster/birch.h"
+#include "common/status.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// Which clustering algorithm groups window signatures into regions.
+/// The paper requires linear-time radius-bounded clustering and picks the
+/// BIRCH pre-clustering phase; k-means is provided as an ablation baseline
+/// (fixed k, multiple passes -- exactly the drawbacks section 5.3 cites).
+enum class ClustererKind : uint8_t {
+  kBirch = 0,
+  kKMeans = 1,
+};
+
+/// Which signature represents a region in the index (paper Definition 4.1
+/// offers both).
+enum class RegionSignatureKind : uint8_t {
+  /// Cluster centroid; regions match when centroid distance <= epsilon.
+  kCentroid = 0,
+  /// Bounding box of all member window signatures; regions match when one
+  /// box expanded by epsilon overlaps the other.
+  kBoundingBox = 1,
+};
+
+/// All WALRUS indexing knobs (paper section 5 and the section 6 defaults:
+/// 64x64 windows, s = 2, epsilon_c = 0.05, YCC, centroid signatures,
+/// 16x16 bitmaps).
+struct WalrusParams {
+  /// Color space signatures are computed in.
+  ColorSpace color_space = ColorSpace::kYCC;
+  /// Signature side s: each window keeps the s x s lowest-frequency band
+  /// per channel, so signatures have 3*s*s dimensions for color images.
+  int signature_size = 2;
+  /// Smallest and largest sliding-window side (powers of two). The paper's
+  /// retrieval experiments fix both to 64.
+  int min_window = 64;
+  int max_window = 64;
+  /// Slide distance t between adjacent windows (power of two).
+  int slide_step = 4;
+  /// BIRCH radius threshold epsilon_c for clustering window signatures.
+  double cluster_epsilon = 0.05;
+  /// Coverage bitmap side k: one bit per (width/k) x (height/k) pixel block.
+  int bitmap_side = 16;
+  /// Centroid or bounding-box region signatures.
+  RegionSignatureKind signature_kind = RegionSignatureKind::kCentroid;
+  /// Clustering algorithm for the window signatures.
+  ClustererKind clusterer = ClustererKind::kBirch;
+  /// k for the k-means ablation clusterer; 0 derives k from the window
+  /// count (sqrt(n)/2, at least 2).
+  int kmeans_k = 0;
+  /// CF-tree shape knobs (threshold comes from cluster_epsilon).
+  int birch_branching = 8;
+  int birch_leaf_entries = 8;
+  /// Discard clusters holding fewer windows than this (noise suppression;
+  /// 1 keeps everything, the paper does not prune).
+  int min_cluster_windows = 1;
+  /// Side of the optional refined signature (paper section 5.5: "an
+  /// additional refined matching phase with more detailed signatures").
+  /// 0 disables refinement; otherwise a power of two > signature_size.
+  /// Regions then also carry a Channels()*r*r refined centroid.
+  int refined_signature_size = 0;
+
+  /// Channels implied by color_space (1 for gray, 3 otherwise).
+  int Channels() const;
+  /// Total signature dimensionality: Channels() * s * s.
+  int SignatureDim() const;
+
+  /// Verifies power-of-two constraints and ranges.
+  Status Validate() const;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_PARAMS_H_

@@ -1,0 +1,214 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <map>
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace walrus {
+namespace {
+
+/// Region matches grouped by target image.
+struct TargetCandidate {
+  std::vector<RegionPair> pairs;
+};
+
+}  // namespace
+
+Result<std::vector<QueryMatch>> ExecuteQueryWithRegions(
+    const WalrusIndex& index, const std::vector<Region>& query_regions,
+    double query_area, const QueryOptions& options, QueryStats* stats) {
+  WallTimer timer;
+  const WalrusParams& params = index.params();
+  const bool use_bbox =
+      params.signature_kind == RegionSignatureKind::kBoundingBox;
+
+  // Region matching (section 5.4): one epsilon-expanded probe per query
+  // region; centroid mode post-filters the L-infinity candidates down to
+  // true Euclidean matches.
+  std::map<uint64_t, TargetCandidate> candidates;
+  int64_t regions_retrieved = 0;
+  if (options.knn_per_region > 0 && !use_bbox) {
+    // kNN probing: fixed candidate budget per query region.
+    for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+      const Region& q = query_regions[qi];
+      WALRUS_ASSIGN_OR_RETURN(
+          auto neighbors,
+          index.ProbeNearest(q.centroid, options.knn_per_region));
+      for (const auto& [payload, distance] : neighbors) {
+        (void)distance;
+        uint64_t image_id;
+        uint32_t region_id;
+        DecodeRegionPayload(payload, &image_id, &region_id);
+        ++regions_retrieved;
+        candidates[image_id].pairs.push_back(
+            {static_cast<int>(qi), static_cast<int>(region_id)});
+      }
+    }
+  } else {
+    for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+      const Region& q = query_regions[qi];
+      Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
+      WALRUS_RETURN_IF_ERROR(index.ProbeRange(
+          probe, [&](const Rect& rect, uint64_t payload) {
+            uint64_t image_id;
+            uint32_t region_id;
+            DecodeRegionPayload(payload, &image_id, &region_id);
+            if (!use_bbox) {
+              // Exact Euclidean test on the stored centroid (== rect.lo()).
+              if (!RegionsMatchCentroid(
+                      q.centroid.data(), rect.lo().data(),
+                      static_cast<int>(q.centroid.size()), options.epsilon)) {
+                return true;
+              }
+            }
+            ++regions_retrieved;
+            candidates[image_id].pairs.push_back(
+                {static_cast<int>(qi), static_cast<int>(region_id)});
+            return true;
+          }));
+    }
+  }
+
+  // Image matching (section 5.5).
+  std::vector<QueryMatch> matches;
+  matches.reserve(candidates.size());
+  for (const auto& [image_id, candidate] : candidates) {
+    WALRUS_ASSIGN_OR_RETURN(std::vector<Region> target_regions,
+                            index.ImageRegions(image_id));
+    WALRUS_ASSIGN_OR_RETURN(double target_area, index.ImageArea(image_id));
+    // Refined matching phase (section 5.5): re-verify pairs with the more
+    // detailed signatures where both sides carry them.
+    const std::vector<RegionPair>* pairs = &candidate.pairs;
+    std::vector<RegionPair> refined_pairs;
+    if (options.use_refinement) {
+      refined_pairs.reserve(candidate.pairs.size());
+      for (const RegionPair& pair : candidate.pairs) {
+        const std::vector<float>& q_ref =
+            query_regions[pair.query_index].refined_centroid;
+        const std::vector<float>& t_ref =
+            target_regions[pair.target_index].refined_centroid;
+        if (!q_ref.empty() && q_ref.size() == t_ref.size() &&
+            !RegionsMatchCentroid(q_ref.data(), t_ref.data(),
+                                  static_cast<int>(q_ref.size()),
+                                  options.refined_epsilon)) {
+          continue;  // refuted at the finer resolution
+        }
+        refined_pairs.push_back(pair);
+      }
+      pairs = &refined_pairs;
+    }
+    MatchResult result =
+        options.matcher == MatcherKind::kGreedy
+            ? GreedyMatch(query_regions, target_regions, *pairs,
+                          query_area, target_area)
+            : QuickMatch(query_regions, target_regions, *pairs,
+                         query_area, target_area);
+    double similarity = result.SimilarityAs(options.normalization,
+                                            query_area, target_area);
+    if (similarity < options.tau) continue;
+    QueryMatch match;
+    match.image_id = image_id;
+    match.similarity = similarity;
+    match.matching_pairs = static_cast<int>(pairs->size());
+    match.pairs_used = result.pairs_used;
+    if (options.collect_pairs) match.pairs = std::move(result.used_pairs);
+    matches.push_back(std::move(match));
+  }
+
+  std::sort(matches.begin(), matches.end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.image_id < b.image_id;
+            });
+  if (options.top_k > 0 &&
+      static_cast<int>(matches.size()) > options.top_k) {
+    matches.resize(options.top_k);
+  }
+
+  if (stats != nullptr) {
+    stats->query_regions = static_cast<int>(query_regions.size());
+    stats->regions_retrieved = regions_retrieved;
+    stats->avg_regions_per_query_region =
+        query_regions.empty()
+            ? 0.0
+            : static_cast<double>(regions_retrieved) / query_regions.size();
+    stats->distinct_images = static_cast<int>(candidates.size());
+    stats->seconds += timer.ElapsedSeconds();
+  }
+  return matches;
+}
+
+Result<std::vector<QueryMatch>> ExecuteSceneQuery(const WalrusIndex& index,
+                                                  const ImageF& query_image,
+                                                  const PixelRect& scene,
+                                                  const QueryOptions& options,
+                                                  QueryStats* stats) {
+  WallTimer timer;
+  WALRUS_ASSIGN_OR_RETURN(
+      std::vector<Region> scene_regions,
+      ExtractSceneRegions(query_image, scene, index.params()));
+  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
+  // Region bitmaps are image-relative, so the "query area" must be the
+  // pixels the scene's windows can actually cover: the union of all scene
+  // region bitmaps. With kQueryOnly normalization a perfect match then
+  // scores 1 regardless of how small the marked scene is.
+  if (scene_regions.empty()) {
+    return Status::InvalidArgument("scene produced no regions");
+  }
+  CoverageBitmap coverable(scene_regions[0].bitmap.side());
+  for (const Region& region : scene_regions) {
+    coverable.UnionWith(region.bitmap);
+  }
+  double image_area =
+      static_cast<double>(query_image.width()) * query_image.height();
+  double effective_area = image_area * coverable.CoveredFraction();
+  return ExecuteQueryWithRegions(index, scene_regions, effective_area,
+                                 options, stats);
+}
+
+Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
+    const WalrusIndex& index, const std::vector<ImageF>& queries,
+    const QueryOptions& options, int num_threads) {
+  std::vector<std::vector<QueryMatch>> results(queries.size());
+  if (queries.empty()) return results;
+  if (num_threads <= 0) num_threads = ThreadPool::DefaultThreads();
+  num_threads = std::min<int>(num_threads, static_cast<int>(queries.size()));
+
+  std::vector<std::unique_ptr<Result<std::vector<QueryMatch>>>> slots(
+      queries.size());
+  {
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(static_cast<int>(queries.size()), [&](int i) {
+      slots[i] = std::make_unique<Result<std::vector<QueryMatch>>>(
+          ExecuteQuery(index, queries[i], options));
+    });
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i]->ok()) return slots[i]->status();
+    results[i] = std::move(*slots[i]).value();
+  }
+  return results;
+}
+
+Result<std::vector<QueryMatch>> ExecuteQuery(const WalrusIndex& index,
+                                             const ImageF& query_image,
+                                             const QueryOptions& options,
+                                             QueryStats* stats) {
+  WallTimer timer;
+  WALRUS_ASSIGN_OR_RETURN(std::vector<Region> query_regions,
+                          ExtractRegions(query_image, index.params()));
+  double extraction_seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) stats->seconds = extraction_seconds;
+  return ExecuteQueryWithRegions(
+      index, query_regions,
+      static_cast<double>(query_image.width()) * query_image.height(),
+      options, stats);
+}
+
+}  // namespace walrus

@@ -1,0 +1,40 @@
+#ifndef WALRUS_CORE_REGION_H_
+#define WALRUS_CORE_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bitmap.h"
+#include "spatial/rect.h"
+#include "storage/catalog.h"
+
+namespace walrus {
+
+/// One extracted image region: a cluster of sliding windows with similar
+/// wavelet signatures (paper section 5.3). Carries both signature variants
+/// (centroid and bounding box) plus the pixel-coverage bitmap used by the
+/// image-matching step.
+struct Region {
+  uint32_t region_id = 0;
+  std::vector<float> centroid;
+  /// Centroid of the refined (higher-resolution) window signatures; empty
+  /// unless WalrusParams::refined_signature_size is set.
+  std::vector<float> refined_centroid;
+  Rect bounding_box;
+  CoverageBitmap bitmap{1};
+  uint64_t window_count = 0;
+
+  /// The signature rect indexed in the R*-tree for the given kind: a point
+  /// rect for centroids, the signature bounding box otherwise.
+  Rect IndexRect(bool use_bounding_box) const;
+
+  /// Fraction of the image covered by this region's windows.
+  double CoveredFraction() const { return bitmap.CoveredFraction(); }
+
+  RegionRecord ToRecord() const;
+  static Region FromRecord(const RegionRecord& record);
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_REGION_H_

@@ -1,0 +1,175 @@
+#include "core/region_extractor.h"
+
+#include <cmath>
+
+#include "cluster/birch.h"
+#include "cluster/kmeans.h"
+#include "common/logging.h"
+
+namespace walrus {
+
+std::vector<Region> ExtractRegionsFromWindows(
+    const WindowSignatureSet& set, int image_width, int image_height,
+    const WalrusParams& params, ExtractionStats* stats,
+    const WindowSignatureSet* refined_set) {
+  WALRUS_CHECK_GT(set.Count(), 0);
+  // Cluster the window signatures: BIRCH pre-clustering (the paper's
+  // choice) or k-means (ablation).
+  std::vector<std::vector<float>> centroids;
+  std::vector<int> assignments;
+  if (params.clusterer == ClustererKind::kKMeans) {
+    KMeansParams kmeans;
+    kmeans.k = params.kmeans_k > 0
+                   ? params.kmeans_k
+                   : std::max(2, static_cast<int>(
+                                     std::sqrt(static_cast<double>(
+                                         set.Count())) /
+                                     2.0));
+    kmeans.seed = 1;
+    KMeansResult result =
+        KMeansCluster(set.signatures.data(), set.Count(), set.dim, kmeans);
+    centroids = std::move(result.centroids);
+    assignments = std::move(result.assignments);
+  } else {
+    BirchParams birch;
+    birch.threshold = params.cluster_epsilon;
+    birch.branching = params.birch_branching;
+    birch.leaf_entries = params.birch_leaf_entries;
+    BirchResult result =
+        BirchPreCluster(set.signatures.data(), set.Count(), set.dim, birch);
+    centroids = std::move(result.centroids);
+    assignments = std::move(result.assignments);
+  }
+
+  const int num_clusters = static_cast<int>(centroids.size());
+
+  // Signature bounding box and coverage bitmap per cluster, from the final
+  // point assignments.
+  std::vector<Rect> boxes(num_clusters, Rect::Empty(set.dim));
+  std::vector<CoverageBitmap> bitmaps(num_clusters,
+                                      CoverageBitmap(params.bitmap_side));
+  std::vector<uint64_t> member_counts(num_clusters, 0);
+  // Refined centroid accumulators (section 5.5).
+  int refined_dim = 0;
+  std::vector<std::vector<double>> refined_sums;
+  if (refined_set != nullptr) {
+    WALRUS_CHECK_EQ(refined_set->Count(), set.Count());
+    refined_dim = refined_set->dim;
+    refined_sums.assign(num_clusters, std::vector<double>(refined_dim, 0.0));
+  }
+  for (int i = 0; i < set.Count(); ++i) {
+    int c = assignments[i];
+    const float* sig = set.SignatureAt(i);
+    boxes[c].ExpandToInclude(std::vector<float>(sig, sig + set.dim));
+    const WindowPlacement& win = set.windows[i];
+    bitmaps[c].MarkWindow(win.x, win.y, win.size, win.size, image_width,
+                          image_height);
+    ++member_counts[c];
+    if (refined_set != nullptr) {
+      const float* refined = refined_set->SignatureAt(i);
+      for (int d = 0; d < refined_dim; ++d) refined_sums[c][d] += refined[d];
+    }
+  }
+
+  std::vector<Region> regions;
+  regions.reserve(num_clusters);
+  for (int c = 0; c < num_clusters; ++c) {
+    if (member_counts[c] < static_cast<uint64_t>(params.min_cluster_windows)) {
+      continue;
+    }
+    if (member_counts[c] == 0) continue;  // empty after reassignment
+    Region region;
+    region.region_id = static_cast<uint32_t>(regions.size());
+    region.centroid = centroids[c];
+    region.bounding_box = boxes[c];
+    region.bitmap = bitmaps[c];
+    region.window_count = member_counts[c];
+    if (refined_set != nullptr) {
+      region.refined_centroid.resize(refined_dim);
+      double inv = 1.0 / static_cast<double>(member_counts[c]);
+      for (int d = 0; d < refined_dim; ++d) {
+        region.refined_centroid[d] =
+            static_cast<float>(refined_sums[c][d] * inv);
+      }
+    }
+    regions.push_back(std::move(region));
+  }
+
+  if (stats != nullptr) {
+    stats->window_count = set.Count();
+    stats->cluster_count = num_clusters;
+    stats->region_count = static_cast<int>(regions.size());
+    stats->birch_threshold = params.cluster_epsilon;
+  }
+  return regions;
+}
+
+namespace {
+
+/// Copies the windows of `set` that lie fully inside `scene` (same layout).
+WindowSignatureSet FilterToScene(const WindowSignatureSet& set,
+                                 const PixelRect& scene) {
+  WindowSignatureSet filtered;
+  filtered.dim = set.dim;
+  for (int i = 0; i < set.Count(); ++i) {
+    const WindowPlacement& win = set.windows[i];
+    if (!scene.ContainsWindow(win.x, win.y, win.size)) continue;
+    filtered.windows.push_back(win);
+    const float* sig = set.SignatureAt(i);
+    filtered.signatures.insert(filtered.signatures.end(), sig, sig + set.dim);
+  }
+  return filtered;
+}
+
+}  // namespace
+
+Result<std::vector<Region>> ExtractSceneRegions(const ImageF& image,
+                                                const PixelRect& scene,
+                                                const WalrusParams& params,
+                                                ExtractionStats* stats) {
+  if (scene.width <= 0 || scene.height <= 0 || scene.x < 0 || scene.y < 0 ||
+      scene.x + scene.width > image.width() ||
+      scene.y + scene.height > image.height()) {
+    return Status::InvalidArgument("scene rectangle outside the image");
+  }
+  WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet set,
+                          ComputeWindowSignatures(image, params));
+  WindowSignatureSet scene_set = FilterToScene(set, scene);
+  if (scene_set.Count() == 0) {
+    return Status::InvalidArgument(
+        "scene rectangle smaller than the minimum sliding window (" +
+        std::to_string(params.min_window) + "px)");
+  }
+  if (params.refined_signature_size > 0) {
+    WalrusParams refined_params = params;
+    refined_params.signature_size = params.refined_signature_size;
+    refined_params.refined_signature_size = 0;
+    WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet refined,
+                            ComputeWindowSignatures(image, refined_params));
+    WindowSignatureSet scene_refined = FilterToScene(refined, scene);
+    return ExtractRegionsFromWindows(scene_set, image.width(), image.height(),
+                                     params, stats, &scene_refined);
+  }
+  return ExtractRegionsFromWindows(scene_set, image.width(), image.height(),
+                                   params, stats);
+}
+
+Result<std::vector<Region>> ExtractRegions(const ImageF& image,
+                                           const WalrusParams& params,
+                                           ExtractionStats* stats) {
+  WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet set,
+                          ComputeWindowSignatures(image, params));
+  if (params.refined_signature_size > 0) {
+    WalrusParams refined_params = params;
+    refined_params.signature_size = params.refined_signature_size;
+    refined_params.refined_signature_size = 0;
+    WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet refined,
+                            ComputeWindowSignatures(image, refined_params));
+    return ExtractRegionsFromWindows(set, image.width(), image.height(),
+                                     params, stats, &refined);
+  }
+  return ExtractRegionsFromWindows(set, image.width(), image.height(), params,
+                                   stats);
+}
+
+}  // namespace walrus

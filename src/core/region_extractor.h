@@ -1,0 +1,67 @@
+#ifndef WALRUS_CORE_REGION_EXTRACTOR_H_
+#define WALRUS_CORE_REGION_EXTRACTOR_H_
+
+#include <vector>
+
+#include "core/params.h"
+#include "core/region.h"
+#include "core/signature.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// Diagnostics from one region extraction.
+struct ExtractionStats {
+  int window_count = 0;
+  int cluster_count = 0;   // clusters before min_cluster_windows pruning
+  int region_count = 0;    // regions actually produced
+  double birch_threshold = 0.0;
+};
+
+/// Decomposes an image into regions: sliding-window signatures (DP wavelet
+/// algorithm) -> BIRCH pre-clustering with radius threshold epsilon_c ->
+/// one Region per surviving cluster, carrying the centroid, the signature
+/// bounding box and the pixel-coverage bitmap of its member windows
+/// (paper sections 5.1-5.3).
+Result<std::vector<Region>> ExtractRegions(const ImageF& image,
+                                           const WalrusParams& params,
+                                           ExtractionStats* stats = nullptr);
+
+/// Same, but starting from precomputed window signatures (used by tests and
+/// by benchmarks that sweep clustering parameters over fixed signatures).
+/// `refined_set`, when non-null, must enumerate the same windows at the
+/// refined signature size; each region then gets a refined centroid
+/// (paper section 5.5's refined matching phase).
+std::vector<Region> ExtractRegionsFromWindows(
+    const WindowSignatureSet& set, int image_width, int image_height,
+    const WalrusParams& params, ExtractionStats* stats = nullptr,
+    const WindowSignatureSet* refined_set = nullptr);
+
+/// Axis-aligned pixel rectangle [x, x+width) x [y, y+height) marking the
+/// part of a query image the user cares about.
+struct PixelRect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  bool ContainsWindow(int wx, int wy, int wsize) const {
+    return wx >= x && wy >= y && wx + wsize <= x + width &&
+           wy + wsize <= y + height;
+  }
+};
+
+/// "User-specified scene" extraction (the WALRUS acronym): decomposes only
+/// the part of `image` inside `scene` into regions -- the query then asks
+/// for images containing *that scene*, wherever and at whatever size it
+/// appears. Only sliding windows fully inside the rectangle participate.
+/// Fails with InvalidArgument when the rectangle fits no window.
+Result<std::vector<Region>> ExtractSceneRegions(const ImageF& image,
+                                                const PixelRect& scene,
+                                                const WalrusParams& params,
+                                                ExtractionStats* stats =
+                                                    nullptr);
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_REGION_EXTRACTOR_H_

@@ -1,0 +1,101 @@
+#ifndef WALRUS_CORE_SIMILARITY_H_
+#define WALRUS_CORE_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/region.h"
+
+namespace walrus {
+
+/// A matching pair of regions (Definition 4.1): indices into the query and
+/// target region vectors.
+struct RegionPair {
+  int query_index = 0;
+  int target_index = 0;
+};
+
+/// Definition 4.1 for centroid signatures: Euclidean distance <= epsilon.
+bool RegionsMatchCentroid(const float* a, const float* b, int dim,
+                          float epsilon);
+
+/// Definition 4.1 for bounding-box signatures: `a` expanded by epsilon
+/// overlaps `b`.
+bool RegionsMatchBBox(const Rect& a, const Rect& b, float epsilon);
+
+/// Enumerates all matching pairs between two region sets (used by tests and
+/// by the pairwise image-similarity API; queries against an index get their
+/// pairs from the R*-tree probe instead).
+std::vector<RegionPair> FindMatchingPairs(const std::vector<Region>& query,
+                                          const std::vector<Region>& target,
+                                          float epsilon,
+                                          bool use_bounding_box);
+
+/// Which denominator Definition 4.3 uses. The paper (end of section 4)
+/// offers variations "depending on the application".
+enum class SimilarityNormalization : uint8_t {
+  /// (covered_q + covered_t) / (area_q + area_t) -- the paper's default.
+  kBothImages = 0,
+  /// covered_q / area_q: "simply measure the fraction of the query image Q
+  /// covered by matching regions".
+  kQueryOnly = 1,
+  /// (covered_q + covered_t) / (2 * min(area_q, area_t)): "for images with
+  /// different sizes ... twice the area of the smaller image".
+  kSmallerImage = 2,
+};
+
+/// Outcome of one image-pair match.
+struct MatchResult {
+  /// Definition 4.3 value in [0, 1].
+  double similarity = 0.0;
+  /// Pairs contributing to the covered area.
+  int pairs_used = 0;
+  /// Covered pixel areas on each side.
+  double covered_query_area = 0.0;
+  double covered_target_area = 0.0;
+  /// The pairs that contributed: every input pair for QuickMatch, the
+  /// selected one-to-one set for GreedyMatch/ExactMatch.
+  std::vector<RegionPair> used_pairs;
+
+  /// Re-derives the similarity under a different normalization (the
+  /// covered areas are normalization independent). Values above 1 are
+  /// clamped (possible under kSmallerImage when the large image's matched
+  /// area exceeds twice the small image's).
+  double SimilarityAs(SimilarityNormalization norm, double query_area,
+                      double target_area) const;
+};
+
+/// Quick matcher (paper section 5.5): unions the bitmaps of every matched
+/// region on both sides -- regions may appear in many pairs (the relaxed
+/// Definition 4.2). Linear in the number of pairs.
+MatchResult QuickMatch(const std::vector<Region>& query,
+                       const std::vector<Region>& target,
+                       const std::vector<RegionPair>& pairs,
+                       double query_area, double target_area);
+
+/// Greedy heuristic for the strict one-to-one similar region pair set:
+/// repeatedly picks the admissible pair with the largest marginal covered
+/// area (paper section 5.5; the exact problem is NP-hard, Theorem 5.1).
+/// O(pairs^2) pair evaluations.
+MatchResult GreedyMatch(const std::vector<Region>& query,
+                        const std::vector<Region>& target,
+                        const std::vector<RegionPair>& pairs,
+                        double query_area, double target_area);
+
+/// Exact maximum-covered-area similar region pair set by branch and bound;
+/// exponential in pairs.size() (checked <= 24). Test/ablation use only.
+MatchResult ExactMatch(const std::vector<Region>& query,
+                       const std::vector<Region>& target,
+                       const std::vector<RegionPair>& pairs,
+                       double query_area, double target_area);
+
+/// End-to-end pairwise similarity of two region sets (find pairs, then run
+/// the chosen matcher). `use_greedy` false selects QuickMatch.
+MatchResult MatchImages(const std::vector<Region>& query,
+                        const std::vector<Region>& target, float epsilon,
+                        bool use_bounding_box, bool use_greedy,
+                        double query_area, double target_area);
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_SIMILARITY_H_

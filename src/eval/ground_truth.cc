@@ -1,0 +1,40 @@
+#include "eval/ground_truth.h"
+
+namespace walrus {
+
+GroundTruth::GroundTruth(const std::vector<LabeledImage>& dataset) {
+  for (const LabeledImage& image : dataset) {
+    int label = static_cast<int>(image.label);
+    labels_[static_cast<uint64_t>(image.id)] = label;
+    ++label_counts_[label];
+  }
+}
+
+bool GroundTruth::Relevant(uint64_t query_id, uint64_t candidate_id) const {
+  auto q = labels_.find(query_id);
+  auto c = labels_.find(candidate_id);
+  if (q == labels_.end() || c == labels_.end()) return false;
+  return q->second == c->second;
+}
+
+RelevanceFn GroundTruth::ForQuery(uint64_t query_id) const {
+  return [this, query_id](uint64_t candidate) {
+    if (candidate == query_id) return false;
+    return Relevant(query_id, candidate);
+  };
+}
+
+int GroundTruth::RelevantCount(uint64_t query_id) const {
+  auto q = labels_.find(query_id);
+  if (q == labels_.end()) return 0;
+  auto count = label_counts_.find(q->second);
+  if (count == label_counts_.end()) return 0;
+  return count->second - 1;  // exclude the query itself
+}
+
+int GroundTruth::LabelOf(uint64_t id) const {
+  auto it = labels_.find(id);
+  return it == labels_.end() ? -1 : it->second;
+}
+
+}  // namespace walrus

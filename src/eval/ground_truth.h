@@ -1,0 +1,40 @@
+#ifndef WALRUS_EVAL_GROUND_TRUTH_H_
+#define WALRUS_EVAL_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "image/dataset.h"
+
+namespace walrus {
+
+/// Relevance oracle over a synthetic dataset: two images are mutually
+/// relevant when their dominant object class matches (see DESIGN.md
+/// section 2 on the misc-dataset substitution).
+class GroundTruth {
+ public:
+  explicit GroundTruth(const std::vector<LabeledImage>& dataset);
+
+  /// True when both ids exist and share a label.
+  bool Relevant(uint64_t query_id, uint64_t candidate_id) const;
+
+  /// Relevance closure for a fixed query, excluding the query itself
+  /// (retrieving the query image back is neither rewarded nor needed).
+  RelevanceFn ForQuery(uint64_t query_id) const;
+
+  /// Number of relevant items for the query (excluding itself).
+  int RelevantCount(uint64_t query_id) const;
+
+  /// Label of an image id (-1 if unknown).
+  int LabelOf(uint64_t id) const;
+
+ private:
+  std::unordered_map<uint64_t, int> labels_;
+  std::unordered_map<int, int> label_counts_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_EVAL_GROUND_TRUTH_H_

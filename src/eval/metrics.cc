@@ -1,0 +1,73 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace walrus {
+
+double PrecisionAtK(const std::vector<uint64_t>& retrieved,
+                    const RelevanceFn& relevant, int k) {
+  WALRUS_CHECK_GE(k, 1);
+  int hits = 0;
+  int limit = std::min<int>(k, static_cast<int>(retrieved.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (relevant(retrieved[i])) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+double RecallAtK(const std::vector<uint64_t>& retrieved,
+                 const RelevanceFn& relevant, int k, int total_relevant) {
+  WALRUS_CHECK_GE(k, 1);
+  if (total_relevant <= 0) return 0.0;
+  int hits = 0;
+  int limit = std::min<int>(k, static_cast<int>(retrieved.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (relevant(retrieved[i])) ++hits;
+  }
+  return static_cast<double>(hits) / total_relevant;
+}
+
+double AveragePrecision(const std::vector<uint64_t>& retrieved,
+                        const RelevanceFn& relevant, int total_relevant) {
+  if (total_relevant <= 0) return 0.0;
+  int hits = 0;
+  double sum = 0.0;
+  for (size_t i = 0; i < retrieved.size(); ++i) {
+    if (relevant(retrieved[i])) {
+      ++hits;
+      sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return sum / total_relevant;
+}
+
+double NdcgAtK(const std::vector<uint64_t>& retrieved,
+               const RelevanceFn& relevant, int k, int total_relevant) {
+  WALRUS_CHECK_GE(k, 1);
+  if (total_relevant <= 0) return 0.0;
+  double dcg = 0.0;
+  int limit = std::min<int>(k, static_cast<int>(retrieved.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (relevant(retrieved[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  int ideal_hits = std::min(k, total_relevant);
+  for (int i = 0; i < ideal_hits; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace walrus

@@ -1,0 +1,42 @@
+#ifndef WALRUS_EVAL_METRICS_H_
+#define WALRUS_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace walrus {
+
+/// Retrieval-quality metrics used to quantify the paper's Figure 7/8
+/// comparison (the paper argues by eyeballing two top-14 grids; with
+/// synthetic ground truth we can score the same comparison numerically).
+
+/// Relevance oracle: true when the candidate is relevant to the query.
+using RelevanceFn = std::function<bool(uint64_t candidate)>;
+
+/// Fraction of the first k retrieved ids that are relevant. If fewer than k
+/// results exist, the missing tail counts as irrelevant (retrieval failed
+/// to fill the page).
+double PrecisionAtK(const std::vector<uint64_t>& retrieved,
+                    const RelevanceFn& relevant, int k);
+
+/// Fraction of all `total_relevant` items found in the first k.
+double RecallAtK(const std::vector<uint64_t>& retrieved,
+                 const RelevanceFn& relevant, int k, int total_relevant);
+
+/// Average precision over the full retrieved list (AP).
+double AveragePrecision(const std::vector<uint64_t>& retrieved,
+                        const RelevanceFn& relevant, int total_relevant);
+
+/// Normalized discounted cumulative gain at k with binary relevance:
+/// DCG@k / IDCG@k, IDCG assuming `total_relevant` relevant items exist.
+/// 0 when total_relevant <= 0.
+double NdcgAtK(const std::vector<uint64_t>& retrieved,
+               const RelevanceFn& relevant, int k, int total_relevant);
+
+/// Mean of per-query values.
+double MeanOf(const std::vector<double>& values);
+
+}  // namespace walrus
+
+#endif  // WALRUS_EVAL_METRICS_H_

@@ -1,0 +1,37 @@
+#ifndef WALRUS_IMAGE_COLOR_H_
+#define WALRUS_IMAGE_COLOR_H_
+
+#include "image/image.h"
+
+namespace walrus {
+
+/// Per-pixel color conversions. All channels are kept in [0,1]:
+/// chroma-like components (Cb/Cr, I/Q) are shifted and scaled so that the
+/// neutral value maps to 0.5, matching how the paper stores "YCC" planes for
+/// wavelet signatures.
+
+/// RGB -> YCbCr (ITU-R BT.601, "YCC" in the paper).
+void RgbToYccPixel(float r, float g, float b, float* y, float* cb, float* cr);
+void YccToRgbPixel(float y, float cb, float cr, float* r, float* g, float* b);
+
+/// RGB -> YIQ (NTSC), I and Q normalized into [0,1].
+void RgbToYiqPixel(float r, float g, float b, float* y, float* i, float* q);
+void YiqToRgbPixel(float y, float i, float q, float* r, float* g, float* b);
+
+/// RGB -> HSV, hue normalized into [0,1].
+void RgbToHsvPixel(float r, float g, float b, float* h, float* s, float* v);
+void HsvToRgbPixel(float h, float s, float v, float* r, float* g, float* b);
+
+/// Converts a whole 3-channel image to the target color space. Supported
+/// pairs: RGB<->YCC, RGB<->YIQ, RGB<->HSV, and identity. Conversions between
+/// two non-RGB spaces go through RGB. kGray targets produce a 1-channel luma
+/// image from RGB (BT.601 weights).
+Result<ImageF> ConvertColorSpace(const ImageF& image, ColorSpace target);
+
+/// Adds `delta` to every sample of every channel (simulates a global color
+/// intensity shift) and clamps to [0,1].
+ImageF ShiftIntensity(const ImageF& image, float delta);
+
+}  // namespace walrus
+
+#endif  // WALRUS_IMAGE_COLOR_H_

@@ -1,0 +1,153 @@
+#include "image/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/serialize.h"
+#include "image/pnm_io.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+inline constexpr int kNumBackgroundKinds = 6;
+
+ImageF MakeBackground(int kind, int w, int h, Rng* rng) {
+  switch (kind % kNumBackgroundKinds) {
+    case 0: {  // green foliage noise (the paper's flower-query backdrop)
+      Color3 dark{0.05f, 0.3f, 0.08f};
+      Color3 light{0.25f, 0.6f, 0.2f};
+      return MakeValueNoise(w, h, 8, dark, light, rng, 3);
+    }
+    case 1: {  // sky gradient
+      Color3 top{0.35f, 0.55f, 0.9f};
+      Color3 bottom{0.75f, 0.85f, 0.98f};
+      return MakeLinearGradient(w, h, top, bottom);
+    }
+    case 2: {  // sandy noise
+      Color3 dark{0.7f, 0.6f, 0.4f};
+      Color3 light{0.9f, 0.82f, 0.6f};
+      return MakeValueNoise(w, h, 12, dark, light, rng, 2);
+    }
+    case 3: {  // brick wall
+      Color3 brick{0.6f, 0.25f, 0.15f};
+      Color3 grout{0.75f, 0.7f, 0.65f};
+      return MakeBrickWall(w, h, 18, 8, 2, brick, grout, rng);
+    }
+    case 4: {  // water stripes
+      Color3 c0{0.1f, 0.3f, 0.55f};
+      Color3 c1{0.2f, 0.45f, 0.7f};
+      return MakeStripes(w, h, 10, true, c0, c1);
+    }
+    default: {  // grass
+      Color3 base{0.2f, 0.55f, 0.15f};
+      return MakeGrass(w, h, base, rng);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Natural habitat per class: flower->foliage, sun->sky, ball->sand,
+/// fish->water, star->sky(brick for variety), leaf->grass.
+int PreferredBackground(ObjectClass label) {
+  switch (label) {
+    case ObjectClass::kFlower:
+      return 0;  // foliage
+    case ObjectClass::kSun:
+      return 1;  // sky
+    case ObjectClass::kBall:
+      return 2;  // sand
+    case ObjectClass::kStar:
+      return 3;  // brick
+    case ObjectClass::kFish:
+      return 4;  // water
+    case ObjectClass::kLeaf:
+      return 5;  // grass
+  }
+  return 0;
+}
+
+}  // namespace
+
+LabeledImage GenerateScene(int id, ObjectClass label,
+                           const DatasetParams& params, Rng* rng) {
+  LabeledImage scene;
+  scene.id = id;
+  scene.label = label;
+  scene.background_kind =
+      rng->NextBernoulli(params.background_correlation)
+          ? PreferredBackground(label)
+          : rng->NextInt(0, kNumBackgroundKinds - 1);
+  scene.image = MakeBackground(scene.background_kind, params.width,
+                               params.height, rng);
+
+  int min_dim = std::min(params.width, params.height);
+  ObjectStyle style;
+
+  // Distractors first so dominant objects are composited on top of them.
+  int num_distractors =
+      rng->NextInt(params.min_distractors, params.max_distractors);
+  for (int i = 0; i < num_distractors; ++i) {
+    ObjectClass cls;
+    do {
+      cls = static_cast<ObjectClass>(rng->NextInt(0, kNumObjectClasses - 1));
+    } while (cls == label);
+    int size = std::max(
+        8, static_cast<int>(min_dim * rng->NextDouble(0.12, 0.25)));
+    ImageF patch, mask;
+    RenderObject(cls, size, style, rng, &patch, &mask);
+    int x = rng->NextInt(-size / 4, params.width - 3 * size / 4);
+    int y = rng->NextInt(-size / 4, params.height - 3 * size / 4);
+    Composite(&scene.image, patch, x, y, &mask);
+  }
+
+  int num_dominant = rng->NextInt(params.min_dominant, params.max_dominant);
+  for (int i = 0; i < num_dominant; ++i) {
+    int size = std::max(
+        8, static_cast<int>(min_dim *
+                            rng->NextDouble(params.min_scale, params.max_scale)));
+    ImageF patch, mask;
+    RenderObject(label, size, style, rng, &patch, &mask);
+    int x = rng->NextInt(-size / 8, params.width - 7 * size / 8);
+    int y = rng->NextInt(-size / 8, params.height - 7 * size / 8);
+    Composite(&scene.image, patch, x, y, &mask);
+    scene.placements.push_back({x, y, size});
+  }
+
+  if (params.noise_sigma > 0.0f) {
+    scene.image = AddGaussianNoise(scene.image, params.noise_sigma, rng);
+  }
+  return scene;
+}
+
+std::vector<LabeledImage> GenerateDataset(const DatasetParams& params) {
+  WALRUS_CHECK_GT(params.num_images, 0);
+  Rng rng(params.seed, /*stream=*/0x77a1f00dULL);
+  std::vector<LabeledImage> dataset;
+  dataset.reserve(params.num_images);
+  for (int i = 0; i < params.num_images; ++i) {
+    ObjectClass label = static_cast<ObjectClass>(i % kNumObjectClasses);
+    dataset.push_back(GenerateScene(i, label, params, &rng));
+  }
+  return dataset;
+}
+
+Status SaveDataset(const std::vector<LabeledImage>& dataset,
+                   const std::string& dir) {
+  std::string manifest;
+  for (const LabeledImage& scene : dataset) {
+    std::string path = dir + "/img_" + std::to_string(scene.id) + ".ppm";
+    WALRUS_RETURN_IF_ERROR(WritePnm(scene.image, path));
+    manifest += std::to_string(scene.id) + " " +
+                std::to_string(static_cast<int>(scene.label)) + " " +
+                std::to_string(scene.background_kind) + "\n";
+  }
+  std::vector<uint8_t> bytes(manifest.begin(), manifest.end());
+  return WriteFileBytes(dir + "/labels.txt", bytes);
+}
+
+}  // namespace walrus

@@ -1,0 +1,101 @@
+#include "image/image.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace walrus {
+
+const char* ColorSpaceName(ColorSpace cs) {
+  switch (cs) {
+    case ColorSpace::kGray:
+      return "Gray";
+    case ColorSpace::kRGB:
+      return "RGB";
+    case ColorSpace::kYCC:
+      return "YCC";
+    case ColorSpace::kYIQ:
+      return "YIQ";
+    case ColorSpace::kHSV:
+      return "HSV";
+  }
+  return "Unknown";
+}
+
+ImageF::ImageF(int width, int height, int channels, ColorSpace color_space)
+    : width_(width),
+      height_(height),
+      channels_(channels),
+      color_space_(color_space) {
+  WALRUS_CHECK(width >= 0 && height >= 0 && channels >= 0);
+  planes_.resize(channels);
+  for (auto& plane : planes_) {
+    plane.assign(static_cast<size_t>(width) * height, 0.0f);
+  }
+}
+
+float ImageF::AtClamped(int c, int x, int y) const {
+  x = Clamp(x, 0, width_ - 1);
+  y = Clamp(y, 0, height_ - 1);
+  return At(c, x, y);
+}
+
+void ImageF::Fill(float value) {
+  for (auto& plane : planes_) {
+    for (float& v : plane) v = value;
+  }
+}
+
+void ImageF::SetPixel(int x, int y, const std::vector<float>& values) {
+  WALRUS_DCHECK_EQ(static_cast<int>(values.size()), channels_);
+  for (int c = 0; c < channels_; ++c) At(c, x, y) = values[c];
+}
+
+std::vector<float> ImageF::GetPixel(int x, int y) const {
+  std::vector<float> values(channels_);
+  for (int c = 0; c < channels_; ++c) values[c] = At(c, x, y);
+  return values;
+}
+
+void ImageF::ClampToUnit() {
+  for (auto& plane : planes_) {
+    for (float& v : plane) v = Clamp(v, 0.0f, 1.0f);
+  }
+}
+
+ImageF ImageF::Crop(int x, int y, int w, int h) const {
+  WALRUS_CHECK(x >= 0 && y >= 0 && w >= 0 && h >= 0);
+  WALRUS_CHECK(x + w <= width_ && y + h <= height_);
+  ImageF out(w, h, channels_, color_space_);
+  for (int c = 0; c < channels_; ++c) {
+    for (int yy = 0; yy < h; ++yy) {
+      for (int xx = 0; xx < w; ++xx) {
+        out.At(c, xx, yy) = At(c, x + xx, y + yy);
+      }
+    }
+  }
+  return out;
+}
+
+double ImageF::ChannelMean(int c) const {
+  WALRUS_DCHECK(c >= 0 && c < channels_);
+  if (PixelCount() == 0) return 0.0;
+  double sum = 0.0;
+  for (float v : planes_[c]) sum += v;
+  return sum / static_cast<double>(PixelCount());
+}
+
+bool ImageF::AlmostEquals(const ImageF& other, float tol) const {
+  if (width_ != other.width_ || height_ != other.height_ ||
+      channels_ != other.channels_) {
+    return false;
+  }
+  for (int c = 0; c < channels_; ++c) {
+    for (size_t i = 0; i < planes_[c].size(); ++i) {
+      if (std::fabs(planes_[c][i] - other.planes_[c][i]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace walrus

@@ -1,0 +1,126 @@
+#ifndef WALRUS_IMAGE_IMAGE_H_
+#define WALRUS_IMAGE_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace walrus {
+
+/// Identifies the color space of an ImageF's channels. Channel meaning:
+///   kGray  : {luma}
+///   kRGB   : {R, G, B}
+///   kYCC   : {Y, Cb, Cr}  ("YCC" in the paper; JPEG YCbCr, all in [0,1])
+///   kYIQ   : {Y, I', Q'}  (I/Q shifted+scaled into [0,1])
+///   kHSV   : {H, S, V}    (H scaled into [0,1])
+enum class ColorSpace : uint8_t {
+  kGray = 0,
+  kRGB = 1,
+  kYCC = 2,
+  kYIQ = 3,
+  kHSV = 4,
+};
+
+const char* ColorSpaceName(ColorSpace cs);
+
+/// Planar floating-point image. Pixel values are nominally in [0,1]; each
+/// channel is stored as a contiguous row-major plane so per-channel wavelet
+/// transforms stream through memory linearly.
+///
+/// Coordinates follow the paper's convention transposed to standard raster
+/// order: (x, y) with x the column in [0, width) and y the row in [0, height).
+class ImageF {
+ public:
+  /// Empty 0x0 image with no channels.
+  ImageF() : width_(0), height_(0), channels_(0), color_space_(ColorSpace::kGray) {}
+
+  /// Allocates a width x height image with `channels` zero-filled planes.
+  ImageF(int width, int height, int channels,
+         ColorSpace color_space = ColorSpace::kRGB);
+
+  ImageF(const ImageF&) = default;
+  ImageF& operator=(const ImageF&) = default;
+  ImageF(ImageF&&) = default;
+  ImageF& operator=(ImageF&&) = default;
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  ColorSpace color_space() const { return color_space_; }
+  void set_color_space(ColorSpace cs) { color_space_ = cs; }
+
+  bool empty() const { return width_ == 0 || height_ == 0 || channels_ == 0; }
+  int64_t PixelCount() const {
+    return static_cast<int64_t>(width_) * height_;
+  }
+
+  /// Mutable/const access to pixel (x, y) of channel c. Bounds are
+  /// debug-checked only; this is the hot path.
+  float& At(int c, int x, int y) {
+    WALRUS_DCHECK(InBounds(c, x, y));
+    return planes_[c][static_cast<size_t>(y) * width_ + x];
+  }
+  float At(int c, int x, int y) const {
+    WALRUS_DCHECK(InBounds(c, x, y));
+    return planes_[c][static_cast<size_t>(y) * width_ + x];
+  }
+
+  /// Clamped read: coordinates outside the image are clamped to the border.
+  float AtClamped(int c, int x, int y) const;
+
+  /// Whole plane for channel c (row-major, height*width floats).
+  std::vector<float>& Plane(int c) {
+    WALRUS_DCHECK(c >= 0 && c < channels_);
+    return planes_[c];
+  }
+  const std::vector<float>& Plane(int c) const {
+    WALRUS_DCHECK(c >= 0 && c < channels_);
+    return planes_[c];
+  }
+
+  /// Sets every sample of every channel to `value`.
+  void Fill(float value);
+
+  /// Sets pixel (x, y) across all channels from `values` (size == channels).
+  void SetPixel(int x, int y, const std::vector<float>& values);
+
+  /// Reads pixel (x, y) across all channels.
+  std::vector<float> GetPixel(int x, int y) const;
+
+  /// Clamps every sample into [0,1].
+  void ClampToUnit();
+
+  /// Extracts the sub-image [x, x+w) x [y, y+h); must be fully inside.
+  ImageF Crop(int x, int y, int w, int h) const;
+
+  /// Mean of channel c over the whole image.
+  double ChannelMean(int c) const;
+
+  /// True if the two images have identical shape and all samples differ by
+  /// at most `tol`.
+  bool AlmostEquals(const ImageF& other, float tol = 1e-6f) const;
+
+  /// Total bytes of sample storage (diagnostics).
+  size_t StorageBytes() const {
+    return static_cast<size_t>(channels_) * PixelCount() * sizeof(float);
+  }
+
+ private:
+  bool InBounds(int c, int x, int y) const {
+    return c >= 0 && c < channels_ && x >= 0 && x < width_ && y >= 0 &&
+           y < height_;
+  }
+
+  int width_;
+  int height_;
+  int channels_;
+  ColorSpace color_space_;
+  std::vector<std::vector<float>> planes_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_IMAGE_IMAGE_H_

@@ -1,0 +1,147 @@
+#include "image/pnm_io.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/serialize.h"
+
+namespace walrus {
+namespace {
+
+uint8_t QuantizeSample(float v) {
+  float scaled = Clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f;
+  return static_cast<uint8_t>(scaled);
+}
+
+/// Reads one whitespace/comment-separated ASCII token from a PNM header.
+Result<std::string> NextToken(const std::vector<uint8_t>& bytes, size_t* pos) {
+  size_t i = *pos;
+  for (;;) {
+    while (i < bytes.size() && std::isspace(bytes[i])) ++i;
+    if (i < bytes.size() && bytes[i] == '#') {
+      while (i < bytes.size() && bytes[i] != '\n') ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= bytes.size()) return Status::Corruption("pnm: truncated header");
+  size_t start = i;
+  while (i < bytes.size() && !std::isspace(bytes[i])) ++i;
+  std::string token(bytes.begin() + start, bytes.begin() + i);
+  *pos = i;
+  return token;
+}
+
+Result<int> NextInt(const std::vector<uint8_t>& bytes, size_t* pos) {
+  WALRUS_ASSIGN_OR_RETURN(std::string token, NextToken(bytes, pos));
+  int value = 0;
+  for (char ch : token) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) {
+      return Status::Corruption("pnm: bad integer token '" + token + "'");
+    }
+    value = value * 10 + (ch - '0');
+    if (value > 1 << 26) return Status::Corruption("pnm: integer too large");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodePnm(const ImageF& image) {
+  if (image.channels() != 1 && image.channels() != 3) {
+    return Status::InvalidArgument("pnm: only 1- or 3-channel images");
+  }
+  if (image.empty()) return Status::InvalidArgument("pnm: empty image");
+  std::string header = (image.channels() == 3 ? std::string("P6") : "P5");
+  header += "\n" + std::to_string(image.width()) + " " +
+            std::to_string(image.height()) + "\n255\n";
+  std::vector<uint8_t> out(header.begin(), header.end());
+  out.reserve(out.size() +
+              static_cast<size_t>(image.PixelCount()) * image.channels());
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      for (int c = 0; c < image.channels(); ++c) {
+        out.push_back(QuantizeSample(image.At(c, x, y)));
+      }
+    }
+  }
+  return out;
+}
+
+Result<ImageF> DecodePnm(const std::vector<uint8_t>& bytes) {
+  size_t pos = 0;
+  WALRUS_ASSIGN_OR_RETURN(std::string magic, NextToken(bytes, &pos));
+  int channels;
+  bool ascii = false;
+  if (magic == "P6") {
+    channels = 3;
+  } else if (magic == "P5") {
+    channels = 1;
+  } else if (magic == "P3") {
+    channels = 3;
+    ascii = true;
+  } else if (magic == "P2") {
+    channels = 1;
+    ascii = true;
+  } else {
+    return Status::Corruption("pnm: unsupported magic '" + magic + "'");
+  }
+  WALRUS_ASSIGN_OR_RETURN(int width, NextInt(bytes, &pos));
+  WALRUS_ASSIGN_OR_RETURN(int height, NextInt(bytes, &pos));
+  WALRUS_ASSIGN_OR_RETURN(int maxval, NextInt(bytes, &pos));
+  if (width <= 0 || height <= 0) return Status::Corruption("pnm: bad size");
+  if (maxval < 1 || maxval > 65535) {
+    return Status::Corruption("pnm: bad maxval");
+  }
+  ImageF image(width, height, channels,
+               channels == 3 ? ColorSpace::kRGB : ColorSpace::kGray);
+  float scale = 1.0f / static_cast<float>(maxval);
+  if (ascii) {
+    // ASCII raster: whitespace-separated decimal samples.
+    for (int y = 0; y < height; ++y) {
+      for (int x = 0; x < width; ++x) {
+        for (int c = 0; c < channels; ++c) {
+          WALRUS_ASSIGN_OR_RETURN(int sample, NextInt(bytes, &pos));
+          if (sample > maxval) {
+            return Status::Corruption("pnm: sample exceeds maxval");
+          }
+          image.At(c, x, y) = static_cast<float>(sample) * scale;
+        }
+      }
+    }
+    return image;
+  }
+  if (maxval != 255) {
+    return Status::Corruption("pnm: binary rasters require maxval 255");
+  }
+  // Exactly one whitespace byte separates the header from the raster.
+  if (pos >= bytes.size() || !std::isspace(bytes[pos])) {
+    return Status::Corruption("pnm: missing raster separator");
+  }
+  ++pos;
+  size_t need = static_cast<size_t>(width) * height * channels;
+  if (bytes.size() - pos < need) {
+    return Status::Corruption("pnm: truncated raster");
+  }
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        image.At(c, x, y) = static_cast<float>(bytes[pos++]) / 255.0f;
+      }
+    }
+  }
+  return image;
+}
+
+Status WritePnm(const ImageF& image, const std::string& path) {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, EncodePnm(image));
+  return WriteFileBytes(path, bytes);
+}
+
+Result<ImageF> ReadPnm(const std::string& path) {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return DecodePnm(bytes);
+}
+
+}  // namespace walrus

@@ -1,0 +1,28 @@
+#ifndef WALRUS_IMAGE_PNM_IO_H_
+#define WALRUS_IMAGE_PNM_IO_H_
+
+#include <string>
+
+#include "image/image.h"
+
+namespace walrus {
+
+/// Minimal NetPBM codec: binary PPM (P6, 3-channel RGB) and binary PGM
+/// (P5, 1-channel gray), 8-bit samples. This is the library's on-disk image
+/// interchange format (stand-in for the paper's ImageMagick dependency).
+
+/// Writes `image` as P6 (3-channel) or P5 (1-channel). Non-RGB 3-channel
+/// images are written channel-as-is (callers should convert first).
+Status WritePnm(const ImageF& image, const std::string& path);
+
+/// Reads a P2/P3 (ASCII) or P5/P6 (binary) file; samples are scaled to
+/// [0,1]. Color variants get ColorSpace::kRGB, gray variants kGray.
+Result<ImageF> ReadPnm(const std::string& path);
+
+/// In-memory variants (used by tests and the page-file round-trip tests).
+Result<std::vector<uint8_t>> EncodePnm(const ImageF& image);
+Result<ImageF> DecodePnm(const std::vector<uint8_t>& bytes);
+
+}  // namespace walrus
+
+#endif  // WALRUS_IMAGE_PNM_IO_H_

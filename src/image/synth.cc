@@ -1,0 +1,424 @@
+#include "image/synth.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace walrus {
+
+Color3 LerpColor(const Color3& a, const Color3& b, float t) {
+  return Color3{a.r + (b.r - a.r) * t, a.g + (b.g - a.g) * t,
+                a.b + (b.b - a.b) * t};
+}
+
+namespace {
+
+void PutColor(ImageF* img, int x, int y, const Color3& c) {
+  img->At(0, x, y) = Clamp(c.r, 0.0f, 1.0f);
+  img->At(1, x, y) = Clamp(c.g, 0.0f, 1.0f);
+  img->At(2, x, y) = Clamp(c.b, 0.0f, 1.0f);
+}
+
+Color3 JitterColor(const Color3& c, float amount, Rng* rng) {
+  auto wobble = [&](float v) {
+    return Clamp(v + amount * static_cast<float>(rng->NextDouble(-1.0, 1.0)),
+                 0.0f, 1.0f);
+  };
+  return Color3{wobble(c.r), wobble(c.g), wobble(c.b)};
+}
+
+/// Single-octave value-noise lattice with bilinear smoothing.
+class NoiseLattice {
+ public:
+  NoiseLattice(int cells_x, int cells_y, Rng* rng)
+      : cells_x_(cells_x), cells_y_(cells_y),
+        values_(static_cast<size_t>(cells_x + 1) * (cells_y + 1)) {
+    for (float& v : values_) v = rng->NextFloat();
+  }
+
+  /// u, v in [0,1] across the image.
+  float Sample(float u, float v) const {
+    float fx = u * cells_x_;
+    float fy = v * cells_y_;
+    int x0 = Clamp(static_cast<int>(fx), 0, cells_x_ - 1);
+    int y0 = Clamp(static_cast<int>(fy), 0, cells_y_ - 1);
+    float tx = SmoothStep(fx - x0);
+    float ty = SmoothStep(fy - y0);
+    float v00 = ValueAt(x0, y0);
+    float v10 = ValueAt(x0 + 1, y0);
+    float v01 = ValueAt(x0, y0 + 1);
+    float v11 = ValueAt(x0 + 1, y0 + 1);
+    float top = v00 + (v10 - v00) * tx;
+    float bot = v01 + (v11 - v01) * tx;
+    return top + (bot - top) * ty;
+  }
+
+ private:
+  static float SmoothStep(float t) { return t * t * (3.0f - 2.0f * t); }
+  float ValueAt(int x, int y) const {
+    return values_[static_cast<size_t>(y) * (cells_x_ + 1) + x];
+  }
+
+  int cells_x_;
+  int cells_y_;
+  std::vector<float> values_;
+};
+
+}  // namespace
+
+ImageF MakeSolid(int w, int h, const Color3& color) {
+  ImageF img(w, h, 3, ColorSpace::kRGB);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) PutColor(&img, x, y, color);
+  }
+  return img;
+}
+
+ImageF MakeLinearGradient(int w, int h, const Color3& from, const Color3& to,
+                          bool horizontal) {
+  ImageF img(w, h, 3, ColorSpace::kRGB);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float t = horizontal ? (w > 1 ? static_cast<float>(x) / (w - 1) : 0.0f)
+                           : (h > 1 ? static_cast<float>(y) / (h - 1) : 0.0f);
+      PutColor(&img, x, y, LerpColor(from, to, t));
+    }
+  }
+  return img;
+}
+
+ImageF MakeCheckerboard(int w, int h, int cell, const Color3& c0,
+                        const Color3& c1) {
+  WALRUS_CHECK_GE(cell, 1);
+  ImageF img(w, h, 3, ColorSpace::kRGB);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      bool odd = ((x / cell) + (y / cell)) % 2 == 1;
+      PutColor(&img, x, y, odd ? c1 : c0);
+    }
+  }
+  return img;
+}
+
+ImageF MakeStripes(int w, int h, int period, bool horizontal, const Color3& c0,
+                   const Color3& c1) {
+  WALRUS_CHECK_GE(period, 2);
+  ImageF img(w, h, 3, ColorSpace::kRGB);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int k = horizontal ? y : x;
+      bool odd = (k / (period / 2)) % 2 == 1;
+      PutColor(&img, x, y, odd ? c1 : c0);
+    }
+  }
+  return img;
+}
+
+ImageF MakeValueNoise(int w, int h, int scale, const Color3& c0,
+                      const Color3& c1, Rng* rng, int octaves) {
+  WALRUS_CHECK_GE(scale, 2);
+  WALRUS_CHECK_GE(octaves, 1);
+  ImageF img(w, h, 3, ColorSpace::kRGB);
+  std::vector<NoiseLattice> lattices;
+  lattices.reserve(octaves);
+  for (int o = 0; o < octaves; ++o) {
+    int cells = std::max(1, (w >> o) / scale + 1);
+    lattices.emplace_back(cells, std::max(1, (h >> o) / scale + 1), rng);
+  }
+  float total_amp = 0.0f;
+  for (int o = 0; o < octaves; ++o) total_amp += std::pow(0.5f, o);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float u = w > 1 ? static_cast<float>(x) / (w - 1) : 0.0f;
+      float v = h > 1 ? static_cast<float>(y) / (h - 1) : 0.0f;
+      float n = 0.0f;
+      float amp = 1.0f;
+      for (int o = 0; o < octaves; ++o) {
+        n += amp * lattices[o].Sample(u, v);
+        amp *= 0.5f;
+      }
+      PutColor(&img, x, y, LerpColor(c0, c1, n / total_amp));
+    }
+  }
+  return img;
+}
+
+ImageF MakeBrickWall(int w, int h, int brick_w, int brick_h, int mortar,
+                     const Color3& brick, const Color3& grout, Rng* rng) {
+  WALRUS_CHECK(brick_w > 0 && brick_h > 0 && mortar >= 1);
+  ImageF img(w, h, 3, ColorSpace::kRGB);
+  int course_h = brick_h + mortar;
+  int course_w = brick_w + mortar;
+  // Per-brick shade variation, keyed by course/brick indices.
+  for (int y = 0; y < h; ++y) {
+    int course = y / course_h;
+    int y_in = y % course_h;
+    int offset = (course % 2) * (course_w / 2);
+    for (int x = 0; x < w; ++x) {
+      int xx = x + offset;
+      int x_in = xx % course_w;
+      bool is_mortar = y_in >= brick_h || x_in >= brick_w;
+      if (is_mortar) {
+        PutColor(&img, x, y, grout);
+      } else {
+        // Deterministic shade per brick using a small hash of indices.
+        uint32_t key = static_cast<uint32_t>(course * 2654435761u) ^
+                       static_cast<uint32_t>((xx / course_w) * 40503u);
+        float shade = 0.85f + 0.3f * static_cast<float>((key >> 8) & 0xff) / 255.0f;
+        PutColor(&img, x, y,
+                 Color3{brick.r * shade, brick.g * shade, brick.b * shade});
+      }
+    }
+  }
+  // Light speckle so bricks are not perfectly flat.
+  for (int i = 0; i < w * h / 32; ++i) {
+    int x = rng->NextInt(0, w - 1);
+    int y = rng->NextInt(0, h - 1);
+    float d = 0.05f * static_cast<float>(rng->NextDouble(-1.0, 1.0));
+    for (int c = 0; c < 3; ++c) {
+      img.At(c, x, y) = Clamp(img.At(c, x, y) + d, 0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+ImageF MakeGrass(int w, int h, const Color3& base, Rng* rng) {
+  ImageF img = MakeValueNoise(w, h, 6, Color3{base.r * 0.6f, base.g * 0.7f, base.b * 0.6f},
+                              base, rng, 3);
+  // Vertical streaks: darken thin columns.
+  for (int streak = 0; streak < w / 2; ++streak) {
+    int x = rng->NextInt(0, w - 1);
+    int y0 = rng->NextInt(0, h - 1);
+    int len = rng->NextInt(3, std::max(4, h / 6));
+    float shade = 0.8f + 0.3f * rng->NextFloat();
+    for (int y = y0; y < std::min(h, y0 + len); ++y) {
+      for (int c = 0; c < 3; ++c) {
+        img.At(c, x, y) = Clamp(img.At(c, x, y) * shade, 0.0f, 1.0f);
+      }
+    }
+  }
+  return img;
+}
+
+const char* ObjectClassName(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kFlower:
+      return "flower";
+    case ObjectClass::kSun:
+      return "sun";
+    case ObjectClass::kBall:
+      return "ball";
+    case ObjectClass::kFish:
+      return "fish";
+    case ObjectClass::kStar:
+      return "star";
+    case ObjectClass::kLeaf:
+      return "leaf";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Fills patch/mask via a signed-distance-like inside() predicate evaluated
+/// in object-local coordinates u, v in [-1, 1].
+template <typename InsideFn, typename ColorFn>
+void RasterizeObject(int size, InsideFn inside, ColorFn color, ImageF* patch,
+                     ImageF* mask) {
+  *patch = ImageF(size, size, 3, ColorSpace::kRGB);
+  *mask = ImageF(size, size, 1, ColorSpace::kGray);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      float u = 2.0f * (x + 0.5f) / size - 1.0f;
+      float v = 2.0f * (y + 0.5f) / size - 1.0f;
+      float cover = inside(u, v);  // 0..1 soft coverage
+      if (cover > 0.0f) {
+        PutColor(patch, x, y, color(u, v));
+        mask->At(0, x, y) = Clamp(cover, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+/// Soft threshold: full coverage below edge-soft, zero above edge.
+float SoftInside(float d, float edge, float soft = 0.08f) {
+  if (d <= edge - soft) return 1.0f;
+  if (d >= edge) return 0.0f;
+  return (edge - d) / soft;
+}
+
+void RenderFlower(int size, const ObjectStyle& style, Rng* rng, ImageF* patch,
+                  ImageF* mask) {
+  int petals = rng->NextInt(5, 8);
+  float petal_depth = 0.25f + style.shape_jitter * rng->NextFloat();
+  float phase = static_cast<float>(rng->NextDouble(0.0, 2.0 * M_PI));
+  Color3 petal = JitterColor(Color3{0.85f, 0.12f, 0.18f}, style.hue_jitter, rng);
+  Color3 petal_edge = JitterColor(Color3{0.95f, 0.45f, 0.55f}, style.hue_jitter, rng);
+  Color3 core = JitterColor(Color3{0.95f, 0.8f, 0.2f}, style.hue_jitter, rng);
+  float core_r = 0.25f;
+  auto radius_at = [=](float theta) {
+    return 0.75f + petal_depth * std::cos(petals * theta + phase);
+  };
+  RasterizeObject(
+      size,
+      [=](float u, float v) {
+        float r = std::sqrt(u * u + v * v);
+        float theta = std::atan2(v, u);
+        return SoftInside(r, radius_at(theta));
+      },
+      [=](float u, float v) {
+        float r = std::sqrt(u * u + v * v);
+        if (r < core_r) return core;
+        float t = Clamp((r - core_r) / (1.0f - core_r), 0.0f, 1.0f);
+        return LerpColor(petal, petal_edge, t);
+      },
+      patch, mask);
+}
+
+void RenderSun(int size, const ObjectStyle& style, Rng* rng, ImageF* patch,
+               ImageF* mask) {
+  Color3 center = JitterColor(Color3{1.0f, 0.95f, 0.6f}, style.hue_jitter, rng);
+  Color3 rim = JitterColor(Color3{0.98f, 0.55f, 0.15f}, style.hue_jitter, rng);
+  float radius = 0.9f - 0.2f * style.shape_jitter * rng->NextFloat();
+  RasterizeObject(
+      size,
+      [=](float u, float v) {
+        return SoftInside(std::sqrt(u * u + v * v), radius);
+      },
+      [=](float u, float v) {
+        float r = std::sqrt(u * u + v * v) / radius;
+        return LerpColor(center, rim, Clamp(r * r, 0.0f, 1.0f));
+      },
+      patch, mask);
+}
+
+void RenderBall(int size, const ObjectStyle& style, Rng* rng, ImageF* patch,
+                ImageF* mask) {
+  Color3 base = JitterColor(Color3{0.15f, 0.25f, 0.85f}, style.hue_jitter, rng);
+  float radius = 0.9f;
+  float hx = -0.35f + 0.2f * style.shape_jitter * rng->NextFloat();
+  float hy = -0.35f;
+  RasterizeObject(
+      size,
+      [=](float u, float v) {
+        return SoftInside(std::sqrt(u * u + v * v), radius);
+      },
+      [=](float u, float v) {
+        // Lambert-ish shading plus a specular highlight near (hx, hy).
+        float r2 = (u * u + v * v) / (radius * radius);
+        float shade = 1.0f - 0.55f * r2;
+        float dhx = u - hx;
+        float dhy = v - hy;
+        float spec = std::exp(-12.0f * (dhx * dhx + dhy * dhy));
+        Color3 c{base.r * shade + spec, base.g * shade + spec,
+                 base.b * shade + spec};
+        return c;
+      },
+      patch, mask);
+}
+
+void RenderFish(int size, const ObjectStyle& style, Rng* rng, ImageF* patch,
+                ImageF* mask) {
+  Color3 body = JitterColor(Color3{0.95f, 0.55f, 0.1f}, style.hue_jitter, rng);
+  Color3 stripe = JitterColor(Color3{0.98f, 0.95f, 0.9f}, style.hue_jitter, rng);
+  float stripes = 4.0f + 2.0f * rng->NextFloat();
+  float phase = rng->NextFloat() * 3.14f;
+  RasterizeObject(
+      size,
+      [=](float u, float v) {
+        // Body: ellipse in the left 3/4; tail: triangle on the right.
+        float bu = (u + 0.25f) / 0.7f;
+        float bv = v / 0.45f;
+        float body_d = std::sqrt(bu * bu + bv * bv);
+        float cover = SoftInside(body_d, 1.0f);
+        if (u > 0.35f && u < 0.95f) {
+          float spread = (u - 0.35f) / 0.6f * 0.5f;
+          if (std::fabs(v) < spread) cover = std::max(cover, 1.0f);
+        }
+        return cover;
+      },
+      [=](float u, float v) {
+        (void)v;
+        float s = 0.5f + 0.5f * std::sin(stripes * 3.14159f * u + phase);
+        return s > 0.55f ? stripe : body;
+      },
+      patch, mask);
+}
+
+void RenderStar(int size, const ObjectStyle& style, Rng* rng, ImageF* patch,
+                ImageF* mask) {
+  Color3 bright = JitterColor(Color3{0.98f, 0.9f, 0.35f}, style.hue_jitter, rng);
+  Color3 edge = JitterColor(Color3{0.9f, 0.6f, 0.1f}, style.hue_jitter, rng);
+  float phase = static_cast<float>(rng->NextDouble(0.0, 2.0 * M_PI));
+  int points = 5;
+  float inner = 0.38f + 0.1f * style.shape_jitter * rng->NextFloat();
+  RasterizeObject(
+      size,
+      [=](float u, float v) {
+        float r = std::sqrt(u * u + v * v);
+        float theta = std::atan2(v, u) + phase;
+        // Star radius oscillates between inner and 0.95.
+        float t = 0.5f + 0.5f * std::cos(points * theta);
+        float rad = inner + (0.95f - inner) * std::pow(t, 3.0f);
+        return SoftInside(r, rad);
+      },
+      [=](float u, float v) {
+        float r = std::sqrt(u * u + v * v);
+        return LerpColor(bright, edge, Clamp(r, 0.0f, 1.0f));
+      },
+      patch, mask);
+}
+
+void RenderLeaf(int size, const ObjectStyle& style, Rng* rng, ImageF* patch,
+                ImageF* mask) {
+  Color3 blade = JitterColor(Color3{0.15f, 0.55f, 0.2f}, style.hue_jitter, rng);
+  Color3 vein = JitterColor(Color3{0.35f, 0.75f, 0.35f}, style.hue_jitter, rng);
+  float width = 0.5f + 0.2f * style.shape_jitter * rng->NextFloat();
+  RasterizeObject(
+      size,
+      [=](float u, float v) {
+        // Pointed ellipse: width tapers toward both tips along u.
+        float taper = 1.0f - u * u;
+        if (taper <= 0.0f) return 0.0f;
+        float half = width * taper;
+        return SoftInside(std::fabs(v), half, 0.06f);
+      },
+      [=](float u, float v) {
+        if (std::fabs(v) < 0.05f) return vein;       // mid-vein
+        if (std::fmod(std::fabs(u * 6.0f + v * 3.0f), 1.0f) < 0.12f) return vein;
+        return blade;
+      },
+      patch, mask);
+}
+
+}  // namespace
+
+void RenderObject(ObjectClass cls, int size, const ObjectStyle& style,
+                  Rng* rng, ImageF* patch, ImageF* mask) {
+  WALRUS_CHECK(patch != nullptr && mask != nullptr && rng != nullptr);
+  WALRUS_CHECK_GE(size, 4);
+  switch (cls) {
+    case ObjectClass::kFlower:
+      RenderFlower(size, style, rng, patch, mask);
+      return;
+    case ObjectClass::kSun:
+      RenderSun(size, style, rng, patch, mask);
+      return;
+    case ObjectClass::kBall:
+      RenderBall(size, style, rng, patch, mask);
+      return;
+    case ObjectClass::kFish:
+      RenderFish(size, style, rng, patch, mask);
+      return;
+    case ObjectClass::kStar:
+      RenderStar(size, style, rng, patch, mask);
+      return;
+    case ObjectClass::kLeaf:
+      RenderLeaf(size, style, rng, patch, mask);
+      return;
+  }
+  WALRUS_CHECK(false) << "unknown object class";
+}
+
+}  // namespace walrus

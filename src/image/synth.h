@@ -1,0 +1,89 @@
+#ifndef WALRUS_IMAGE_SYNTH_H_
+#define WALRUS_IMAGE_SYNTH_H_
+
+#include "common/random.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// Procedural texture and object rendering used to build the synthetic
+/// labelled dataset that replaces the paper's `misc` 10,000-JPEG collection
+/// (see DESIGN.md section 2). Everything is deterministic given an Rng.
+
+/// Simple RGB triple in [0,1].
+struct Color3 {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+};
+
+/// Linearly interpolates between two colors (t in [0,1]).
+Color3 LerpColor(const Color3& a, const Color3& b, float t);
+
+// ---------------------------------------------------------------------------
+// Background textures.
+// ---------------------------------------------------------------------------
+
+/// Uniform color fill.
+ImageF MakeSolid(int w, int h, const Color3& color);
+
+/// Linear gradient from `top` to `bottom` (vertical) or left to right.
+ImageF MakeLinearGradient(int w, int h, const Color3& from, const Color3& to,
+                          bool horizontal = false);
+
+/// Alternating cells of two colors.
+ImageF MakeCheckerboard(int w, int h, int cell, const Color3& c0,
+                        const Color3& c1);
+
+/// Alternating bands of two colors with the given period (pixels).
+ImageF MakeStripes(int w, int h, int period, bool horizontal, const Color3& c0,
+                   const Color3& c1);
+
+/// Smooth multi-octave value noise modulating between two colors.
+/// `scale` is the base feature size in pixels; larger = smoother.
+ImageF MakeValueNoise(int w, int h, int scale, const Color3& c0,
+                      const Color3& c1, Rng* rng, int octaves = 3);
+
+/// Staggered brick courses with mortar lines (the texture behind the paper's
+/// Figure 7(d) false positive).
+ImageF MakeBrickWall(int w, int h, int brick_w, int brick_h, int mortar,
+                     const Color3& brick, const Color3& grout, Rng* rng);
+
+/// Grass-like texture: noisy green with vertical streaks.
+ImageF MakeGrass(int w, int h, const Color3& base, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Object classes.
+// ---------------------------------------------------------------------------
+
+/// Object classes composited onto scenes. Each class has a distinctive
+/// color/shape/texture footprint so region signatures separate them.
+enum class ObjectClass : int {
+  kFlower = 0,   // red/pink petals around a yellow core
+  kSun = 1,      // bright warm disk with glow falloff
+  kBall = 2,     // shaded blue sphere with highlight
+  kFish = 3,     // striped orange ellipse with tail
+  kStar = 4,     // five-pointed bright star
+  kLeaf = 5,     // green pointed ellipse with mid-vein
+};
+
+inline constexpr int kNumObjectClasses = 6;
+
+const char* ObjectClassName(ObjectClass cls);
+
+/// Per-instance appearance jitter so two instances of a class are similar
+/// but not identical (color wobble, petal count, stripe phase...).
+struct ObjectStyle {
+  float hue_jitter = 0.04f;    // max per-channel color wobble
+  float shape_jitter = 0.15f;  // relative geometric wobble
+};
+
+/// Renders one object instance into a size x size RGB patch plus a 1-channel
+/// alpha mask (1 inside the object, 0 outside, soft edge). The patch
+/// background (mask==0 area) is undefined; always composite through the mask.
+void RenderObject(ObjectClass cls, int size, const ObjectStyle& style,
+                  Rng* rng, ImageF* patch, ImageF* mask);
+
+}  // namespace walrus
+
+#endif  // WALRUS_IMAGE_SYNTH_H_

@@ -1,0 +1,253 @@
+#include "image/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace walrus {
+namespace {
+
+ImageF ResizeNearest(const ImageF& in, int nw, int nh) {
+  ImageF out(nw, nh, in.channels(), in.color_space());
+  for (int y = 0; y < nh; ++y) {
+    int sy = Clamp(static_cast<int>((y + 0.5) * in.height() / nh), 0,
+                   in.height() - 1);
+    for (int x = 0; x < nw; ++x) {
+      int sx = Clamp(static_cast<int>((x + 0.5) * in.width() / nw), 0,
+                     in.width() - 1);
+      for (int c = 0; c < in.channels(); ++c) {
+        out.At(c, x, y) = in.At(c, sx, sy);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF ResizeBilinear(const ImageF& in, int nw, int nh) {
+  ImageF out(nw, nh, in.channels(), in.color_space());
+  double sx_scale = static_cast<double>(in.width()) / nw;
+  double sy_scale = static_cast<double>(in.height()) / nh;
+  for (int y = 0; y < nh; ++y) {
+    double fy = (y + 0.5) * sy_scale - 0.5;
+    int y0 = static_cast<int>(std::floor(fy));
+    double wy = fy - y0;
+    for (int x = 0; x < nw; ++x) {
+      double fx = (x + 0.5) * sx_scale - 0.5;
+      int x0 = static_cast<int>(std::floor(fx));
+      double wx = fx - x0;
+      for (int c = 0; c < in.channels(); ++c) {
+        double v00 = in.AtClamped(c, x0, y0);
+        double v10 = in.AtClamped(c, x0 + 1, y0);
+        double v01 = in.AtClamped(c, x0, y0 + 1);
+        double v11 = in.AtClamped(c, x0 + 1, y0 + 1);
+        double top = v00 + (v10 - v00) * wx;
+        double bot = v01 + (v11 - v01) * wx;
+        out.At(c, x, y) = static_cast<float>(top + (bot - top) * wy);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF ResizeBoxAverage(const ImageF& in, int nw, int nh) {
+  ImageF out(nw, nh, in.channels(), in.color_space());
+  for (int y = 0; y < nh; ++y) {
+    int sy0 = y * in.height() / nh;
+    int sy1 = std::max(sy0 + 1, (y + 1) * in.height() / nh);
+    sy1 = std::min(sy1, in.height());
+    for (int x = 0; x < nw; ++x) {
+      int sx0 = x * in.width() / nw;
+      int sx1 = std::max(sx0 + 1, (x + 1) * in.width() / nw);
+      sx1 = std::min(sx1, in.width());
+      double count = static_cast<double>(sy1 - sy0) * (sx1 - sx0);
+      for (int c = 0; c < in.channels(); ++c) {
+        double sum = 0.0;
+        for (int sy = sy0; sy < sy1; ++sy) {
+          for (int sx = sx0; sx < sx1; ++sx) sum += in.At(c, sx, sy);
+        }
+        out.At(c, x, y) = static_cast<float>(sum / count);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageF Resize(const ImageF& image, int new_width, int new_height,
+              ResizeFilter filter) {
+  WALRUS_CHECK(new_width > 0 && new_height > 0);
+  WALRUS_CHECK(!image.empty());
+  switch (filter) {
+    case ResizeFilter::kNearest:
+      return ResizeNearest(image, new_width, new_height);
+    case ResizeFilter::kBilinear:
+      return ResizeBilinear(image, new_width, new_height);
+    case ResizeFilter::kBoxAverage:
+      return ResizeBoxAverage(image, new_width, new_height);
+  }
+  return ResizeBilinear(image, new_width, new_height);
+}
+
+ImageF FlipHorizontal(const ImageF& image) {
+  ImageF out(image.width(), image.height(), image.channels(),
+             image.color_space());
+  for (int c = 0; c < image.channels(); ++c) {
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        out.At(c, x, y) = image.At(c, image.width() - 1 - x, y);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF FlipVertical(const ImageF& image) {
+  ImageF out(image.width(), image.height(), image.channels(),
+             image.color_space());
+  for (int c = 0; c < image.channels(); ++c) {
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        out.At(c, x, y) = image.At(c, x, image.height() - 1 - y);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF Rotate90(const ImageF& image) {
+  ImageF out(image.height(), image.width(), image.channels(),
+             image.color_space());
+  for (int c = 0; c < image.channels(); ++c) {
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        out.At(c, image.height() - 1 - y, x) = image.At(c, x, y);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF Rotate(const ImageF& image, float degrees, float fill) {
+  ImageF out(image.width(), image.height(), image.channels(),
+             image.color_space());
+  double radians = degrees * M_PI / 180.0;
+  double cos_a = std::cos(radians);
+  double sin_a = std::sin(radians);
+  double cx = 0.5 * (image.width() - 1);
+  double cy = 0.5 * (image.height() - 1);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      // Inverse-map the output pixel into the source.
+      double dx = x - cx;
+      double dy = y - cy;
+      double sx = cos_a * dx + sin_a * dy + cx;
+      double sy = -sin_a * dx + cos_a * dy + cy;
+      int x0 = static_cast<int>(std::floor(sx));
+      int y0 = static_cast<int>(std::floor(sy));
+      double wx = sx - x0;
+      double wy = sy - y0;
+      for (int c = 0; c < image.channels(); ++c) {
+        auto sample = [&](int xi, int yi) -> double {
+          if (xi < 0 || xi >= image.width() || yi < 0 ||
+              yi >= image.height()) {
+            return fill;
+          }
+          return image.At(c, xi, yi);
+        };
+        double top = sample(x0, y0) + (sample(x0 + 1, y0) - sample(x0, y0)) * wx;
+        double bot =
+            sample(x0, y0 + 1) + (sample(x0 + 1, y0 + 1) - sample(x0, y0 + 1)) * wx;
+        out.At(c, x, y) = static_cast<float>(top + (bot - top) * wy);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF Translate(const ImageF& image, int dx, int dy, float fill) {
+  ImageF out(image.width(), image.height(), image.channels(),
+             image.color_space());
+  out.Fill(fill);
+  for (int c = 0; c < image.channels(); ++c) {
+    for (int y = 0; y < image.height(); ++y) {
+      int sy = y - dy;
+      if (sy < 0 || sy >= image.height()) continue;
+      for (int x = 0; x < image.width(); ++x) {
+        int sx = x - dx;
+        if (sx < 0 || sx >= image.width()) continue;
+        out.At(c, x, y) = image.At(c, sx, sy);
+      }
+    }
+  }
+  return out;
+}
+
+ImageF TranslateWrap(const ImageF& image, int dx, int dy) {
+  ImageF out(image.width(), image.height(), image.channels(),
+             image.color_space());
+  int w = image.width();
+  int h = image.height();
+  auto mod = [](int a, int m) { return ((a % m) + m) % m; };
+  for (int c = 0; c < image.channels(); ++c) {
+    for (int y = 0; y < h; ++y) {
+      int sy = mod(y - dy, h);
+      for (int x = 0; x < w; ++x) {
+        out.At(c, x, y) = image.At(c, mod(x - dx, w), sy);
+      }
+    }
+  }
+  return out;
+}
+
+void Composite(ImageF* canvas, const ImageF& patch, int x, int y,
+               const ImageF* mask) {
+  WALRUS_CHECK(canvas != nullptr);
+  WALRUS_CHECK_EQ(canvas->channels(), patch.channels());
+  if (mask != nullptr) {
+    WALRUS_CHECK_EQ(mask->width(), patch.width());
+    WALRUS_CHECK_EQ(mask->height(), patch.height());
+    WALRUS_CHECK_EQ(mask->channels(), 1);
+  }
+  for (int py = 0; py < patch.height(); ++py) {
+    int cy = y + py;
+    if (cy < 0 || cy >= canvas->height()) continue;
+    for (int px = 0; px < patch.width(); ++px) {
+      int cx = x + px;
+      if (cx < 0 || cx >= canvas->width()) continue;
+      float alpha = mask != nullptr ? mask->At(0, px, py) : 1.0f;
+      if (alpha <= 0.0f) continue;
+      for (int c = 0; c < patch.channels(); ++c) {
+        float dst = canvas->At(c, cx, cy);
+        canvas->At(c, cx, cy) = dst + alpha * (patch.At(c, px, py) - dst);
+      }
+    }
+  }
+}
+
+ImageF AddGaussianNoise(const ImageF& image, float sigma, Rng* rng) {
+  WALRUS_CHECK(rng != nullptr);
+  ImageF out = image;
+  for (int c = 0; c < out.channels(); ++c) {
+    for (float& v : out.Plane(c)) {
+      v = Clamp(v + sigma * static_cast<float>(rng->NextGaussian()), 0.0f,
+                1.0f);
+    }
+  }
+  return out;
+}
+
+ImageF Posterize(const ImageF& image, int levels) {
+  WALRUS_CHECK_GE(levels, 2);
+  ImageF out = image;
+  float scale = static_cast<float>(levels - 1);
+  for (int c = 0; c < out.channels(); ++c) {
+    for (float& v : out.Plane(c)) {
+      v = std::round(Clamp(v, 0.0f, 1.0f) * scale) / scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace walrus

@@ -1,0 +1,54 @@
+#ifndef WALRUS_IMAGE_TRANSFORM_H_
+#define WALRUS_IMAGE_TRANSFORM_H_
+
+#include "common/random.h"
+#include "image/image.h"
+
+namespace walrus {
+
+enum class ResizeFilter { kNearest, kBilinear, kBoxAverage };
+
+/// Resamples `image` to new_width x new_height. kBoxAverage averages the
+/// covered source box (good for downscaling); kBilinear interpolates (good
+/// for upscaling); kNearest picks the closest sample.
+ImageF Resize(const ImageF& image, int new_width, int new_height,
+              ResizeFilter filter = ResizeFilter::kBilinear);
+
+/// Mirrors the image horizontally (left-right).
+ImageF FlipHorizontal(const ImageF& image);
+
+/// Mirrors the image vertically (top-bottom).
+ImageF FlipVertical(const ImageF& image);
+
+/// Rotates by 90 degrees clockwise.
+ImageF Rotate90(const ImageF& image);
+
+/// Rotates by an arbitrary angle (degrees, clockwise) about the image
+/// center with bilinear resampling; pixels sampled from outside take
+/// `fill`. Output has the same dimensions (corners are clipped).
+ImageF Rotate(const ImageF& image, float degrees, float fill = 0.0f);
+
+/// Shifts content by (dx, dy); vacated pixels take `fill`. Positive dx moves
+/// content right, positive dy moves it down.
+ImageF Translate(const ImageF& image, int dx, int dy, float fill = 0.0f);
+
+/// Shifts content by (dx, dy) with toroidal wrap-around.
+ImageF TranslateWrap(const ImageF& image, int dx, int dy);
+
+/// Pastes `patch` onto `canvas` with its upper-left corner at (x, y).
+/// Out-of-canvas parts of the patch are clipped. If `mask` is non-null it
+/// must match the patch size; mask values in [0,1] alpha-blend the patch.
+void Composite(ImageF* canvas, const ImageF& patch, int x, int y,
+               const ImageF* mask = nullptr);
+
+/// Adds zero-mean Gaussian noise with standard deviation `sigma` to every
+/// sample and clamps to [0,1] (simulates sensor noise / dithering effects).
+ImageF AddGaussianNoise(const ImageF& image, float sigma, Rng* rng);
+
+/// Quantizes every sample to `levels` levels (posterize; simulates color
+/// reduction / dithering artifacts the paper claims robustness against).
+ImageF Posterize(const ImageF& image, int levels);
+
+}  // namespace walrus
+
+#endif  // WALRUS_IMAGE_TRANSFORM_H_

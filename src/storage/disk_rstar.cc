@@ -1,0 +1,335 @@
+#include "storage/disk_rstar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace walrus {
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x44525354;  // "DRST"
+constexpr size_t kNodeHeaderBytes = 8;
+
+size_t EntryBytes(int dim) { return static_cast<size_t>(dim) * 8 + 8; }
+
+int CapacityFor(uint32_t page_size, int dim) {
+  return static_cast<int>((page_size - kNodeHeaderBytes) / EntryBytes(dim));
+}
+
+void PutU16At(std::vector<uint8_t>* page, size_t pos, uint16_t v) {
+  (*page)[pos] = static_cast<uint8_t>(v);
+  (*page)[pos + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU64At(std::vector<uint8_t>* page, size_t pos, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    (*page)[pos + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void PutF32At(std::vector<uint8_t>* page, size_t pos, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  for (int i = 0; i < 4; ++i) {
+    (*page)[pos + i] = static_cast<uint8_t>(bits >> (8 * i));
+  }
+}
+
+/// Serializes one node into a fresh page image.
+std::vector<uint8_t> EncodeNode(uint32_t page_size, int dim, bool is_leaf,
+                                const std::vector<Rect>& rects,
+                                const std::vector<uint64_t>& values) {
+  std::vector<uint8_t> page(page_size, 0);
+  page[0] = is_leaf ? 1 : 0;
+  PutU16At(&page, 2, static_cast<uint16_t>(rects.size()));
+  size_t at = kNodeHeaderBytes;
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (int d = 0; d < dim; ++d) {
+      PutF32At(&page, at, rects[i].lo(d));
+      at += 4;
+    }
+    for (int d = 0; d < dim; ++d) {
+      PutF32At(&page, at, rects[i].hi(d));
+      at += 4;
+    }
+    PutU64At(&page, at, values[i]);
+    at += 8;
+  }
+  return page;
+}
+
+}  // namespace
+
+int DiskRStarTree::NodeCapacity() const {
+  return CapacityFor(file_.page_size(), dim_);
+}
+
+Result<DiskRStarTree> DiskRStarTree::Build(
+    const std::string& path, int dim,
+    std::vector<std::pair<Rect, uint64_t>> entries, uint32_t page_size) {
+  if (dim < 1) return Status::InvalidArgument("disk rstar: dim must be >= 1");
+  int capacity = CapacityFor(page_size, dim);
+  if (capacity < 2) {
+    return Status::InvalidArgument(
+        "disk rstar: page too small for dimension " + std::to_string(dim));
+  }
+  WALRUS_ASSIGN_OR_RETURN(PageFile file, PageFile::Create(path, page_size));
+
+  // STR order the leaf entries (same recursive tiling as
+  // RStarTree::BulkLoad, specialized to produce a flat order).
+  std::vector<int> order(entries.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::function<void(int, int, int)> tile = [&](int begin, int end,
+                                                int dim_index) {
+    int n = end - begin;
+    if (n <= capacity) return;
+    std::sort(order.begin() + begin, order.begin() + end, [&](int a, int b) {
+      const Rect& ra = entries[a].first;
+      const Rect& rb = entries[b].first;
+      return ra.lo(dim_index) + ra.hi(dim_index) <
+             rb.lo(dim_index) + rb.hi(dim_index);
+    });
+    int num_groups = (n + capacity - 1) / capacity;
+    int slabs = static_cast<int>(std::ceil(
+        std::pow(static_cast<double>(num_groups),
+                 1.0 / static_cast<double>(std::max(1, dim - dim_index)))));
+    slabs = std::max(1, std::min(slabs, num_groups));
+    if (dim_index + 1 >= dim || slabs <= 1) return;  // sorted run is enough
+    int base = n / slabs;
+    int extra = n % slabs;
+    int at = begin;
+    for (int s = 0; s < slabs; ++s) {
+      int size = base + (s < extra ? 1 : 0);
+      tile(at, at + size, dim_index + 1);
+      at += size;
+    }
+  };
+  if (!entries.empty()) {
+    tile(0, static_cast<int>(entries.size()), 0);
+  }
+
+  // Write the leaf level.
+  struct Pending {
+    Rect rect;
+    uint32_t page;
+  };
+  std::vector<Pending> level;
+  for (size_t begin = 0; begin < entries.size(); begin += capacity) {
+    size_t end = std::min(entries.size(), begin + capacity);
+    std::vector<Rect> rects;
+    std::vector<uint64_t> values;
+    Rect bounds = Rect::Empty(dim);
+    for (size_t i = begin; i < end; ++i) {
+      rects.push_back(entries[order[i]].first);
+      values.push_back(entries[order[i]].second);
+      bounds.ExpandToInclude(entries[order[i]].first);
+    }
+    WALRUS_ASSIGN_OR_RETURN(uint32_t page_id, file.AllocatePage());
+    WALRUS_RETURN_IF_ERROR(file.WritePage(
+        page_id, EncodeNode(page_size, dim, /*is_leaf=*/true, rects, values)));
+    level.push_back({bounds, page_id});
+  }
+  int height = level.empty() ? 0 : 1;
+
+  // Pack upper levels until one root remains.
+  while (level.size() > 1) {
+    ++height;
+    // Order parents by the dim-0 center of their child rects.
+    std::vector<int> parent_order(level.size());
+    for (size_t i = 0; i < parent_order.size(); ++i) {
+      parent_order[i] = static_cast<int>(i);
+    }
+    std::sort(parent_order.begin(), parent_order.end(), [&](int a, int b) {
+      return level[a].rect.lo(0) + level[a].rect.hi(0) <
+             level[b].rect.lo(0) + level[b].rect.hi(0);
+    });
+    std::vector<Pending> next;
+    for (size_t begin = 0; begin < level.size(); begin += capacity) {
+      size_t end = std::min(level.size(), begin + capacity);
+      std::vector<Rect> rects;
+      std::vector<uint64_t> values;
+      Rect bounds = Rect::Empty(dim);
+      for (size_t i = begin; i < end; ++i) {
+        const Pending& child = level[parent_order[i]];
+        rects.push_back(child.rect);
+        values.push_back(child.page);
+        bounds.ExpandToInclude(child.rect);
+      }
+      WALRUS_ASSIGN_OR_RETURN(uint32_t page_id, file.AllocatePage());
+      WALRUS_RETURN_IF_ERROR(file.WritePage(
+          page_id,
+          EncodeNode(page_size, dim, /*is_leaf=*/false, rects, values)));
+      next.push_back({bounds, page_id});
+    }
+    level = std::move(next);
+  }
+
+  // Metadata blob last (its head page = page_count - 1, like the catalog).
+  BinaryWriter meta;
+  meta.PutU32(kMetaMagic);
+  meta.PutU32(static_cast<uint32_t>(dim));
+  meta.PutU64(static_cast<uint64_t>(entries.size()));
+  meta.PutU32(static_cast<uint32_t>(height));
+  meta.PutU32(level.empty() ? 0 : level[0].page);
+  WALRUS_ASSIGN_OR_RETURN(BlobRef meta_ref, file.WriteBlob(meta.buffer()));
+  (void)meta_ref;
+  WALRUS_RETURN_IF_ERROR(file.Sync());
+
+  DiskRStarTree tree(std::move(file));
+  tree.dim_ = dim;
+  tree.size_ = static_cast<int64_t>(entries.size());
+  tree.height_ = height;
+  tree.root_page_ = level.empty() ? 0 : level[0].page;
+  return tree;
+}
+
+Result<DiskRStarTree> DiskRStarTree::Open(const std::string& path) {
+  WALRUS_ASSIGN_OR_RETURN(PageFile file, PageFile::Open(path));
+  if (file.page_count() < 2) {
+    return Status::Corruption("disk rstar: no metadata page");
+  }
+  WALRUS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> meta_bytes,
+      file.ReadBlob(BlobRef{file.page_count() - 1, 24}));
+  BinaryReader meta(meta_bytes);
+  WALRUS_ASSIGN_OR_RETURN(uint32_t magic, meta.GetU32());
+  if (magic != kMetaMagic) return Status::Corruption("disk rstar: magic");
+  WALRUS_ASSIGN_OR_RETURN(uint32_t dim, meta.GetU32());
+  WALRUS_ASSIGN_OR_RETURN(uint64_t size, meta.GetU64());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t height, meta.GetU32());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t root_page, meta.GetU32());
+  if (dim == 0 || dim > 4096) return Status::Corruption("disk rstar: dim");
+  if (CapacityFor(file.page_size(), static_cast<int>(dim)) < 2) {
+    return Status::Corruption("disk rstar: page/dim mismatch");
+  }
+  DiskRStarTree tree(std::move(file));
+  tree.dim_ = static_cast<int>(dim);
+  tree.size_ = static_cast<int64_t>(size);
+  tree.height_ = static_cast<int>(height);
+  tree.root_page_ = root_page;
+  return tree;
+}
+
+Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
+    uint32_t page_id) const {
+  std::vector<uint8_t> page;
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    WALRUS_ASSIGN_OR_RETURN(page, file_.ReadPage(page_id));
+    ++pages_read_;
+  }
+  NodeRef node;
+  node.is_leaf = page[0] != 0;
+  uint16_t count = static_cast<uint16_t>(page[2]) |
+                   static_cast<uint16_t>(page[3]) << 8;
+  if (count > CapacityFor(file_.page_size(), dim_)) {
+    return Status::Corruption("disk rstar: node overfull");
+  }
+  node.rects.reserve(count);
+  node.values.reserve(count);
+  size_t at = kNodeHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    std::vector<float> lo(dim_), hi(dim_);
+    for (int d = 0; d < dim_; ++d) {
+      uint32_t bits = 0;
+      for (int b = 0; b < 4; ++b) {
+        bits |= static_cast<uint32_t>(page[at + b]) << (8 * b);
+      }
+      std::memcpy(&lo[d], &bits, 4);
+      at += 4;
+    }
+    for (int d = 0; d < dim_; ++d) {
+      uint32_t bits = 0;
+      for (int b = 0; b < 4; ++b) {
+        bits |= static_cast<uint32_t>(page[at + b]) << (8 * b);
+      }
+      std::memcpy(&hi[d], &bits, 4);
+      at += 4;
+    }
+    for (int d = 0; d < dim_; ++d) {
+      if (!(lo[d] <= hi[d])) {
+        return Status::Corruption("disk rstar: inverted rect");
+      }
+    }
+    uint64_t value = 0;
+    for (int b = 0; b < 8; ++b) {
+      value |= static_cast<uint64_t>(page[at + b]) << (8 * b);
+    }
+    at += 8;
+    node.rects.push_back(Rect::Bounds(std::move(lo), std::move(hi)));
+    node.values.push_back(value);
+  }
+  return node;
+}
+
+Status DiskRStarTree::RangeSearchVisit(
+    const Rect& query,
+    const std::function<bool(const Rect&, uint64_t)>& visitor) const {
+  WALRUS_CHECK_EQ(query.dim(), dim_);
+  if (size_ == 0) return Status::OK();
+  std::vector<uint32_t> stack = {root_page_};
+  while (!stack.empty()) {
+    uint32_t page_id = stack.back();
+    stack.pop_back();
+    WALRUS_ASSIGN_OR_RETURN(NodeRef node, ReadNode(page_id));
+    for (size_t i = 0; i < node.rects.size(); ++i) {
+      if (!node.rects[i].Intersects(query)) continue;
+      if (node.is_leaf) {
+        if (!visitor(node.rects[i], node.values[i])) return Status::OK();
+      } else {
+        stack.push_back(static_cast<uint32_t>(node.values[i]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> DiskRStarTree::RangeSearch(
+    const Rect& query) const {
+  std::vector<uint64_t> out;
+  WALRUS_RETURN_IF_ERROR(RangeSearchVisit(
+      query, [&out](const Rect&, uint64_t payload) {
+        out.push_back(payload);
+        return true;
+      }));
+  return out;
+}
+
+Result<std::vector<std::pair<uint64_t, double>>>
+DiskRStarTree::NearestNeighbors(const std::vector<float>& point,
+                                int k) const {
+  WALRUS_CHECK_EQ(static_cast<int>(point.size()), dim_);
+  WALRUS_CHECK_GE(k, 1);
+  std::vector<std::pair<uint64_t, double>> result;
+  if (size_ == 0) return result;
+
+  struct Item {
+    double dist;
+    bool is_entry;
+    uint64_t value;  // payload (entry) or page id (node)
+    bool operator>(const Item& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, false, root_page_});
+  while (!heap.empty() && static_cast<int>(result.size()) < k) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.is_entry) {
+      result.emplace_back(item.value, std::sqrt(item.dist));
+      continue;
+    }
+    WALRUS_ASSIGN_OR_RETURN(NodeRef node,
+                            ReadNode(static_cast<uint32_t>(item.value)));
+    for (size_t i = 0; i < node.rects.size(); ++i) {
+      double d = node.rects[i].MinSquaredDistance(point);
+      heap.push({d, node.is_leaf, node.values[i]});
+    }
+  }
+  return result;
+}
+
+}  // namespace walrus

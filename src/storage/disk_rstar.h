@@ -1,0 +1,116 @@
+#ifndef WALRUS_STORAGE_DISK_RSTAR_H_
+#define WALRUS_STORAGE_DISK_RSTAR_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spatial/rect.h"
+#include "storage/page_file.h"
+
+namespace walrus {
+
+/// Disk-resident R-tree for query serving: one node per PageFile page, read
+/// through the page file's LRU cache. The paper indexes region signatures
+/// in a "disk-based R*-tree" (section 5.3, via libGiST); this is that
+/// deployment shape -- queries touch only the pages along the search path
+/// instead of deserializing the whole tree into memory.
+///
+/// The tree is immutable once built (WALRUS's index is build-once /
+/// query-many; mutations go through the in-memory RStarTree and a rebuild).
+/// Construction uses the same Sort-Tile-Recursive packing as
+/// RStarTree::BulkLoad, writing levels bottom-up.
+///
+/// Thread safety: concurrent queries are supported; page reads and the IO
+/// counters are serialized by an internal mutex (the page cache is shared
+/// mutable state).
+///
+/// Page layout (little endian):
+///   u8  is_leaf, u8 reserved, u16 entry_count, u32 reserved
+///   then entry_count entries of:
+///     dim f32 lo, dim f32 hi, u64 payload_or_child_page
+class DiskRStarTree {
+ public:
+  DiskRStarTree(const DiskRStarTree&) = delete;
+  DiskRStarTree& operator=(const DiskRStarTree&) = delete;
+  DiskRStarTree(DiskRStarTree&& other) noexcept
+      : file_(std::move(other.file_)),
+        dim_(other.dim_),
+        size_(other.size_),
+        height_(other.height_),
+        root_page_(other.root_page_),
+        pages_read_(other.pages_read_) {}
+  DiskRStarTree& operator=(DiskRStarTree&& other) noexcept {
+    if (this != &other) {
+      file_ = std::move(other.file_);
+      dim_ = other.dim_;
+      size_ = other.size_;
+      height_ = other.height_;
+      root_page_ = other.root_page_;
+      pages_read_ = other.pages_read_;
+    }
+    return *this;
+  }
+
+  /// STR-packs `entries` into a new page file at `path`.
+  static Result<DiskRStarTree> Build(
+      const std::string& path, int dim,
+      std::vector<std::pair<Rect, uint64_t>> entries,
+      uint32_t page_size = PageFile::kDefaultPageSize);
+
+  /// Opens a tree previously written by Build.
+  static Result<DiskRStarTree> Open(const std::string& path);
+
+  int dim() const { return dim_; }
+  int64_t size() const { return size_; }
+  int height() const { return height_; }
+  /// Entries per node for this dimension/page size (diagnostics).
+  int NodeCapacity() const;
+
+  /// Streams all entries whose rects intersect `query`; return false from
+  /// the visitor to stop. IO errors abort the walk and are returned.
+  Status RangeSearchVisit(
+      const Rect& query,
+      const std::function<bool(const Rect&, uint64_t)>& visitor) const;
+
+  /// Collects intersecting payloads.
+  Result<std::vector<uint64_t>> RangeSearch(const Rect& query) const;
+
+  /// Best-first k nearest entries to `point` (ascending distance).
+  Result<std::vector<std::pair<uint64_t, double>>> NearestNeighbors(
+      const std::vector<float>& point, int k) const;
+
+  /// Pages fetched by queries since opening (served from cache or disk).
+  int64_t pages_read() const { return pages_read_; }
+  /// Underlying page-cache counters.
+  int64_t cache_hits() const { return file_.cache_hits(); }
+  int64_t cache_misses() const { return file_.cache_misses(); }
+  /// Resizes the page cache (0 disables; measures cold-read costs).
+  void SetCacheCapacity(int pages) { file_.SetCacheCapacity(pages); }
+
+ private:
+  struct NodeRef {
+    bool is_leaf = false;
+    std::vector<Rect> rects;
+    std::vector<uint64_t> values;  // payloads (leaf) or child pages
+  };
+
+  explicit DiskRStarTree(PageFile file) : file_(std::move(file)) {}
+
+  Result<NodeRef> ReadNode(uint32_t page_id) const;
+
+  mutable std::mutex io_mutex_;
+  mutable PageFile file_;
+  int dim_ = 0;
+  int64_t size_ = 0;
+  int height_ = 0;
+  uint32_t root_page_ = 0;
+  mutable int64_t pages_read_ = 0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_STORAGE_DISK_RSTAR_H_

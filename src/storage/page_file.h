@@ -1,0 +1,105 @@
+#ifndef WALRUS_STORAGE_PAGE_FILE_H_
+#define WALRUS_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace walrus {
+
+/// Reference to a blob stored in a PageFile: the head page of its chain and
+/// its total byte length.
+struct BlobRef {
+  uint32_t head_page = 0;
+  uint64_t length = 0;
+};
+
+/// Fixed-size-page file with a chained-page blob layer; the disk substrate
+/// beneath the persistent image/region catalog (the paper stores region
+/// signatures and bitmaps in a disk-based index).
+///
+/// Layout: page 0 is the header (magic, page size, page count). Every data
+/// page starts with an 8-byte header: u32 next-page id (0 = end of chain)
+/// and u32 payload bytes used in this page.
+class PageFile {
+ public:
+  static constexpr uint32_t kDefaultPageSize = 4096;
+  /// Pages kept in the read cache (LRU). 0 disables caching.
+  static constexpr int kDefaultCachePages = 64;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  PageFile(PageFile&&) noexcept;
+  PageFile& operator=(PageFile&&) noexcept;
+  ~PageFile();
+
+  /// Creates (truncates) a page file at `path`.
+  static Result<PageFile> Create(const std::string& path,
+                                 uint32_t page_size = kDefaultPageSize);
+
+  /// Opens an existing page file and validates its header.
+  static Result<PageFile> Open(const std::string& path);
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t page_count() const { return page_count_; }
+  /// Payload capacity per data page.
+  uint32_t PagePayload() const { return page_size_ - 8; }
+
+  /// Appends a new zeroed page; returns its id.
+  Result<uint32_t> AllocatePage();
+
+  /// Overwrites page `id` with `data` (must be exactly page_size bytes).
+  Status WritePage(uint32_t id, const std::vector<uint8_t>& data);
+
+  /// Reads page `id`, serving repeated reads from an LRU cache.
+  Result<std::vector<uint8_t>> ReadPage(uint32_t id);
+
+  /// Resizes the read cache (entries are dropped oldest-first); 0 disables.
+  void SetCacheCapacity(int pages);
+
+  /// Cache hit/miss counters since creation (diagnostics).
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t cache_misses() const { return cache_misses_; }
+
+  /// Stores `bytes` across a fresh chain of pages.
+  Result<BlobRef> WriteBlob(const std::vector<uint8_t>& bytes);
+
+  /// Reads back a blob written by WriteBlob.
+  Result<std::vector<uint8_t>> ReadBlob(const BlobRef& ref);
+
+  /// Flushes buffered writes and the header to disk.
+  Status Sync();
+
+ private:
+  PageFile() = default;
+
+  Status WriteHeader();
+  Status WritePageInternal(uint32_t id, const std::vector<uint8_t>& data);
+  void CacheInsert(uint32_t id, const std::vector<uint8_t>& page);
+  void CacheErase(uint32_t id);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint32_t page_size_ = kDefaultPageSize;
+  uint32_t page_count_ = 1;  // header page
+
+  // LRU read cache: most-recent at the front of lru_; map values point into
+  // the list.
+  struct CacheEntry {
+    uint32_t id;
+    std::vector<uint8_t> data;
+  };
+  int cache_capacity_ = kDefaultCachePages;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<uint32_t, std::list<CacheEntry>::iterator> cache_index_;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,116 @@
+#include "wavelet/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace walrus {
+namespace {
+
+/// Pads a channel plane to side x side by edge replication.
+SquareMatrix PadToSquare(const ImageF& image, int channel, int side) {
+  SquareMatrix out(side);
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      out.At(x, y) = image.AtClamped(channel, x, y);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ImageF CompressImage(const ImageF& image, double keep_fraction) {
+  WALRUS_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  WALRUS_CHECK(!image.empty());
+  int side = static_cast<int>(NextPowerOfTwo(
+      static_cast<uint32_t>(std::max(image.width(), image.height()))));
+  ImageF out(image.width(), image.height(), image.channels(),
+             image.color_space());
+
+  int total = side * side;
+  int keep = std::max(1, static_cast<int>(keep_fraction * total));
+  std::vector<float> magnitudes(total);
+
+  for (int c = 0; c < image.channels(); ++c) {
+    SquareMatrix transform = HaarNonStandard2D(PadToSquare(image, c, side));
+    // Threshold in the normalized domain so coefficient importance is
+    // resolution-weighted (section 3.1's normalization rationale).
+    HaarNormalizeNonStandard(&transform);
+    for (int i = 0; i < total; ++i) {
+      magnitudes[i] = std::fabs(transform.values[i]);
+    }
+    // keep-th largest magnitude as the cut.
+    std::vector<float> sorted = magnitudes;
+    std::nth_element(sorted.begin(), sorted.begin() + (keep - 1), sorted.end(),
+                     std::greater<float>());
+    float cut = sorted[keep - 1];
+    int kept = 0;
+    for (int i = 0; i < total; ++i) {
+      // Keep strictly-above always, ties only until the budget is filled;
+      // the DC coefficient always survives.
+      bool keep_this = i == 0 || magnitudes[i] > cut ||
+                       (magnitudes[i] == cut && kept < keep);
+      if (keep_this) {
+        ++kept;
+      } else {
+        transform.values[i] = 0.0f;
+      }
+    }
+    HaarDenormalizeNonStandard(&transform);
+    SquareMatrix restored = HaarNonStandard2DInverse(transform);
+    for (int y = 0; y < image.height(); ++y) {
+      for (int x = 0; x < image.width(); ++x) {
+        out.At(c, x, y) = Clamp(restored.At(x, y), 0.0f, 1.0f);
+      }
+    }
+  }
+  return out;
+}
+
+double MeanSquaredError(const ImageF& a, const ImageF& b) {
+  WALRUS_CHECK_EQ(a.width(), b.width());
+  WALRUS_CHECK_EQ(a.height(), b.height());
+  WALRUS_CHECK_EQ(a.channels(), b.channels());
+  double sum = 0.0;
+  int64_t count = 0;
+  for (int c = 0; c < a.channels(); ++c) {
+    const std::vector<float>& pa = a.Plane(c);
+    const std::vector<float>& pb = b.Plane(c);
+    for (size_t i = 0; i < pa.size(); ++i) {
+      double d = static_cast<double>(pa[i]) - pb[i];
+      sum += d * d;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+double Psnr(const ImageF& a, const ImageF& b) {
+  double mse = MeanSquaredError(a, b);
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+double SignificantCoefficientFraction(const ImageF& image, float threshold) {
+  WALRUS_CHECK(!image.empty());
+  int side = static_cast<int>(NextPowerOfTwo(
+      static_cast<uint32_t>(std::max(image.width(), image.height()))));
+  double fraction_sum = 0.0;
+  for (int c = 0; c < image.channels(); ++c) {
+    SquareMatrix transform = HaarNonStandard2D(PadToSquare(image, c, side));
+    HaarNormalizeNonStandard(&transform);
+    int significant = 0;
+    for (float v : transform.values) {
+      if (std::fabs(v) > threshold) ++significant;
+    }
+    fraction_sum +=
+        static_cast<double>(significant) / transform.values.size();
+  }
+  return fraction_sum / image.channels();
+}
+
+}  // namespace walrus

@@ -1,0 +1,33 @@
+#ifndef WALRUS_WAVELET_COMPRESS_H_
+#define WALRUS_WAVELET_COMPRESS_H_
+
+#include "image/image.h"
+#include "wavelet/haar2d.h"
+
+namespace walrus {
+
+/// Lossy wavelet compression (paper section 3.1: "truncating these small
+/// coefficients from the transform introduces only small errors in the
+/// reconstructed image, giving a form of 'lossy' image compression").
+/// Exposed as a utility both to demonstrate the transform substrate and to
+/// measure how much image structure the signatures discard.
+
+/// Zeroes all but the `keep_fraction` largest-magnitude coefficients of the
+/// (normalized-domain) transform of every channel and reconstructs.
+/// Non-square / non-power-of-two images are padded by edge replication and
+/// cropped back. keep_fraction in (0, 1].
+ImageF CompressImage(const ImageF& image, double keep_fraction);
+
+/// Mean squared error between two same-shaped images (all channels).
+double MeanSquaredError(const ImageF& a, const ImageF& b);
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0); infinity when identical.
+double Psnr(const ImageF& a, const ImageF& b);
+
+/// Fraction of transform coefficients with magnitude above `threshold`,
+/// averaged over channels (diagnostic for energy compaction).
+double SignificantCoefficientFraction(const ImageF& image, float threshold);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_COMPRESS_H_

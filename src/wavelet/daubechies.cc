@@ -1,0 +1,112 @@
+#include "wavelet/daubechies.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace walrus {
+namespace {
+
+// Daubechies-4 scaling filter (orthonormal).
+const float kSqrt3 = 1.7320508075688772f;
+const float kDenom = 5.656854249492381f;  // 4 * sqrt(2)
+const float kH0 = (1.0f + kSqrt3) / kDenom;
+const float kH1 = (3.0f + kSqrt3) / kDenom;
+const float kH2 = (3.0f - kSqrt3) / kDenom;
+const float kH3 = (1.0f - kSqrt3) / kDenom;
+// Wavelet filter g_k = (-1)^k h_{3-k}.
+const float kG0 = kH3;
+const float kG1 = -kH2;
+const float kG2 = kH1;
+const float kG3 = -kH0;
+
+}  // namespace
+
+void Daub4ForwardStep(const std::vector<float>& input,
+                      std::vector<float>* output) {
+  WALRUS_CHECK(output != nullptr);
+  size_t n = input.size();
+  WALRUS_CHECK(n >= 4 && n % 2 == 0);
+  output->assign(n, 0.0f);
+  size_t half = n / 2;
+  for (size_t i = 0; i < half; ++i) {
+    size_t k = 2 * i;
+    float x0 = input[k];
+    float x1 = input[(k + 1) % n];
+    float x2 = input[(k + 2) % n];
+    float x3 = input[(k + 3) % n];
+    (*output)[i] = kH0 * x0 + kH1 * x1 + kH2 * x2 + kH3 * x3;
+    (*output)[half + i] = kG0 * x0 + kG1 * x1 + kG2 * x2 + kG3 * x3;
+  }
+}
+
+void Daub4InverseStep(const std::vector<float>& input,
+                      std::vector<float>* output) {
+  WALRUS_CHECK(output != nullptr);
+  size_t n = input.size();
+  WALRUS_CHECK(n >= 4 && n % 2 == 0);
+  output->assign(n, 0.0f);
+  size_t half = n / 2;
+  // Transpose of the analysis matrix (orthonormal, so inverse == transpose).
+  for (size_t i = 0; i < half; ++i) {
+    float s = input[i];
+    float d = input[half + i];
+    size_t k = 2 * i;
+    (*output)[k] += kH0 * s + kG0 * d;
+    (*output)[(k + 1) % n] += kH1 * s + kG1 * d;
+    (*output)[(k + 2) % n] += kH2 * s + kG2 * d;
+    (*output)[(k + 3) % n] += kH3 * s + kG3 * d;
+  }
+}
+
+SquareMatrix Daub4Transform2D(const SquareMatrix& image, int levels) {
+  WALRUS_CHECK_GE(levels, 1);
+  WALRUS_CHECK(image.n >> levels >= 2)
+      << "too many levels (" << levels << ") for size " << image.n;
+  SquareMatrix out = image;
+  std::vector<float> line;
+  std::vector<float> transformed;
+  int m = image.n;
+  for (int level = 0; level < levels; ++level) {
+    line.resize(m);
+    // Rows of the current low-low block.
+    for (int y = 0; y < m; ++y) {
+      for (int x = 0; x < m; ++x) line[x] = out.At(x, y);
+      Daub4ForwardStep(line, &transformed);
+      for (int x = 0; x < m; ++x) out.At(x, y) = transformed[x];
+    }
+    // Columns.
+    for (int x = 0; x < m; ++x) {
+      for (int y = 0; y < m; ++y) line[y] = out.At(x, y);
+      Daub4ForwardStep(line, &transformed);
+      for (int y = 0; y < m; ++y) out.At(x, y) = transformed[y];
+    }
+    m /= 2;
+  }
+  return out;
+}
+
+SquareMatrix Daub4Inverse2D(const SquareMatrix& transform, int levels) {
+  WALRUS_CHECK_GE(levels, 1);
+  WALRUS_CHECK(transform.n >> levels >= 2);
+  SquareMatrix out = transform;
+  std::vector<float> line;
+  std::vector<float> restored;
+  for (int level = levels - 1; level >= 0; --level) {
+    int m = transform.n >> level;
+    line.resize(m);
+    for (int x = 0; x < m; ++x) {
+      for (int y = 0; y < m; ++y) line[y] = out.At(x, y);
+      Daub4InverseStep(line, &restored);
+      for (int y = 0; y < m; ++y) out.At(x, y) = restored[y];
+    }
+    for (int y = 0; y < m; ++y) {
+      for (int x = 0; x < m; ++x) line[x] = out.At(x, y);
+      Daub4InverseStep(line, &restored);
+      for (int x = 0; x < m; ++x) out.At(x, y) = restored[x];
+    }
+  }
+  return out;
+}
+
+}  // namespace walrus

@@ -1,0 +1,34 @@
+#ifndef WALRUS_WAVELET_DAUBECHIES_H_
+#define WALRUS_WAVELET_DAUBECHIES_H_
+
+#include <vector>
+
+#include "wavelet/haar2d.h"
+
+namespace walrus {
+
+/// Daubechies-4 (two vanishing moments) orthonormal wavelet transform with
+/// periodic boundary handling. Used by the WBIIS baseline [WWFW98], which
+/// applies 4- and 5-level transforms to 128x128 images.
+
+/// One analysis step: input length must be even and >= 4. The first half of
+/// the output receives the smooth (low-pass) coefficients, the second half
+/// the detail (high-pass) coefficients.
+void Daub4ForwardStep(const std::vector<float>& input,
+                      std::vector<float>* output);
+
+/// One synthesis step, inverse of Daub4ForwardStep.
+void Daub4InverseStep(const std::vector<float>& input,
+                      std::vector<float>* output);
+
+/// Multi-level pyramid transform of a square image (Mallat ordering): at
+/// each level one forward step is applied to every row then every column of
+/// the current low-low block. `levels` must satisfy n / 2^levels >= 2.
+SquareMatrix Daub4Transform2D(const SquareMatrix& image, int levels);
+
+/// Inverse of Daub4Transform2D with the same `levels`.
+SquareMatrix Daub4Inverse2D(const SquareMatrix& transform, int levels);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_DAUBECHIES_H_

@@ -1,0 +1,75 @@
+#include "wavelet/haar1d.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace walrus {
+
+std::vector<float> HaarTransform1D(const std::vector<float>& input) {
+  WALRUS_CHECK(!input.empty());
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(input.size())))
+      << "Haar input length must be a power of two, got " << input.size();
+  size_t n = input.size();
+  std::vector<float> out(n);
+  std::vector<float> averages = input;
+  // Each pass halves the working length; details for length `len` land in
+  // out[len/2, len).
+  for (size_t len = n; len >= 2; len /= 2) {
+    std::vector<float> next(len / 2);
+    for (size_t i = 0; i < len / 2; ++i) {
+      float a = averages[2 * i];
+      float b = averages[2 * i + 1];
+      next[i] = (a + b) / 2.0f;
+      out[len / 2 + i] = (b - a) / 2.0f;
+    }
+    averages.swap(next);
+  }
+  out[0] = averages[0];
+  return out;
+}
+
+std::vector<float> HaarInverse1D(const std::vector<float>& transform) {
+  WALRUS_CHECK(!transform.empty());
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(transform.size())));
+  size_t n = transform.size();
+  std::vector<float> averages = {transform[0]};
+  for (size_t len = 2; len <= n; len *= 2) {
+    std::vector<float> next(len);
+    for (size_t i = 0; i < len / 2; ++i) {
+      float avg = averages[i];
+      float detail = transform[len / 2 + i];
+      next[2 * i] = avg - detail;
+      next[2 * i + 1] = avg + detail;
+    }
+    averages.swap(next);
+  }
+  return averages;
+}
+
+void HaarNormalize1D(std::vector<float>* transform) {
+  WALRUS_CHECK(transform != nullptr && !transform->empty());
+  size_t n = transform->size();
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(n)));
+  int group = 0;
+  for (size_t start = 1; start < n; start *= 2, ++group) {
+    float factor = std::pow(std::sqrt(2.0f), static_cast<float>(group));
+    size_t count = start;  // group g spans indices [2^g, 2^{g+1})
+    for (size_t i = 0; i < count; ++i) (*transform)[start + i] /= factor;
+  }
+}
+
+void HaarDenormalize1D(std::vector<float>* transform) {
+  WALRUS_CHECK(transform != nullptr && !transform->empty());
+  size_t n = transform->size();
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(n)));
+  int group = 0;
+  for (size_t start = 1; start < n; start *= 2, ++group) {
+    float factor = std::pow(std::sqrt(2.0f), static_cast<float>(group));
+    size_t count = start;
+    for (size_t i = 0; i < count; ++i) (*transform)[start + i] *= factor;
+  }
+}
+
+}  // namespace walrus

@@ -1,0 +1,29 @@
+#ifndef WALRUS_WAVELET_HAAR1D_H_
+#define WALRUS_WAVELET_HAAR1D_H_
+
+#include <vector>
+
+namespace walrus {
+
+/// One-dimensional Haar wavelet decomposition (paper section 3.1).
+///
+/// For input [2, 2, 5, 7] the unnormalized transform is [4, 2, 0, 1]:
+/// overall average first, then detail coefficients in order of increasing
+/// resolution. Input length must be a power of two.
+std::vector<float> HaarTransform1D(const std::vector<float>& input);
+
+/// Inverse of HaarTransform1D (unnormalized coefficients).
+std::vector<float> HaarInverse1D(const std::vector<float>& transform);
+
+/// Normalizes coefficients in place per the paper: the detail group at
+/// resolution level g (g = 0 is the coarsest detail, one coefficient at
+/// index 1; the finest group fills the second half) is divided by sqrt(2)^g.
+/// [4, 2, 0, 1] becomes [4, 2, 0, 1/sqrt(2)].
+void HaarNormalize1D(std::vector<float>* transform);
+
+/// Undoes HaarNormalize1D.
+void HaarDenormalize1D(std::vector<float>* transform);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_HAAR1D_H_

@@ -1,0 +1,174 @@
+#include "wavelet/haar2d.h"
+
+#include <cmath>
+
+#include "wavelet/haar1d.h"
+
+namespace walrus {
+
+bool SquareMatrix::AlmostEquals(const SquareMatrix& other, float tol) const {
+  if (n != other.n) return false;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (std::fabs(values[i] - other.values[i]) > tol) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// One recursion step of Figure 2 restricted to the leading w x w block of
+/// `work` (whose averages from the previous step live there), writing detail
+/// quadrants into `out`.
+void ComputeWaveletRec(SquareMatrix* work, SquareMatrix* out, int w) {
+  int half = w / 2;
+  SquareMatrix averages(half);
+  for (int j = 0; j < half; ++j) {    // j indexes the 2x2 box row
+    for (int i = 0; i < half; ++i) {  // i indexes the 2x2 box column
+      float p00 = work->At(2 * i, 2 * j);
+      float p10 = work->At(2 * i + 1, 2 * j);
+      float p01 = work->At(2 * i, 2 * j + 1);
+      float p11 = work->At(2 * i + 1, 2 * j + 1);
+      averages.At(i, j) = (p00 + p10 + p01 + p11) / 4.0f;
+      out->At(half + i, j) = (-p00 + p10 - p01 + p11) / 4.0f;  // horizontal
+      out->At(i, half + j) = (-p00 - p10 + p01 + p11) / 4.0f;  // vertical
+      out->At(half + i, half + j) = (p00 - p10 - p01 + p11) / 4.0f;  // diag
+    }
+  }
+  if (w > 2) {
+    for (int j = 0; j < half; ++j) {
+      for (int i = 0; i < half; ++i) work->At(i, j) = averages.At(i, j);
+    }
+    ComputeWaveletRec(work, out, half);
+  } else {
+    out->At(0, 0) = averages.At(0, 0);
+  }
+}
+
+/// Reverses one level: reconstructs the w x w average block from the
+/// half-size averages plus the detail quadrants of `transform`.
+void InverseWaveletRec(const SquareMatrix& transform, SquareMatrix* work,
+                       int w) {
+  int half = w / 2;
+  SquareMatrix averages(half);
+  if (w > 2) {
+    InverseWaveletRec(transform, &averages, half);
+  } else {
+    averages.At(0, 0) = transform.At(0, 0);
+  }
+  for (int j = 0; j < half; ++j) {
+    for (int i = 0; i < half; ++i) {
+      float a = averages.At(i, j);
+      float dh = transform.At(half + i, j);
+      float dv = transform.At(i, half + j);
+      float dd = transform.At(half + i, half + j);
+      work->At(2 * i, 2 * j) = a - dh - dv + dd;
+      work->At(2 * i + 1, 2 * j) = a + dh - dv - dd;
+      work->At(2 * i, 2 * j + 1) = a - dh + dv - dd;
+      work->At(2 * i + 1, 2 * j + 1) = a + dh + dv + dd;
+    }
+  }
+}
+
+}  // namespace
+
+SquareMatrix HaarNonStandard2D(const SquareMatrix& image) {
+  WALRUS_CHECK(image.n >= 1);
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(image.n)));
+  if (image.n == 1) return image;
+  SquareMatrix work = image;
+  SquareMatrix out(image.n);
+  ComputeWaveletRec(&work, &out, image.n);
+  return out;
+}
+
+SquareMatrix HaarNonStandard2DInverse(const SquareMatrix& transform) {
+  WALRUS_CHECK(transform.n >= 1);
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(transform.n)));
+  if (transform.n == 1) return transform;
+  SquareMatrix out(transform.n);
+  InverseWaveletRec(transform, &out, transform.n);
+  return out;
+}
+
+SquareMatrix HaarStandard2D(const SquareMatrix& image) {
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(image.n)));
+  int n = image.n;
+  SquareMatrix out(n);
+  std::vector<float> line(n);
+  // Rows.
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) line[x] = image.At(x, y);
+    std::vector<float> t = HaarTransform1D(line);
+    for (int x = 0; x < n; ++x) out.At(x, y) = t[x];
+  }
+  // Columns.
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) line[y] = out.At(x, y);
+    std::vector<float> t = HaarTransform1D(line);
+    for (int y = 0; y < n; ++y) out.At(x, y) = t[y];
+  }
+  return out;
+}
+
+SquareMatrix HaarStandard2DInverse(const SquareMatrix& transform) {
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(transform.n)));
+  int n = transform.n;
+  SquareMatrix out = transform;
+  std::vector<float> line(n);
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) line[y] = out.At(x, y);
+    std::vector<float> t = HaarInverse1D(line);
+    for (int y = 0; y < n; ++y) out.At(x, y) = t[y];
+  }
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) line[x] = out.At(x, y);
+    std::vector<float> t = HaarInverse1D(line);
+    for (int x = 0; x < n; ++x) out.At(x, y) = t[x];
+  }
+  return out;
+}
+
+void HaarNormalizeNonStandard(SquareMatrix* transform) {
+  WALRUS_CHECK(transform != nullptr);
+  int n = transform->n;
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(n)));
+  // Quadrant group with side m: horizontal at x in [m, 2m), y in [0, m);
+  // vertical and diagonal symmetric. Divisor 2^g with m = 2^g.
+  for (int m = 1; m < n; m *= 2) {
+    float divisor = static_cast<float>(m);
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < m; ++i) {
+        transform->At(m + i, j) /= divisor;
+        transform->At(i, m + j) /= divisor;
+        transform->At(m + i, m + j) /= divisor;
+      }
+    }
+  }
+}
+
+void HaarDenormalizeNonStandard(SquareMatrix* transform) {
+  WALRUS_CHECK(transform != nullptr);
+  int n = transform->n;
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(n)));
+  for (int m = 1; m < n; m *= 2) {
+    float factor = static_cast<float>(m);
+    for (int j = 0; j < m; ++j) {
+      for (int i = 0; i < m; ++i) {
+        transform->At(m + i, j) *= factor;
+        transform->At(i, m + j) *= factor;
+        transform->At(m + i, m + j) *= factor;
+      }
+    }
+  }
+}
+
+SquareMatrix UpperLeftBlock(const SquareMatrix& matrix, int m) {
+  WALRUS_CHECK(m >= 0 && m <= matrix.n);
+  SquareMatrix out(m);
+  for (int y = 0; y < m; ++y) {
+    for (int x = 0; x < m; ++x) out.At(x, y) = matrix.At(x, y);
+  }
+  return out;
+}
+
+}  // namespace walrus

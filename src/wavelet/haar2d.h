@@ -1,0 +1,65 @@
+#ifndef WALRUS_WAVELET_HAAR2D_H_
+#define WALRUS_WAVELET_HAAR2D_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace walrus {
+
+/// Dense square matrix of floats used by the wavelet kernels. Element (x, y)
+/// with x the column and y the row, matching the paper's [x, y] coordinates
+/// (shifted to 0-based indices).
+struct SquareMatrix {
+  int n = 0;
+  std::vector<float> values;
+
+  SquareMatrix() = default;
+  explicit SquareMatrix(int size)
+      : n(size), values(static_cast<size_t>(size) * size, 0.0f) {
+    WALRUS_CHECK_GE(size, 0);
+  }
+
+  float& At(int x, int y) {
+    WALRUS_DCHECK(x >= 0 && x < n && y >= 0 && y < n);
+    return values[static_cast<size_t>(y) * n + x];
+  }
+  float At(int x, int y) const {
+    WALRUS_DCHECK(x >= 0 && x < n && y >= 0 && y < n);
+    return values[static_cast<size_t>(y) * n + x];
+  }
+
+  bool AlmostEquals(const SquareMatrix& other, float tol = 1e-5f) const;
+};
+
+/// Non-standard two-dimensional Haar decomposition, exactly the
+/// computeWavelet procedure of Figure 2 (unnormalized): one step of
+/// horizontal then vertical pairwise averaging/differencing per 2x2 box,
+/// details placed in the upper-right (horizontal), lower-left (vertical) and
+/// lower-right (diagonal) quadrants, then recursion on the average quadrant.
+/// `image.n` must be a power of two.
+SquareMatrix HaarNonStandard2D(const SquareMatrix& image);
+
+/// Inverse of HaarNonStandard2D.
+SquareMatrix HaarNonStandard2DInverse(const SquareMatrix& transform);
+
+/// Standard decomposition: full 1-D transform of every row, then of every
+/// column (provided for completeness; WALRUS uses the non-standard form).
+SquareMatrix HaarStandard2D(const SquareMatrix& image);
+SquareMatrix HaarStandard2DInverse(const SquareMatrix& transform);
+
+/// Normalizes a non-standard transform in place: detail coefficients whose
+/// quadrant has side m = 2^g are divided by 2^g ("the normalization factor
+/// is 2^i", section 3.2); the overall average is untouched.
+void HaarNormalizeNonStandard(SquareMatrix* transform);
+
+/// Undoes HaarNormalizeNonStandard.
+void HaarDenormalizeNonStandard(SquareMatrix* transform);
+
+/// Extracts the upper-left m x m block.
+SquareMatrix UpperLeftBlock(const SquareMatrix& matrix, int m);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_HAAR2D_H_

@@ -1,0 +1,44 @@
+#include "wavelet/naive_window.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "wavelet/haar2d.h"
+
+namespace walrus {
+
+WindowSignatureGrid ComputeNaiveWindowSignatures(
+    const std::vector<float>& plane, int width, int height, int s, int window,
+    int step) {
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(window)));
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(s)));
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(step)));
+  WALRUS_CHECK_EQ(static_cast<int>(plane.size()), width * height);
+  WALRUS_CHECK(window <= width && window <= height);
+
+  int dist = std::min(window, step);
+  int nx = (width - window) / dist + 1;
+  int ny = (height - window) / dist + 1;
+  int sig_n = std::min(window, s);
+  WindowSignatureGrid grid(window, dist, nx, ny, sig_n);
+
+  SquareMatrix box(window);
+  for (int iy = 0; iy < ny; ++iy) {
+    int y0 = iy * dist;
+    for (int ix = 0; ix < nx; ++ix) {
+      int x0 = ix * dist;
+      for (int y = 0; y < window; ++y) {
+        const float* row = plane.data() + static_cast<size_t>(y0 + y) * width;
+        for (int x = 0; x < window; ++x) box.At(x, y) = row[x0 + x];
+      }
+      SquareMatrix transform = HaarNonStandard2D(box);
+      float* sig = grid.SigAt(ix, iy);
+      for (int y = 0; y < sig_n; ++y) {
+        for (int x = 0; x < sig_n; ++x) sig[y * sig_n + x] = transform.At(x, y);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace walrus

@@ -1,0 +1,25 @@
+#ifndef WALRUS_WAVELET_NAIVE_WINDOW_H_
+#define WALRUS_WAVELET_NAIVE_WINDOW_H_
+
+#include <vector>
+
+#include "wavelet/window_grid.h"
+
+namespace walrus {
+
+/// Baseline signature computation (paper section 5.2 "naive scheme"): for
+/// every window position the full omega x omega non-standard Haar transform
+/// is computed from scratch and the upper-left min(omega, s) block kept.
+/// Time O(N * omega^2); used by tests as ground truth and by the Figure 6
+/// benchmarks as the comparison point.
+///
+/// `plane` is a row-major width x height channel; `window` and `s` must be
+/// powers of two, `step` a positive power of two. Windows are rooted at
+/// multiples of min(window, step), exactly like the DP algorithm.
+WindowSignatureGrid ComputeNaiveWindowSignatures(
+    const std::vector<float>& plane, int width, int height, int s, int window,
+    int step);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_NAIVE_WINDOW_H_

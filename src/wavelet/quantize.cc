@@ -1,0 +1,76 @@
+#include "wavelet/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_util.h"
+
+namespace walrus {
+
+TruncatedSignature TruncateTransform(const SquareMatrix& transform, int keep) {
+  WALRUS_CHECK_GE(keep, 0);
+  TruncatedSignature sig;
+  sig.average = transform.At(0, 0);
+
+  struct Entry {
+    float magnitude;
+    int32_t index;
+    int8_t sign;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(transform.values.size());
+  for (int32_t i = 1; i < static_cast<int32_t>(transform.values.size()); ++i) {
+    float v = transform.values[i];
+    if (v == 0.0f) continue;
+    entries.push_back({std::fabs(v), i, static_cast<int8_t>(v > 0 ? 1 : -1)});
+  }
+  int take = std::min<int>(keep, static_cast<int>(entries.size()));
+  std::partial_sort(entries.begin(), entries.begin() + take, entries.end(),
+                    [](const Entry& a, const Entry& b) {
+                      if (a.magnitude != b.magnitude)
+                        return a.magnitude > b.magnitude;
+                      return a.index < b.index;
+                    });
+  sig.coefficients.reserve(take);
+  for (int i = 0; i < take; ++i) {
+    sig.coefficients.push_back({entries[i].index, entries[i].sign});
+  }
+  std::sort(sig.coefficients.begin(), sig.coefficients.end(),
+            [](const QuantizedCoefficient& a, const QuantizedCoefficient& b) {
+              return a.index < b.index;
+            });
+  return sig;
+}
+
+int JfsBin(int index, int n) {
+  int x = index % n;
+  int y = index / n;
+  int lx = x > 0 ? Log2Floor(static_cast<uint32_t>(x)) : 0;
+  int ly = y > 0 ? Log2Floor(static_cast<uint32_t>(y)) : 0;
+  return std::min(std::max(lx, ly), 5);
+}
+
+float JfsScore(const TruncatedSignature& a, const TruncatedSignature& b, int n,
+               const float bin_weights[6], float average_weight) {
+  float score = average_weight * std::fabs(a.average - b.average);
+  // Both coefficient lists are sorted by index: merge-intersect.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.coefficients.size() && j < b.coefficients.size()) {
+    if (a.coefficients[i].index < b.coefficients[j].index) {
+      ++i;
+    } else if (a.coefficients[i].index > b.coefficients[j].index) {
+      ++j;
+    } else {
+      if (a.coefficients[i].sign == b.coefficients[j].sign) {
+        score -= bin_weights[JfsBin(a.coefficients[i].index, n)];
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return score;
+}
+
+}  // namespace walrus

@@ -1,0 +1,46 @@
+#ifndef WALRUS_WAVELET_QUANTIZE_H_
+#define WALRUS_WAVELET_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wavelet/haar2d.h"
+
+namespace walrus {
+
+/// Coefficient truncation + quantization in the style of Jacobs et al.
+/// [JFS95]: keep only the `keep` largest-magnitude coefficients of a
+/// transform (excluding the overall average) and record just their sign.
+
+/// One retained coefficient: flat index into the transform and its sign.
+struct QuantizedCoefficient {
+  int32_t index = 0;
+  int8_t sign = 0;  // +1 or -1
+};
+
+/// Sparse signature: the scaled overall average plus the signs of the
+/// `keep` largest-magnitude detail coefficients.
+struct TruncatedSignature {
+  float average = 0.0f;
+  std::vector<QuantizedCoefficient> coefficients;
+};
+
+/// Builds the truncated signature of a (normalized) transform. Ties are
+/// broken by lower index for determinism.
+TruncatedSignature TruncateTransform(const SquareMatrix& transform, int keep);
+
+/// [JFS95] weighted score between two truncated signatures over an n x n
+/// transform domain: starts from the weighted average difference and
+/// subtracts a bin weight for every coefficient present in both with equal
+/// sign. Lower is more similar. `bin_weights` has 6 entries indexed by
+/// min(max(level_x, level_y), 5) as in the paper.
+float JfsScore(const TruncatedSignature& a, const TruncatedSignature& b, int n,
+               const float bin_weights[6], float average_weight);
+
+/// The bin of a coefficient at flat `index` in an n x n transform:
+/// min(max(floor(log2 x), floor(log2 y)), 5), with the DC term in bin 0.
+int JfsBin(int index, int n);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_QUANTIZE_H_

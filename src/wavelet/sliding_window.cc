@@ -1,0 +1,152 @@
+#include "wavelet/sliding_window.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/math_util.h"
+
+namespace walrus {
+namespace {
+
+/// copyBlocks (Figure 3): tiles the detail quadrants at size p/2 of the
+/// target from the corresponding quadrants (at size p/4) of the four
+/// subwindow transforms. q = p/4 is the tile side.
+void CopyBlocks(const float* const srcs[4], int src_stride, float* out,
+                int out_stride, int p) {
+  int half = p / 2;
+  int q = p / 4;
+  // Tile offsets of subwindows 1..4 inside each target quadrant.
+  const int off_x[4] = {0, q, 0, q};
+  const int off_y[4] = {0, 0, q, q};
+  for (int k = 0; k < 4; ++k) {
+    const float* src = srcs[k];
+    int ox = off_x[k];
+    int oy = off_y[k];
+    size_t row_bytes = static_cast<size_t>(q) * sizeof(float);
+    for (int j = 0; j < q; ++j) {
+      const float* src_ur = src + j * src_stride + q;        // x in [q, 2q)
+      const float* src_ll = src + (q + j) * src_stride;      // y in [q, 2q)
+      const float* src_lr = src + (q + j) * src_stride + q;  // both
+      float* out_ur = out + (oy + j) * out_stride + half + ox;
+      float* out_ll = out + (half + oy + j) * out_stride + ox;
+      float* out_lr = out + (half + oy + j) * out_stride + half + ox;
+      std::memcpy(out_ur, src_ur, row_bytes);
+      std::memcpy(out_ll, src_ll, row_bytes);
+      std::memcpy(out_lr, src_lr, row_bytes);
+    }
+  }
+}
+
+/// Computes the grid for window size `omega` from the previous level's grid
+/// (or the raw plane for omega == 2). This is one iteration of the
+/// outermost loop of Figure 5.
+WindowSignatureGrid ComputeLevel(const std::vector<float>& plane, int width,
+                                 int height, int s, int omega, int step,
+                                 const WindowSignatureGrid* prev) {
+  int dist = std::min(omega, step);
+  int nx = (width - omega) / dist + 1;
+  int ny = (height - omega) / dist + 1;
+  int sig_n = std::min(omega, s);
+  int p = sig_n;  // target block side = min(omega, s), Figure 5 step 7
+  WindowSignatureGrid grid(omega, dist, nx, ny, sig_n);
+
+  if (omega == 2) {
+    // Subwindows are single pixels: read the image plane directly.
+    for (int iy = 0; iy < ny; ++iy) {
+      int y0 = iy * dist;
+      const float* row0 = plane.data() + static_cast<size_t>(y0) * width;
+      const float* row1 = row0 + width;
+      for (int ix = 0; ix < nx; ++ix) {
+        int x0 = ix * dist;
+        ComputeSingleWindow(row0 + x0, row0 + x0 + 1, row1 + x0,
+                            row1 + x0 + 1, /*src_stride=*/0,
+                            grid.SigAt(ix, iy), sig_n, /*p=*/2);
+      }
+    }
+    return grid;
+  }
+
+  int half = omega / 2;
+  WALRUS_CHECK(prev != nullptr);
+  WALRUS_CHECK_EQ(prev->window_size, half);
+  // Every needed subwindow root is a multiple of the previous step.
+  WALRUS_CHECK_EQ(half % prev->step, 0);
+  WALRUS_CHECK_EQ(dist % prev->step, 0);
+  int half_idx = half / prev->step;
+  int step_idx = dist / prev->step;
+  for (int iy = 0; iy < ny; ++iy) {
+    int py = iy * step_idx;
+    for (int ix = 0; ix < nx; ++ix) {
+      int px = ix * step_idx;
+      ComputeSingleWindow(prev->SigAt(px, py), prev->SigAt(px + half_idx, py),
+                          prev->SigAt(px, py + half_idx),
+                          prev->SigAt(px + half_idx, py + half_idx),
+                          prev->sig_n, grid.SigAt(ix, iy), sig_n, p);
+    }
+  }
+  return grid;
+}
+
+void ValidateArgs(const std::vector<float>& plane, int width, int height,
+                  int s, int omega_max, int step) {
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(s)));
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(omega_max)) &&
+               omega_max >= 2);
+  WALRUS_CHECK(IsPowerOfTwo(static_cast<uint32_t>(step)));
+  WALRUS_CHECK_EQ(static_cast<int>(plane.size()), width * height);
+  WALRUS_CHECK(omega_max <= width && omega_max <= height);
+}
+
+}  // namespace
+
+void ComputeSingleWindow(const float* w1, const float* w2, const float* w3,
+                         const float* w4, int src_stride, float* out,
+                         int out_stride, int p) {
+  WALRUS_DCHECK(IsPowerOfTwo(static_cast<uint32_t>(p)) && p >= 2);
+  const float* srcs[4] = {w1, w2, w3, w4};
+  while (p > 2) {
+    CopyBlocks(srcs, src_stride, out, out_stride, p);
+    p /= 2;
+  }
+  // Base case: horizontal + vertical averaging/differencing of the four
+  // subwindow overall averages (Figure 4, steps 2-5).
+  float a1 = w1[0];
+  float a2 = w2[0];
+  float a3 = w3[0];
+  float a4 = w4[0];
+  out[0] = (a1 + a2 + a3 + a4) / 4.0f;
+  out[1] = (-a1 + a2 - a3 + a4) / 4.0f;                  // horizontal detail
+  out[out_stride] = (-a1 - a2 + a3 + a4) / 4.0f;         // vertical detail
+  out[out_stride + 1] = (a1 - a2 - a3 + a4) / 4.0f;      // diagonal detail
+}
+
+std::vector<WindowSignatureGrid> ComputeSlidingWindowSignatures(
+    const std::vector<float>& plane, int width, int height, int s,
+    int omega_max, int step) {
+  ValidateArgs(plane, width, height, s, omega_max, step);
+  std::vector<WindowSignatureGrid> levels;
+  levels.reserve(Log2Floor(static_cast<uint32_t>(omega_max)));
+  for (int omega = 2; omega <= omega_max; omega *= 2) {
+    const WindowSignatureGrid* prev = levels.empty() ? nullptr : &levels.back();
+    levels.push_back(
+        ComputeLevel(plane, width, height, s, omega, step, prev));
+  }
+  return levels;
+}
+
+WindowSignatureGrid ComputeSlidingWindowSignaturesAt(
+    const std::vector<float>& plane, int width, int height, int s, int omega,
+    int step) {
+  ValidateArgs(plane, width, height, s, omega, step);
+  // Only the previous level is retained, giving the paper's N*S auxiliary
+  // space bound instead of one grid per level.
+  WindowSignatureGrid prev;
+  for (int level = 2; level <= omega; level *= 2) {
+    WindowSignatureGrid current = ComputeLevel(
+        plane, width, height, s, level, step, level == 2 ? nullptr : &prev);
+    prev = std::move(current);
+  }
+  return prev;
+}
+
+}  // namespace walrus

@@ -1,0 +1,43 @@
+#ifndef WALRUS_WAVELET_SLIDING_WINDOW_H_
+#define WALRUS_WAVELET_SLIDING_WINDOW_H_
+
+#include <vector>
+
+#include "wavelet/window_grid.h"
+
+namespace walrus {
+
+/// Dynamic-programming sliding-window wavelet signatures (paper section 5.2,
+/// Figures 4 and 5). Signatures for omega x omega windows are assembled from
+/// the stored signatures of their four omega/2 x omega/2 subwindows:
+/// copyBlocks tiles the three detail quadrants, and the recursion bottoms
+/// out by averaging/differencing the four subwindow averages. Total time is
+/// O(N * S * log(omega_max)) for step 1, versus O(N * omega_max^2) naive.
+
+/// Combines four subwindow signature matrices (row-major, side >= p/2,
+/// stride `src_stride` floats per row) into the upper-left p x p block of
+/// `out` (stride `out_stride`). This is procedure computeSingleWindow of
+/// Figure 4: w1 = upper-left, w2 = upper-right, w3 = lower-left,
+/// w4 = lower-right subwindow. p must be a power of two >= 2.
+void ComputeSingleWindow(const float* w1, const float* w2, const float* w3,
+                         const float* w4, int src_stride, float* out,
+                         int out_stride, int p);
+
+/// Procedure computeSlidingWindows of Figure 5: computes signature grids for
+/// every window size omega = 2, 4, ..., omega_max. Element [k] of the result
+/// holds windows of size 2^(k+1). `s` bounds the stored signature side
+/// (min(omega, s) is kept per window), `step` is the slide distance t; all
+/// three must be powers of two.
+std::vector<WindowSignatureGrid> ComputeSlidingWindowSignatures(
+    const std::vector<float>& plane, int width, int height, int s,
+    int omega_max, int step);
+
+/// Convenience: like above but returns only the grid for `omega`
+/// (intermediate levels are still computed, as the DP requires).
+WindowSignatureGrid ComputeSlidingWindowSignaturesAt(
+    const std::vector<float>& plane, int width, int height, int s, int omega,
+    int step);
+
+}  // namespace walrus
+
+#endif  // WALRUS_WAVELET_SLIDING_WINDOW_H_

@@ -1,0 +1,97 @@
+#include "baselines/color_histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+TEST(ColorHistogram, HistogramSumsToOne) {
+  ColorHistogramRetriever retriever;
+  Rng rng(1);
+  ImageF img = MakeValueNoise(32, 32, 4, {0, 0, 0}, {1, 1, 1}, &rng);
+  Result<std::vector<float>> hist = retriever.ComputeHistogram(img);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->size(), 64u);  // 4^3 bins
+  double sum = 0.0;
+  for (float v : *hist) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(ColorHistogram, SolidImageOneBin) {
+  ColorHistogramRetriever retriever;
+  ImageF img = MakeSolid(16, 16, {0.9f, 0.1f, 0.1f});
+  std::vector<float> hist = retriever.ComputeHistogram(img).value();
+  int nonzero = 0;
+  for (float v : hist) {
+    if (v > 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 1);
+}
+
+TEST(ColorHistogram, SelfQueryDistanceZero) {
+  ColorHistogramRetriever retriever;
+  ImageF img = MakeSolid(16, 16, {0.2f, 0.6f, 0.8f});
+  ASSERT_TRUE(retriever.AddImage(5, img).ok());
+  ASSERT_TRUE(retriever.AddImage(6, MakeSolid(16, 16, {0.9f, 0.9f, 0.1f})).ok());
+  Result<std::vector<HistogramMatch>> matches = retriever.Query(img, 2);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ((*matches)[0].image_id, 5u);
+  EXPECT_NEAR((*matches)[0].distance, 0.0, 1e-6);
+  EXPECT_GT((*matches)[1].distance, 0.5);
+}
+
+TEST(ColorHistogram, TranslationInvariantByConstruction) {
+  // Histograms ignore location entirely: translated content scores 0.
+  ColorHistogramRetriever retriever;
+  ImageF base = MakeSolid(64, 64, {0.1f, 0.5f, 0.1f});
+  ImageF left = base;
+  Composite(&left, MakeSolid(16, 16, {0.9f, 0.1f, 0.1f}), 0, 0);
+  ImageF right = base;
+  Composite(&right, MakeSolid(16, 16, {0.9f, 0.1f, 0.1f}), 48, 48);
+  ASSERT_TRUE(retriever.AddImage(1, right).ok());
+  Result<std::vector<HistogramMatch>> matches = retriever.Query(left, 1);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_NEAR((*matches)[0].distance, 0.0, 1e-6);
+}
+
+TEST(ColorHistogram, BlindToShapeDifferences) {
+  // The QBIC weakness (section 1.1): same color mass, different layout.
+  ColorHistogramRetriever retriever;
+  // Half red / half green, as stripes vs as halves.
+  ImageF halves = MakeSolid(64, 64, {0.9f, 0.05f, 0.05f});
+  Composite(&halves, MakeSolid(32, 64, {0.05f, 0.9f, 0.05f}), 32, 0);
+  ImageF stripes =
+      MakeStripes(64, 64, 8, false, {0.9f, 0.05f, 0.05f}, {0.05f, 0.9f, 0.05f});
+  ASSERT_TRUE(retriever.AddImage(1, stripes).ok());
+  Result<std::vector<HistogramMatch>> matches = retriever.Query(halves, 1);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_NEAR((*matches)[0].distance, 0.0, 1e-5);
+}
+
+TEST(ColorHistogram, L2Option) {
+  ColorHistogramParams params;
+  params.use_l1 = false;
+  ColorHistogramRetriever retriever(params);
+  ImageF a = MakeSolid(8, 8, {0.1f, 0.1f, 0.1f});
+  ImageF b = MakeSolid(8, 8, {0.9f, 0.9f, 0.9f});
+  ASSERT_TRUE(retriever.AddImage(1, a).ok());
+  ASSERT_TRUE(retriever.AddImage(2, b).ok());
+  Result<std::vector<HistogramMatch>> matches = retriever.Query(a, 2);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ((*matches)[0].image_id, 1u);
+  EXPECT_NEAR((*matches)[1].distance, std::sqrt(2.0), 1e-5);
+}
+
+TEST(ColorHistogram, RejectsEmptyImage) {
+  ColorHistogramRetriever retriever;
+  EXPECT_FALSE(retriever.AddImage(1, ImageF()).ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,81 @@
+#include "baselines/jfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "image/color.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+ImageF NoisyTexture(uint64_t seed) {
+  Rng rng(seed);
+  return MakeValueNoise(64, 64, 6,
+                        {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()},
+                        {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()},
+                        &rng);
+}
+
+TEST(Jfs, SelfQueryRanksFirst) {
+  JfsRetriever retriever;
+  ImageF target = NoisyTexture(1);
+  ASSERT_TRUE(retriever.AddImage(100, target).ok());
+  for (uint64_t id = 101; id < 107; ++id) {
+    ASSERT_TRUE(retriever.AddImage(id, NoisyTexture(id)).ok());
+  }
+  EXPECT_EQ(retriever.size(), 7u);
+  Result<std::vector<JfsMatch>> matches = retriever.Query(target, 3);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].image_id, 100u);
+}
+
+TEST(Jfs, ScoresAreSorted) {
+  JfsRetriever retriever;
+  for (uint64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(retriever.AddImage(id, NoisyTexture(50 + id)).ok());
+  }
+  Result<std::vector<JfsMatch>> matches = retriever.Query(NoisyTexture(51), 0);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 8u);
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_GE((*matches)[i].score, (*matches)[i - 1].score);
+  }
+}
+
+TEST(Jfs, RobustToMildIntensityShift) {
+  // Quantized sign-only coefficients shrug off small global shifts (the
+  // claim in [JFS95]); ranking should keep the shifted copy first.
+  JfsRetriever retriever;
+  ImageF original = NoisyTexture(9);
+  ASSERT_TRUE(retriever.AddImage(1, original).ok());
+  for (uint64_t id = 2; id < 8; ++id) {
+    ASSERT_TRUE(retriever.AddImage(id, NoisyTexture(200 + id)).ok());
+  }
+  ImageF shifted = ShiftIntensity(original, 0.05f);
+  Result<std::vector<JfsMatch>> matches = retriever.Query(shifted, 1);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].image_id, 1u);
+}
+
+TEST(Jfs, KeepCoefficientsBoundsSignature) {
+  JfsParams params;
+  params.keep_coefficients = 10;
+  JfsRetriever retriever(params);
+  ASSERT_TRUE(retriever.AddImage(1, NoisyTexture(3)).ok());
+  // Behavioural proxy: queries still work with a tiny signature.
+  Result<std::vector<JfsMatch>> matches = retriever.Query(NoisyTexture(3), 1);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ((*matches)[0].image_id, 1u);
+}
+
+TEST(Jfs, RejectsEmptyImage) {
+  JfsRetriever retriever;
+  EXPECT_FALSE(retriever.AddImage(1, ImageF()).ok());
+}
+
+}  // namespace
+}  // namespace walrus

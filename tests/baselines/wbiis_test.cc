@@ -1,0 +1,101 @@
+#include "baselines/wbiis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+ImageF NoisyTexture(uint64_t seed) {
+  Rng rng(seed);
+  return MakeValueNoise(96, 96, 8,
+                        {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()},
+                        {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()},
+                        &rng);
+}
+
+TEST(Wbiis, SelfQueryRanksFirst) {
+  WbiisRetriever retriever;
+  ImageF target = NoisyTexture(1);
+  ASSERT_TRUE(retriever.AddImage(10, target).ok());
+  for (uint64_t id = 11; id < 16; ++id) {
+    ASSERT_TRUE(retriever.AddImage(id, NoisyTexture(id)).ok());
+  }
+  Result<std::vector<BaselineMatch>> matches = retriever.Query(target, 3);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].image_id, 10u);
+  EXPECT_NEAR((*matches)[0].distance, 0.0, 1e-3);
+}
+
+TEST(Wbiis, ToleratesMildRescale) {
+  // WBIIS rescales internally, so a resized copy of an image should rank
+  // above unrelated textures.
+  WbiisRetriever retriever;
+  ImageF original = NoisyTexture(21);
+  ASSERT_TRUE(retriever.AddImage(1, original).ok());
+  for (uint64_t id = 2; id < 8; ++id) {
+    ASSERT_TRUE(retriever.AddImage(id, NoisyTexture(100 + id)).ok());
+  }
+  ImageF resized = Resize(original, 80, 120, ResizeFilter::kBilinear);
+  Result<std::vector<BaselineMatch>> matches = retriever.Query(resized, 1);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_EQ(matches->size(), 1u);
+  EXPECT_EQ((*matches)[0].image_id, 1u);
+}
+
+TEST(Wbiis, FailsOnTranslatedObject) {
+  // The motivating weakness (paper Figures 1, 7): a whole-image signature
+  // is location sensitive, so moving an object hurts the distance more than
+  // swapping in a same-background image without it.
+  WbiisRetriever retriever;
+  ImageF background = MakeSolid(96, 96, {0.2f, 0.55f, 0.2f});
+  ImageF object = MakeSolid(40, 40, {0.9f, 0.1f, 0.1f});
+
+  ImageF object_left = background;
+  Composite(&object_left, object, 0, 28);
+  ImageF object_right = background;
+  Composite(&object_right, object, 56, 28);
+
+  ASSERT_TRUE(retriever.AddImage(1, object_right).ok());
+  ASSERT_TRUE(retriever.AddImage(2, background).ok());
+
+  Result<std::vector<BaselineMatch>> matches =
+      retriever.Query(object_left, 2);
+  ASSERT_TRUE(matches.ok());
+  double dist_translated = -1.0;
+  double dist_background = -1.0;
+  for (const BaselineMatch& m : *matches) {
+    if (m.image_id == 1) dist_translated = m.distance;
+    if (m.image_id == 2) dist_background = m.distance;
+  }
+  // The translated object does NOT give WBIIS an advantage proportional to
+  // the shared content: its distance stays substantial.
+  ASSERT_GE(dist_translated, 0.0);
+  EXPECT_GT(dist_translated, 0.3 * dist_background);
+}
+
+TEST(Wbiis, TopKRespected) {
+  WbiisRetriever retriever;
+  for (uint64_t id = 0; id < 10; ++id) {
+    ASSERT_TRUE(retriever.AddImage(id, NoisyTexture(id)).ok());
+  }
+  Result<std::vector<BaselineMatch>> matches =
+      retriever.Query(NoisyTexture(0), 4);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_EQ(matches->size(), 4u);
+  for (size_t i = 1; i < matches->size(); ++i) {
+    EXPECT_GE((*matches)[i].distance, (*matches)[i - 1].distance);
+  }
+}
+
+TEST(Wbiis, RejectsEmptyImage) {
+  WbiisRetriever retriever;
+  EXPECT_FALSE(retriever.AddImage(1, ImageF()).ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,124 @@
+#include "cluster/birch.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+std::vector<float> MakeBlobs(int per_blob, const std::vector<std::pair<float, float>>& centers,
+                             float spread, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> points;
+  for (int i = 0; i < per_blob; ++i) {
+    for (const auto& [cx, cy] : centers) {
+      points.push_back(cx + spread * (rng.NextFloat() - 0.5f));
+      points.push_back(cy + spread * (rng.NextFloat() - 0.5f));
+    }
+  }
+  return points;
+}
+
+TEST(Birch, RecoversWellSeparatedBlobs) {
+  std::vector<float> points =
+      MakeBlobs(60, {{0, 0}, {10, 0}, {0, 10}, {10, 10}}, 0.1f, 1);
+  BirchParams params;
+  params.threshold = 0.5;
+  BirchResult result = BirchPreCluster(points.data(), 240, 2, params);
+  EXPECT_EQ(result.clusters.size(), 4u);
+  // Every point assigned; each blob's points share an assignment.
+  ASSERT_EQ(result.assignments.size(), 240u);
+  for (int blob = 0; blob < 4; ++blob) {
+    std::set<int> ids;
+    for (int i = blob; i < 240; i += 4) ids.insert(result.assignments[i]);
+    EXPECT_EQ(ids.size(), 1u) << "blob " << blob;
+  }
+}
+
+TEST(Birch, CentroidsNearBlobCenters) {
+  std::vector<float> points = MakeBlobs(100, {{0, 0}, {5, 5}}, 0.2f, 2);
+  BirchParams params;
+  params.threshold = 0.5;
+  BirchResult result = BirchPreCluster(points.data(), 200, 2, params);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  for (const auto& c : result.centroids) {
+    bool near_a = std::abs(c[0] - 0.0f) < 0.3f && std::abs(c[1] - 0.0f) < 0.3f;
+    bool near_b = std::abs(c[0] - 5.0f) < 0.3f && std::abs(c[1] - 5.0f) < 0.3f;
+    EXPECT_TRUE(near_a || near_b);
+  }
+}
+
+TEST(Birch, ClusterCountDecreasesWithThreshold) {
+  // Section 6.6 behaviour: larger epsilon_c -> fewer clusters.
+  Rng rng(3);
+  std::vector<float> points;
+  for (int i = 0; i < 500; ++i) {
+    points.push_back(rng.NextFloat());
+    points.push_back(rng.NextFloat());
+  }
+  size_t prev = SIZE_MAX;
+  for (double threshold : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    BirchParams params;
+    params.threshold = threshold;
+    BirchResult result = BirchPreCluster(points.data(), 500, 2, params);
+    EXPECT_LE(result.clusters.size(), prev) << threshold;
+    prev = result.clusters.size();
+  }
+}
+
+TEST(Birch, NodeBudgetForcesRebuilds) {
+  Rng rng(4);
+  std::vector<float> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back(rng.NextFloat());
+    points.push_back(rng.NextFloat());
+  }
+  BirchParams params;
+  params.threshold = 0.001;  // tiny: would explode without rebuilds
+  params.max_nodes = 32;
+  params.branching = 4;
+  params.leaf_entries = 4;
+  BirchResult result = BirchPreCluster(points.data(), 2000, 2, params);
+  EXPECT_GT(result.rebuilds, 0);
+  EXPECT_GT(result.final_threshold, params.threshold);
+  EXPECT_FALSE(result.clusters.empty());
+  int64_t total = 0;
+  for (const CfVector& cf : result.clusters) total += cf.count();
+  EXPECT_EQ(total, 2000);
+}
+
+TEST(Birch, SinglePointDataset) {
+  float p[] = {0.3f, 0.7f};
+  BirchParams params;
+  BirchResult result = BirchPreCluster(p, 1, 2, params);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.assignments[0], 0);
+  EXPECT_FLOAT_EQ(result.centroids[0][0], 0.3f);
+}
+
+TEST(Birch, VectorOfPointsOverload) {
+  std::vector<std::vector<float>> points = {
+      {0.0f, 0.0f}, {0.01f, 0.01f}, {5.0f, 5.0f}};
+  BirchParams params;
+  params.threshold = 0.1;
+  BirchResult result = BirchPreCluster(points, params);
+  EXPECT_EQ(result.clusters.size(), 2u);
+  EXPECT_EQ(result.assignments[0], result.assignments[1]);
+  EXPECT_NE(result.assignments[0], result.assignments[2]);
+}
+
+TEST(Birch, DeterministicResult) {
+  std::vector<float> points = MakeBlobs(50, {{0, 0}, {3, 3}}, 0.3f, 5);
+  BirchParams params;
+  params.threshold = 0.2;
+  BirchResult a = BirchPreCluster(points.data(), 100, 2, params);
+  BirchResult b = BirchPreCluster(points.data(), 100, 2, params);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.clusters.size(), b.clusters.size());
+}
+
+}  // namespace
+}  // namespace walrus

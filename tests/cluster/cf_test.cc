@@ -1,0 +1,119 @@
+#include "cluster/cf.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(CfVector, EmptyState) {
+  CfVector cf(3);
+  EXPECT_TRUE(cf.empty());
+  EXPECT_EQ(cf.count(), 0);
+  EXPECT_EQ(cf.dim(), 3);
+}
+
+TEST(CfVector, SinglePoint) {
+  float p[] = {1.0f, 2.0f, 3.0f};
+  CfVector cf = CfVector::FromPoint(p, 3);
+  EXPECT_EQ(cf.count(), 1);
+  EXPECT_DOUBLE_EQ(cf.square_sum(), 14.0);
+  std::vector<float> centroid = cf.Centroid();
+  EXPECT_FLOAT_EQ(centroid[0], 1.0f);
+  EXPECT_FLOAT_EQ(centroid[2], 3.0f);
+  EXPECT_DOUBLE_EQ(cf.Radius(), 0.0);
+  EXPECT_DOUBLE_EQ(cf.Diameter(), 0.0);
+}
+
+TEST(CfVector, CentroidOfTwoPoints) {
+  float a[] = {0.0f, 0.0f};
+  float b[] = {2.0f, 4.0f};
+  CfVector cf(2);
+  cf.AddPoint(a, 2);
+  cf.AddPoint(b, 2);
+  std::vector<float> centroid = cf.Centroid();
+  EXPECT_FLOAT_EQ(centroid[0], 1.0f);
+  EXPECT_FLOAT_EQ(centroid[1], 2.0f);
+}
+
+TEST(CfVector, RadiusMatchesDefinition) {
+  // Two points at distance 2 from each other: centroid in the middle,
+  // radius = RMS distance = 1 (in 1-D).
+  float a[] = {-1.0f};
+  float b[] = {1.0f};
+  CfVector cf(1);
+  cf.AddPoint(a, 1);
+  cf.AddPoint(b, 1);
+  EXPECT_NEAR(cf.Radius(), 1.0, 1e-9);
+  // Diameter D = sqrt(avg pairwise squared distance) = 2.
+  EXPECT_NEAR(cf.Diameter(), 2.0, 1e-9);
+}
+
+TEST(CfVector, MergeEqualsBatchInsert) {
+  Rng rng(4);
+  CfVector a(4), b(4), all(4);
+  for (int i = 0; i < 20; ++i) {
+    float p[4];
+    for (float& v : p) v = rng.NextFloat();
+    (i % 2 == 0 ? a : b).AddPoint(p, 4);
+    all.AddPoint(p, 4);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.square_sum(), all.square_sum(), 1e-9);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_NEAR(a.linear_sum()[d], all.linear_sum()[d], 1e-9);
+  }
+  EXPECT_NEAR(a.Radius(), all.Radius(), 1e-9);
+}
+
+TEST(CfVector, MergedRadiusPredictsActualMerge) {
+  Rng rng(5);
+  CfVector a(3), b(3);
+  for (int i = 0; i < 10; ++i) {
+    float p[3] = {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+    a.AddPoint(p, 3);
+    float q[3] = {rng.NextFloat() + 1.0f, rng.NextFloat(), rng.NextFloat()};
+    b.AddPoint(q, 3);
+  }
+  double predicted = a.MergedRadius(b);
+  CfVector merged = a;
+  merged.Merge(b);
+  EXPECT_NEAR(predicted, merged.Radius(), 1e-9);
+}
+
+TEST(CfVector, MergedRadiusWithPointPredicts) {
+  Rng rng(6);
+  CfVector cf(2);
+  for (int i = 0; i < 5; ++i) {
+    float p[2] = {rng.NextFloat(), rng.NextFloat()};
+    cf.AddPoint(p, 2);
+  }
+  float q[2] = {2.0f, -1.0f};
+  double predicted = cf.MergedRadiusWithPoint(q, 2);
+  cf.AddPoint(q, 2);
+  EXPECT_NEAR(predicted, cf.Radius(), 1e-9);
+}
+
+TEST(CfVector, CentroidDistance) {
+  float a[] = {0.0f, 0.0f};
+  float b[] = {3.0f, 4.0f};
+  CfVector ca = CfVector::FromPoint(a, 2);
+  CfVector cb = CfVector::FromPoint(b, 2);
+  EXPECT_NEAR(CfVector::CentroidDistance(ca, cb), 5.0, 1e-9);
+}
+
+TEST(CfVector, MergeIntoEmptyAdoptsDim) {
+  CfVector empty;
+  float p[] = {1.0f, 1.0f};
+  CfVector single = CfVector::FromPoint(p, 2);
+  empty.Merge(single);
+  EXPECT_EQ(empty.dim(), 2);
+  EXPECT_EQ(empty.count(), 1);
+}
+
+}  // namespace
+}  // namespace walrus

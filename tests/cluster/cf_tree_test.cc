@@ -1,0 +1,121 @@
+#include "cluster/cf_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(CfTree, SinglePoint) {
+  CfTree tree(2, 0.1);
+  float p[] = {0.5f, 0.5f};
+  tree.InsertPoint(p);
+  EXPECT_EQ(tree.point_count(), 1);
+  std::vector<CfVector> clusters = tree.LeafClusters();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].count(), 1);
+}
+
+TEST(CfTree, TightPointsAbsorbIntoOneCluster) {
+  CfTree tree(2, 0.5);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    float p[] = {0.5f + 0.01f * rng.NextFloat(),
+                 0.5f + 0.01f * rng.NextFloat()};
+    tree.InsertPoint(p);
+  }
+  EXPECT_EQ(tree.leaf_cluster_count(), 1);
+  std::vector<CfVector> clusters = tree.LeafClusters();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].count(), 100);
+  EXPECT_LE(clusters[0].Radius(), 0.5);
+}
+
+TEST(CfTree, WellSeparatedBlobsGetSeparateClusters) {
+  CfTree tree(2, 0.1);
+  Rng rng(2);
+  // Three blobs far apart.
+  const float centers[3][2] = {{0.0f, 0.0f}, {5.0f, 5.0f}, {-5.0f, 5.0f}};
+  for (int i = 0; i < 300; ++i) {
+    const float* c = centers[i % 3];
+    float p[] = {c[0] + 0.02f * rng.NextFloat(),
+                 c[1] + 0.02f * rng.NextFloat()};
+    tree.InsertPoint(p);
+  }
+  EXPECT_EQ(tree.leaf_cluster_count(), 3);
+  for (const CfVector& cf : tree.LeafClusters()) {
+    EXPECT_EQ(cf.count(), 100);
+  }
+}
+
+TEST(CfTree, ZeroThresholdSeparatesDistinctPoints) {
+  CfTree tree(1, 0.0);
+  for (int i = 0; i < 20; ++i) {
+    float p[] = {static_cast<float>(i)};
+    tree.InsertPoint(p);
+  }
+  EXPECT_EQ(tree.leaf_cluster_count(), 20);
+  EXPECT_GT(tree.node_count(), 1);  // splits happened
+}
+
+TEST(CfTree, PointCountConservedThroughSplits) {
+  CfTree tree(3, 0.01, /*branching=*/4, /*leaf_entries=*/4);
+  Rng rng(3);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    float p[] = {rng.NextFloat(), rng.NextFloat(), rng.NextFloat()};
+    tree.InsertPoint(p);
+  }
+  EXPECT_EQ(tree.point_count(), n);
+  int64_t total = 0;
+  for (const CfVector& cf : tree.LeafClusters()) total += cf.count();
+  EXPECT_EQ(total, n);
+}
+
+TEST(CfTree, LeafClusterRadiiRespectThreshold) {
+  const double threshold = 0.05;
+  CfTree tree(2, threshold);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    float p[] = {rng.NextFloat(), rng.NextFloat()};
+    tree.InsertPoint(p);
+  }
+  for (const CfVector& cf : tree.LeafClusters()) {
+    EXPECT_LE(cf.Radius(), threshold + 1e-9);
+  }
+}
+
+TEST(CfTree, InsertCfMergesWholeSubclusters) {
+  CfTree tree(2, 1.0);
+  CfVector cf(2);
+  float a[] = {0.1f, 0.1f};
+  float b[] = {0.2f, 0.2f};
+  cf.AddPoint(a, 2);
+  cf.AddPoint(b, 2);
+  tree.InsertCf(cf);
+  tree.InsertCf(cf);
+  EXPECT_EQ(tree.point_count(), 4);
+  std::vector<CfVector> clusters = tree.LeafClusters();
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].count(), 4);
+}
+
+TEST(CfTree, ClusterCountGrowsAsThresholdShrinks) {
+  Rng rng(5);
+  std::vector<float> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back(rng.NextFloat());
+    points.push_back(rng.NextFloat());
+  }
+  int prev = 0;
+  for (double threshold : {0.4, 0.2, 0.1, 0.05}) {
+    CfTree tree(2, threshold);
+    for (int i = 0; i < 400; ++i) tree.InsertPoint(&points[2 * i]);
+    EXPECT_GE(tree.leaf_cluster_count(), prev);
+    prev = tree.leaf_cluster_count();
+  }
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,98 @@
+#include "cluster/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(KMeans, RecoversTwoBlobs) {
+  Rng rng(1);
+  std::vector<float> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back((i % 2 == 0 ? 0.0f : 8.0f) + 0.1f * rng.NextFloat());
+    points.push_back((i % 2 == 0 ? 0.0f : 8.0f) + 0.1f * rng.NextFloat());
+  }
+  KMeansParams params;
+  params.k = 2;
+  KMeansResult result = KMeansCluster(points.data(), 100, 2, params);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // Points of each blob share an assignment; the blobs differ.
+  EXPECT_EQ(result.assignments[0], result.assignments[2]);
+  EXPECT_EQ(result.assignments[1], result.assignments[3]);
+  EXPECT_NE(result.assignments[0], result.assignments[1]);
+  EXPECT_LT(result.inertia, 1.0);
+}
+
+TEST(KMeans, KClampedToN) {
+  float points[] = {0.0f, 1.0f, 2.0f};
+  KMeansParams params;
+  params.k = 10;
+  KMeansResult result = KMeansCluster(points, 3, 1, params);
+  EXPECT_EQ(result.centroids.size(), 3u);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  float points[] = {0.0f, 2.0f, 4.0f, 6.0f};
+  KMeansParams params;
+  params.k = 1;
+  KMeansResult result = KMeansCluster(points, 4, 1, params);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 3.0f, 1e-5f);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  Rng rng(2);
+  std::vector<float> points;
+  for (int i = 0; i < 60; ++i) points.push_back(rng.NextFloat());
+  KMeansParams params;
+  params.k = 4;
+  params.seed = 99;
+  KMeansResult a = KMeansCluster(points.data(), 30, 2, params);
+  KMeansResult b = KMeansCluster(points.data(), 30, 2, params);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, EveryPointAssignedToNearestCentroid) {
+  Rng rng(3);
+  std::vector<float> points;
+  for (int i = 0; i < 80; ++i) points.push_back(rng.NextFloat());
+  KMeansParams params;
+  params.k = 5;
+  KMeansResult result = KMeansCluster(points.data(), 40, 2, params);
+  for (int i = 0; i < 40; ++i) {
+    const float* p = &points[2 * i];
+    double assigned = 0.0;
+    double best = 1e18;
+    for (size_t c = 0; c < result.centroids.size(); ++c) {
+      double dx = p[0] - result.centroids[c][0];
+      double dy = p[1] - result.centroids[c][1];
+      double d = dx * dx + dy * dy;
+      if (static_cast<int>(c) == result.assignments[i]) assigned = d;
+      best = std::min(best, d);
+    }
+    EXPECT_NEAR(assigned, best, 1e-9) << i;
+  }
+}
+
+TEST(KMeans, InertiaNonIncreasingWithMoreClusters) {
+  Rng rng(4);
+  std::vector<float> points;
+  for (int i = 0; i < 200; ++i) points.push_back(rng.NextFloat());
+  double prev = 1e18;
+  for (int k : {1, 2, 4, 8}) {
+    KMeansParams params;
+    params.k = k;
+    params.max_iterations = 100;
+    KMeansResult result = KMeansCluster(points.data(), 100, 2, params);
+    EXPECT_LE(result.inertia, prev * 1.05) << k;  // allow local-optimum slack
+    prev = result.inertia;
+  }
+}
+
+}  // namespace
+}  // namespace walrus

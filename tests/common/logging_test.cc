@@ -1,0 +1,76 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(Logging, DisabledLevelsDoNotEvaluateStreamArgs) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "computed";
+  };
+  WALRUS_LOG(Debug) << expensive();
+  WALRUS_LOG(Info) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  WALRUS_LOG(Error) << "error logging still works: " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logging, CheckPassesSilently) {
+  WALRUS_CHECK(true);
+  WALRUS_CHECK_EQ(1, 1);
+  WALRUS_CHECK_NE(1, 2);
+  WALRUS_CHECK_LT(1, 2);
+  WALRUS_CHECK_LE(2, 2);
+  WALRUS_CHECK_GT(3, 2);
+  WALRUS_CHECK_GE(3, 3);
+}
+
+using LoggingDeathTest = ::testing::Test;
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(WALRUS_CHECK(1 == 2) << "custom message", "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqFailureMentionsExpression) {
+  EXPECT_DEATH(WALRUS_CHECK_EQ(2 + 2, 5), "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(WALRUS_LOG(Fatal) << "unrecoverable", "unrecoverable");
+}
+
+#ifndef NDEBUG
+TEST(LoggingDeathTest, DcheckActiveInDebugBuilds) {
+  EXPECT_DEATH(WALRUS_DCHECK(false), "Check failed");
+}
+#else
+TEST(Logging, DcheckCompiledOutInReleaseBuilds) {
+  WALRUS_DCHECK(false);  // must be a no-op
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,66 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+  EXPECT_TRUE(IsPowerOfTwo(1u << 31));
+}
+
+TEST(MathUtil, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(255), 7);
+  EXPECT_EQ(Log2Floor(256), 8);
+}
+
+TEST(MathUtil, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(129), 256u);
+}
+
+TEST(MathUtil, Clamp) {
+  EXPECT_EQ(Clamp(5, 0, 10), 5);
+  EXPECT_EQ(Clamp(-5, 0, 10), 0);
+  EXPECT_EQ(Clamp(15, 0, 10), 10);
+  EXPECT_FLOAT_EQ(Clamp(0.5f, 0.0f, 1.0f), 0.5f);
+}
+
+TEST(MathUtil, Distances) {
+  std::vector<float> a = {0.0f, 3.0f, 1.0f};
+  std::vector<float> b = {4.0f, 0.0f, 1.0f};
+  EXPECT_FLOAT_EQ(SquaredL2(a, b), 25.0f);
+  EXPECT_FLOAT_EQ(L2Distance(a, b), 5.0f);
+  EXPECT_FLOAT_EQ(L1Distance(a, b), 7.0f);
+  EXPECT_FLOAT_EQ(LInfDistance(a, b), 4.0f);
+}
+
+TEST(MathUtil, DistanceToSelfIsZero) {
+  std::vector<float> a = {1.5f, -2.5f, 0.0f, 9.0f};
+  EXPECT_FLOAT_EQ(L2Distance(a, a), 0.0f);
+  EXPECT_FLOAT_EQ(L1Distance(a, a), 0.0f);
+  EXPECT_FLOAT_EQ(LInfDistance(a, a), 0.0f);
+}
+
+TEST(MathUtil, MeanAndVariance) {
+  std::vector<float> values = {2.0f, 4.0f, 4.0f, 4.0f, 5.0f, 5.0f, 7.0f, 9.0f};
+  EXPECT_DOUBLE_EQ(Mean(values), 5.0);
+  EXPECT_DOUBLE_EQ(Variance(values), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,114 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI32(-12345);
+  w.PutI64(-9876543210LL);
+  w.PutFloat(3.25f);
+  w.PutDouble(-2.5e-10);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xBEEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI32().value(), -12345);
+  EXPECT_EQ(r.GetI64().value(), -9876543210LL);
+  EXPECT_FLOAT_EQ(r.GetFloat().value(), 3.25f);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), -2.5e-10);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  BinaryWriter w;
+  w.PutU32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[1], 0x03);
+  EXPECT_EQ(w.buffer()[2], 0x02);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(Serialize, StringAndVectorRoundTrip) {
+  BinaryWriter w;
+  w.PutString("walrus");
+  w.PutString("");
+  w.PutFloatVector({1.0f, -2.5f, 0.0f});
+  w.PutFloatVector({});
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "walrus");
+  EXPECT_EQ(r.GetString().value(), "");
+  std::vector<float> v = r.GetFloatVector().value();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_FLOAT_EQ(v[1], -2.5f);
+  EXPECT_TRUE(r.GetFloatVector().value().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, TruncationDetected) {
+  BinaryWriter w;
+  w.PutU16(7);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetU32().ok());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kCorruption);
+}
+
+TEST(Serialize, TruncatedStringDetected) {
+  BinaryWriter w;
+  w.PutU32(100);  // claims 100 bytes follow
+  w.PutU8('x');
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(Serialize, GetBytesExactly) {
+  BinaryWriter w;
+  const char payload[] = "abcdef";
+  w.PutBytes(payload, 6);
+  BinaryReader r(w.buffer());
+  char out[6];
+  ASSERT_TRUE(r.GetBytes(out, 6).ok());
+  EXPECT_EQ(std::string(out, 6), "abcdef");
+  EXPECT_FALSE(r.GetBytes(out, 1).ok());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/walrus_serialize_test.bin";
+  std::vector<uint8_t> bytes = {1, 2, 3, 254, 255};
+  ASSERT_TRUE(WriteFileBytes(path, bytes).ok());
+  Result<std::vector<uint8_t>> read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileIsIOError) {
+  Result<std::vector<uint8_t>> read =
+      ReadFileBytes("/nonexistent/dir/file.bin");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(Serialize, EmptyFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/walrus_empty_test.bin";
+  ASSERT_TRUE(WriteFileBytes(path, {}).ok());
+  Result<std::vector<uint8_t>> read = ReadFileBytes(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace walrus

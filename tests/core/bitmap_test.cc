@@ -1,0 +1,105 @@
+#include "core/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+TEST(CoverageBitmap, StartsClear) {
+  CoverageBitmap bm(16);
+  EXPECT_EQ(bm.CountSet(), 0);
+  EXPECT_DOUBLE_EQ(bm.CoveredFraction(), 0.0);
+  EXPECT_FALSE(bm.TestCell(0, 0));
+}
+
+TEST(CoverageBitmap, SetAndTest) {
+  CoverageBitmap bm(16);
+  bm.SetCell(3, 5);
+  bm.SetCell(15, 15);
+  EXPECT_TRUE(bm.TestCell(3, 5));
+  EXPECT_TRUE(bm.TestCell(15, 15));
+  EXPECT_FALSE(bm.TestCell(5, 3));
+  EXPECT_EQ(bm.CountSet(), 2);
+}
+
+TEST(CoverageBitmap, MarkWholeImage) {
+  CoverageBitmap bm(16);
+  bm.MarkWindow(0, 0, 128, 128, 128, 128);
+  EXPECT_EQ(bm.CountSet(), 256);
+  EXPECT_DOUBLE_EQ(bm.CoveredFraction(), 1.0);
+}
+
+TEST(CoverageBitmap, MarkQuarterWindow) {
+  // A 64x64 window in a 128x128 image covers exactly a quarter of the cells
+  // (cell centers fall strictly inside).
+  CoverageBitmap bm(16);
+  bm.MarkWindow(0, 0, 64, 64, 128, 128);
+  EXPECT_EQ(bm.CountSet(), 64);
+  EXPECT_TRUE(bm.TestCell(0, 0));
+  EXPECT_TRUE(bm.TestCell(7, 7));
+  EXPECT_FALSE(bm.TestCell(8, 8));
+}
+
+TEST(CoverageBitmap, MarkUsesCellCenters) {
+  // A window covering less than half a cell's span around the center marks
+  // nothing; crossing the center marks it.
+  CoverageBitmap bm(4);  // cells are 32x32 in a 128x128 image
+  bm.MarkWindow(0, 0, 16, 16, 128, 128);  // stops at pixel 16 < center 16.5
+  EXPECT_EQ(bm.CountSet(), 0);
+  bm.MarkWindow(0, 0, 17, 17, 128, 128);
+  EXPECT_EQ(bm.CountSet(), 1);
+}
+
+TEST(CoverageBitmap, UnionAndCount) {
+  CoverageBitmap a(8);
+  CoverageBitmap b(8);
+  a.SetCell(0, 0);
+  a.SetCell(1, 1);
+  b.SetCell(1, 1);
+  b.SetCell(2, 2);
+  EXPECT_EQ(CoverageBitmap::UnionCount(a, b), 3);
+  a.UnionWith(b);
+  EXPECT_EQ(a.CountSet(), 3);
+  EXPECT_TRUE(a.TestCell(2, 2));
+}
+
+TEST(CoverageBitmap, BytesRoundTrip) {
+  CoverageBitmap bm(16);
+  bm.MarkWindow(10, 20, 50, 60, 128, 128);
+  bm.SetCell(15, 0);
+  std::vector<uint8_t> bytes = bm.ToBytes();
+  EXPECT_EQ(bytes.size(), 32u);  // the paper's 32-byte bitmaps
+  CoverageBitmap restored(16, bytes);
+  EXPECT_TRUE(restored == bm);
+}
+
+TEST(CoverageBitmap, NonMultipleOf64Cells) {
+  CoverageBitmap bm(5);  // 25 bits
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) bm.SetCell(x, y);
+  }
+  EXPECT_EQ(bm.CountSet(), 25);
+  std::vector<uint8_t> bytes = bm.ToBytes();
+  EXPECT_EQ(bytes.size(), 4u);  // ceil(25/8)
+  CoverageBitmap restored(5, bytes);
+  EXPECT_TRUE(restored == bm);
+}
+
+TEST(CoverageBitmap, ClearResets) {
+  CoverageBitmap bm(8);
+  bm.MarkWindow(0, 0, 64, 64, 64, 64);
+  EXPECT_GT(bm.CountSet(), 0);
+  bm.Clear();
+  EXPECT_EQ(bm.CountSet(), 0);
+}
+
+TEST(CoverageBitmap, MarkWindowClipsToImage) {
+  CoverageBitmap bm(8);
+  bm.MarkWindow(96, 96, 64, 64, 128, 128);  // extends past the image
+  EXPECT_EQ(bm.CountSet(), 4);              // bottom-right 2x2 cells
+  EXPECT_TRUE(bm.TestCell(7, 7));
+  EXPECT_TRUE(bm.TestCell(6, 6));
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "image/synth.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 16;
+  p.slide_step = 8;
+  return p;
+}
+
+TEST(IndexRemove, RemovedImageNoLongerRetrieved) {
+  WalrusIndex index(TestParams());
+  ImageF red = MakeSolid(64, 64, {0.9f, 0.1f, 0.1f});
+  ASSERT_TRUE(index.AddImage(1, "red", red).ok());
+  ASSERT_TRUE(
+      index.AddImage(2, "red2", MakeSolid(64, 64, {0.88f, 0.12f, 0.1f})).ok());
+  ASSERT_TRUE(
+      index.AddImage(3, "green", MakeSolid(64, 64, {0.1f, 0.8f, 0.1f})).ok());
+
+  ASSERT_TRUE(index.RemoveImage(1).ok());
+  EXPECT_EQ(index.ImageCount(), 2u);
+  EXPECT_EQ(index.tree().size(), static_cast<int64_t>(index.RegionCount()));
+  EXPECT_FALSE(index.ImageRegions(1).ok());
+
+  QueryOptions options;
+  options.epsilon = 0.1f;
+  auto matches = ExecuteQuery(index, red, options);
+  ASSERT_TRUE(matches.ok());
+  for (const QueryMatch& m : *matches) {
+    EXPECT_NE(m.image_id, 1u);
+  }
+  // The near-duplicate still matches.
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].image_id, 2u);
+}
+
+TEST(IndexRemove, RemoveMissingIsNotFound) {
+  WalrusIndex index(TestParams());
+  EXPECT_EQ(index.RemoveImage(42).code(), StatusCode::kNotFound);
+}
+
+TEST(IndexRemove, AddRemoveReAddCycle) {
+  WalrusIndex index(TestParams());
+  ImageF image = MakeSolid(64, 64, {0.3f, 0.4f, 0.5f});
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(index.AddImage(7, "x", image).ok()) << round;
+    EXPECT_EQ(index.ImageCount(), 1u);
+    ASSERT_TRUE(index.RemoveImage(7).ok()) << round;
+    EXPECT_EQ(index.ImageCount(), 0u);
+    EXPECT_EQ(index.tree().size(), 0);
+  }
+}
+
+TEST(IndexRemove, RemoveThenPersistRoundTrips) {
+  std::string prefix = ::testing::TempDir() + "/walrus_remove_test";
+  WalrusIndex index(TestParams());
+  ASSERT_TRUE(
+      index.AddImage(1, "a", MakeSolid(64, 64, {0.9f, 0.1f, 0.1f})).ok());
+  ASSERT_TRUE(
+      index.AddImage(2, "b", MakeSolid(64, 64, {0.1f, 0.8f, 0.1f})).ok());
+  ASSERT_TRUE(index.RemoveImage(1).ok());
+  ASSERT_TRUE(index.Save(prefix).ok());
+
+  auto reopened = WalrusIndex::Open(prefix);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->ImageCount(), 1u);
+  EXPECT_EQ(reopened->catalog().FindImage(1), nullptr);
+  EXPECT_NE(reopened->catalog().FindImage(2), nullptr);
+  std::remove((prefix + ".catalog").c_str());
+  std::remove((prefix + ".index").c_str());
+}
+
+TEST(CatalogRemove, SwapWithLastKeepsLookupsConsistent) {
+  Catalog catalog;
+  for (uint64_t id = 10; id < 20; ++id) {
+    ImageRecord rec;
+    rec.image_id = id;
+    rec.name = "img" + std::to_string(id);
+    rec.width = 8;
+    rec.height = 8;
+    ASSERT_TRUE(catalog.AddImage(std::move(rec)).ok());
+  }
+  ASSERT_TRUE(catalog.RemoveImage(12).ok());
+  ASSERT_TRUE(catalog.RemoveImage(19).ok());  // was swapped into 12's slot?
+  EXPECT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog.FindImage(12), nullptr);
+  EXPECT_EQ(catalog.FindImage(19), nullptr);
+  for (uint64_t id : {10u, 11u, 13u, 14u, 15u, 16u, 17u, 18u}) {
+    const ImageRecord* rec = catalog.FindImage(id);
+    ASSERT_NE(rec, nullptr) << id;
+    EXPECT_EQ(rec->image_id, id);
+    EXPECT_EQ(rec->name, "img" + std::to_string(id));
+  }
+  EXPECT_EQ(catalog.RemoveImage(12).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "image/synth.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 16;
+  p.slide_step = 8;
+  return p;
+}
+
+class KnnQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_ = std::make_unique<WalrusIndex>(TestParams());
+    // A spectrum of solid images from red to blue.
+    for (int i = 0; i < 8; ++i) {
+      float t = i / 7.0f;
+      ASSERT_TRUE(index_
+                      ->AddImage(static_cast<uint64_t>(i + 1), "img",
+                                 MakeSolid(64, 64,
+                                           {0.9f - 0.8f * t, 0.1f,
+                                            0.1f + 0.8f * t}))
+                      .ok());
+    }
+  }
+  std::unique_ptr<WalrusIndex> index_;
+};
+
+TEST_F(KnnQueryTest, RetrievesFixedBudgetPerRegion) {
+  QueryOptions options;
+  options.knn_per_region = 3;
+  QueryStats stats;
+  auto matches = ExecuteQuery(*index_, MakeSolid(64, 64, {0.9f, 0.1f, 0.1f}),
+                              options, &stats);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  // Each query region retrieved exactly 3 candidates.
+  EXPECT_EQ(stats.regions_retrieved, 3 * stats.query_regions);
+  // The exact duplicate ranks first.
+  EXPECT_EQ((*matches)[0].image_id, 1u);
+  EXPECT_NEAR((*matches)[0].similarity, 1.0, 1e-9);
+}
+
+TEST_F(KnnQueryTest, WorksWhereEpsilonFindsNothing) {
+  // A query far from everything in signature space: the range probe with a
+  // small epsilon returns nothing, kNN still produces a ranking.
+  ImageF query = MakeSolid(64, 64, {0.1f, 0.9f, 0.1f});  // green
+  QueryOptions range;
+  range.epsilon = 0.01f;
+  auto range_matches = ExecuteQuery(*index_, query, range);
+  ASSERT_TRUE(range_matches.ok());
+  EXPECT_TRUE(range_matches->empty());
+
+  QueryOptions knn;
+  knn.knn_per_region = 2;
+  auto knn_matches = ExecuteQuery(*index_, query, knn);
+  ASSERT_TRUE(knn_matches.ok());
+  EXPECT_FALSE(knn_matches->empty());
+}
+
+TEST_F(KnnQueryTest, BudgetCapsDistinctImages) {
+  QueryOptions options;
+  options.knn_per_region = 1;
+  QueryStats stats;
+  auto matches = ExecuteQuery(*index_, MakeSolid(64, 64, {0.5f, 0.1f, 0.5f}),
+                              options, &stats);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_LE(stats.distinct_images, stats.query_regions);
+}
+
+TEST_F(KnnQueryTest, BBoxModeFallsBackToRangeProbe) {
+  WalrusParams p = TestParams();
+  p.signature_kind = RegionSignatureKind::kBoundingBox;
+  WalrusIndex index(p);
+  ASSERT_TRUE(
+      index.AddImage(1, "a", MakeSolid(64, 64, {0.9f, 0.1f, 0.1f})).ok());
+  QueryOptions options;
+  options.knn_per_region = 3;  // ignored for bbox signatures
+  options.epsilon = 0.05f;
+  auto matches =
+      ExecuteQuery(index, MakeSolid(64, 64, {0.9f, 0.1f, 0.1f}), options);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_NEAR((*matches)[0].similarity, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,109 @@
+// Randomized property sweep over the three image matchers: structural
+// dominance relations that must hold on ANY input.
+//   quick >= greedy   (quick relaxes the one-to-one constraint)
+//   exact >= greedy   (exact optimizes the same objective greedy approximates)
+//   quick >= exact    (the relaxed optimum dominates the constrained one)
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/similarity.h"
+
+namespace walrus {
+namespace {
+
+struct Instance {
+  std::vector<Region> query;
+  std::vector<Region> target;
+  std::vector<RegionPair> pairs;
+};
+
+Instance RandomInstance(uint64_t seed) {
+  Rng rng(seed);
+  Instance instance;
+  auto make_side = [&rng](int count) {
+    std::vector<Region> regions;
+    for (int i = 0; i < count; ++i) {
+      Region r;
+      r.region_id = static_cast<uint32_t>(i);
+      r.centroid = {rng.NextFloat()};
+      r.bounding_box = Rect::Point(r.centroid);
+      r.bitmap = CoverageBitmap(8);
+      int cells = rng.NextInt(1, 20);
+      for (int k = 0; k < cells; ++k) {
+        r.bitmap.SetCell(rng.NextInt(0, 7), rng.NextInt(0, 7));
+      }
+      r.window_count = 1;
+      regions.push_back(std::move(r));
+    }
+    return regions;
+  };
+  int nq = rng.NextInt(1, 5);
+  int nt = rng.NextInt(1, 5);
+  instance.query = make_side(nq);
+  instance.target = make_side(nt);
+  for (int q = 0; q < nq; ++q) {
+    for (int t = 0; t < nt; ++t) {
+      if (rng.NextBernoulli(0.5)) instance.pairs.push_back({q, t});
+    }
+  }
+  return instance;
+}
+
+class MatcherProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherProperty, DominanceChain) {
+  for (int trial = 0; trial < 40; ++trial) {
+    Instance instance =
+        RandomInstance(static_cast<uint64_t>(GetParam()) * 1000 + trial);
+    double area_q = 64.0;
+    double area_t = 128.0;
+    MatchResult quick =
+        QuickMatch(instance.query, instance.target, instance.pairs, area_q,
+                   area_t);
+    MatchResult greedy =
+        GreedyMatch(instance.query, instance.target, instance.pairs, area_q,
+                    area_t);
+    MatchResult exact =
+        ExactMatch(instance.query, instance.target, instance.pairs, area_q,
+                   area_t);
+    EXPECT_GE(quick.similarity + 1e-12, greedy.similarity) << trial;
+    EXPECT_GE(exact.similarity + 1e-12, greedy.similarity) << trial;
+    EXPECT_GE(quick.similarity + 1e-12, exact.similarity) << trial;
+
+    // Similarity is always within [0, 1].
+    for (const MatchResult& r : {quick, greedy, exact}) {
+      EXPECT_GE(r.similarity, 0.0);
+      EXPECT_LE(r.similarity, 1.0);
+      // Covered areas are bounded by the image areas.
+      EXPECT_LE(r.covered_query_area, area_q + 1e-9);
+      EXPECT_LE(r.covered_target_area, area_t + 1e-9);
+    }
+
+    // Greedy and exact respect one-to-one: pairs_used bounded by side sizes.
+    int bound = static_cast<int>(
+        std::min(instance.query.size(), instance.target.size()));
+    EXPECT_LE(greedy.pairs_used, bound);
+    EXPECT_LE(exact.pairs_used, bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherProperty, ::testing::Range(1, 6));
+
+TEST(MatcherProperty, MorePairsNeverHurtQuick) {
+  // The quick matcher's similarity is monotone in the pair set.
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    Instance instance = RandomInstance(seed);
+    if (instance.pairs.size() < 2) continue;
+    std::vector<RegionPair> subset(instance.pairs.begin(),
+                                   instance.pairs.end() - 1);
+    MatchResult all = QuickMatch(instance.query, instance.target,
+                                 instance.pairs, 64.0, 64.0);
+    MatchResult fewer =
+        QuickMatch(instance.query, instance.target, subset, 64.0, 64.0);
+    EXPECT_GE(all.similarity + 1e-12, fewer.similarity) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace walrus

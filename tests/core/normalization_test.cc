@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "core/similarity.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+TEST(SimilarityNormalization, VariantsFromSameCoveredAreas) {
+  MatchResult result;
+  result.covered_query_area = 50.0;
+  result.covered_target_area = 80.0;
+  // Query 100 px, target 400 px.
+  EXPECT_DOUBLE_EQ(
+      result.SimilarityAs(SimilarityNormalization::kBothImages, 100, 400),
+      130.0 / 500.0);
+  EXPECT_DOUBLE_EQ(
+      result.SimilarityAs(SimilarityNormalization::kQueryOnly, 100, 400),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      result.SimilarityAs(SimilarityNormalization::kSmallerImage, 100, 400),
+      130.0 / 200.0);
+}
+
+TEST(SimilarityNormalization, SmallerImageClampsAtOne) {
+  MatchResult result;
+  result.covered_query_area = 100.0;
+  result.covered_target_area = 350.0;
+  EXPECT_DOUBLE_EQ(
+      result.SimilarityAs(SimilarityNormalization::kSmallerImage, 100, 400),
+      1.0);
+}
+
+TEST(SimilarityNormalization, ZeroAreasGiveZero) {
+  MatchResult result;
+  EXPECT_DOUBLE_EQ(
+      result.SimilarityAs(SimilarityNormalization::kQueryOnly, 0, 0), 0.0);
+}
+
+TEST(SimilarityNormalization, QueryOnlyInflatesSubimageQueries) {
+  // A small query fully contained in a big target: kQueryOnly reports full
+  // similarity while kBothImages is dragged down by the target's unmatched
+  // area. This is exactly the use case the paper sketches.
+  WalrusParams params;
+  params.min_window = 16;
+  params.max_window = 16;
+  params.slide_step = 8;
+  WalrusIndex index(params);
+
+  // Target: top half red, bottom half blue (128x128).
+  ImageF target = MakeSolid(128, 128, {0.1f, 0.1f, 0.9f});
+  ImageF top = MakeSolid(128, 64, {0.9f, 0.1f, 0.1f});
+  Composite(&target, top, 0, 0);
+  ASSERT_TRUE(index.AddImage(1, "two-tone", target).ok());
+
+  // Query: pure red 64x64 (matches the target's top half only).
+  ImageF query = MakeSolid(64, 64, {0.9f, 0.1f, 0.1f});
+
+  QueryOptions both;
+  both.epsilon = 0.05f;
+  both.normalization = SimilarityNormalization::kBothImages;
+  QueryOptions query_only = both;
+  query_only.normalization = SimilarityNormalization::kQueryOnly;
+
+  auto both_matches = ExecuteQuery(index, query, both);
+  auto qonly_matches = ExecuteQuery(index, query, query_only);
+  ASSERT_TRUE(both_matches.ok() && qonly_matches.ok());
+  ASSERT_FALSE(both_matches->empty());
+  ASSERT_FALSE(qonly_matches->empty());
+  double sim_both = (*both_matches)[0].similarity;
+  double sim_query_only = (*qonly_matches)[0].similarity;
+  EXPECT_NEAR(sim_query_only, 1.0, 1e-9);
+  EXPECT_LT(sim_both, 0.75);
+  EXPECT_GT(sim_both, 0.3);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,103 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 16;
+  p.slide_step = 8;
+  return p;
+}
+
+TEST(PairDetails, CollectedOnlyWhenRequested) {
+  WalrusIndex index(TestParams());
+  ASSERT_TRUE(
+      index.AddImage(1, "red", MakeSolid(64, 64, {0.9f, 0.1f, 0.1f})).ok());
+
+  QueryOptions off;
+  off.epsilon = 0.05f;
+  auto without = ExecuteQuery(index, MakeSolid(64, 64, {0.9f, 0.1f, 0.1f}),
+                              off);
+  ASSERT_TRUE(without.ok());
+  ASSERT_FALSE(without->empty());
+  EXPECT_TRUE((*without)[0].pairs.empty());
+
+  QueryOptions on = off;
+  on.collect_pairs = true;
+  auto with = ExecuteQuery(index, MakeSolid(64, 64, {0.9f, 0.1f, 0.1f}), on);
+  ASSERT_TRUE(with.ok());
+  ASSERT_FALSE(with->empty());
+  EXPECT_FALSE((*with)[0].pairs.empty());
+  EXPECT_EQ(static_cast<int>((*with)[0].pairs.size()),
+            (*with)[0].matching_pairs);
+}
+
+TEST(PairDetails, GreedyPairsAreOneToOneAndValid) {
+  WalrusIndex index(TestParams());
+  // Two-tone target: multiple regions to pair against.
+  ImageF target = MakeSolid(64, 64, {0.9f, 0.1f, 0.1f});
+  Composite(&target, MakeSolid(32, 64, {0.1f, 0.1f, 0.9f}), 32, 0);
+  ASSERT_TRUE(index.AddImage(1, "two-tone", target).ok());
+
+  QueryOptions options;
+  options.epsilon = 0.1f;
+  options.matcher = MatcherKind::kGreedy;
+  options.collect_pairs = true;
+  auto matches = ExecuteQuery(index, target, options);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  const QueryMatch& m = (*matches)[0];
+  EXPECT_EQ(static_cast<int>(m.pairs.size()), m.pairs_used);
+
+  auto target_regions = index.ImageRegions(1).value();
+  std::set<int> query_seen, target_seen;
+  for (const RegionPair& pair : m.pairs) {
+    EXPECT_TRUE(query_seen.insert(pair.query_index).second)
+        << "query region reused";
+    EXPECT_TRUE(target_seen.insert(pair.target_index).second)
+        << "target region reused";
+    EXPECT_GE(pair.target_index, 0);
+    EXPECT_LT(pair.target_index, static_cast<int>(target_regions.size()));
+  }
+}
+
+TEST(PairDetails, ExactMatchReportsOptimalSet) {
+  // Small instance where we can see the chosen pairs directly.
+  std::vector<Region> query(2), target(2);
+  for (int i = 0; i < 2; ++i) {
+    query[i].region_id = i;
+    query[i].centroid = {0.0f};
+    query[i].bitmap = CoverageBitmap(4);
+    target[i].region_id = i;
+    target[i].centroid = {0.0f};
+    target[i].bitmap = CoverageBitmap(4);
+  }
+  // query0/target0 cover the top half; query1/target1 the bottom half.
+  for (int x = 0; x < 4; ++x) {
+    for (int y = 0; y < 2; ++y) {
+      query[0].bitmap.SetCell(x, y);
+      target[0].bitmap.SetCell(x, y);
+      query[1].bitmap.SetCell(x, y + 2);
+      target[1].bitmap.SetCell(x, y + 2);
+    }
+  }
+  std::vector<RegionPair> pairs = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  MatchResult result = ExactMatch(query, target, pairs, 16.0, 16.0);
+  EXPECT_DOUBLE_EQ(result.similarity, 1.0);
+  ASSERT_EQ(result.used_pairs.size(), 2u);
+  // Optimal set pairs matching halves: {(0,?),(1,?)} with distinct targets.
+  EXPECT_NE(result.used_pairs[0].target_index,
+            result.used_pairs[1].target_index);
+}
+
+}  // namespace
+}  // namespace walrus

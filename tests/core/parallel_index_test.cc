@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "image/dataset.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 32;
+  p.slide_step = 8;
+  return p;
+}
+
+std::vector<WalrusIndex::PendingImage> MakeBatch(int n) {
+  DatasetParams dp;
+  dp.num_images = n;
+  dp.width = 64;
+  dp.height = 64;
+  dp.seed = 13;
+  std::vector<LabeledImage> dataset = GenerateDataset(dp);
+  std::vector<WalrusIndex::PendingImage> batch;
+  for (LabeledImage& scene : dataset) {
+    batch.push_back({static_cast<uint64_t>(scene.id),
+                     "img_" + std::to_string(scene.id),
+                     std::move(scene.image)});
+  }
+  return batch;
+}
+
+TEST(ParallelIndex, MatchesSerialIndexing) {
+  std::vector<WalrusIndex::PendingImage> batch = MakeBatch(20);
+
+  WalrusIndex serial(TestParams());
+  for (const auto& pending : batch) {
+    ASSERT_TRUE(
+        serial.AddImage(pending.image_id, pending.name, pending.image).ok());
+  }
+
+  WalrusIndex parallel(TestParams());
+  ASSERT_TRUE(parallel.AddImages(batch, /*num_threads=*/4).ok());
+
+  EXPECT_EQ(parallel.ImageCount(), serial.ImageCount());
+  EXPECT_EQ(parallel.RegionCount(), serial.RegionCount());
+  EXPECT_EQ(parallel.tree().size(), serial.tree().size());
+
+  // Queries agree exactly (extraction is deterministic per image).
+  QueryOptions options;
+  options.epsilon = 0.085f;
+  for (int q = 0; q < 3; ++q) {
+    auto a = ExecuteQuery(serial, batch[q].image, options);
+    auto b = ExecuteQuery(parallel, batch[q].image, options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].image_id, (*b)[i].image_id);
+      EXPECT_NEAR((*a)[i].similarity, (*b)[i].similarity, 1e-9);
+    }
+  }
+}
+
+TEST(ParallelIndex, EmptyBatchIsOk) {
+  WalrusIndex index(TestParams());
+  EXPECT_TRUE(index.AddImages({}).ok());
+  EXPECT_EQ(index.ImageCount(), 0u);
+}
+
+TEST(ParallelIndex, DuplicateIdInBatchIsAtomicFailure) {
+  std::vector<WalrusIndex::PendingImage> batch = MakeBatch(4);
+  batch[3].image_id = batch[0].image_id;
+  WalrusIndex index(TestParams());
+  EXPECT_EQ(index.AddImages(batch).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(index.ImageCount(), 0u);
+  EXPECT_EQ(index.tree().size(), 0);
+}
+
+TEST(ParallelIndex, ConflictWithExistingIdIsAtomicFailure) {
+  std::vector<WalrusIndex::PendingImage> batch = MakeBatch(4);
+  WalrusIndex index(TestParams());
+  ASSERT_TRUE(
+      index.AddImage(batch[2].image_id, "existing", batch[2].image).ok());
+  EXPECT_EQ(index.AddImages(batch).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(index.ImageCount(), 1u);
+}
+
+TEST(ParallelIndex, SingleThreadWorks) {
+  std::vector<WalrusIndex::PendingImage> batch = MakeBatch(5);
+  WalrusIndex index(TestParams());
+  ASSERT_TRUE(index.AddImages(batch, /*num_threads=*/1).ok());
+  EXPECT_EQ(index.ImageCount(), 5u);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,78 @@
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+TEST(WalrusParams, DefaultsAreValidAndMatchPaper) {
+  WalrusParams p;
+  EXPECT_TRUE(p.Validate().ok()) << p.Validate();
+  // Section 6.4 experiment defaults.
+  EXPECT_EQ(p.color_space, ColorSpace::kYCC);
+  EXPECT_EQ(p.signature_size, 2);
+  EXPECT_EQ(p.min_window, 64);
+  EXPECT_EQ(p.max_window, 64);
+  EXPECT_DOUBLE_EQ(p.cluster_epsilon, 0.05);
+  EXPECT_EQ(p.bitmap_side, 16);
+  EXPECT_EQ(p.signature_kind, RegionSignatureKind::kCentroid);
+}
+
+TEST(WalrusParams, SignatureDim) {
+  WalrusParams p;
+  EXPECT_EQ(p.Channels(), 3);
+  EXPECT_EQ(p.SignatureDim(), 12);  // the paper's 12-dimensional point
+  p.signature_size = 4;
+  EXPECT_EQ(p.SignatureDim(), 48);
+  p.color_space = ColorSpace::kGray;
+  EXPECT_EQ(p.Channels(), 1);
+  EXPECT_EQ(p.SignatureDim(), 16);
+}
+
+TEST(WalrusParams, RejectsNonPowerOfTwo) {
+  WalrusParams p;
+  p.signature_size = 3;
+  EXPECT_FALSE(p.Validate().ok());
+  p = WalrusParams();
+  p.min_window = 48;
+  EXPECT_FALSE(p.Validate().ok());
+  p = WalrusParams();
+  p.slide_step = 6;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(WalrusParams, RejectsInconsistentWindows) {
+  WalrusParams p;
+  p.min_window = 64;
+  p.max_window = 32;
+  EXPECT_FALSE(p.Validate().ok());
+  p = WalrusParams();
+  p.signature_size = 128;  // bigger than min_window
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(WalrusParams, RejectsBadScalars) {
+  WalrusParams p;
+  p.cluster_epsilon = -0.1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = WalrusParams();
+  p.bitmap_side = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = WalrusParams();
+  p.birch_branching = 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = WalrusParams();
+  p.min_cluster_windows = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(WalrusParams, MultiScaleWindowsValid) {
+  WalrusParams p;
+  p.min_window = 8;
+  p.max_window = 64;
+  p.slide_step = 2;
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "core/region_extractor.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams RefinedParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 16;
+  p.slide_step = 8;
+  p.refined_signature_size = 4;
+  return p;
+}
+
+TEST(Refinement, ParamsValidation) {
+  WalrusParams p = RefinedParams();
+  EXPECT_TRUE(p.Validate().ok()) << p.Validate();
+  p.refined_signature_size = 2;  // == signature_size
+  EXPECT_FALSE(p.Validate().ok());
+  p.refined_signature_size = 3;  // not a power of two
+  EXPECT_FALSE(p.Validate().ok());
+  p.refined_signature_size = 32;  // > min_window
+  EXPECT_FALSE(p.Validate().ok());
+  p.refined_signature_size = 0;  // disabled is fine
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(Refinement, RegionsCarryRefinedCentroids) {
+  ImageF img = MakeSolid(64, 64, {0.3f, 0.6f, 0.4f});
+  Result<std::vector<Region>> regions = ExtractRegions(img, RefinedParams());
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  ASSERT_FALSE(regions->empty());
+  for (const Region& r : *regions) {
+    EXPECT_EQ(r.refined_centroid.size(), 3u * 4 * 4);
+    EXPECT_EQ(r.centroid.size(), 3u * 2 * 2);
+    // On a uniform image the refined DC coefficients match the coarse ones.
+    EXPECT_NEAR(r.refined_centroid[0], r.centroid[0], 1e-4f);
+  }
+}
+
+TEST(Refinement, DisabledLeavesRefinedEmpty) {
+  WalrusParams p = RefinedParams();
+  p.refined_signature_size = 0;
+  ImageF img = MakeSolid(64, 64, {0.3f, 0.6f, 0.4f});
+  Result<std::vector<Region>> regions = ExtractRegions(img, p);
+  ASSERT_TRUE(regions.ok());
+  for (const Region& r : *regions) {
+    EXPECT_TRUE(r.refined_centroid.empty());
+  }
+}
+
+TEST(Refinement, PersistsThroughSaveOpen) {
+  std::string prefix = ::testing::TempDir() + "/walrus_refined_test";
+  {
+    WalrusIndex index(RefinedParams());
+    ASSERT_TRUE(
+        index.AddImage(1, "a", MakeSolid(64, 64, {0.8f, 0.2f, 0.2f})).ok());
+    ASSERT_TRUE(index.Save(prefix).ok());
+  }
+  auto reopened = WalrusIndex::Open(prefix);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->params().refined_signature_size, 4);
+  auto regions = reopened->ImageRegions(1);
+  ASSERT_TRUE(regions.ok());
+  for (const Region& r : *regions) {
+    EXPECT_EQ(r.refined_centroid.size(), 48u);
+  }
+  std::remove((prefix + ".catalog").c_str());
+  std::remove((prefix + ".index").c_str());
+}
+
+TEST(Refinement, RefutesCoarseOnlyMatches) {
+  // Two textures engineered to share their 2x2 band but differ at 4x4:
+  // vertical vs horizontal stripes of period 8. Every 8x8 quadrant of an
+  // aligned 16x16 window holds exactly one dark and one light 4px stripe,
+  // so all four quadrant averages equal 0.5 and the 2x2 signatures of both
+  // orientations coincide; the 4x4 band (4px cells) resolves them.
+  auto striped = [](bool horizontal) {
+    return MakeStripes(64, 64, 8, horizontal, {0.2f, 0.2f, 0.2f},
+                       {0.8f, 0.8f, 0.8f});
+  };
+
+  WalrusParams params = RefinedParams();
+  params.slide_step = 16;  // aligned windows only: clean quadrants
+  WalrusIndex index(params);
+  ASSERT_TRUE(index.AddImage(1, "horizontal", striped(true)).ok());
+
+  QueryOptions coarse;
+  coarse.epsilon = 0.1f;
+  QueryOptions refined = coarse;
+  refined.use_refinement = true;
+  refined.refined_epsilon = 0.1f;
+
+  // Query with vertical stripes: coarse 2x2 signatures collide badly.
+  auto coarse_matches = ExecuteQuery(index, striped(false), coarse);
+  auto refined_matches = ExecuteQuery(index, striped(false), refined);
+  ASSERT_TRUE(coarse_matches.ok() && refined_matches.ok());
+
+  double coarse_sim =
+      coarse_matches->empty() ? 0.0 : (*coarse_matches)[0].similarity;
+  double refined_sim =
+      refined_matches->empty() ? 0.0 : (*refined_matches)[0].similarity;
+  // Refinement must prune (strictly reduce) the false match.
+  EXPECT_LT(refined_sim, coarse_sim);
+
+  // And a true match must survive refinement at full strength.
+  auto self_refined = ExecuteQuery(index, striped(true), refined);
+  ASSERT_TRUE(self_refined.ok());
+  ASSERT_FALSE(self_refined->empty());
+  EXPECT_NEAR((*self_refined)[0].similarity, 1.0, 1e-9);
+}
+
+TEST(Refinement, NoRefinedDataDegradesGracefully) {
+  // Index built without refinement; querying with use_refinement must not
+  // drop anything (empty refined centroids skip the check).
+  WalrusParams p = RefinedParams();
+  p.refined_signature_size = 0;
+  WalrusIndex index(p);
+  ASSERT_TRUE(
+      index.AddImage(1, "x", MakeSolid(64, 64, {0.5f, 0.2f, 0.7f})).ok());
+  QueryOptions options;
+  options.epsilon = 0.05f;
+  options.use_refinement = true;
+  auto matches = ExecuteQuery(index, MakeSolid(64, 64, {0.5f, 0.2f, 0.7f}),
+                              options);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_NEAR((*matches)[0].similarity, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace walrus

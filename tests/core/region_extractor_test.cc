@@ -1,0 +1,197 @@
+#include "core/region_extractor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 16;
+  p.slide_step = 4;
+  p.cluster_epsilon = 0.05;
+  p.bitmap_side = 16;
+  return p;
+}
+
+/// Half red / half green image: two clearly distinct regions.
+ImageF TwoToneImage(int w, int h) {
+  ImageF img = MakeSolid(w, h, {0.9f, 0.1f, 0.1f});
+  ImageF right = MakeSolid(w / 2, h, {0.1f, 0.8f, 0.15f});
+  Composite(&img, right, w / 2, 0);
+  return img;
+}
+
+TEST(RegionExtractor, UniformImageYieldsOneRegion) {
+  ImageF img = MakeSolid(64, 64, {0.4f, 0.5f, 0.6f});
+  ExtractionStats stats;
+  Result<std::vector<Region>> regions =
+      ExtractRegions(img, TestParams(), &stats);
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  EXPECT_EQ(regions->size(), 1u);
+  EXPECT_EQ(stats.region_count, 1);
+  EXPECT_GT(stats.window_count, 0);
+  // The single region covers the whole image.
+  EXPECT_DOUBLE_EQ((*regions)[0].CoveredFraction(), 1.0);
+  EXPECT_EQ((*regions)[0].window_count,
+            static_cast<uint64_t>(stats.window_count));
+}
+
+TEST(RegionExtractor, TwoToneImageYieldsTwoDominantRegions) {
+  ImageF img = TwoToneImage(64, 64);
+  ExtractionStats stats;
+  Result<std::vector<Region>> regions =
+      ExtractRegions(img, TestParams(), &stats);
+  ASSERT_TRUE(regions.ok());
+  // Pure-left windows, pure-right windows, and boundary-straddling windows:
+  // at least 2 regions, and the two largest cover distinct halves.
+  ASSERT_GE(regions->size(), 2u);
+
+  // Find the two regions with the most windows.
+  std::vector<const Region*> sorted;
+  for (const Region& r : *regions) sorted.push_back(&r);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Region* a, const Region* b) {
+              return a->window_count > b->window_count;
+            });
+  const Region* big_a = sorted[0];
+  const Region* big_b = sorted[1];
+  // Their centroids differ strongly (red vs green dominates the signature).
+  EXPECT_GT(L2Distance(big_a->centroid, big_b->centroid), 0.1f);
+}
+
+TEST(RegionExtractor, RegionIdsAreDense) {
+  ImageF img = TwoToneImage(64, 64);
+  Result<std::vector<Region>> regions = ExtractRegions(img, TestParams());
+  ASSERT_TRUE(regions.ok());
+  for (size_t i = 0; i < regions->size(); ++i) {
+    EXPECT_EQ((*regions)[i].region_id, i);
+  }
+}
+
+TEST(RegionExtractor, BitmapsUnionCoversImage) {
+  // Every window belongs to some cluster, so unioning all region bitmaps
+  // must cover everything the sliding windows touch (here: everything).
+  ImageF img = TwoToneImage(64, 64);
+  WalrusParams p = TestParams();
+  Result<std::vector<Region>> regions = ExtractRegions(img, p);
+  ASSERT_TRUE(regions.ok());
+  CoverageBitmap all(p.bitmap_side);
+  for (const Region& r : *regions) all.UnionWith(r.bitmap);
+  EXPECT_DOUBLE_EQ(all.CoveredFraction(), 1.0);
+}
+
+TEST(RegionExtractor, CentroidInsideBoundingBox) {
+  Rng rng(3);
+  ImageF img(64, 64, 3, ColorSpace::kRGB);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : img.Plane(c)) v = rng.NextFloat();
+  }
+  Result<std::vector<Region>> regions = ExtractRegions(img, TestParams());
+  ASSERT_TRUE(regions.ok());
+  for (const Region& r : *regions) {
+    // Centroid of member signatures must lie within their bounding box
+    // (tiny epsilon for float accumulation).
+    for (int d = 0; d < r.bounding_box.dim(); ++d) {
+      EXPECT_GE(r.centroid[d], r.bounding_box.lo(d) - 1e-4f);
+      EXPECT_LE(r.centroid[d], r.bounding_box.hi(d) + 1e-4f);
+    }
+  }
+}
+
+TEST(RegionExtractor, MorePermissiveEpsilonMergesRegions) {
+  // Section 6.6: number of regions decreases as epsilon_c grows.
+  ImageF img = TwoToneImage(64, 64);
+  size_t prev = SIZE_MAX;
+  for (double eps : {0.01, 0.05, 0.2, 1.0}) {
+    WalrusParams p = TestParams();
+    p.cluster_epsilon = eps;
+    Result<std::vector<Region>> regions = ExtractRegions(img, p);
+    ASSERT_TRUE(regions.ok());
+    EXPECT_LE(regions->size(), prev) << eps;
+    prev = regions->size();
+  }
+}
+
+TEST(RegionExtractor, MinClusterWindowsPrunes) {
+  ImageF img = TwoToneImage(64, 64);
+  WalrusParams p = TestParams();
+  ExtractionStats stats_all;
+  Result<std::vector<Region>> all = ExtractRegions(img, p, &stats_all);
+  ASSERT_TRUE(all.ok());
+  p.min_cluster_windows = 10;
+  ExtractionStats stats_pruned;
+  Result<std::vector<Region>> pruned = ExtractRegions(img, p, &stats_pruned);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LE(pruned->size(), all->size());
+  for (const Region& r : *pruned) {
+    EXPECT_GE(r.window_count, 10u);
+  }
+  EXPECT_EQ(stats_pruned.cluster_count, stats_all.cluster_count);
+}
+
+TEST(RegionExtractor, KMeansClustererProducesBoundedRegions) {
+  ImageF img = TwoToneImage(64, 64);
+  WalrusParams p = TestParams();
+  p.clusterer = ClustererKind::kKMeans;
+  p.kmeans_k = 4;
+  ExtractionStats stats;
+  Result<std::vector<Region>> regions = ExtractRegions(img, p, &stats);
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  EXPECT_LE(regions->size(), 4u);
+  EXPECT_GE(regions->size(), 2u);
+  // All windows accounted for.
+  uint64_t total = 0;
+  for (const Region& r : *regions) total += r.window_count;
+  EXPECT_EQ(total, static_cast<uint64_t>(stats.window_count));
+}
+
+TEST(RegionExtractor, KMeansAutoKScalesWithWindows) {
+  ImageF img = TwoToneImage(64, 64);
+  WalrusParams p = TestParams();
+  p.clusterer = ClustererKind::kKMeans;
+  p.kmeans_k = 0;  // auto
+  ExtractionStats stats;
+  Result<std::vector<Region>> regions = ExtractRegions(img, p, &stats);
+  ASSERT_TRUE(regions.ok());
+  EXPECT_GE(regions->size(), 2u);
+  EXPECT_LE(static_cast<int>(regions->size()),
+            std::max(2, static_cast<int>(std::sqrt(
+                            static_cast<double>(stats.window_count)))));
+}
+
+TEST(Region, RecordRoundTrip) {
+  ImageF img = TwoToneImage(64, 64);
+  Result<std::vector<Region>> regions = ExtractRegions(img, TestParams());
+  ASSERT_TRUE(regions.ok());
+  ASSERT_FALSE(regions->empty());
+  const Region& original = (*regions)[0];
+  Region restored = Region::FromRecord(original.ToRecord());
+  EXPECT_EQ(restored.region_id, original.region_id);
+  EXPECT_EQ(restored.centroid, original.centroid);
+  EXPECT_TRUE(restored.bitmap == original.bitmap);
+  EXPECT_EQ(restored.window_count, original.window_count);
+  EXPECT_TRUE(restored.bounding_box == original.bounding_box);
+}
+
+TEST(Region, IndexRectKinds) {
+  Region r;
+  r.centroid = {0.5f, 0.5f};
+  r.bounding_box = Rect::Bounds({0.4f, 0.4f}, {0.6f, 0.7f});
+  Rect point = r.IndexRect(false);
+  EXPECT_DOUBLE_EQ(point.Area(), 0.0);
+  EXPECT_TRUE(point.Contains({0.5f, 0.5f}));
+  Rect box = r.IndexRect(true);
+  EXPECT_NEAR(box.Area(), 0.2 * 0.3, 1e-6);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,124 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "core/region_extractor.h"
+#include "image/synth.h"
+#include "image/transform.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 32;
+  p.slide_step = 4;
+  return p;
+}
+
+TEST(PixelRectTest, ContainsWindow) {
+  PixelRect rect{10, 20, 40, 30};
+  EXPECT_TRUE(rect.ContainsWindow(10, 20, 16));
+  EXPECT_TRUE(rect.ContainsWindow(34, 34, 16));
+  EXPECT_FALSE(rect.ContainsWindow(9, 20, 16));    // starts left of rect
+  EXPECT_FALSE(rect.ContainsWindow(40, 20, 16));   // spills right
+  EXPECT_FALSE(rect.ContainsWindow(10, 40, 16));   // spills below
+}
+
+TEST(SceneExtract, OnlyWindowsInsideSceneParticipate) {
+  // Left half red, right half green; scene = left half only.
+  ImageF img = MakeSolid(64, 64, {0.9f, 0.1f, 0.1f});
+  Composite(&img, MakeSolid(32, 64, {0.1f, 0.8f, 0.1f}), 32, 0);
+  Result<std::vector<Region>> regions =
+      ExtractSceneRegions(img, PixelRect{0, 0, 32, 64}, TestParams());
+  ASSERT_TRUE(regions.ok()) << regions.status();
+  ASSERT_FALSE(regions->empty());
+  // Every region's centroid is red-dominant in YCC: Cr (channel 2 block)
+  // high. Simply check all centroids are close to each other (pure red) --
+  // no green-side region leaked in.
+  for (const Region& r : *regions) {
+    for (const Region& other : *regions) {
+      float d = 0;
+      for (size_t k = 0; k < r.centroid.size(); ++k) {
+        d += (r.centroid[k] - other.centroid[k]) *
+             (r.centroid[k] - other.centroid[k]);
+      }
+      EXPECT_LT(std::sqrt(d), 0.2f);
+    }
+  }
+}
+
+TEST(SceneExtract, RejectsBadRectangles) {
+  ImageF img = MakeSolid(64, 64, {0.5f, 0.5f, 0.5f});
+  WalrusParams p = TestParams();
+  EXPECT_FALSE(ExtractSceneRegions(img, PixelRect{-1, 0, 32, 32}, p).ok());
+  EXPECT_FALSE(ExtractSceneRegions(img, PixelRect{0, 0, 80, 32}, p).ok());
+  EXPECT_FALSE(ExtractSceneRegions(img, PixelRect{0, 0, 0, 0}, p).ok());
+  // Too small to fit even one 16px window at an aligned position.
+  EXPECT_FALSE(ExtractSceneRegions(img, PixelRect{1, 1, 10, 10}, p).ok());
+}
+
+TEST(SceneQuery, FindsImagesContainingTheMarkedObject) {
+  WalrusParams p = TestParams();
+  WalrusIndex index(p);
+  // Database: a scene with a blue ball bottom-right; one without.
+  Rng rng(3);
+  ImageF ball, mask;
+  RenderObject(ObjectClass::kBall, 48, {}, &rng, &ball, &mask);
+
+  ImageF with_ball = MakeGrass(96, 96, {0.2f, 0.55f, 0.15f}, &rng);
+  Composite(&with_ball, ball, 44, 44, &mask);
+  Rng rng2(3);  // same grass
+  ImageF without_ball = MakeGrass(96, 96, {0.2f, 0.55f, 0.15f}, &rng2);
+  (void)rng2;
+  ASSERT_TRUE(index.AddImage(1, "with", with_ball).ok());
+  ASSERT_TRUE(index.AddImage(2, "without", without_ball).ok());
+
+  // Query image: the same ball top-left on sand; mark just the ball.
+  ImageF query = MakeSolid(96, 96, {0.85f, 0.78f, 0.55f});
+  Composite(&query, ball, 4, 4, &mask);
+
+  QueryOptions options;
+  options.epsilon = 0.085f;
+  options.normalization = SimilarityNormalization::kQueryOnly;
+  QueryStats stats;
+  auto matches = ExecuteSceneQuery(index, query, PixelRect{4, 4, 48, 48},
+                                   options, &stats);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  EXPECT_GT(stats.query_regions, 0);
+
+  double with_sim = 0.0;
+  double without_sim = 0.0;
+  for (const QueryMatch& m : *matches) {
+    if (m.image_id == 1) with_sim = m.similarity;
+    if (m.image_id == 2) without_sim = m.similarity;
+  }
+  // The ball-bearing image must clearly beat the ball-free one. Absolute
+  // coverage stays moderate: scene-rect corner windows mix in the query's
+  // sand background and match nothing on the grass-background target.
+  EXPECT_GT(with_sim, 0.15);
+  EXPECT_GT(with_sim, 2.0 * without_sim);
+}
+
+TEST(SceneQuery, WholeImageSceneApproximatesFullQuery) {
+  WalrusParams p = TestParams();
+  WalrusIndex index(p);
+  ImageF a = MakeSolid(64, 64, {0.8f, 0.2f, 0.2f});
+  ASSERT_TRUE(index.AddImage(1, "a", a).ok());
+
+  QueryOptions options;
+  options.epsilon = 0.05f;
+  auto full = ExecuteQuery(index, a, options);
+  auto scene = ExecuteSceneQuery(index, a, PixelRect{0, 0, 64, 64}, options);
+  ASSERT_TRUE(full.ok() && scene.ok());
+  ASSERT_FALSE(full->empty());
+  ASSERT_FALSE(scene->empty());
+  EXPECT_EQ((*full)[0].image_id, (*scene)[0].image_id);
+  EXPECT_NEAR((*full)[0].similarity, (*scene)[0].similarity, 1e-6);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,106 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/ground_truth.h"
+
+namespace walrus {
+namespace {
+
+RelevanceFn EvenIsRelevant() {
+  return [](uint64_t id) { return id % 2 == 0; };
+}
+
+TEST(Metrics, PrecisionAtK) {
+  std::vector<uint64_t> retrieved = {2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(retrieved, EvenIsRelevant(), 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(retrieved, EvenIsRelevant(), 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(retrieved, EvenIsRelevant(), 5), 3.0 / 5);
+}
+
+TEST(Metrics, PrecisionShortListCountsMissesAsIrrelevant) {
+  std::vector<uint64_t> retrieved = {2};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(retrieved, EvenIsRelevant(), 4), 0.25);
+}
+
+TEST(Metrics, RecallAtK) {
+  std::vector<uint64_t> retrieved = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAtK(retrieved, EvenIsRelevant(), 3, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(retrieved, EvenIsRelevant(), 1, 4), 0.25);
+  EXPECT_DOUBLE_EQ(RecallAtK(retrieved, EvenIsRelevant(), 3, 0), 0.0);
+}
+
+TEST(Metrics, AveragePrecisionPerfectRanking) {
+  std::vector<uint64_t> retrieved = {2, 4, 6, 1, 3};
+  EXPECT_DOUBLE_EQ(AveragePrecision(retrieved, EvenIsRelevant(), 3), 1.0);
+}
+
+TEST(Metrics, AveragePrecisionWorstRanking) {
+  std::vector<uint64_t> retrieved = {1, 3, 2, 4};
+  // Hits at ranks 3 (P=1/3) and 4 (P=2/4), 2 relevant total.
+  EXPECT_DOUBLE_EQ(AveragePrecision(retrieved, EvenIsRelevant(), 2),
+                   (1.0 / 3 + 0.5) / 2);
+}
+
+TEST(Metrics, NdcgPerfectRankingIsOne) {
+  std::vector<uint64_t> retrieved = {2, 4, 6, 1, 3};
+  EXPECT_DOUBLE_EQ(NdcgAtK(retrieved, EvenIsRelevant(), 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK(retrieved, EvenIsRelevant(), 5, 3), 1.0);
+}
+
+TEST(Metrics, NdcgPenalizesLateHits) {
+  // One relevant item at rank 3 vs rank 1.
+  std::vector<uint64_t> late = {1, 3, 2};
+  std::vector<uint64_t> early = {2, 1, 3};
+  double late_score = NdcgAtK(late, EvenIsRelevant(), 3, 1);
+  double early_score = NdcgAtK(early, EvenIsRelevant(), 3, 1);
+  EXPECT_DOUBLE_EQ(early_score, 1.0);
+  EXPECT_DOUBLE_EQ(late_score, 1.0 / 2.0);  // log2(3+1) = 2
+  EXPECT_LT(late_score, early_score);
+}
+
+TEST(Metrics, NdcgEdgeCases) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, EvenIsRelevant(), 5, 3), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({2}, EvenIsRelevant(), 5, 0), 0.0);
+  // Short list with hit at rank 1; ideal has 2 hits -> partial credit.
+  double score = NdcgAtK({2}, EvenIsRelevant(), 2, 2);
+  EXPECT_GT(score, 0.5);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(Metrics, MeanOf) {
+  EXPECT_DOUBLE_EQ(MeanOf({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanOf({}), 0.0);
+}
+
+TEST(GroundTruthTest, RelevanceBySharedLabel) {
+  DatasetParams params;
+  params.num_images = 12;
+  params.width = 32;
+  params.height = 32;
+  std::vector<LabeledImage> data = GenerateDataset(params);
+  GroundTruth gt(data);
+  // ids 0 and 6 share label (12 images over 6 classes).
+  EXPECT_TRUE(gt.Relevant(0, 6));
+  EXPECT_FALSE(gt.Relevant(0, 1));
+  EXPECT_FALSE(gt.Relevant(0, 999));
+  EXPECT_EQ(gt.LabelOf(3), 3);
+  EXPECT_EQ(gt.LabelOf(999), -1);
+}
+
+TEST(GroundTruthTest, ForQueryExcludesSelf) {
+  DatasetParams params;
+  params.num_images = 12;
+  params.width = 32;
+  params.height = 32;
+  GroundTruth gt(GenerateDataset(params));
+  RelevanceFn fn = gt.ForQuery(0);
+  EXPECT_FALSE(fn(0));  // self excluded
+  EXPECT_TRUE(fn(6));
+  EXPECT_FALSE(fn(1));
+  EXPECT_EQ(gt.RelevantCount(0), 1);  // one other image with the label
+  EXPECT_EQ(gt.RelevantCount(999), 0);
+}
+
+}  // namespace
+}  // namespace walrus

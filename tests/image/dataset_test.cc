@@ -1,0 +1,106 @@
+#include "image/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+DatasetParams SmallParams() {
+  DatasetParams p;
+  p.num_images = 12;
+  p.width = 64;
+  p.height = 64;
+  p.seed = 7;
+  return p;
+}
+
+TEST(Dataset, GeneratesRequestedCount) {
+  std::vector<LabeledImage> data = GenerateDataset(SmallParams());
+  ASSERT_EQ(data.size(), 12u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i].id, static_cast<int>(i));
+    EXPECT_EQ(data[i].image.width(), 64);
+    EXPECT_EQ(data[i].image.height(), 64);
+    EXPECT_EQ(data[i].image.channels(), 3);
+  }
+}
+
+TEST(Dataset, LabelsCycleUniformly) {
+  std::vector<LabeledImage> data = GenerateDataset(SmallParams());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(data[i].label),
+              static_cast<int>(i) % kNumObjectClasses);
+  }
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  std::vector<LabeledImage> a = GenerateDataset(SmallParams());
+  std::vector<LabeledImage> b = GenerateDataset(SmallParams());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].image.AlmostEquals(b[i].image)) << i;
+  }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  DatasetParams p = SmallParams();
+  std::vector<LabeledImage> a = GenerateDataset(p);
+  p.seed = 8;
+  std::vector<LabeledImage> b = GenerateDataset(p);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].image.AlmostEquals(b[i].image, 1e-3f)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Dataset, PlacementsRecordedAndInRange) {
+  DatasetParams p = SmallParams();
+  p.min_dominant = 2;
+  p.max_dominant = 3;
+  std::vector<LabeledImage> data = GenerateDataset(p);
+  for (const LabeledImage& scene : data) {
+    EXPECT_GE(scene.placements.size(), 2u);
+    EXPECT_LE(scene.placements.size(), 3u);
+    for (const auto& placement : scene.placements) {
+      EXPECT_GE(placement.size, 8);
+      EXPECT_LE(placement.size,
+                static_cast<int>(p.max_scale * 64) + 1);
+    }
+  }
+}
+
+TEST(Dataset, PixelValuesInUnitRange) {
+  std::vector<LabeledImage> data = GenerateDataset(SmallParams());
+  for (const LabeledImage& scene : data) {
+    for (int c = 0; c < 3; ++c) {
+      for (float v : scene.image.Plane(c)) {
+        ASSERT_GE(v, 0.0f);
+        ASSERT_LE(v, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Dataset, SaveWritesFilesAndManifest) {
+  DatasetParams p = SmallParams();
+  p.num_images = 3;
+  std::vector<LabeledImage> data = GenerateDataset(p);
+  std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(SaveDataset(data, dir).ok());
+  for (int i = 0; i < 3; ++i) {
+    std::string path = dir + "/img_" + std::to_string(i) + ".ppm";
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << path;
+    fclose(f);
+    std::remove(path.c_str());
+  }
+  std::string manifest = dir + "/labels.txt";
+  FILE* f = fopen(manifest.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  fclose(f);
+  std::remove(manifest.c_str());
+}
+
+}  // namespace
+}  // namespace walrus

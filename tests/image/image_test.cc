@@ -1,0 +1,109 @@
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+TEST(ImageF, DefaultIsEmpty) {
+  ImageF img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.PixelCount(), 0);
+}
+
+TEST(ImageF, ConstructZeroFilled) {
+  ImageF img(4, 3, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 3);
+  EXPECT_EQ(img.PixelCount(), 12);
+  for (int c = 0; c < 3; ++c) {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        EXPECT_FLOAT_EQ(img.At(c, x, y), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(ImageF, AtReadsWhatWasWritten) {
+  ImageF img(8, 8, 3);
+  img.At(1, 3, 5) = 0.7f;
+  EXPECT_FLOAT_EQ(img.At(1, 3, 5), 0.7f);
+  EXPECT_FLOAT_EQ(img.At(0, 3, 5), 0.0f);
+  EXPECT_FLOAT_EQ(img.At(1, 5, 3), 0.0f);
+}
+
+TEST(ImageF, AtClampedExtendsBorders) {
+  ImageF img(2, 2, 1);
+  img.At(0, 0, 0) = 0.1f;
+  img.At(0, 1, 0) = 0.2f;
+  img.At(0, 0, 1) = 0.3f;
+  img.At(0, 1, 1) = 0.4f;
+  EXPECT_FLOAT_EQ(img.AtClamped(0, -5, -5), 0.1f);
+  EXPECT_FLOAT_EQ(img.AtClamped(0, 10, -1), 0.2f);
+  EXPECT_FLOAT_EQ(img.AtClamped(0, -1, 10), 0.3f);
+  EXPECT_FLOAT_EQ(img.AtClamped(0, 10, 10), 0.4f);
+}
+
+TEST(ImageF, FillAndPixelAccessors) {
+  ImageF img(3, 3, 3);
+  img.Fill(0.25f);
+  EXPECT_EQ(img.GetPixel(2, 2), std::vector<float>({0.25f, 0.25f, 0.25f}));
+  img.SetPixel(1, 1, {0.1f, 0.2f, 0.3f});
+  EXPECT_EQ(img.GetPixel(1, 1), std::vector<float>({0.1f, 0.2f, 0.3f}));
+}
+
+TEST(ImageF, ClampToUnit) {
+  ImageF img(2, 1, 1);
+  img.At(0, 0, 0) = -0.5f;
+  img.At(0, 1, 0) = 1.5f;
+  img.ClampToUnit();
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 1, 0), 1.0f);
+}
+
+TEST(ImageF, CropExtractsSubimage) {
+  ImageF img(6, 6, 1);
+  for (int y = 0; y < 6; ++y) {
+    for (int x = 0; x < 6; ++x) img.At(0, x, y) = x + 10.0f * y;
+  }
+  ImageF crop = img.Crop(2, 3, 3, 2);
+  EXPECT_EQ(crop.width(), 3);
+  EXPECT_EQ(crop.height(), 2);
+  EXPECT_FLOAT_EQ(crop.At(0, 0, 0), 2 + 30.0f);
+  EXPECT_FLOAT_EQ(crop.At(0, 2, 1), 4 + 40.0f);
+}
+
+TEST(ImageF, ChannelMean) {
+  ImageF img(2, 2, 1);
+  img.At(0, 0, 0) = 0.0f;
+  img.At(0, 1, 0) = 1.0f;
+  img.At(0, 0, 1) = 1.0f;
+  img.At(0, 1, 1) = 0.0f;
+  EXPECT_DOUBLE_EQ(img.ChannelMean(0), 0.5);
+}
+
+TEST(ImageF, AlmostEquals) {
+  ImageF a(2, 2, 1);
+  ImageF b(2, 2, 1);
+  EXPECT_TRUE(a.AlmostEquals(b));
+  b.At(0, 0, 0) = 1e-7f;
+  EXPECT_TRUE(a.AlmostEquals(b, 1e-6f));
+  b.At(0, 0, 0) = 0.1f;
+  EXPECT_FALSE(a.AlmostEquals(b, 1e-6f));
+  ImageF c(2, 3, 1);
+  EXPECT_FALSE(a.AlmostEquals(c));
+}
+
+TEST(ImageF, ColorSpaceTagging) {
+  ImageF img(1, 1, 3, ColorSpace::kYCC);
+  EXPECT_EQ(img.color_space(), ColorSpace::kYCC);
+  img.set_color_space(ColorSpace::kRGB);
+  EXPECT_EQ(img.color_space(), ColorSpace::kRGB);
+  EXPECT_STREQ(ColorSpaceName(ColorSpace::kYIQ), "YIQ");
+  EXPECT_STREQ(ColorSpaceName(ColorSpace::kGray), "Gray");
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,91 @@
+// Robustness fuzzing for the PNM codec: arbitrary bytes and corrupted valid
+// files must produce Status errors, never crashes or out-of-bounds reads.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "image/pnm_io.h"
+
+namespace walrus {
+namespace {
+
+TEST(PnmFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(1001);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> bytes(rng.NextInt(0, 300));
+    for (uint8_t& b : bytes) b = static_cast<uint8_t>(rng.NextU32());
+    Result<ImageF> result = DecodePnm(bytes);
+    if (result.ok()) {
+      // Astronomically unlikely, but if it parses it must be well-formed.
+      EXPECT_GT(result->width(), 0);
+      EXPECT_GT(result->height(), 0);
+    }
+  }
+}
+
+TEST(PnmFuzz, GarbageWithValidMagicNeverCrashes) {
+  Rng rng(1002);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string header = trial % 2 == 0 ? "P6\n" : "P5\n";
+    std::vector<uint8_t> bytes(header.begin(), header.end());
+    int extra = rng.NextInt(0, 100);
+    for (int i = 0; i < extra; ++i) {
+      // Mix digits, whitespace and junk to exercise the header parser.
+      uint32_t pick = rng.NextBounded(4);
+      char c;
+      if (pick == 0) {
+        c = static_cast<char>('0' + rng.NextBounded(10));
+      } else if (pick == 1) {
+        c = ' ';
+      } else if (pick == 2) {
+        c = '\n';
+      } else {
+        c = static_cast<char>(rng.NextU32());
+      }
+      bytes.push_back(static_cast<uint8_t>(c));
+    }
+    (void)DecodePnm(bytes);  // must not crash
+  }
+}
+
+TEST(PnmFuzz, TruncatedValidFilesReturnErrors) {
+  Rng rng(1003);
+  ImageF img(13, 9, 3, ColorSpace::kRGB);
+  for (float& v : img.Plane(0)) v = rng.NextFloat();
+  std::vector<uint8_t> valid = EncodePnm(img).value();
+  // Every strict prefix must fail cleanly.
+  for (size_t len = 0; len < valid.size(); len += 7) {
+    std::vector<uint8_t> prefix(valid.begin(), valid.begin() + len);
+    Result<ImageF> result = DecodePnm(prefix);
+    EXPECT_FALSE(result.ok()) << "prefix length " << len;
+  }
+  // The full file still decodes.
+  EXPECT_TRUE(DecodePnm(valid).ok());
+}
+
+TEST(PnmFuzz, SingleByteCorruptionNeverCrashes) {
+  Rng rng(1004);
+  ImageF img(8, 8, 1, ColorSpace::kGray);
+  for (float& v : img.Plane(0)) v = rng.NextFloat();
+  std::vector<uint8_t> valid = EncodePnm(img).value();
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint8_t> mutated = valid;
+    size_t pos = rng.NextBounded(static_cast<uint32_t>(mutated.size()));
+    mutated[pos] = static_cast<uint8_t>(rng.NextU32());
+    Result<ImageF> result = DecodePnm(mutated);
+    if (result.ok()) {
+      // Raster corruption still yields a structurally valid image.
+      EXPECT_EQ(result->PixelCount(), 64);
+    }
+  }
+}
+
+TEST(PnmFuzz, HugeClaimedDimensionsRejected) {
+  std::string data = "P5\n999999999 999999999\n255\nxx";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  Result<ImageF> result = DecodePnm(bytes);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,136 @@
+#include "image/pnm_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+ImageF RandomImage(int w, int h, int channels, uint64_t seed) {
+  Rng rng(seed);
+  ImageF img(w, h, channels,
+             channels == 3 ? ColorSpace::kRGB : ColorSpace::kGray);
+  for (int c = 0; c < channels; ++c) {
+    for (float& v : img.Plane(c)) v = rng.NextFloat();
+  }
+  return img;
+}
+
+TEST(PnmIo, EncodeHeaderP6) {
+  ImageF img(5, 7, 3);
+  Result<std::vector<uint8_t>> bytes = EncodePnm(img);
+  ASSERT_TRUE(bytes.ok());
+  std::string head(bytes->begin(), bytes->begin() + 11);
+  EXPECT_EQ(head, "P6\n5 7\n255\n");
+  EXPECT_EQ(bytes->size(), 11u + 5 * 7 * 3);
+}
+
+TEST(PnmIo, RoundTripColor) {
+  ImageF img = RandomImage(17, 9, 3, 5);
+  Result<ImageF> decoded = DecodePnm(EncodePnm(img).value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->width(), 17);
+  EXPECT_EQ(decoded->height(), 9);
+  EXPECT_EQ(decoded->channels(), 3);
+  // 8-bit quantization: half-step tolerance.
+  EXPECT_TRUE(decoded->AlmostEquals(img, 0.5f / 255.0f + 1e-5f));
+}
+
+TEST(PnmIo, RoundTripGray) {
+  ImageF img = RandomImage(8, 8, 1, 6);
+  Result<ImageF> decoded = DecodePnm(EncodePnm(img).value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->channels(), 1);
+  EXPECT_EQ(decoded->color_space(), ColorSpace::kGray);
+  EXPECT_TRUE(decoded->AlmostEquals(img, 0.5f / 255.0f + 1e-5f));
+}
+
+TEST(PnmIo, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/walrus_pnm_test.ppm";
+  ImageF img = RandomImage(12, 4, 3, 7);
+  ASSERT_TRUE(WritePnm(img, path).ok());
+  Result<ImageF> read = ReadPnm(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->AlmostEquals(img, 0.5f / 255.0f + 1e-5f));
+  std::remove(path.c_str());
+}
+
+TEST(PnmIo, CommentsInHeaderSkipped) {
+  std::string data = "P5\n# a comment\n2 1\n# another\n255\n\x10\x20";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  Result<ImageF> img = DecodePnm(bytes);
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(img->width(), 2);
+  EXPECT_NEAR(img->At(0, 0, 0), 0x10 / 255.0f, 1e-5f);
+  EXPECT_NEAR(img->At(0, 1, 0), 0x20 / 255.0f, 1e-5f);
+}
+
+TEST(PnmIo, AsciiP2Decodes) {
+  std::string data = "P2\n3 2\n255\n0 128 255\n64 32 16\n";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  Result<ImageF> img = DecodePnm(bytes);
+  ASSERT_TRUE(img.ok()) << img.status();
+  EXPECT_EQ(img->width(), 3);
+  EXPECT_EQ(img->height(), 2);
+  EXPECT_EQ(img->channels(), 1);
+  EXPECT_NEAR(img->At(0, 1, 0), 128 / 255.0f, 1e-5f);
+  EXPECT_NEAR(img->At(0, 2, 1), 16 / 255.0f, 1e-5f);
+}
+
+TEST(PnmIo, AsciiP3DecodesWithCustomMaxval) {
+  std::string data = "P3\n2 1\n15\n15 0 0  0 15 0\n";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  Result<ImageF> img = DecodePnm(bytes);
+  ASSERT_TRUE(img.ok()) << img.status();
+  EXPECT_EQ(img->channels(), 3);
+  EXPECT_NEAR(img->At(0, 0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(img->At(1, 1, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(img->At(2, 1, 0), 0.0f, 1e-5f);
+}
+
+TEST(PnmIo, AsciiRejectsSampleAboveMaxval) {
+  std::string data = "P2\n1 1\n100\n101\n";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  EXPECT_FALSE(DecodePnm(bytes).ok());
+}
+
+TEST(PnmIo, AsciiRejectsTruncatedRaster) {
+  std::string data = "P3\n2 2\n255\n1 2 3\n";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  EXPECT_FALSE(DecodePnm(bytes).ok());
+}
+
+TEST(PnmIo, RejectsBadMagic) {
+  std::string data = "P3\n1 1\n255\nxyz";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  EXPECT_FALSE(DecodePnm(bytes).ok());
+}
+
+TEST(PnmIo, RejectsTruncatedRaster) {
+  std::string data = "P5\n4 4\n255\nxy";  // needs 16 bytes, has 2
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  Result<ImageF> img = DecodePnm(bytes);
+  ASSERT_FALSE(img.ok());
+  EXPECT_EQ(img.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PnmIo, RejectsNonUnitMaxval) {
+  std::string data = "P5\n1 1\n65535\nxx";
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  EXPECT_FALSE(DecodePnm(bytes).ok());
+}
+
+TEST(PnmIo, RejectsTwoChannelImage) {
+  ImageF img(2, 2, 2);
+  EXPECT_FALSE(EncodePnm(img).ok());
+}
+
+TEST(PnmIo, RejectsEmptyImage) {
+  EXPECT_FALSE(EncodePnm(ImageF()).ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,150 @@
+#include "image/synth.h"
+
+#include <gtest/gtest.h>
+
+namespace walrus {
+namespace {
+
+TEST(Synth, SolidIsUniform) {
+  ImageF img = MakeSolid(8, 8, {0.2f, 0.4f, 0.6f});
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_FLOAT_EQ(img.At(0, x, y), 0.2f);
+      EXPECT_FLOAT_EQ(img.At(1, x, y), 0.4f);
+      EXPECT_FLOAT_EQ(img.At(2, x, y), 0.6f);
+    }
+  }
+}
+
+TEST(Synth, GradientEndpoints) {
+  ImageF img = MakeLinearGradient(4, 16, {0, 0, 0}, {1, 1, 1});
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 0, 15), 1.0f);
+  EXPECT_GT(img.At(0, 0, 10), img.At(0, 0, 3));
+  ImageF horizontal = MakeLinearGradient(16, 4, {0, 0, 0}, {1, 1, 1}, true);
+  EXPECT_FLOAT_EQ(horizontal.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(horizontal.At(0, 15, 0), 1.0f);
+}
+
+TEST(Synth, CheckerboardAlternates) {
+  ImageF img = MakeCheckerboard(8, 8, 2, {0, 0, 0}, {1, 1, 1});
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 2, 2), 0.0f);
+}
+
+TEST(Synth, StripesPeriod) {
+  ImageF img = MakeStripes(16, 2, 8, false, {0, 0, 0}, {1, 1, 1});
+  EXPECT_FLOAT_EQ(img.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 4, 0), 1.0f);
+  EXPECT_FLOAT_EQ(img.At(0, 8, 0), 0.0f);
+}
+
+TEST(Synth, ValueNoiseInRangeAndVaried) {
+  Rng rng(5);
+  ImageF img = MakeValueNoise(32, 32, 8, {0, 0, 0}, {1, 1, 1}, &rng);
+  float lo = 1.0f;
+  float hi = 0.0f;
+  for (float v : img.Plane(0)) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.2f);  // actually textured, not flat
+}
+
+TEST(Synth, ValueNoiseDeterministicPerSeed) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  ImageF a = MakeValueNoise(16, 16, 4, {0, 0, 0}, {1, 1, 1}, &rng_a);
+  ImageF b = MakeValueNoise(16, 16, 4, {0, 0, 0}, {1, 1, 1}, &rng_b);
+  EXPECT_TRUE(a.AlmostEquals(b));
+}
+
+TEST(Synth, BrickWallHasMortarLines) {
+  Rng rng(6);
+  Color3 brick{0.6f, 0.25f, 0.15f};
+  Color3 grout{0.75f, 0.7f, 0.65f};
+  ImageF img = MakeBrickWall(64, 64, 14, 6, 2, brick, grout, &rng);
+  // Row 6 (first mortar course) should be mostly grout-colored.
+  int groutish = 0;
+  for (int x = 0; x < 64; ++x) {
+    if (std::abs(img.At(0, x, 6) - grout.r) < 0.08f) ++groutish;
+  }
+  EXPECT_GT(groutish, 48);
+}
+
+TEST(Synth, GrassIsGreenDominant) {
+  Rng rng(7);
+  ImageF img = MakeGrass(32, 32, {0.2f, 0.55f, 0.15f}, &rng);
+  EXPECT_GT(img.ChannelMean(1), img.ChannelMean(0));
+  EXPECT_GT(img.ChannelMean(1), img.ChannelMean(2));
+}
+
+class ObjectRenderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ObjectRenderTest, ProducesNonEmptyMaskInsideBounds) {
+  ObjectClass cls = static_cast<ObjectClass>(GetParam());
+  Rng rng(100 + GetParam());
+  ImageF patch, mask;
+  RenderObject(cls, 32, ObjectStyle{}, &rng, &patch, &mask);
+  ASSERT_EQ(patch.width(), 32);
+  ASSERT_EQ(mask.channels(), 1);
+  double coverage = mask.ChannelMean(0);
+  EXPECT_GT(coverage, 0.1) << ObjectClassName(cls);
+  EXPECT_LT(coverage, 0.95) << ObjectClassName(cls);
+  for (float v : mask.Plane(0)) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+  // Colors are valid wherever the mask is set.
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (mask.At(0, x, y) > 0.0f) {
+        for (int c = 0; c < 3; ++c) {
+          ASSERT_GE(patch.At(c, x, y), 0.0f);
+          ASSERT_LE(patch.At(c, x, y), 1.0f);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, ObjectRenderTest,
+                         ::testing::Range(0, kNumObjectClasses));
+
+TEST(Synth, ObjectClassesAreChromaticallyDistinct) {
+  // Flowers skew red, leaves skew green, balls skew blue.
+  Rng rng(8);
+  ImageF flower, fmask, leaf, lmask, ball, bmask;
+  RenderObject(ObjectClass::kFlower, 32, {}, &rng, &flower, &fmask);
+  RenderObject(ObjectClass::kLeaf, 32, {}, &rng, &leaf, &lmask);
+  RenderObject(ObjectClass::kBall, 32, {}, &rng, &ball, &bmask);
+
+  auto masked_mean = [](const ImageF& img, const ImageF& mask, int c) {
+    double sum = 0.0, weight = 0.0;
+    for (int y = 0; y < img.height(); ++y) {
+      for (int x = 0; x < img.width(); ++x) {
+        double m = mask.At(0, x, y);
+        sum += m * img.At(c, x, y);
+        weight += m;
+      }
+    }
+    return sum / weight;
+  };
+  EXPECT_GT(masked_mean(flower, fmask, 0), masked_mean(flower, fmask, 2));
+  EXPECT_GT(masked_mean(leaf, lmask, 1), masked_mean(leaf, lmask, 0));
+  EXPECT_GT(masked_mean(ball, bmask, 2), masked_mean(ball, bmask, 0));
+}
+
+TEST(Synth, LerpColor) {
+  Color3 mid = LerpColor({0, 0, 0}, {1.0f, 0.5f, 0.0f}, 0.5f);
+  EXPECT_FLOAT_EQ(mid.r, 0.5f);
+  EXPECT_FLOAT_EQ(mid.g, 0.25f);
+  EXPECT_FLOAT_EQ(mid.b, 0.0f);
+}
+
+}  // namespace
+}  // namespace walrus

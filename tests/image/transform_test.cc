@@ -1,0 +1,195 @@
+#include "image/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+ImageF Ramp(int w, int h) {
+  ImageF img(w, h, 1, ColorSpace::kGray);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      img.At(0, x, y) = static_cast<float>(x + y * w) / (w * h);
+    }
+  }
+  return img;
+}
+
+TEST(Resize, IdentityKeepsImage) {
+  ImageF img = Ramp(8, 6);
+  for (ResizeFilter f : {ResizeFilter::kNearest, ResizeFilter::kBilinear,
+                         ResizeFilter::kBoxAverage}) {
+    ImageF out = Resize(img, 8, 6, f);
+    EXPECT_TRUE(out.AlmostEquals(img, 1e-5f)) << static_cast<int>(f);
+  }
+}
+
+TEST(Resize, BoxAveragePreservesMean) {
+  Rng rng(2);
+  ImageF img(16, 16, 1, ColorSpace::kGray);
+  for (float& v : img.Plane(0)) v = rng.NextFloat();
+  ImageF down = Resize(img, 4, 4, ResizeFilter::kBoxAverage);
+  EXPECT_NEAR(down.ChannelMean(0), img.ChannelMean(0), 1e-5);
+}
+
+TEST(Resize, UpscaleConstantStaysConstant) {
+  ImageF img(4, 4, 3);
+  img.Fill(0.37f);
+  for (ResizeFilter f : {ResizeFilter::kNearest, ResizeFilter::kBilinear,
+                         ResizeFilter::kBoxAverage}) {
+    ImageF up = Resize(img, 13, 9, f);
+    EXPECT_EQ(up.width(), 13);
+    EXPECT_EQ(up.height(), 9);
+    for (int c = 0; c < 3; ++c) {
+      for (float v : up.Plane(c)) ASSERT_NEAR(v, 0.37f, 1e-5f);
+    }
+  }
+}
+
+TEST(Flip, HorizontalTwiceIsIdentity) {
+  ImageF img = Ramp(7, 5);
+  EXPECT_TRUE(FlipHorizontal(FlipHorizontal(img)).AlmostEquals(img));
+  EXPECT_FALSE(FlipHorizontal(img).AlmostEquals(img));
+}
+
+TEST(Flip, VerticalMovesTopRowToBottom) {
+  ImageF img = Ramp(3, 3);
+  ImageF flipped = FlipVertical(img);
+  for (int x = 0; x < 3; ++x) {
+    EXPECT_FLOAT_EQ(flipped.At(0, x, 0), img.At(0, x, 2));
+    EXPECT_FLOAT_EQ(flipped.At(0, x, 2), img.At(0, x, 0));
+  }
+}
+
+TEST(Rotate90, FourTimesIsIdentity) {
+  ImageF img = Ramp(6, 4);
+  ImageF rotated = Rotate90(Rotate90(Rotate90(Rotate90(img))));
+  EXPECT_TRUE(rotated.AlmostEquals(img));
+}
+
+TEST(Rotate90, SwapsDimensions) {
+  ImageF img = Ramp(6, 4);
+  ImageF rotated = Rotate90(img);
+  EXPECT_EQ(rotated.width(), 4);
+  EXPECT_EQ(rotated.height(), 6);
+  // Top-left goes to top-right.
+  EXPECT_FLOAT_EQ(rotated.At(0, 3, 0), img.At(0, 0, 0));
+}
+
+TEST(Rotate, ZeroDegreesIsIdentity) {
+  ImageF img = Ramp(9, 7);
+  EXPECT_TRUE(Rotate(img, 0.0f).AlmostEquals(img, 1e-5f));
+}
+
+TEST(Rotate, NinetyDegreesMatchesRotate90OnSquare) {
+  // Arbitrary-angle rotation at 90 degrees agrees with the exact version
+  // away from boundary interpolation.
+  ImageF img = Ramp(17, 17);
+  ImageF exact = Rotate90(img);
+  ImageF interp = Rotate(img, 90.0f);
+  int mismatches = 0;
+  for (int y = 2; y < 15; ++y) {
+    for (int x = 2; x < 15; ++x) {
+      if (std::abs(exact.At(0, x, y) - interp.At(0, x, y)) > 1e-3f) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(Rotate, RoundTripRecoversInterior) {
+  ImageF img = Ramp(33, 33);
+  ImageF back = Rotate(Rotate(img, 30.0f), -30.0f);
+  // The interior survives the round trip (corners get clipped to fill).
+  for (int y = 12; y < 21; ++y) {
+    for (int x = 12; x < 21; ++x) {
+      EXPECT_NEAR(back.At(0, x, y), img.At(0, x, y), 0.02f) << x << "," << y;
+    }
+  }
+}
+
+TEST(Rotate, FillAppearsInCorners) {
+  ImageF img(16, 16, 1, ColorSpace::kGray);
+  img.Fill(1.0f);
+  ImageF rotated = Rotate(img, 45.0f, 0.0f);
+  // Rotating a square by 45 degrees clips the corners to the fill value.
+  EXPECT_LT(rotated.At(0, 0, 0), 0.5f);
+  EXPECT_LT(rotated.At(0, 15, 15), 0.5f);
+  // The center is untouched.
+  EXPECT_NEAR(rotated.At(0, 8, 8), 1.0f, 1e-3f);
+}
+
+TEST(Translate, ShiftsContentAndFills) {
+  ImageF img = Ramp(4, 4);
+  ImageF shifted = Translate(img, 2, 1, -1.0f);
+  EXPECT_FLOAT_EQ(shifted.At(0, 0, 0), -1.0f);  // vacated
+  EXPECT_FLOAT_EQ(shifted.At(0, 2, 1), img.At(0, 0, 0));
+  EXPECT_FLOAT_EQ(shifted.At(0, 3, 3), img.At(0, 1, 2));
+}
+
+TEST(TranslateWrap, IsPeriodic) {
+  ImageF img = Ramp(5, 3);
+  ImageF wrapped = TranslateWrap(img, 5, 3);
+  EXPECT_TRUE(wrapped.AlmostEquals(img));
+  ImageF once = TranslateWrap(img, 2, 1);
+  ImageF back = TranslateWrap(once, -2, -1);
+  EXPECT_TRUE(back.AlmostEquals(img));
+}
+
+TEST(Composite, PastesWithClipping) {
+  ImageF canvas(4, 4, 1, ColorSpace::kGray);
+  ImageF patch(2, 2, 1, ColorSpace::kGray);
+  patch.Fill(1.0f);
+  Composite(&canvas, patch, 3, 3);  // only 1 pixel lands
+  EXPECT_FLOAT_EQ(canvas.At(0, 3, 3), 1.0f);
+  EXPECT_FLOAT_EQ(canvas.At(0, 2, 2), 0.0f);
+  Composite(&canvas, patch, -1, -1);  // only lower-right pixel lands
+  EXPECT_FLOAT_EQ(canvas.At(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(canvas.At(0, 1, 0), 0.0f);
+}
+
+TEST(Composite, MaskBlends) {
+  ImageF canvas(1, 1, 1, ColorSpace::kGray);
+  canvas.Fill(0.0f);
+  ImageF patch(1, 1, 1, ColorSpace::kGray);
+  patch.Fill(1.0f);
+  ImageF mask(1, 1, 1, ColorSpace::kGray);
+  mask.Fill(0.25f);
+  Composite(&canvas, patch, 0, 0, &mask);
+  EXPECT_FLOAT_EQ(canvas.At(0, 0, 0), 0.25f);
+}
+
+TEST(Noise, ZeroSigmaIsIdentity) {
+  Rng rng(1);
+  ImageF img = Ramp(4, 4);
+  EXPECT_TRUE(AddGaussianNoise(img, 0.0f, &rng).AlmostEquals(img));
+}
+
+TEST(Noise, PerturbsWithinReason) {
+  Rng rng(2);
+  ImageF img(32, 32, 1, ColorSpace::kGray);
+  img.Fill(0.5f);
+  ImageF noisy = AddGaussianNoise(img, 0.05f, &rng);
+  EXPECT_NEAR(noisy.ChannelMean(0), 0.5, 0.01);
+  EXPECT_FALSE(noisy.AlmostEquals(img, 1e-4f));
+}
+
+TEST(Posterize, QuantizesToLevels) {
+  ImageF img(3, 1, 1, ColorSpace::kGray);
+  img.At(0, 0, 0) = 0.1f;
+  img.At(0, 1, 0) = 0.5f;
+  img.At(0, 2, 0) = 0.8f;
+  ImageF p = Posterize(img, 2);  // only 0 or 1
+  EXPECT_FLOAT_EQ(p.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p.At(0, 1, 0), 1.0f);  // 0.5 rounds up
+  EXPECT_FLOAT_EQ(p.At(0, 2, 0), 1.0f);
+  ImageF p3 = Posterize(img, 3);  // 0, 0.5, 1
+  EXPECT_FLOAT_EQ(p3.At(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(p3.At(0, 1, 0), 0.5f);
+}
+
+}  // namespace
+}  // namespace walrus

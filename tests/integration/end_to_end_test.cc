@@ -1,0 +1,205 @@
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/color_histogram.h"
+#include "baselines/wbiis.h"
+#include "core/index.h"
+#include "core/query.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "image/dataset.h"
+
+namespace walrus {
+namespace {
+
+/// Shared fixture: a small synthetic dataset indexed by WALRUS once for the
+/// whole suite (indexing dominates the runtime).
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetParams dp;
+    dp.num_images = 36;
+    dp.width = 96;
+    dp.height = 96;
+    dp.seed = 11;
+    dp.min_dominant = 1;
+    dp.max_dominant = 2;
+    dataset_ = new std::vector<LabeledImage>(GenerateDataset(dp));
+    truth_ = new GroundTruth(*dataset_);
+
+    WalrusParams wp;
+    wp.min_window = 16;
+    wp.max_window = 64;  // multi-scale windows: the paper's scale story
+    wp.slide_step = 8;
+    wp.cluster_epsilon = 0.05;
+    index_ = new WalrusIndex(wp);
+    for (const LabeledImage& scene : *dataset_) {
+      ASSERT_TRUE(index_
+                      ->AddImage(static_cast<uint64_t>(scene.id),
+                                 "scene_" + std::to_string(scene.id),
+                                 scene.image)
+                      .ok());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete index_;
+    delete truth_;
+    delete dataset_;
+    index_ = nullptr;
+    truth_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static std::vector<LabeledImage>* dataset_;
+  static GroundTruth* truth_;
+  static WalrusIndex* index_;
+};
+
+std::vector<LabeledImage>* EndToEndTest::dataset_ = nullptr;
+GroundTruth* EndToEndTest::truth_ = nullptr;
+WalrusIndex* EndToEndTest::index_ = nullptr;
+
+TEST_F(EndToEndTest, EveryImageIndexedWithRegions) {
+  EXPECT_EQ(index_->ImageCount(), dataset_->size());
+  EXPECT_GE(index_->RegionCount(), dataset_->size());
+  for (const LabeledImage& scene : *dataset_) {
+    Result<std::vector<Region>> regions =
+        index_->ImageRegions(static_cast<uint64_t>(scene.id));
+    ASSERT_TRUE(regions.ok());
+    EXPECT_FALSE(regions->empty()) << scene.id;
+  }
+}
+
+TEST_F(EndToEndTest, SelfQueryReturnsSelfFirst) {
+  QueryOptions options;
+  options.epsilon = 0.03f;
+  for (int id : {0, 5, 11}) {
+    Result<std::vector<QueryMatch>> matches =
+        ExecuteQuery(*index_, (*dataset_)[id].image, options);
+    ASSERT_TRUE(matches.ok());
+    ASSERT_FALSE(matches->empty()) << id;
+    // Self must reach (near) full similarity; another image may tie at 1.0
+    // under the quick matcher, but nothing may rank strictly above self.
+    double self_similarity = -1.0;
+    for (const QueryMatch& m : *matches) {
+      if (m.image_id == static_cast<uint64_t>(id)) {
+        self_similarity = m.similarity;
+      }
+    }
+    ASSERT_GE(self_similarity, 0.0) << "self not retrieved for " << id;
+    EXPECT_GT(self_similarity, 0.95) << id;
+    EXPECT_LE((*matches)[0].similarity, self_similarity + 1e-9) << id;
+  }
+}
+
+TEST_F(EndToEndTest, RetrievalBeatsRandomBaseline) {
+  // With 6 balanced classes, random precision@5 = 1/6. WALRUS should be
+  // well above that averaged over several queries.
+  QueryOptions options;
+  options.epsilon = 0.085f;
+  std::vector<double> precisions;
+  for (int id = 0; id < 12; ++id) {
+    Result<std::vector<QueryMatch>> matches =
+        ExecuteQuery(*index_, (*dataset_)[id].image, options);
+    ASSERT_TRUE(matches.ok());
+    std::vector<uint64_t> retrieved;
+    for (const QueryMatch& m : *matches) {
+      if (m.image_id != static_cast<uint64_t>(id)) {
+        retrieved.push_back(m.image_id);
+      }
+    }
+    precisions.push_back(
+        PrecisionAtK(retrieved, truth_->ForQuery(id), 5));
+  }
+  EXPECT_GT(MeanOf(precisions), 1.0 / 6 + 0.1);
+}
+
+TEST_F(EndToEndTest, PersistedIndexAnswersIdentically) {
+  std::string prefix = ::testing::TempDir() + "/walrus_e2e_index";
+  ASSERT_TRUE(index_->Save(prefix).ok());
+  Result<WalrusIndex> reopened = WalrusIndex::Open(prefix);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+
+  QueryOptions options;
+  options.epsilon = 0.06f;
+  for (int id : {1, 7}) {
+    Result<std::vector<QueryMatch>> a =
+        ExecuteQuery(*index_, (*dataset_)[id].image, options);
+    Result<std::vector<QueryMatch>> b =
+        ExecuteQuery(*reopened, (*dataset_)[id].image, options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].image_id, (*b)[i].image_id);
+      EXPECT_NEAR((*a)[i].similarity, (*b)[i].similarity, 1e-6);
+    }
+  }
+  std::remove((prefix + ".catalog").c_str());
+  std::remove((prefix + ".index").c_str());
+}
+
+TEST_F(EndToEndTest, GreedyMatcherEndToEnd) {
+  QueryOptions options;
+  options.epsilon = 0.085f;
+  options.matcher = MatcherKind::kGreedy;
+  Result<std::vector<QueryMatch>> matches =
+      ExecuteQuery(*index_, (*dataset_)[2].image, options);
+  ASSERT_TRUE(matches.ok());
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].image_id, 2u);
+}
+
+TEST_F(EndToEndTest, WalrusHandlesTranslationBetterThanWbiis) {
+  // The Figure 7 vs Figure 8 story, quantified: query with object moved,
+  // compare the rank of the ground-truth partner image.
+  QueryOptions options;
+  options.epsilon = 0.085f;
+
+  WbiisRetriever wbiis;
+  ColorHistogramRetriever histogram;
+  for (const LabeledImage& scene : *dataset_) {
+    ASSERT_TRUE(
+        wbiis.AddImage(static_cast<uint64_t>(scene.id), scene.image).ok());
+    ASSERT_TRUE(
+        histogram.AddImage(static_cast<uint64_t>(scene.id), scene.image)
+            .ok());
+  }
+
+  std::vector<double> walrus_precisions;
+  std::vector<double> wbiis_precisions;
+  for (int id = 0; id < 12; ++id) {
+    RelevanceFn relevant = truth_->ForQuery(id);
+
+    Result<std::vector<QueryMatch>> wq =
+        ExecuteQuery(*index_, (*dataset_)[id].image, options);
+    ASSERT_TRUE(wq.ok());
+    std::vector<uint64_t> walrus_ids;
+    for (const QueryMatch& m : *wq) {
+      if (m.image_id != static_cast<uint64_t>(id)) {
+        walrus_ids.push_back(m.image_id);
+      }
+    }
+
+    Result<std::vector<BaselineMatch>> bq =
+        wbiis.Query((*dataset_)[id].image, 0);
+    ASSERT_TRUE(bq.ok());
+    std::vector<uint64_t> wbiis_ids;
+    for (const BaselineMatch& m : *bq) {
+      if (m.image_id != static_cast<uint64_t>(id)) {
+        wbiis_ids.push_back(m.image_id);
+      }
+    }
+
+    walrus_precisions.push_back(PrecisionAtK(walrus_ids, relevant, 5));
+    wbiis_precisions.push_back(PrecisionAtK(wbiis_ids, relevant, 5));
+  }
+  // WALRUS's region model should not lose to the whole-image baseline on
+  // this translation/scale-heavy dataset.
+  EXPECT_GE(MeanOf(walrus_precisions), MeanOf(wbiis_precisions) - 0.05);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "spatial/rstar_tree.h"
+
+namespace walrus {
+namespace {
+
+std::vector<std::pair<Rect, uint64_t>> RandomEntries(int n, int dim,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Rect, uint64_t>> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> p(dim);
+    for (float& v : p) v = rng.NextFloat();
+    entries.emplace_back(Rect::Point(p), static_cast<uint64_t>(i));
+  }
+  return entries;
+}
+
+TEST(RStarBulkLoad, EmptyAndTiny) {
+  RStarTree empty = RStarTree::BulkLoad(2, {});
+  EXPECT_EQ(empty.size(), 0);
+  EXPECT_TRUE(empty.CheckInvariants().ok());
+
+  RStarTree one = RStarTree::BulkLoad(2, RandomEntries(1, 2, 1));
+  EXPECT_EQ(one.size(), 1);
+  EXPECT_EQ(one.height(), 1);
+  EXPECT_TRUE(one.CheckInvariants().ok()) << one.CheckInvariants();
+}
+
+class BulkLoadSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BulkLoadSweep, InvariantsAndQueriesMatchIncremental) {
+  auto [n, dim] = GetParam();
+  std::vector<std::pair<Rect, uint64_t>> entries =
+      RandomEntries(n, dim, 100 + n + dim);
+
+  RStarTree bulk = RStarTree::BulkLoad(dim, entries);
+  EXPECT_EQ(bulk.size(), n);
+  ASSERT_TRUE(bulk.CheckInvariants().ok()) << bulk.CheckInvariants();
+
+  RStarTree incremental(dim);
+  for (const auto& [rect, payload] : entries) {
+    incremental.Insert(rect, payload);
+  }
+
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<float> lo(dim), hi(dim);
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = rng.NextFloat() * 0.8f;
+      hi[d] = lo[d] + 0.2f;
+    }
+    Rect query = Rect::Bounds(lo, hi);
+    std::vector<uint64_t> a = bulk.RangeSearch(query);
+    std::vector<uint64_t> b = incremental.RangeSearch(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BulkLoadSweep,
+    ::testing::Values(std::make_tuple(10, 2), std::make_tuple(17, 2),
+                      std::make_tuple(500, 2), std::make_tuple(500, 12),
+                      std::make_tuple(5000, 3)));
+
+TEST(RStarBulkLoad, TreeIsShallowAndDense) {
+  RStarTree bulk = RStarTree::BulkLoad(2, RandomEntries(4000, 2, 3));
+  // 4000 entries at 16/node: 250 leaves, 16 internal, 1 root -> height 3.
+  EXPECT_LE(bulk.height(), 3);
+
+  RStarTree incremental(2);
+  for (const auto& [rect, payload] : RandomEntries(4000, 2, 3)) {
+    incremental.Insert(rect, payload);
+  }
+  EXPECT_LE(bulk.height(), incremental.height());
+}
+
+TEST(RStarBulkLoad, SupportsSubsequentInsertAndDelete) {
+  std::vector<std::pair<Rect, uint64_t>> entries = RandomEntries(300, 2, 5);
+  RStarTree tree = RStarTree::BulkLoad(2, entries);
+  Rng rng(6);
+  for (int i = 300; i < 400; ++i) {
+    std::vector<float> p = {rng.NextFloat(), rng.NextFloat()};
+    tree.Insert(Rect::Point(p), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 400);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Delete(entries[i].first, entries[i].second).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 300);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+TEST(RStarBulkLoad, SerializationRoundTrip) {
+  RStarTree tree = RStarTree::BulkLoad(3, RandomEntries(800, 3, 9));
+  BinaryWriter writer;
+  tree.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  auto restored = RStarTree::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 800);
+  EXPECT_TRUE(restored->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "spatial/rstar_tree.h"
+
+namespace walrus {
+namespace {
+
+Rect RandomPointRect(Rng* rng, int dim) {
+  std::vector<float> p(dim);
+  for (float& v : p) v = rng->NextFloat();
+  return Rect::Point(p);
+}
+
+TEST(RStarDelete, DeleteFromSingleLeaf) {
+  RStarTree tree(2);
+  Rect r = Rect::Point({0.5f, 0.5f});
+  tree.Insert(r, 1);
+  tree.Insert(Rect::Point({0.2f, 0.2f}), 2);
+  ASSERT_TRUE(tree.Delete(r, 1).ok());
+  EXPECT_EQ(tree.size(), 1);
+  std::vector<uint64_t> hits =
+      tree.RangeSearch(Rect::Bounds({0, 0}, {1, 1}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+TEST(RStarDelete, MissingEntryIsNotFound) {
+  RStarTree tree(2);
+  tree.Insert(Rect::Point({0.5f, 0.5f}), 1);
+  Status missing_payload = tree.Delete(Rect::Point({0.5f, 0.5f}), 99);
+  EXPECT_EQ(missing_payload.code(), StatusCode::kNotFound);
+  Status missing_rect = tree.Delete(Rect::Point({0.1f, 0.1f}), 1);
+  EXPECT_EQ(missing_rect.code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(RStarDelete, DrainEntireTree) {
+  Rng rng(31);
+  RStarTree tree(3);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 500; ++i) {
+    rects.push_back(RandomPointRect(&rng, 3));
+    tree.Insert(rects.back(), static_cast<uint64_t>(i));
+  }
+  // Delete in random order.
+  std::vector<int> order = rng.Permutation(500);
+  for (int step = 0; step < 500; ++step) {
+    int id = order[step];
+    ASSERT_TRUE(tree.Delete(rects[id], static_cast<uint64_t>(id)).ok())
+        << "step " << step;
+    if (step % 50 == 49) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << step << ": " << tree.CheckInvariants();
+    }
+  }
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(
+      tree.RangeSearch(Rect::Bounds({-1, -1, -1}, {2, 2, 2})).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  // Tree remains usable after draining.
+  tree.Insert(Rect::Point({0.5f, 0.5f, 0.5f}), 777);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(RStarDelete, InterleavedFuzzMatchesBruteForce) {
+  Rng rng(77);
+  const int dim = 4;
+  RStarTree tree(dim);
+  std::map<uint64_t, Rect> live;
+  uint64_t next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    bool do_insert = live.empty() || rng.NextBernoulli(0.6);
+    if (do_insert) {
+      Rect r = RandomPointRect(&rng, dim);
+      tree.Insert(r, next_id);
+      live[next_id] = r;
+      ++next_id;
+    } else {
+      // Delete a random live entry.
+      auto it = live.begin();
+      std::advance(it, rng.NextBounded(static_cast<uint32_t>(live.size())));
+      ASSERT_TRUE(tree.Delete(it->second, it->first).ok()) << step;
+      live.erase(it);
+    }
+    if (step % 500 == 499) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << step << ": " << tree.CheckInvariants();
+      // Spot-check a range query against the live set.
+      std::vector<float> lo(dim), hi(dim);
+      for (int d = 0; d < dim; ++d) {
+        lo[d] = rng.NextFloat() * 0.7f;
+        hi[d] = lo[d] + 0.3f;
+      }
+      Rect query = Rect::Bounds(lo, hi);
+      std::vector<uint64_t> got = tree.RangeSearch(query);
+      std::sort(got.begin(), got.end());
+      std::vector<uint64_t> want;
+      for (const auto& [id, rect] : live) {
+        if (rect.Intersects(query)) want.push_back(id);
+      }
+      ASSERT_EQ(got, want) << step;
+    }
+  }
+  EXPECT_EQ(tree.size(), static_cast<int64_t>(live.size()));
+}
+
+TEST(RStarDelete, DeleteIfRemovesMatchingPayloads) {
+  Rng rng(5);
+  RStarTree tree(2);
+  for (int i = 0; i < 300; ++i) {
+    tree.Insert(RandomPointRect(&rng, 2), static_cast<uint64_t>(i));
+  }
+  int64_t removed =
+      tree.DeleteIf([](uint64_t payload) { return payload % 3 == 0; });
+  EXPECT_EQ(removed, 100);
+  EXPECT_EQ(tree.size(), 200);
+  for (uint64_t payload : tree.RangeSearch(Rect::Bounds({-1, -1}, {2, 2}))) {
+    EXPECT_NE(payload % 3, 0u);
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+TEST(RStarDelete, DuplicateRectsDeleteByPayload) {
+  RStarTree tree(2);
+  Rect r = Rect::Point({0.5f, 0.5f});
+  for (uint64_t id = 0; id < 40; ++id) tree.Insert(r, id);
+  ASSERT_TRUE(tree.Delete(r, 17).ok());
+  EXPECT_EQ(tree.size(), 39);
+  std::vector<uint64_t> hits = tree.RangeSearch(r.Expanded(1e-6f));
+  EXPECT_EQ(hits.size(), 39u);
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 17u), 0);
+  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+TEST(RStarDelete, BoxRectsSurviveCondense) {
+  Rng rng(9);
+  RStarParams params;
+  params.max_entries = 4;  // aggressive underflow
+  RStarTree tree(2, params);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> lo = {rng.NextFloat(), rng.NextFloat()};
+    std::vector<float> hi = {lo[0] + 0.05f * rng.NextFloat(),
+                             lo[1] + 0.05f * rng.NextFloat()};
+    rects.push_back(Rect::Bounds(lo, hi));
+    tree.Insert(rects.back(), static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(tree.Delete(rects[i], static_cast<uint64_t>(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree.size(), 50);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  std::vector<uint64_t> all = tree.RangeSearch(Rect::Bounds({-1, -1}, {2, 2}));
+  EXPECT_EQ(all.size(), 50u);
+}
+
+}  // namespace
+}  // namespace walrus

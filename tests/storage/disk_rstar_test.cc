@@ -1,0 +1,187 @@
+#include "storage/disk_rstar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::pair<Rect, uint64_t>> RandomEntries(int n, int dim,
+                                                     uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<Rect, uint64_t>> entries;
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> p(dim);
+    for (float& v : p) v = rng.NextFloat();
+    entries.emplace_back(Rect::Point(p), static_cast<uint64_t>(i));
+  }
+  return entries;
+}
+
+TEST(DiskRStar, EmptyTree) {
+  std::string path = TempPath("disk_rstar_empty.db");
+  auto tree = DiskRStarTree::Build(path, 4, {});
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->size(), 0);
+  auto hits = tree->RangeSearch(
+      Rect::Bounds({0, 0, 0, 0}, {1, 1, 1, 1}));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  auto nn = tree->NearestNeighbors({0.5f, 0.5f, 0.5f, 0.5f}, 3);
+  ASSERT_TRUE(nn.ok());
+  EXPECT_TRUE(nn->empty());
+  std::remove(path.c_str());
+}
+
+class DiskRStarSweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(DiskRStarSweep, RangeSearchMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  std::string path = TempPath("disk_rstar_sweep_" + std::to_string(n) + "_" +
+                              std::to_string(dim) + ".db");
+  std::vector<std::pair<Rect, uint64_t>> entries =
+      RandomEntries(n, dim, 100 + n);
+  auto built = DiskRStarTree::Build(path, dim, entries);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->size(), n);
+
+  // Reopen from disk (exercises metadata + page parsing).
+  auto tree = DiskRStarTree::Open(path);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->size(), n);
+  EXPECT_EQ(tree->dim(), dim);
+
+  Rng rng(999);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<float> lo(dim), hi(dim);
+    for (int d = 0; d < dim; ++d) {
+      lo[d] = rng.NextFloat() * 0.7f;
+      hi[d] = lo[d] + 0.3f;
+    }
+    Rect query = Rect::Bounds(lo, hi);
+    auto got = tree->RangeSearch(query);
+    ASSERT_TRUE(got.ok());
+    std::sort(got->begin(), got->end());
+    std::vector<uint64_t> want;
+    for (const auto& [rect, payload] : entries) {
+      if (rect.Intersects(query)) want.push_back(payload);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(*got, want) << trial;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DiskRStarSweep,
+    ::testing::Values(std::make_tuple(1, 2), std::make_tuple(50, 2),
+                      std::make_tuple(2000, 2), std::make_tuple(500, 12),
+                      std::make_tuple(5000, 12)));
+
+TEST(DiskRStar, NearestNeighborsMatchBruteForce) {
+  std::string path = TempPath("disk_rstar_nn.db");
+  const int dim = 12;
+  const int n = 1500;
+  std::vector<std::pair<Rect, uint64_t>> entries = RandomEntries(n, dim, 7);
+  auto tree = DiskRStarTree::Build(path, dim, entries);
+  ASSERT_TRUE(tree.ok());
+
+  Rng rng(8);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> q(dim);
+    for (float& v : q) v = rng.NextFloat();
+    auto got = tree->NearestNeighbors(q, 7);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->size(), 7u);
+
+    std::vector<std::pair<double, uint64_t>> brute;
+    for (const auto& [rect, payload] : entries) {
+      brute.emplace_back(std::sqrt(rect.MinSquaredDistance(q)), payload);
+    }
+    std::sort(brute.begin(), brute.end());
+    for (int k = 0; k < 7; ++k) {
+      EXPECT_NEAR((*got)[k].second, brute[k].first, 1e-6) << trial << " " << k;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskRStar, BoxEntriesSupported) {
+  std::string path = TempPath("disk_rstar_boxes.db");
+  Rng rng(9);
+  std::vector<std::pair<Rect, uint64_t>> entries;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<float> lo = {rng.NextFloat(), rng.NextFloat()};
+    std::vector<float> hi = {lo[0] + 0.1f * rng.NextFloat(),
+                             lo[1] + 0.1f * rng.NextFloat()};
+    entries.emplace_back(Rect::Bounds(lo, hi), static_cast<uint64_t>(i));
+  }
+  auto tree = DiskRStarTree::Build(path, 2, entries);
+  ASSERT_TRUE(tree.ok());
+  Rect query = Rect::Bounds({0.4f, 0.4f}, {0.6f, 0.6f});
+  auto got = tree->RangeSearch(query);
+  ASSERT_TRUE(got.ok());
+  std::sort(got->begin(), got->end());
+  std::vector<uint64_t> want;
+  for (const auto& [rect, payload] : entries) {
+    if (rect.Intersects(query)) want.push_back(payload);
+  }
+  EXPECT_EQ(*got, want);
+  std::remove(path.c_str());
+}
+
+TEST(DiskRStar, CacheServesRepeatProbes) {
+  std::string path = TempPath("disk_rstar_cache.db");
+  auto tree = DiskRStarTree::Build(path, 2, RandomEntries(3000, 2, 10));
+  ASSERT_TRUE(tree.ok());
+  Rect probe = Rect::Bounds({0.4f, 0.4f}, {0.45f, 0.45f});
+  ASSERT_TRUE(tree->RangeSearch(probe).ok());
+  int64_t misses_after_first = tree->cache_misses();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree->RangeSearch(probe).ok());
+  }
+  EXPECT_EQ(tree->cache_misses(), misses_after_first);
+  EXPECT_GT(tree->cache_hits(), 0);
+  // Disabling the cache forces real reads again.
+  tree->SetCacheCapacity(0);
+  int64_t misses_before = tree->cache_misses();
+  ASSERT_TRUE(tree->RangeSearch(probe).ok());
+  EXPECT_GT(tree->cache_misses(), misses_before);
+  std::remove(path.c_str());
+}
+
+TEST(DiskRStar, OpenRejectsGarbage) {
+  std::string path = TempPath("disk_rstar_garbage.db");
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a page file", f);
+  fclose(f);
+  EXPECT_FALSE(DiskRStarTree::Open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskRStar, PagesReadScalesWithSelectivity) {
+  std::string path = TempPath("disk_rstar_pages.db");
+  auto tree = DiskRStarTree::Build(path, 2, RandomEntries(20000, 2, 11));
+  ASSERT_TRUE(tree.ok());
+  // Small probe touches far fewer pages than a full scan.
+  ASSERT_TRUE(
+      tree->RangeSearch(Rect::Bounds({0.5f, 0.5f}, {0.52f, 0.52f})).ok());
+  int64_t small_pages = tree->pages_read();
+  ASSERT_TRUE(tree->RangeSearch(Rect::Bounds({0, 0}, {1, 1})).ok());
+  int64_t full_pages = tree->pages_read() - small_pages;
+  EXPECT_LT(small_pages, full_pages / 5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,112 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/page_file.h"
+
+namespace walrus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PageCache, RepeatedReadsHit) {
+  std::string path = TempPath("cache_hits.db");
+  Result<PageFile> pf = PageFile::Create(path, 128);
+  ASSERT_TRUE(pf.ok());
+  uint32_t id = pf->AllocatePage().value();
+  std::vector<uint8_t> page(128, 0x5A);
+  ASSERT_TRUE(pf->WritePage(id, page).ok());
+
+  EXPECT_EQ(pf->ReadPage(id).value(), page);  // miss (first read)
+  int64_t misses_after_first = pf->cache_misses();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pf->ReadPage(id).value(), page);
+  }
+  EXPECT_EQ(pf->cache_misses(), misses_after_first);
+  EXPECT_GE(pf->cache_hits(), 10);
+  std::remove(path.c_str());
+}
+
+TEST(PageCache, WriteInvalidates) {
+  std::string path = TempPath("cache_invalidate.db");
+  Result<PageFile> pf = PageFile::Create(path, 128);
+  ASSERT_TRUE(pf.ok());
+  uint32_t id = pf->AllocatePage().value();
+  std::vector<uint8_t> a(128, 0x11);
+  std::vector<uint8_t> b(128, 0x22);
+  ASSERT_TRUE(pf->WritePage(id, a).ok());
+  EXPECT_EQ(pf->ReadPage(id).value(), a);  // cached now
+  ASSERT_TRUE(pf->WritePage(id, b).ok());
+  EXPECT_EQ(pf->ReadPage(id).value(), b);  // must see the new bytes
+  std::remove(path.c_str());
+}
+
+TEST(PageCache, EvictionBoundsMemory) {
+  std::string path = TempPath("cache_evict.db");
+  Result<PageFile> pf = PageFile::Create(path, 128);
+  ASSERT_TRUE(pf.ok());
+  pf->SetCacheCapacity(4);
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    uint32_t id = pf->AllocatePage().value();
+    std::vector<uint8_t> page(128, static_cast<uint8_t>(i));
+    ASSERT_TRUE(pf->WritePage(id, page).ok());
+    ids.push_back(id);
+  }
+  // Touch all ten: only the last four stay resident.
+  for (uint32_t id : ids) ASSERT_TRUE(pf->ReadPage(id).ok());
+  int64_t misses_before = pf->cache_misses();
+  // Oldest six were evicted: re-reading the first misses again.
+  ASSERT_TRUE(pf->ReadPage(ids[0]).ok());
+  EXPECT_EQ(pf->cache_misses(), misses_before + 1);
+  // Most recent is still resident.
+  int64_t hits_before = pf->cache_hits();
+  ASSERT_TRUE(pf->ReadPage(ids[9]).ok());
+  EXPECT_EQ(pf->cache_hits(), hits_before + 1);
+  std::remove(path.c_str());
+}
+
+TEST(PageCache, ZeroCapacityDisables) {
+  std::string path = TempPath("cache_off.db");
+  Result<PageFile> pf = PageFile::Create(path, 128);
+  ASSERT_TRUE(pf.ok());
+  pf->SetCacheCapacity(0);
+  uint32_t id = pf->AllocatePage().value();
+  std::vector<uint8_t> page(128, 9);
+  ASSERT_TRUE(pf->WritePage(id, page).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(pf->ReadPage(id).value(), page);
+  }
+  EXPECT_EQ(pf->cache_hits(), 0);
+  EXPECT_EQ(pf->cache_misses(), 5);
+  std::remove(path.c_str());
+}
+
+TEST(PageCache, LruOrderRespectsRecency) {
+  std::string path = TempPath("cache_lru.db");
+  Result<PageFile> pf = PageFile::Create(path, 128);
+  ASSERT_TRUE(pf.ok());
+  pf->SetCacheCapacity(2);
+  uint32_t a = pf->AllocatePage().value();
+  uint32_t b = pf->AllocatePage().value();
+  uint32_t c = pf->AllocatePage().value();
+  std::vector<uint8_t> page(128, 1);
+  for (uint32_t id : {a, b, c}) ASSERT_TRUE(pf->WritePage(id, page).ok());
+
+  ASSERT_TRUE(pf->ReadPage(a).ok());  // cache: [a]
+  ASSERT_TRUE(pf->ReadPage(b).ok());  // cache: [b, a]
+  ASSERT_TRUE(pf->ReadPage(a).ok());  // bump a: [a, b]
+  ASSERT_TRUE(pf->ReadPage(c).ok());  // evict b: [c, a]
+  int64_t misses = pf->cache_misses();
+  ASSERT_TRUE(pf->ReadPage(a).ok());  // hit
+  EXPECT_EQ(pf->cache_misses(), misses);
+  ASSERT_TRUE(pf->ReadPage(b).ok());  // miss (was evicted)
+  EXPECT_EQ(pf->cache_misses(), misses + 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace walrus

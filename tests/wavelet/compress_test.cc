@@ -1,0 +1,86 @@
+#include "wavelet/compress.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "image/synth.h"
+
+namespace walrus {
+namespace {
+
+ImageF SmoothScene(uint64_t seed) {
+  Rng rng(seed);
+  return MakeValueNoise(64, 64, 16, {0.1f, 0.2f, 0.3f}, {0.8f, 0.7f, 0.6f},
+                        &rng, 2);
+}
+
+TEST(Compress, FullKeepIsLossless) {
+  ImageF img = SmoothScene(1);
+  ImageF restored = CompressImage(img, 1.0);
+  EXPECT_LT(MeanSquaredError(img, restored), 1e-8);
+}
+
+TEST(Compress, QualityImprovesWithKeepFraction) {
+  ImageF img = SmoothScene(2);
+  double prev_psnr = -1.0;
+  for (double keep : {0.01, 0.05, 0.2, 0.6}) {
+    ImageF restored = CompressImage(img, keep);
+    double psnr = Psnr(img, restored);
+    EXPECT_GE(psnr, prev_psnr) << keep;
+    prev_psnr = psnr;
+  }
+  EXPECT_GT(prev_psnr, 35.0);  // 60% of coefficients: near-transparent
+}
+
+TEST(Compress, SmoothImagesCompressWell) {
+  // Energy compaction (section 3): a smooth image keeps high quality with
+  // a small fraction of coefficients.
+  ImageF img = SmoothScene(3);
+  ImageF restored = CompressImage(img, 0.05);
+  EXPECT_GT(Psnr(img, restored), 30.0);
+}
+
+TEST(Compress, ConstantImageNeedsOneCoefficient) {
+  ImageF img(32, 32, 3, ColorSpace::kRGB);
+  img.Fill(0.42f);
+  ImageF restored = CompressImage(img, 1.0 / (32 * 32));
+  EXPECT_LT(MeanSquaredError(img, restored), 1e-8);
+}
+
+TEST(Compress, NonSquareImagesSupported) {
+  Rng rng(4);
+  ImageF img = MakeValueNoise(48, 20, 8, {0, 0, 0}, {1, 1, 1}, &rng);
+  ImageF restored = CompressImage(img, 0.3);
+  EXPECT_EQ(restored.width(), 48);
+  EXPECT_EQ(restored.height(), 20);
+  EXPECT_GT(Psnr(img, restored), 18.0);
+}
+
+TEST(Compress, MseAndPsnrBasics) {
+  ImageF a(2, 2, 1, ColorSpace::kGray);
+  ImageF b = a;
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(Psnr(a, b)));
+  b.At(0, 0, 0) = 1.0f;  // one of four pixels off by 1
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 0.25);
+  EXPECT_NEAR(Psnr(a, b), 10.0 * std::log10(4.0), 1e-9);
+}
+
+TEST(Compress, SignificantFractionTracksComplexity) {
+  ImageF flat(64, 64, 3, ColorSpace::kRGB);
+  flat.Fill(0.5f);
+  Rng rng(5);
+  ImageF busy(64, 64, 3, ColorSpace::kRGB);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : busy.Plane(c)) v = rng.NextFloat();
+  }
+  double flat_fraction = SignificantCoefficientFraction(flat, 0.01f);
+  double busy_fraction = SignificantCoefficientFraction(busy, 0.01f);
+  EXPECT_LT(flat_fraction, 0.01);
+  EXPECT_GT(busy_fraction, 10.0 * (flat_fraction + 1e-9));
+}
+
+}  // namespace
+}  // namespace walrus

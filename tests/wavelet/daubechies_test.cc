@@ -1,0 +1,99 @@
+#include "wavelet/daubechies.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(Daub4, StepRoundTrip) {
+  Rng rng(3);
+  std::vector<float> input(32);
+  for (float& v : input) v = rng.NextFloat();
+  std::vector<float> transformed, restored;
+  Daub4ForwardStep(input, &transformed);
+  Daub4InverseStep(transformed, &restored);
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_NEAR(restored[i], input[i], 1e-5f) << i;
+  }
+}
+
+TEST(Daub4, PreservesEnergy) {
+  // The D4 filter bank is orthonormal: one step preserves the L2 norm.
+  Rng rng(4);
+  std::vector<float> input(64);
+  double energy_in = 0.0;
+  for (float& v : input) {
+    v = rng.NextFloat();
+    energy_in += static_cast<double>(v) * v;
+  }
+  std::vector<float> transformed;
+  Daub4ForwardStep(input, &transformed);
+  double energy_out = 0.0;
+  for (float v : transformed) energy_out += static_cast<double>(v) * v;
+  EXPECT_NEAR(energy_in, energy_out, 1e-3);
+}
+
+TEST(Daub4, ConstantSignalHasZeroDetails) {
+  std::vector<float> input(16, 0.5f);
+  std::vector<float> transformed;
+  Daub4ForwardStep(input, &transformed);
+  for (size_t i = 8; i < 16; ++i) {
+    EXPECT_NEAR(transformed[i], 0.0f, 1e-6f) << i;
+  }
+}
+
+TEST(Daub4, LinearRampHasZeroDetailsAwayFromWrap) {
+  // D4 has two vanishing moments: linear signals produce zero details,
+  // except where the periodic boundary wraps.
+  std::vector<float> input(32);
+  for (size_t i = 0; i < input.size(); ++i) input[i] = 0.01f * i;
+  std::vector<float> transformed;
+  Daub4ForwardStep(input, &transformed);
+  // Detail coefficients i = 16..30 correspond to positions 2i..2i+3; the
+  // last one touches the wrap-around.
+  for (size_t i = 16; i + 2 < 32; ++i) {
+    EXPECT_NEAR(transformed[i], 0.0f, 1e-5f) << i;
+  }
+}
+
+class Daub4Levels : public ::testing::TestWithParam<int> {};
+
+TEST_P(Daub4Levels, Transform2DRoundTrip) {
+  int levels = GetParam();
+  Rng rng(100 + levels);
+  SquareMatrix image(128);
+  for (float& v : image.values) v = rng.NextFloat();
+  SquareMatrix restored =
+      Daub4Inverse2D(Daub4Transform2D(image, levels), levels);
+  EXPECT_TRUE(restored.AlmostEquals(image, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, Daub4Levels, ::testing::Values(1, 2, 4, 5));
+
+TEST(Daub4, Transform2DConcentratesEnergyInLowBand) {
+  // Natural-ish smooth content: most energy should land in the low-low band.
+  SquareMatrix image(64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      image.At(x, y) = 0.5f + 0.4f * std::sin(x * 0.1f) * std::cos(y * 0.07f);
+    }
+  }
+  SquareMatrix t = Daub4Transform2D(image, 3);
+  double low = 0.0;
+  double total = 0.0;
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      double e = static_cast<double>(t.At(x, y)) * t.At(x, y);
+      total += e;
+      if (x < 8 && y < 8) low += e;
+    }
+  }
+  EXPECT_GT(low / total, 0.95);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,123 @@
+#include "wavelet/haar1d.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(Haar1D, PaperExample) {
+  // Section 3.1: I = [2, 2, 5, 7] -> I' = [4, 2, 0, 1].
+  std::vector<float> transform = HaarTransform1D({2, 2, 5, 7});
+  ASSERT_EQ(transform.size(), 4u);
+  EXPECT_FLOAT_EQ(transform[0], 4.0f);
+  EXPECT_FLOAT_EQ(transform[1], 2.0f);
+  EXPECT_FLOAT_EQ(transform[2], 0.0f);
+  EXPECT_FLOAT_EQ(transform[3], 1.0f);
+}
+
+TEST(Haar1D, PaperExampleNormalized) {
+  // Normalized form: [4, 2, 0, 1/sqrt(2)].
+  std::vector<float> transform = HaarTransform1D({2, 2, 5, 7});
+  HaarNormalize1D(&transform);
+  EXPECT_FLOAT_EQ(transform[0], 4.0f);
+  EXPECT_FLOAT_EQ(transform[1], 2.0f);
+  EXPECT_FLOAT_EQ(transform[2], 0.0f);
+  EXPECT_NEAR(transform[3], 1.0f / std::sqrt(2.0f), 1e-6f);
+}
+
+TEST(Haar1D, SingleElement) {
+  std::vector<float> transform = HaarTransform1D({3.5f});
+  ASSERT_EQ(transform.size(), 1u);
+  EXPECT_FLOAT_EQ(transform[0], 3.5f);
+  EXPECT_FLOAT_EQ(HaarInverse1D(transform)[0], 3.5f);
+}
+
+TEST(Haar1D, ConstantSignalHasZeroDetails) {
+  std::vector<float> transform = HaarTransform1D(std::vector<float>(16, 0.25f));
+  EXPECT_FLOAT_EQ(transform[0], 0.25f);
+  for (size_t i = 1; i < transform.size(); ++i) {
+    EXPECT_FLOAT_EQ(transform[i], 0.0f) << "detail " << i;
+  }
+}
+
+TEST(Haar1D, FirstCoefficientIsMean) {
+  Rng rng(7);
+  std::vector<float> input(64);
+  double sum = 0.0;
+  for (float& v : input) {
+    v = rng.NextFloat();
+    sum += v;
+  }
+  std::vector<float> transform = HaarTransform1D(input);
+  EXPECT_NEAR(transform[0], sum / input.size(), 1e-5);
+}
+
+TEST(Haar1D, RoundTripRandom) {
+  Rng rng(42);
+  for (size_t n : {2u, 4u, 8u, 32u, 256u}) {
+    std::vector<float> input(n);
+    for (float& v : input) v = rng.NextFloat();
+    std::vector<float> restored = HaarInverse1D(HaarTransform1D(input));
+    ASSERT_EQ(restored.size(), input.size());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(restored[i], input[i], 1e-5f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Haar1D, NormalizeDenormalizeRoundTrip) {
+  Rng rng(9);
+  std::vector<float> input(128);
+  for (float& v : input) v = rng.NextFloat();
+  std::vector<float> transform = HaarTransform1D(input);
+  std::vector<float> copy = transform;
+  HaarNormalize1D(&copy);
+  HaarDenormalize1D(&copy);
+  for (size_t i = 0; i < transform.size(); ++i) {
+    EXPECT_NEAR(copy[i], transform[i], 1e-5f);
+  }
+}
+
+TEST(Haar1D, LinearityOfTransform) {
+  Rng rng(11);
+  std::vector<float> a(32), b(32), sum(32);
+  for (size_t i = 0; i < 32; ++i) {
+    a[i] = rng.NextFloat();
+    b[i] = rng.NextFloat();
+    sum[i] = a[i] + b[i];
+  }
+  std::vector<float> ta = HaarTransform1D(a);
+  std::vector<float> tb = HaarTransform1D(b);
+  std::vector<float> tsum = HaarTransform1D(sum);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(tsum[i], ta[i] + tb[i], 1e-5f);
+  }
+}
+
+class Haar1DSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Haar1DSizeSweep, TruncatingSmallCoefficientsGivesSmallError) {
+  // Lossy-compression property from section 3.1: zeroing the finest detail
+  // band reconstructs to within the dropped coefficients' magnitude.
+  int n = GetParam();
+  Rng rng(1234 + n);
+  std::vector<float> input(n);
+  for (float& v : input) v = 0.5f + 0.01f * rng.NextFloat();
+  std::vector<float> transform = HaarTransform1D(input);
+  for (size_t i = n / 2; i < transform.size(); ++i) transform[i] = 0.0f;
+  std::vector<float> restored = HaarInverse1D(transform);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(restored[i], input[i], 0.02f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Haar1DSizeSweep,
+                         ::testing::Values(4, 8, 16, 64, 128, 512));
+
+}  // namespace
+}  // namespace walrus

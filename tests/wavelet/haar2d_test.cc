@@ -1,0 +1,124 @@
+#include "wavelet/haar2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+SquareMatrix RandomMatrix(int n, uint64_t seed) {
+  Rng rng(seed);
+  SquareMatrix m(n);
+  for (float& v : m.values) v = rng.NextFloat();
+  return m;
+}
+
+TEST(Haar2D, TwoByTwoAveragesAndDetails) {
+  SquareMatrix image(2);
+  image.At(0, 0) = 1.0f;  // p00
+  image.At(1, 0) = 3.0f;  // p10
+  image.At(0, 1) = 5.0f;  // p01
+  image.At(1, 1) = 7.0f;  // p11
+  SquareMatrix w = HaarNonStandard2D(image);
+  // Figure 2: average, horizontal, vertical and diagonal differences /4.
+  EXPECT_FLOAT_EQ(w.At(0, 0), 4.0f);                      // (1+3+5+7)/4
+  EXPECT_FLOAT_EQ(w.At(1, 0), (-1 + 3 - 5 + 7) / 4.0f);   // horizontal = 1
+  EXPECT_FLOAT_EQ(w.At(0, 1), (-1 - 3 + 5 + 7) / 4.0f);   // vertical = 2
+  EXPECT_FLOAT_EQ(w.At(1, 1), (1 - 3 - 5 + 7) / 4.0f);    // diagonal = 0
+}
+
+TEST(Haar2D, DcCoefficientIsImageMean) {
+  SquareMatrix image = RandomMatrix(32, 5);
+  double mean = 0.0;
+  for (float v : image.values) mean += v;
+  mean /= image.values.size();
+  SquareMatrix w = HaarNonStandard2D(image);
+  EXPECT_NEAR(w.At(0, 0), mean, 1e-5);
+}
+
+TEST(Haar2D, ConstantImageHasOnlyDc) {
+  SquareMatrix image(16);
+  for (float& v : image.values) v = 0.75f;
+  SquareMatrix w = HaarNonStandard2D(image);
+  EXPECT_FLOAT_EQ(w.At(0, 0), 0.75f);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      if (x == 0 && y == 0) continue;
+      EXPECT_FLOAT_EQ(w.At(x, y), 0.0f) << x << "," << y;
+    }
+  }
+}
+
+class Haar2DRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Haar2DRoundTrip, NonStandardInverseRestoresImage) {
+  SquareMatrix image = RandomMatrix(GetParam(), 17 + GetParam());
+  SquareMatrix restored = HaarNonStandard2DInverse(HaarNonStandard2D(image));
+  EXPECT_TRUE(restored.AlmostEquals(image, 1e-4f));
+}
+
+TEST_P(Haar2DRoundTrip, StandardInverseRestoresImage) {
+  SquareMatrix image = RandomMatrix(GetParam(), 23 + GetParam());
+  SquareMatrix restored = HaarStandard2DInverse(HaarStandard2D(image));
+  EXPECT_TRUE(restored.AlmostEquals(image, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Haar2DRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 128));
+
+TEST(Haar2D, NormalizeRoundTrip) {
+  SquareMatrix w = HaarNonStandard2D(RandomMatrix(64, 3));
+  SquareMatrix copy = w;
+  HaarNormalizeNonStandard(&copy);
+  HaarDenormalizeNonStandard(&copy);
+  EXPECT_TRUE(copy.AlmostEquals(w, 1e-4f));
+}
+
+TEST(Haar2D, NormalizationScalesFinestQuadrantsMost) {
+  SquareMatrix w(8);
+  for (float& v : w.values) v = 1.0f;
+  HaarNormalizeNonStandard(&w);
+  EXPECT_FLOAT_EQ(w.At(0, 0), 1.0f);       // DC untouched
+  EXPECT_FLOAT_EQ(w.At(1, 0), 1.0f);       // coarsest details: /1
+  EXPECT_FLOAT_EQ(w.At(2, 0), 0.5f);       // mid quadrant (m=2): /2
+  EXPECT_FLOAT_EQ(w.At(3, 1), 0.5f);
+  EXPECT_FLOAT_EQ(w.At(4, 0), 0.25f);      // finest quadrant (m=4): /4
+  EXPECT_FLOAT_EQ(w.At(7, 7), 0.25f);
+}
+
+TEST(Haar2D, UpperLeftBlockOfTransformIsTransformOfAveragedImage) {
+  // The identity that makes WALRUS window signatures comparable across
+  // window sizes (DESIGN.md section 5): the upper-left m x m block of the
+  // transform equals the full transform of the image average-downsampled
+  // to m x m.
+  SquareMatrix image = RandomMatrix(32, 77);
+  SquareMatrix w = HaarNonStandard2D(image);
+
+  // Average-downsample 32 -> 8 by 4x4 boxes.
+  SquareMatrix down(8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      double sum = 0.0;
+      for (int dy = 0; dy < 4; ++dy) {
+        for (int dx = 0; dx < 4; ++dx) {
+          sum += image.At(4 * x + dx, 4 * y + dy);
+        }
+      }
+      down.At(x, y) = static_cast<float>(sum / 16.0);
+    }
+  }
+  SquareMatrix down_transform = HaarNonStandard2D(down);
+  SquareMatrix corner = UpperLeftBlock(w, 8);
+  EXPECT_TRUE(corner.AlmostEquals(down_transform, 1e-4f));
+}
+
+TEST(Haar2D, StandardAndNonStandardShareDcCoefficient) {
+  SquareMatrix image = RandomMatrix(16, 99);
+  SquareMatrix ns = HaarNonStandard2D(image);
+  SquareMatrix st = HaarStandard2D(image);
+  EXPECT_NEAR(ns.At(0, 0), st.At(0, 0), 1e-5f);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,95 @@
+#include "wavelet/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(Truncate, KeepsLargestMagnitudes) {
+  SquareMatrix t(4);
+  t.At(0, 0) = 9.0f;   // average, never kept as a coefficient
+  t.At(1, 0) = -5.0f;  // index 1
+  t.At(2, 0) = 0.5f;   // index 2
+  t.At(3, 0) = 3.0f;   // index 3
+  t.At(0, 1) = -4.0f;  // index 4
+  TruncatedSignature sig = TruncateTransform(t, 2);
+  EXPECT_FLOAT_EQ(sig.average, 9.0f);
+  ASSERT_EQ(sig.coefficients.size(), 2u);
+  // Largest magnitudes: -5 (index 1) and -4 (index 4); sorted by index.
+  EXPECT_EQ(sig.coefficients[0].index, 1);
+  EXPECT_EQ(sig.coefficients[0].sign, -1);
+  EXPECT_EQ(sig.coefficients[1].index, 4);
+  EXPECT_EQ(sig.coefficients[1].sign, -1);
+}
+
+TEST(Truncate, SkipsZeros) {
+  SquareMatrix t(4);
+  t.At(1, 1) = 2.0f;
+  TruncatedSignature sig = TruncateTransform(t, 10);
+  ASSERT_EQ(sig.coefficients.size(), 1u);
+  EXPECT_EQ(sig.coefficients[0].index, 5);
+  EXPECT_EQ(sig.coefficients[0].sign, 1);
+}
+
+TEST(Truncate, KeepZeroGivesOnlyAverage) {
+  SquareMatrix t(4);
+  t.At(0, 0) = 1.0f;
+  t.At(2, 2) = 4.0f;
+  TruncatedSignature sig = TruncateTransform(t, 0);
+  EXPECT_TRUE(sig.coefficients.empty());
+}
+
+TEST(JfsBin, MapsFrequencyLevels) {
+  int n = 128;
+  EXPECT_EQ(JfsBin(0, n), 0);                 // DC
+  EXPECT_EQ(JfsBin(1, n), 0);                 // x=1,y=0
+  EXPECT_EQ(JfsBin(n, n), 0);                 // x=0,y=1
+  EXPECT_EQ(JfsBin(3, n), 1);                 // x=3 -> level 1
+  EXPECT_EQ(JfsBin(5 * n + 9, n), 3);         // max(log2(9)=3, log2(5)=2)
+  EXPECT_EQ(JfsBin(127 * n + 127, n), 5);     // clamped at 5
+}
+
+TEST(JfsScore, IdenticalSignaturesScoreLowest) {
+  Rng rng(6);
+  SquareMatrix t(16);
+  for (float& v : t.values) v = rng.NextFloat() - 0.5f;
+  TruncatedSignature sig = TruncateTransform(t, 20);
+  const float weights[6] = {1.0f, 0.8f, 0.6f, 0.5f, 0.4f, 0.3f};
+
+  double self = JfsScore(sig, sig, 16, weights, 2.0f);
+
+  // A disjoint signature scores higher (no common coefficients).
+  SquareMatrix other(16);
+  for (float& v : other.values) v = rng.NextFloat() - 0.5f;
+  other.At(0, 0) = t.At(0, 0);  // same average isolates coefficient effect
+  TruncatedSignature sig2 = TruncateTransform(other, 20);
+  double cross = JfsScore(sig, sig2, 16, weights, 2.0f);
+  EXPECT_LT(self, cross);
+}
+
+TEST(JfsScore, AverageDifferencePenalized) {
+  TruncatedSignature a;
+  a.average = 0.2f;
+  TruncatedSignature b;
+  b.average = 0.9f;
+  const float weights[6] = {1, 1, 1, 1, 1, 1};
+  EXPECT_NEAR(JfsScore(a, b, 8, weights, 3.0f), 3.0 * 0.7, 1e-5);
+}
+
+TEST(JfsScore, MatchingSignReducesScoreMismatchDoesNot) {
+  TruncatedSignature a;
+  a.average = 0.0f;
+  a.coefficients = {{5, 1}};
+  TruncatedSignature match;
+  match.coefficients = {{5, 1}};
+  TruncatedSignature mismatch;
+  mismatch.coefficients = {{5, -1}};
+  const float weights[6] = {1, 1, 1, 1, 1, 1};
+  EXPECT_LT(JfsScore(a, match, 8, weights, 1.0f),
+            JfsScore(a, mismatch, 8, weights, 1.0f));
+}
+
+}  // namespace
+}  // namespace walrus
