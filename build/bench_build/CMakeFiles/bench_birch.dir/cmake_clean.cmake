@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_birch"
+  "../bench/bench_birch.pdb"
+  "CMakeFiles/bench_birch.dir/bench_birch.cc.o"
+  "CMakeFiles/bench_birch.dir/bench_birch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_birch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

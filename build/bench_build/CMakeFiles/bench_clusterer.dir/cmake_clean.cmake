@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_clusterer"
+  "../bench/bench_clusterer.pdb"
+  "CMakeFiles/bench_clusterer.dir/bench_clusterer.cc.o"
+  "CMakeFiles/bench_clusterer.dir/bench_clusterer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clusterer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_disk_index"
+  "../bench/bench_disk_index.pdb"
+  "CMakeFiles/bench_disk_index.dir/bench_disk_index.cc.o"
+  "CMakeFiles/bench_disk_index.dir/bench_disk_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dp_signature"
+  "../bench/bench_dp_signature.pdb"
+  "CMakeFiles/bench_dp_signature.dir/bench_dp_signature.cc.o"
+  "CMakeFiles/bench_dp_signature.dir/bench_dp_signature.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dp_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

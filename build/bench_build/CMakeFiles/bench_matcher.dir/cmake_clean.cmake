@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_matcher"
+  "../bench/bench_matcher.pdb"
+  "CMakeFiles/bench_matcher.dir/bench_matcher.cc.o"
+  "CMakeFiles/bench_matcher.dir/bench_matcher.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_param_sensitivity"
+  "../bench/bench_param_sensitivity.pdb"
+  "CMakeFiles/bench_param_sensitivity.dir/bench_param_sensitivity.cc.o"
+  "CMakeFiles/bench_param_sensitivity.dir/bench_param_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_query_selectivity"
+  "../bench/bench_query_selectivity.pdb"
+  "CMakeFiles/bench_query_selectivity.dir/bench_query_selectivity.cc.o"
+  "CMakeFiles/bench_query_selectivity.dir/bench_query_selectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_region_count"
+  "../bench/bench_region_count.pdb"
+  "CMakeFiles/bench_region_count.dir/bench_region_count.cc.o"
+  "CMakeFiles/bench_region_count.dir/bench_region_count.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_region_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

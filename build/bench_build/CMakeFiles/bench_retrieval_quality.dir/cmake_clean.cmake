@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_retrieval_quality"
+  "../bench/bench_retrieval_quality.pdb"
+  "CMakeFiles/bench_retrieval_quality.dir/bench_retrieval_quality.cc.o"
+  "CMakeFiles/bench_retrieval_quality.dir/bench_retrieval_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrieval_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

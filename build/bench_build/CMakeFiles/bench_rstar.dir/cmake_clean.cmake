@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rstar"
+  "../bench/bench_rstar.pdb"
+  "CMakeFiles/bench_rstar.dir/bench_rstar.cc.o"
+  "CMakeFiles/bench_rstar.dir/bench_rstar.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

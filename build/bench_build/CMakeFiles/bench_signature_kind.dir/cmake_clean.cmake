@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_signature_kind"
+  "../bench/bench_signature_kind.pdb"
+  "CMakeFiles/bench_signature_kind.dir/bench_signature_kind.cc.o"
+  "CMakeFiles/bench_signature_kind.dir/bench_signature_kind.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signature_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

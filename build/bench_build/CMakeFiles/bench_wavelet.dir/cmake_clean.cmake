@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wavelet"
+  "../bench/bench_wavelet.pdb"
+  "CMakeFiles/bench_wavelet.dir/bench_wavelet.cc.o"
+  "CMakeFiles/bench_wavelet.dir/bench_wavelet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

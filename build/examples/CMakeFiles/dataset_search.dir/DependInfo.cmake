@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_search.cpp" "examples/CMakeFiles/dataset_search.dir/dataset_search.cpp.o" "gcc" "examples/CMakeFiles/dataset_search.dir/dataset_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

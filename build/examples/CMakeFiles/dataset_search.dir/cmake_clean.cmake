@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_search.dir/dataset_search.cpp.o"
+  "CMakeFiles/dataset_search.dir/dataset_search.cpp.o.d"
+  "dataset_search"
+  "dataset_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

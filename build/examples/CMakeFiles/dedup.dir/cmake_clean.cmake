@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup.dir/dedup.cpp.o"
+  "CMakeFiles/dedup.dir/dedup.cpp.o.d"
+  "dedup"
+  "dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_search.dir/object_search.cpp.o"
+  "CMakeFiles/object_search.dir/object_search.cpp.o.d"
+  "object_search"
+  "object_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

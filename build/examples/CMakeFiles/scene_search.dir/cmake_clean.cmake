@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_search.dir/scene_search.cpp.o"
+  "CMakeFiles/scene_search.dir/scene_search.cpp.o.d"
+  "scene_search"
+  "scene_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

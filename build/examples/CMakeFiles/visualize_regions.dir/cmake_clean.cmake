@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_regions.dir/visualize_regions.cpp.o"
+  "CMakeFiles/visualize_regions.dir/visualize_regions.cpp.o.d"
+  "visualize_regions"
+  "visualize_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_cli.dir/walrus_cli.cpp.o"
+  "CMakeFiles/walrus_cli.dir/walrus_cli.cpp.o.d"
+  "walrus_cli"
+  "walrus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/color_histogram.cc" "src/CMakeFiles/walrus_baselines.dir/baselines/color_histogram.cc.o" "gcc" "src/CMakeFiles/walrus_baselines.dir/baselines/color_histogram.cc.o.d"
+  "/root/repo/src/baselines/jfs.cc" "src/CMakeFiles/walrus_baselines.dir/baselines/jfs.cc.o" "gcc" "src/CMakeFiles/walrus_baselines.dir/baselines/jfs.cc.o.d"
+  "/root/repo/src/baselines/wbiis.cc" "src/CMakeFiles/walrus_baselines.dir/baselines/wbiis.cc.o" "gcc" "src/CMakeFiles/walrus_baselines.dir/baselines/wbiis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_wavelet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_baselines.dir/baselines/color_histogram.cc.o"
+  "CMakeFiles/walrus_baselines.dir/baselines/color_histogram.cc.o.d"
+  "CMakeFiles/walrus_baselines.dir/baselines/jfs.cc.o"
+  "CMakeFiles/walrus_baselines.dir/baselines/jfs.cc.o.d"
+  "CMakeFiles/walrus_baselines.dir/baselines/wbiis.cc.o"
+  "CMakeFiles/walrus_baselines.dir/baselines/wbiis.cc.o.d"
+  "libwalrus_baselines.a"
+  "libwalrus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_cluster.dir/cluster/birch.cc.o"
+  "CMakeFiles/walrus_cluster.dir/cluster/birch.cc.o.d"
+  "CMakeFiles/walrus_cluster.dir/cluster/cf.cc.o"
+  "CMakeFiles/walrus_cluster.dir/cluster/cf.cc.o.d"
+  "CMakeFiles/walrus_cluster.dir/cluster/cf_tree.cc.o"
+  "CMakeFiles/walrus_cluster.dir/cluster/cf_tree.cc.o.d"
+  "CMakeFiles/walrus_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/walrus_cluster.dir/cluster/kmeans.cc.o.d"
+  "libwalrus_cluster.a"
+  "libwalrus_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

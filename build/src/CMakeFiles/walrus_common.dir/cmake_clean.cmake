@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_common.dir/common/logging.cc.o"
+  "CMakeFiles/walrus_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/walrus_common.dir/common/math_util.cc.o"
+  "CMakeFiles/walrus_common.dir/common/math_util.cc.o.d"
+  "CMakeFiles/walrus_common.dir/common/random.cc.o"
+  "CMakeFiles/walrus_common.dir/common/random.cc.o.d"
+  "CMakeFiles/walrus_common.dir/common/serialize.cc.o"
+  "CMakeFiles/walrus_common.dir/common/serialize.cc.o.d"
+  "CMakeFiles/walrus_common.dir/common/status.cc.o"
+  "CMakeFiles/walrus_common.dir/common/status.cc.o.d"
+  "CMakeFiles/walrus_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/walrus_common.dir/common/thread_pool.cc.o.d"
+  "libwalrus_common.a"
+  "libwalrus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

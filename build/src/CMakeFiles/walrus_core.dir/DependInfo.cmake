@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitmap.cc" "src/CMakeFiles/walrus_core.dir/core/bitmap.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/bitmap.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/CMakeFiles/walrus_core.dir/core/index.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/index.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/walrus_core.dir/core/params.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/params.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/walrus_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/region.cc" "src/CMakeFiles/walrus_core.dir/core/region.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/region.cc.o.d"
+  "/root/repo/src/core/region_extractor.cc" "src/CMakeFiles/walrus_core.dir/core/region_extractor.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/region_extractor.cc.o.d"
+  "/root/repo/src/core/signature.cc" "src/CMakeFiles/walrus_core.dir/core/signature.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/signature.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/CMakeFiles/walrus_core.dir/core/similarity.cc.o" "gcc" "src/CMakeFiles/walrus_core.dir/core/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

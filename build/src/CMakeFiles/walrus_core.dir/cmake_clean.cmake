@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_core.dir/core/bitmap.cc.o"
+  "CMakeFiles/walrus_core.dir/core/bitmap.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/index.cc.o"
+  "CMakeFiles/walrus_core.dir/core/index.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/params.cc.o"
+  "CMakeFiles/walrus_core.dir/core/params.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/query.cc.o"
+  "CMakeFiles/walrus_core.dir/core/query.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/region.cc.o"
+  "CMakeFiles/walrus_core.dir/core/region.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/region_extractor.cc.o"
+  "CMakeFiles/walrus_core.dir/core/region_extractor.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/signature.cc.o"
+  "CMakeFiles/walrus_core.dir/core/signature.cc.o.d"
+  "CMakeFiles/walrus_core.dir/core/similarity.cc.o"
+  "CMakeFiles/walrus_core.dir/core/similarity.cc.o.d"
+  "libwalrus_core.a"
+  "libwalrus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

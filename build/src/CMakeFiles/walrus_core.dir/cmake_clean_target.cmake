@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwalrus_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_eval.dir/eval/ground_truth.cc.o"
+  "CMakeFiles/walrus_eval.dir/eval/ground_truth.cc.o.d"
+  "CMakeFiles/walrus_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/walrus_eval.dir/eval/metrics.cc.o.d"
+  "libwalrus_eval.a"
+  "libwalrus_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

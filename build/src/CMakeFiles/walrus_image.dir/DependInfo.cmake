@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/color.cc" "src/CMakeFiles/walrus_image.dir/image/color.cc.o" "gcc" "src/CMakeFiles/walrus_image.dir/image/color.cc.o.d"
+  "/root/repo/src/image/dataset.cc" "src/CMakeFiles/walrus_image.dir/image/dataset.cc.o" "gcc" "src/CMakeFiles/walrus_image.dir/image/dataset.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/CMakeFiles/walrus_image.dir/image/image.cc.o" "gcc" "src/CMakeFiles/walrus_image.dir/image/image.cc.o.d"
+  "/root/repo/src/image/pnm_io.cc" "src/CMakeFiles/walrus_image.dir/image/pnm_io.cc.o" "gcc" "src/CMakeFiles/walrus_image.dir/image/pnm_io.cc.o.d"
+  "/root/repo/src/image/synth.cc" "src/CMakeFiles/walrus_image.dir/image/synth.cc.o" "gcc" "src/CMakeFiles/walrus_image.dir/image/synth.cc.o.d"
+  "/root/repo/src/image/transform.cc" "src/CMakeFiles/walrus_image.dir/image/transform.cc.o" "gcc" "src/CMakeFiles/walrus_image.dir/image/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

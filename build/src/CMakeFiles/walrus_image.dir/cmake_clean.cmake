@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_image.dir/image/color.cc.o"
+  "CMakeFiles/walrus_image.dir/image/color.cc.o.d"
+  "CMakeFiles/walrus_image.dir/image/dataset.cc.o"
+  "CMakeFiles/walrus_image.dir/image/dataset.cc.o.d"
+  "CMakeFiles/walrus_image.dir/image/image.cc.o"
+  "CMakeFiles/walrus_image.dir/image/image.cc.o.d"
+  "CMakeFiles/walrus_image.dir/image/pnm_io.cc.o"
+  "CMakeFiles/walrus_image.dir/image/pnm_io.cc.o.d"
+  "CMakeFiles/walrus_image.dir/image/synth.cc.o"
+  "CMakeFiles/walrus_image.dir/image/synth.cc.o.d"
+  "CMakeFiles/walrus_image.dir/image/transform.cc.o"
+  "CMakeFiles/walrus_image.dir/image/transform.cc.o.d"
+  "libwalrus_image.a"
+  "libwalrus_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_spatial.dir/spatial/rect.cc.o"
+  "CMakeFiles/walrus_spatial.dir/spatial/rect.cc.o.d"
+  "CMakeFiles/walrus_spatial.dir/spatial/rstar_tree.cc.o"
+  "CMakeFiles/walrus_spatial.dir/spatial/rstar_tree.cc.o.d"
+  "libwalrus_spatial.a"
+  "libwalrus_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

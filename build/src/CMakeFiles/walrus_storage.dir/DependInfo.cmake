@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/walrus_storage.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/walrus_storage.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_rstar.cc" "src/CMakeFiles/walrus_storage.dir/storage/disk_rstar.cc.o" "gcc" "src/CMakeFiles/walrus_storage.dir/storage/disk_rstar.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/walrus_storage.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/walrus_storage.dir/storage/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_spatial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

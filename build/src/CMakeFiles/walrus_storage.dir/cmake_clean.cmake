@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/walrus_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/walrus_storage.dir/storage/disk_rstar.cc.o"
+  "CMakeFiles/walrus_storage.dir/storage/disk_rstar.cc.o.d"
+  "CMakeFiles/walrus_storage.dir/storage/page_file.cc.o"
+  "CMakeFiles/walrus_storage.dir/storage/page_file.cc.o.d"
+  "libwalrus_storage.a"
+  "libwalrus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/compress.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/compress.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/compress.cc.o.d"
+  "/root/repo/src/wavelet/daubechies.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/daubechies.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/daubechies.cc.o.d"
+  "/root/repo/src/wavelet/haar1d.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/haar1d.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/haar1d.cc.o.d"
+  "/root/repo/src/wavelet/haar2d.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/haar2d.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/haar2d.cc.o.d"
+  "/root/repo/src/wavelet/naive_window.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/naive_window.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/naive_window.cc.o.d"
+  "/root/repo/src/wavelet/quantize.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/quantize.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/quantize.cc.o.d"
+  "/root/repo/src/wavelet/sliding_window.cc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/sliding_window.cc.o" "gcc" "src/CMakeFiles/walrus_wavelet.dir/wavelet/sliding_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

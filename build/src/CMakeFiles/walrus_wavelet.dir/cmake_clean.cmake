@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walrus_wavelet.dir/wavelet/compress.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/compress.cc.o.d"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/daubechies.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/daubechies.cc.o.d"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/haar1d.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/haar1d.cc.o.d"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/haar2d.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/haar2d.cc.o.d"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/naive_window.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/naive_window.cc.o.d"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/quantize.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/quantize.cc.o.d"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/sliding_window.cc.o"
+  "CMakeFiles/walrus_wavelet.dir/wavelet/sliding_window.cc.o.d"
+  "libwalrus_wavelet.a"
+  "libwalrus_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walrus_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/color_histogram_test.cc" "tests/CMakeFiles/walrus_tests.dir/baselines/color_histogram_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/baselines/color_histogram_test.cc.o.d"
+  "/root/repo/tests/baselines/jfs_test.cc" "tests/CMakeFiles/walrus_tests.dir/baselines/jfs_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/baselines/jfs_test.cc.o.d"
+  "/root/repo/tests/baselines/wbiis_test.cc" "tests/CMakeFiles/walrus_tests.dir/baselines/wbiis_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/baselines/wbiis_test.cc.o.d"
+  "/root/repo/tests/cluster/birch_test.cc" "tests/CMakeFiles/walrus_tests.dir/cluster/birch_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/cluster/birch_test.cc.o.d"
+  "/root/repo/tests/cluster/cf_test.cc" "tests/CMakeFiles/walrus_tests.dir/cluster/cf_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/cluster/cf_test.cc.o.d"
+  "/root/repo/tests/cluster/cf_tree_test.cc" "tests/CMakeFiles/walrus_tests.dir/cluster/cf_tree_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/cluster/cf_tree_test.cc.o.d"
+  "/root/repo/tests/cluster/kmeans_test.cc" "tests/CMakeFiles/walrus_tests.dir/cluster/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/cluster/kmeans_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/walrus_tests.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/math_util_test.cc" "tests/CMakeFiles/walrus_tests.dir/common/math_util_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/common/math_util_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/walrus_tests.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/serialize_test.cc" "tests/CMakeFiles/walrus_tests.dir/common/serialize_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/common/serialize_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/walrus_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/walrus_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/core/bitmap_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/bitmap_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/bitmap_test.cc.o.d"
+  "/root/repo/tests/core/index_remove_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/index_remove_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/index_remove_test.cc.o.d"
+  "/root/repo/tests/core/index_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/index_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/index_test.cc.o.d"
+  "/root/repo/tests/core/knn_query_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/knn_query_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/knn_query_test.cc.o.d"
+  "/root/repo/tests/core/matcher_property_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/matcher_property_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/matcher_property_test.cc.o.d"
+  "/root/repo/tests/core/normalization_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/normalization_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/normalization_test.cc.o.d"
+  "/root/repo/tests/core/paged_index_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/paged_index_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/paged_index_test.cc.o.d"
+  "/root/repo/tests/core/pair_details_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/pair_details_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/pair_details_test.cc.o.d"
+  "/root/repo/tests/core/parallel_index_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/parallel_index_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/parallel_index_test.cc.o.d"
+  "/root/repo/tests/core/params_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/params_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/params_test.cc.o.d"
+  "/root/repo/tests/core/query_batch_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/query_batch_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/query_batch_test.cc.o.d"
+  "/root/repo/tests/core/query_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/query_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/query_test.cc.o.d"
+  "/root/repo/tests/core/refinement_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/refinement_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/refinement_test.cc.o.d"
+  "/root/repo/tests/core/region_extractor_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/region_extractor_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/region_extractor_test.cc.o.d"
+  "/root/repo/tests/core/scene_query_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/scene_query_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/scene_query_test.cc.o.d"
+  "/root/repo/tests/core/signature_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/signature_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/signature_test.cc.o.d"
+  "/root/repo/tests/core/similarity_test.cc" "tests/CMakeFiles/walrus_tests.dir/core/similarity_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/core/similarity_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/walrus_tests.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/image/color_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/color_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/color_test.cc.o.d"
+  "/root/repo/tests/image/dataset_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/dataset_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/dataset_test.cc.o.d"
+  "/root/repo/tests/image/image_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/image_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/image_test.cc.o.d"
+  "/root/repo/tests/image/pnm_fuzz_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/pnm_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/pnm_fuzz_test.cc.o.d"
+  "/root/repo/tests/image/pnm_io_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/pnm_io_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/pnm_io_test.cc.o.d"
+  "/root/repo/tests/image/synth_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/synth_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/synth_test.cc.o.d"
+  "/root/repo/tests/image/transform_test.cc" "tests/CMakeFiles/walrus_tests.dir/image/transform_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/image/transform_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/walrus_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/spatial/rect_test.cc" "tests/CMakeFiles/walrus_tests.dir/spatial/rect_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/spatial/rect_test.cc.o.d"
+  "/root/repo/tests/spatial/rstar_bulkload_test.cc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_bulkload_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_bulkload_test.cc.o.d"
+  "/root/repo/tests/spatial/rstar_delete_test.cc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_delete_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_delete_test.cc.o.d"
+  "/root/repo/tests/spatial/rstar_policy_test.cc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_policy_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_policy_test.cc.o.d"
+  "/root/repo/tests/spatial/rstar_test.cc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/spatial/rstar_test.cc.o.d"
+  "/root/repo/tests/storage/catalog_test.cc" "tests/CMakeFiles/walrus_tests.dir/storage/catalog_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/storage/catalog_test.cc.o.d"
+  "/root/repo/tests/storage/corruption_test.cc" "tests/CMakeFiles/walrus_tests.dir/storage/corruption_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/storage/corruption_test.cc.o.d"
+  "/root/repo/tests/storage/disk_rstar_test.cc" "tests/CMakeFiles/walrus_tests.dir/storage/disk_rstar_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/storage/disk_rstar_test.cc.o.d"
+  "/root/repo/tests/storage/page_cache_test.cc" "tests/CMakeFiles/walrus_tests.dir/storage/page_cache_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/storage/page_cache_test.cc.o.d"
+  "/root/repo/tests/storage/page_file_test.cc" "tests/CMakeFiles/walrus_tests.dir/storage/page_file_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/storage/page_file_test.cc.o.d"
+  "/root/repo/tests/umbrella_test.cc" "tests/CMakeFiles/walrus_tests.dir/umbrella_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/umbrella_test.cc.o.d"
+  "/root/repo/tests/wavelet/compress_test.cc" "tests/CMakeFiles/walrus_tests.dir/wavelet/compress_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/wavelet/compress_test.cc.o.d"
+  "/root/repo/tests/wavelet/daubechies_test.cc" "tests/CMakeFiles/walrus_tests.dir/wavelet/daubechies_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/wavelet/daubechies_test.cc.o.d"
+  "/root/repo/tests/wavelet/haar1d_test.cc" "tests/CMakeFiles/walrus_tests.dir/wavelet/haar1d_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/wavelet/haar1d_test.cc.o.d"
+  "/root/repo/tests/wavelet/haar2d_test.cc" "tests/CMakeFiles/walrus_tests.dir/wavelet/haar2d_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/wavelet/haar2d_test.cc.o.d"
+  "/root/repo/tests/wavelet/quantize_test.cc" "tests/CMakeFiles/walrus_tests.dir/wavelet/quantize_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/wavelet/quantize_test.cc.o.d"
+  "/root/repo/tests/wavelet/sliding_window_test.cc" "tests/CMakeFiles/walrus_tests.dir/wavelet/sliding_window_test.cc.o" "gcc" "tests/CMakeFiles/walrus_tests.dir/wavelet/sliding_window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/walrus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/walrus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
