@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Correctness gate: static analysis + the full test suite under
+# ASan+UBSan + the concurrency tests under TSan. Exits nonzero if any
+# stage fails. Run from anywhere; builds live in build-asan/ and
+# build-tsan/ next to the primary build/ tree.
+#
+#   scripts/check.sh            # everything
+#   JOBS=4 scripts/check.sh     # cap build parallelism
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+failures=0
+
+# --- Stage 1: clang-tidy (skipped when the binary is unavailable) --------
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t sources < <(find src -name '*.cc' | sort)
+  if ! clang-tidy -p build --quiet "${sources[@]}"; then
+    echo "check.sh: FAIL: clang-tidy reported findings" >&2
+    failures=1
+  fi
+else
+  echo "== clang-tidy not installed; skipping static analysis =="
+fi
+
+# --- Stage 2: full test suite under AddressSanitizer + UBSan -------------
+echo "== tests under ASan+UBSan =="
+cmake -B build-asan -S . \
+  -DWALRUS_SANITIZE="address;undefined" \
+  -DWALRUS_BUILD_BENCHMARKS=OFF \
+  -DWALRUS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$JOBS"
+if ! ctest --test-dir build-asan --output-on-failure -j "$JOBS" >/dev/null; then
+  echo "check.sh: FAIL: tests under ASan+UBSan" >&2
+  failures=1
+fi
+
+# --- Stage 3: concurrency tests under ThreadSanitizer --------------------
+echo "== concurrency tests under TSan =="
+cmake -B build-tsan -S . \
+  -DWALRUS_SANITIZE=thread \
+  -DWALRUS_BUILD_BENCHMARKS=OFF \
+  -DWALRUS_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS"
+if ! ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'ThreadPool|ParallelIndex|QueryBatch' >/dev/null; then
+  echo "check.sh: FAIL: concurrency tests under TSan" >&2
+  failures=1
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: FAILED" >&2
+  exit 1
+fi
+echo "check.sh: all stages passed"

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "image/color.h"
 #include "image/transform.h"
 #include "wavelet/haar2d.h"

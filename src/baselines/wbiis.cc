@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "image/color.h"
 #include "image/transform.h"
 #include "wavelet/daubechies.h"

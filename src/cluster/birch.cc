@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "cluster/cf_tree.h"
 
 namespace walrus {

@@ -52,6 +52,10 @@ class CfVector {
   /// Radius of the union of this CF and a single point.
   double MergedRadiusWithPoint(const float* point, int dim) const;
 
+  /// Test-only fault injection: perturbs the square-sum so validators can
+  /// be shown to catch a corrupted CF. Never call outside tests.
+  void TestOnlyPerturbSquareSum(double delta) { ss_ += delta; }
+
  private:
   int64_t count_ = 0;
   std::vector<double> ls_;

@@ -1,9 +1,11 @@
 #include "cluster/cf_tree.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 
@@ -179,6 +181,132 @@ void CfTree::CollectLeafClusters(const Node* node,
   for (const auto& child : node->children) {
     CollectLeafClusters(child.get(), out);
   }
+}
+
+namespace {
+
+/// |a - b| within a relative tolerance: CF sums are accumulated in
+/// different merge orders on the two sides of the additivity identity, so
+/// exact equality of doubles is too strict.
+bool CloseEnough(double a, double b) {
+  constexpr double kRelTol = 1e-9;
+  constexpr double kAbsTol = 1e-9;
+  double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= kAbsTol + kRelTol * scale;
+}
+
+}  // namespace
+
+Status CfTree::Validate() const {
+  struct Item {
+    const Node* node;
+    int depth;
+  };
+  std::vector<Item> stack = {{root_.get(), 0}};
+  int leaf_depth = -1;
+  int64_t points_seen = 0;
+  int leaves_seen = 0;
+  int nodes_seen = 0;
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    const Node* node = item.node;
+    ++nodes_seen;
+    int count = static_cast<int>(node->entries.size());
+    int limit = node->is_leaf ? leaf_entries_ : branching_;
+    if (count > limit) {
+      return Status::Internal("cf node overfull: " + std::to_string(count) +
+                              " entries, limit " + std::to_string(limit));
+    }
+    if (node != root_.get() && count == 0) {
+      return Status::Internal("empty non-root cf node");
+    }
+    for (const CfVector& cf : node->entries) {
+      if (cf.empty()) return Status::Internal("empty cf entry");
+      if (cf.dim() != dim_) {
+        return Status::Internal("cf entry dimension " +
+                                std::to_string(cf.dim()) + " != tree " +
+                                std::to_string(dim_));
+      }
+    }
+    if (node->is_leaf) {
+      if (!node->children.empty()) {
+        return Status::Internal("leaf cf node with children");
+      }
+      if (leaf_depth == -1) leaf_depth = item.depth;
+      if (item.depth != leaf_depth) {
+        return Status::Internal("leaves at unequal depths: " +
+                                std::to_string(item.depth) + " and " +
+                                std::to_string(leaf_depth));
+      }
+      leaves_seen += count;
+      for (const CfVector& cf : node->entries) {
+        points_seen += cf.count();
+        // Absorption only happens when the merged radius stays within the
+        // threshold, so every leaf subcluster obeys it (BIRCH 4.1).
+        double radius = cf.Radius();
+        if (radius > threshold_ && !CloseEnough(radius, threshold_)) {
+          return Status::Internal(
+              "leaf subcluster radius " + std::to_string(radius) +
+              " exceeds threshold " + std::to_string(threshold_));
+        }
+      }
+      continue;
+    }
+    if (node->children.size() != node->entries.size()) {
+      return Status::Internal("cf entries/children arity mismatch");
+    }
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      // CF additivity (BIRCH theorem 4.1): a nonleaf entry must equal the
+      // sum of the CFs in the child it summarizes.
+      const Node* child = node->children[i].get();
+      CfVector sum(dim_);
+      for (const CfVector& cf : child->entries) sum.Merge(cf);
+      const CfVector& stored = node->entries[i];
+      if (stored.count() != sum.count()) {
+        return Status::Internal(
+            "cf additivity violated: stored N " +
+            std::to_string(stored.count()) + " != children sum " +
+            std::to_string(sum.count()));
+      }
+      if (!CloseEnough(stored.square_sum(), sum.square_sum())) {
+        return Status::Internal("cf additivity violated: SS drift");
+      }
+      for (int d = 0; d < dim_; ++d) {
+        if (!CloseEnough(stored.linear_sum()[d], sum.linear_sum()[d])) {
+          return Status::Internal("cf additivity violated: LS drift at dim " +
+                                  std::to_string(d));
+        }
+      }
+      stack.push_back({child, item.depth + 1});
+    }
+  }
+  if (points_seen != point_count_) {
+    return Status::Internal("point count mismatch: counted " +
+                            std::to_string(points_seen) + " expected " +
+                            std::to_string(point_count_));
+  }
+  if (leaves_seen != leaf_cluster_count_) {
+    return Status::Internal("leaf cluster count mismatch: counted " +
+                            std::to_string(leaves_seen) + " expected " +
+                            std::to_string(leaf_cluster_count_));
+  }
+  if (nodes_seen != node_count_) {
+    return Status::Internal("node count mismatch: counted " +
+                            std::to_string(nodes_seen) + " expected " +
+                            std::to_string(node_count_));
+  }
+  return Status::OK();
+}
+
+void CfTree::TestOnlyCorruptFirstLeafCf(double delta) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    WALRUS_CHECK(!node->children.empty());
+    node = node->children.front().get();
+  }
+  WALRUS_CHECK(!node->entries.empty()) << "cannot corrupt an empty tree";
+  node->entries.front().TestOnlyPerturbSquareSum(delta);
 }
 
 std::vector<CfVector> CfTree::LeafClusters() const {

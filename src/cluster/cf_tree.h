@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "cluster/cf.h"
+#include "common/status.h"
 
 namespace walrus {
 
@@ -41,6 +42,19 @@ class CfTree {
   int leaf_cluster_count() const { return leaf_cluster_count_; }
   /// Total nodes (diagnostics / memory-bound rebuild policy).
   int node_count() const { return node_count_; }
+
+  /// Deep structural validation: CF additivity (each internal entry's
+  /// N/LS/SS equals the sum over its child's entries, within floating-point
+  /// tolerance), subcluster radius <= threshold at leaves, branching-factor
+  /// bounds, uniform leaf depth, and the N/leaf/node counters. Returns an
+  /// error describing the first violation. O(n); invoked from tests and,
+  /// when DeepChecksEnabled(), after clustering runs.
+  Status Validate() const;
+
+  /// Test-only fault injection: adds `delta` to the square-sum of the
+  /// leftmost leaf subcluster CF without updating any ancestor, so
+  /// Validate() must report the corruption. Fatal on an empty tree.
+  void TestOnlyCorruptFirstLeafCf(double delta);
 
  private:
   struct Node;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 namespace {

@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace walrus {
+namespace {
+
+bool DeepChecksFromEnv() {
+  const char* env = std::getenv("WALRUS_DEEP_CHECKS");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+bool g_deep_checks = DeepChecksFromEnv();
+
+}  // namespace
+
+bool DeepChecksEnabled() { return g_deep_checks; }
+
+void SetDeepChecks(bool enabled) { g_deep_checks = enabled; }
+
+namespace internal {
+
+void FailCheck(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* message)
+    : file_(file), line_(line) {
+  stream_ << message;
+}
+
+CheckFailure::~CheckFailure() { FailCheck(file_, line_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace walrus

@@ -1,0 +1,151 @@
+#ifndef WALRUS_COMMON_CHECK_H_
+#define WALRUS_COMMON_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+/// Contract-checking macro family. WALRUS_CHECK* are always on and guard API
+/// contracts and structural invariants; WALRUS_DCHECK* are debug-only twins
+/// for hot paths and compile out (operands are not evaluated) under NDEBUG.
+///
+/// All macros are streamable for extra context and report file:line plus the
+/// failed expression; the comparison forms also report both operand values:
+///
+///   WALRUS_CHECK(ptr != nullptr) << "while loading " << path;
+///   WALRUS_CHECK_EQ(rect.dim(), dim_);   // "Check failed: ... (3 vs. 4)"
+///
+/// A failed check prints to stderr and aborts the process: checks are for
+/// programmer errors, never for fallible operations (those return Status).
+
+namespace walrus {
+
+/// True when expensive structural validation (deep tree walks after
+/// mutations) should run. Defaults to the WALRUS_DEEP_CHECKS environment
+/// variable (any non-empty value other than "0" enables); tests may override
+/// programmatically. Thread-compatible: set once at startup.
+bool DeepChecksEnabled();
+void SetDeepChecks(bool enabled);
+
+namespace internal {
+
+/// Prints "<file>:<line>: <message>" to stderr and aborts.
+[[noreturn]] void FailCheck(const char* file, int line,
+                            const std::string& message);
+
+/// Accumulates one check-failure message; aborts on destruction at the end
+/// of the full expression, after any streamed context.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* message);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Lowest-precedence operand that turns the streamed failure expression into
+/// void for the ternary in WALRUS_CHECK.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Widens character types so failure messages print numbers, not glyphs.
+template <typename T>
+const T& CheckOperand(const T& value) {
+  return value;
+}
+inline int CheckOperand(char value) { return value; }
+inline int CheckOperand(signed char value) { return value; }
+inline unsigned int CheckOperand(unsigned char value) { return value; }
+
+/// Builds "Check failed: <expr> (<a> vs. <b>) " for a failed comparison.
+template <typename A, typename B>
+std::unique_ptr<std::string> MakeCheckOpString(const A& a, const B& b,
+                                               const char* expr) {
+  std::ostringstream os;
+  os << "Check failed: " << expr << " (" << CheckOperand(a) << " vs. "
+     << CheckOperand(b) << ") ";
+  return std::make_unique<std::string>(os.str());
+}
+
+/// One comparison helper per operator: null on success, message on failure.
+/// Operands are evaluated exactly once.
+#define WALRUS_DEFINE_CHECK_OP(name, op)                           \
+  template <typename A, typename B>                                \
+  std::unique_ptr<std::string> Check##name(const A& a, const B& b, \
+                                           const char* expr) {     \
+    if (a op b) return nullptr;                                    \
+    return MakeCheckOpString(a, b, expr);                          \
+  }
+WALRUS_DEFINE_CHECK_OP(EQ, ==)
+WALRUS_DEFINE_CHECK_OP(NE, !=)
+WALRUS_DEFINE_CHECK_OP(LT, <)
+WALRUS_DEFINE_CHECK_OP(LE, <=)
+WALRUS_DEFINE_CHECK_OP(GT, >)
+WALRUS_DEFINE_CHECK_OP(GE, >=)
+#undef WALRUS_DEFINE_CHECK_OP
+
+}  // namespace internal
+}  // namespace walrus
+
+/// Fatal unless `condition` holds; always on, use for API contract checks.
+#define WALRUS_CHECK(condition)                                          \
+  (condition) ? (void)0                                                  \
+              : ::walrus::internal::CheckVoidify() &                     \
+                    ::walrus::internal::CheckFailure(                    \
+                        __FILE__, __LINE__,                              \
+                        "Check failed: " #condition " ")                 \
+                        .stream()
+
+/// Comparison checks that report both operand values on failure. The `while`
+/// only runs on failure, and its body aborts, so it never loops.
+#define WALRUS_CHECK_OP(name, op, a, b)                               \
+  while (auto _walrus_check_failed = ::walrus::internal::Check##name( \
+             (a), (b), #a " " #op " " #b))                            \
+  ::walrus::internal::CheckFailure(__FILE__, __LINE__,                \
+                                   _walrus_check_failed->c_str())     \
+      .stream()
+
+#define WALRUS_CHECK_EQ(a, b) WALRUS_CHECK_OP(EQ, ==, a, b)
+#define WALRUS_CHECK_NE(a, b) WALRUS_CHECK_OP(NE, !=, a, b)
+#define WALRUS_CHECK_LT(a, b) WALRUS_CHECK_OP(LT, <, a, b)
+#define WALRUS_CHECK_LE(a, b) WALRUS_CHECK_OP(LE, <=, a, b)
+#define WALRUS_CHECK_GT(a, b) WALRUS_CHECK_OP(GT, >, a, b)
+#define WALRUS_CHECK_GE(a, b) WALRUS_CHECK_OP(GE, >=, a, b)
+
+/// Debug-only checks for hot paths. Under NDEBUG the dead `while (false)`
+/// keeps operands type-checked but never evaluated.
+#ifdef NDEBUG
+#define WALRUS_DCHECK(condition) \
+  while (false) WALRUS_CHECK(condition)
+#define WALRUS_DCHECK_EQ(a, b) \
+  while (false) WALRUS_CHECK_EQ(a, b)
+#define WALRUS_DCHECK_NE(a, b) \
+  while (false) WALRUS_CHECK_NE(a, b)
+#define WALRUS_DCHECK_LT(a, b) \
+  while (false) WALRUS_CHECK_LT(a, b)
+#define WALRUS_DCHECK_LE(a, b) \
+  while (false) WALRUS_CHECK_LE(a, b)
+#define WALRUS_DCHECK_GT(a, b) \
+  while (false) WALRUS_CHECK_GT(a, b)
+#define WALRUS_DCHECK_GE(a, b) \
+  while (false) WALRUS_CHECK_GE(a, b)
+#else
+#define WALRUS_DCHECK(condition) WALRUS_CHECK(condition)
+#define WALRUS_DCHECK_EQ(a, b) WALRUS_CHECK_EQ(a, b)
+#define WALRUS_DCHECK_NE(a, b) WALRUS_CHECK_NE(a, b)
+#define WALRUS_DCHECK_LT(a, b) WALRUS_CHECK_LT(a, b)
+#define WALRUS_DCHECK_LE(a, b) WALRUS_CHECK_LE(a, b)
+#define WALRUS_DCHECK_GT(a, b) WALRUS_CHECK_GT(a, b)
+#define WALRUS_DCHECK_GE(a, b) WALRUS_CHECK_GE(a, b)
+#endif
+
+#endif  // WALRUS_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+#include "common/crc32.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace walrus {
+namespace {
+
+/// Byte-at-a-time table for the reflected IEEE polynomial 0xEDB88320.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  const std::array<uint32_t, 256>& table = Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::vector<uint8_t>& buf, size_t begin, size_t end) {
+  WALRUS_CHECK_LE(begin, end);
+  WALRUS_CHECK_LE(end, buf.size());
+  return Crc32(buf.data() + begin, end - begin);
+}
+
+}  // namespace walrus

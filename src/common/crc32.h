@@ -1,0 +1,19 @@
+#ifndef WALRUS_COMMON_CRC32_H_
+#define WALRUS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace walrus {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`. Used for
+/// page-level integrity checksums in the storage layer.
+uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// CRC-32 of bytes [begin, end) of `buf`; bounds are checked.
+uint32_t Crc32(const std::vector<uint8_t>& buf, size_t begin, size_t end);
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_CRC32_H_

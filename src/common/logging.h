@@ -60,35 +60,6 @@ struct LogVoidify {
 };
 }  // namespace walrus::internal
 
-/// Fatal unless `condition` holds; always on, use for API contract checks.
-#define WALRUS_CHECK(condition)                                           \
-  (condition) ? (void)0                                                   \
-              : ::walrus::internal::LogVoidify() &                        \
-                    ::walrus::internal::LogMessage(                       \
-                        ::walrus::LogLevel::kFatal, __FILE__, __LINE__)   \
-                            .stream()                                     \
-                        << "Check failed: " #condition " "
-
-#define WALRUS_CHECK_EQ(a, b) WALRUS_CHECK((a) == (b))
-#define WALRUS_CHECK_NE(a, b) WALRUS_CHECK((a) != (b))
-#define WALRUS_CHECK_LT(a, b) WALRUS_CHECK((a) < (b))
-#define WALRUS_CHECK_LE(a, b) WALRUS_CHECK((a) <= (b))
-#define WALRUS_CHECK_GT(a, b) WALRUS_CHECK((a) > (b))
-#define WALRUS_CHECK_GE(a, b) WALRUS_CHECK((a) >= (b))
-
-/// Debug-only checks for hot paths.
-#ifdef NDEBUG
-#define WALRUS_DCHECK(condition) \
-  while (false) WALRUS_CHECK(condition)
-#else
-#define WALRUS_DCHECK(condition) WALRUS_CHECK(condition)
-#endif
-
-#define WALRUS_DCHECK_EQ(a, b) WALRUS_DCHECK((a) == (b))
-#define WALRUS_DCHECK_NE(a, b) WALRUS_DCHECK((a) != (b))
-#define WALRUS_DCHECK_LT(a, b) WALRUS_DCHECK((a) < (b))
-#define WALRUS_DCHECK_LE(a, b) WALRUS_DCHECK((a) <= (b))
-#define WALRUS_DCHECK_GT(a, b) WALRUS_DCHECK((a) > (b))
-#define WALRUS_DCHECK_GE(a, b) WALRUS_DCHECK((a) >= (b))
+// The WALRUS_CHECK / WALRUS_DCHECK contract macros live in common/check.h.
 
 #endif  // WALRUS_COMMON_LOGGING_H_

@@ -1,6 +1,6 @@
 #include "common/math_util.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 

@@ -1,7 +1,6 @@
 #include "common/status.h"
 
-#include <cstdio>
-#include <cstdlib>
+#include "common/check.h"
 
 namespace walrus {
 
@@ -44,9 +43,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
 namespace internal {
 
 void DieOnBadResultAccess(const Status& status) {
-  std::fprintf(stderr, "FATAL: accessed value of errored Result: %s\n",
-               status.ToString().c_str());
-  std::abort();
+  FailCheck("common/status.h", 0,
+            "Check failed: accessed value of errored Result: " +
+                status.ToString());
 }
 
 }  // namespace internal

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/check.h"
+
 namespace walrus {
 
 CoverageBitmap::CoverageBitmap(int side) : side_(side) {

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 

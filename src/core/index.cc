@@ -1,9 +1,11 @@
 #include "core/index.h"
 
+#include <limits>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace walrus {
@@ -45,7 +47,9 @@ Status WalrusIndex::AddImage(uint64_t image_id, const std::string& name,
                  EncodeRegionPayload(image_id, region.region_id));
     record.regions.push_back(region.ToRecord());
   }
-  return catalog_.AddImage(std::move(record));
+  WALRUS_RETURN_IF_ERROR(catalog_.AddImage(std::move(record)));
+  if (DeepChecksEnabled()) return ValidateConsistency();
+  return Status::OK();
 }
 
 Status WalrusIndex::AddImages(std::vector<PendingImage> images,
@@ -108,6 +112,7 @@ Status WalrusIndex::AddImages(std::vector<PendingImage> images,
     tree_ = RStarTree::BulkLoad(params_.SignatureDim(),
                                 std::move(bulk_entries));
   }
+  if (DeepChecksEnabled()) return ValidateConsistency();
   return Status::OK();
 }
 
@@ -128,7 +133,9 @@ Status WalrusIndex::RemoveImage(uint64_t image_id) {
                             " tree entries, catalog had " +
                             std::to_string(expected));
   }
-  return catalog_.RemoveImage(image_id);
+  WALRUS_RETURN_IF_ERROR(catalog_.RemoveImage(image_id));
+  if (DeepChecksEnabled()) return ValidateConsistency();
+  return Status::OK();
 }
 
 Result<std::vector<Region>> WalrusIndex::ImageRegions(
@@ -237,6 +244,72 @@ std::vector<std::pair<Rect, uint64_t>> WalrusIndex::CatalogEntries() const {
     }
   }
   return entries;
+}
+
+Status WalrusIndex::ValidateConsistency() const {
+  WALRUS_RETURN_IF_ERROR(catalog_.Validate());
+
+  // Every catalog region, keyed by its packed payload. Pointers into
+  // `expected` stay valid: the vector is not resized past this point.
+  std::vector<std::pair<Rect, uint64_t>> expected = CatalogEntries();
+  std::unordered_map<uint64_t, const Rect*> by_payload;
+  by_payload.reserve(expected.size());
+  for (const auto& [rect, payload] : expected) {
+    if (!by_payload.emplace(payload, &rect).second) {
+      return Status::Internal("index: duplicate region payload " +
+                              std::to_string(payload) + " in catalog");
+    }
+  }
+
+  // Sweep the spatial backend and tick entries off against the catalog;
+  // erasing as we match also catches duplicate tree entries.
+  Status mismatch = Status::OK();
+  auto visitor = [&](const Rect& rect, uint64_t payload) {
+    auto it = by_payload.find(payload);
+    if (it == by_payload.end()) {
+      mismatch = Status::Internal("index: tree entry with payload " +
+                                  std::to_string(payload) +
+                                  " has no catalog region (or is duplicated)");
+      return false;
+    }
+    if (!(rect == *it->second)) {
+      mismatch = Status::Internal(
+          "index: tree rect differs from catalog signature for payload " +
+          std::to_string(payload));
+      return false;
+    }
+    by_payload.erase(it);
+    return true;
+  };
+  int dim = params_.SignatureDim();
+  Rect everything =
+      Rect::Bounds(std::vector<float>(dim, std::numeric_limits<float>::lowest()),
+                   std::vector<float>(dim, std::numeric_limits<float>::max()));
+  if (disk_tree_.has_value()) {
+    WALRUS_RETURN_IF_ERROR(disk_tree_->Validate());
+    if (disk_tree_->size() != static_cast<int64_t>(expected.size())) {
+      return Status::Internal(
+          "index: page tree holds " + std::to_string(disk_tree_->size()) +
+          " entries, catalog has " + std::to_string(expected.size()) +
+          " regions");
+    }
+    WALRUS_RETURN_IF_ERROR(disk_tree_->RangeSearchVisit(everything, visitor));
+  } else {
+    WALRUS_RETURN_IF_ERROR(tree_.Validate());
+    if (tree_.size() != static_cast<int64_t>(expected.size())) {
+      return Status::Internal(
+          "index: tree holds " + std::to_string(tree_.size()) +
+          " entries, catalog has " + std::to_string(expected.size()) +
+          " regions");
+    }
+    tree_.RangeSearchVisit(everything, visitor);
+  }
+  WALRUS_RETURN_IF_ERROR(mismatch);
+  if (!by_payload.empty()) {
+    return Status::Internal("index: " + std::to_string(by_payload.size()) +
+                            " catalog regions missing from the tree");
+  }
+  return Status::OK();
 }
 
 Status WalrusIndex::SavePaged(const std::string& path_prefix) const {

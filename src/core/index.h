@@ -110,6 +110,15 @@ class WalrusIndex {
   /// the page tree never changes.
   static Result<WalrusIndex> OpenPaged(const std::string& path_prefix);
 
+  /// Deep cross-layer validation: the catalog's own invariants
+  /// (Catalog::Validate), the spatial backend's own invariants
+  /// (RStarTree::Validate or DiskRStarTree::Validate, including the page
+  /// checksum sweep when paged), and the bridge between them -- every
+  /// region signature in the catalog must appear in the tree exactly once
+  /// with the same rect and payload, and vice versa. O(index size);
+  /// invoked from tests and, when DeepChecksEnabled(), after mutations.
+  Status ValidateConsistency() const;
+
  private:
   /// (Rect, payload) entries for every region in the catalog, in the
   /// layout the trees index.

@@ -1,6 +1,6 @@
 #include "core/region.h"
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 

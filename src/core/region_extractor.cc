@@ -4,7 +4,7 @@
 
 #include "cluster/birch.h"
 #include "cluster/kmeans.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 

@@ -6,6 +6,8 @@
 #include "image/color.h"
 #include "wavelet/sliding_window.h"
 
+#include "common/check.h"
+
 namespace walrus {
 
 void AppendNormalizedBlock(const float* raw_block, int s,

@@ -8,6 +8,8 @@
 #include "image/pnm_io.h"
 #include "image/transform.h"
 
+#include "common/check.h"
+
 namespace walrus {
 namespace {
 

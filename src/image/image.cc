@@ -4,6 +4,8 @@
 
 #include "common/math_util.h"
 
+#include "common/check.h"
+
 namespace walrus {
 
 const char* ColorSpaceName(ColorSpace cs) {

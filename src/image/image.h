@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/status.h"
 
 namespace walrus {

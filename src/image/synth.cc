@@ -5,6 +5,8 @@
 
 #include "common/math_util.h"
 
+#include "common/check.h"
+
 namespace walrus {
 
 Color3 LerpColor(const Color3& a, const Color3& b, float t) {

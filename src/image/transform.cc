@@ -5,6 +5,8 @@
 
 #include "common/math_util.h"
 
+#include "common/check.h"
+
 namespace walrus {
 namespace {
 

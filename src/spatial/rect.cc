@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace walrus {
 
 Rect Rect::Point(const std::vector<float>& point) {

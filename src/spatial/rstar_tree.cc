@@ -5,7 +5,7 @@
 #include <limits>
 #include <queue>
 
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 
@@ -674,7 +674,7 @@ std::vector<std::pair<uint64_t, double>> RStarTree::NearestNeighbors(
 
 Rect RStarTree::BoundingRect() const { return root_->ComputeBoundingRect(dim_); }
 
-Status RStarTree::CheckInvariants() const {
+Status RStarTree::Validate() const {
   // Walk the tree iteratively; validate levels, fills and bounding rects.
   struct Item {
     const Node* node;
@@ -694,6 +694,9 @@ Status RStarTree::CheckInvariants() const {
     if (node != root_.get() && count < min_fill) {
       return Status::Internal("node underflow: " + std::to_string(count));
     }
+    if (node->level < 0) {
+      return Status::Internal("negative node level");
+    }
     if (item.parent_rect != nullptr) {
       Rect bounds = node->ComputeBoundingRect(dim_);
       if (!(*item.parent_rect == bounds)) {
@@ -701,6 +704,18 @@ Status RStarTree::CheckInvariants() const {
       }
     }
     for (const Entry& e : node->entries) {
+      if (e.rect.IsEmpty()) {
+        return Status::Internal("empty entry rect");
+      }
+      if (e.rect.dim() != dim_) {
+        return Status::Internal("entry rect dimension " +
+                                std::to_string(e.rect.dim()) + " != tree " +
+                                std::to_string(dim_));
+      }
+      if (item.parent_rect != nullptr &&
+          !item.parent_rect->ContainsRect(e.rect)) {
+        return Status::Internal("entry rect escapes parent MBR");
+      }
       if (node->is_leaf()) {
         ++leaf_entries;
         if (e.child != nullptr) {

@@ -97,9 +97,14 @@ class RStarTree {
   /// Bounding rect of everything in the tree (empty rect when empty).
   Rect BoundingRect() const;
 
-  /// Checks structural invariants (entry counts, bounding-rect containment);
-  /// returns an error describing the first violation. Test helper.
-  Status CheckInvariants() const;
+  /// Deep structural validation: every child MBR is contained in (and the
+  /// stored parent rect equals) its subtree's bounding rect, min/max fan-out
+  /// is respected, levels decrease by one toward uniform-depth leaves,
+  /// parent pointers are consistent, rect dimensionality matches the tree,
+  /// and the leaf entry count equals size(). Returns an error describing the
+  /// first violation. O(n); invoked from tests and, when DeepChecksEnabled(),
+  /// after index mutations.
+  Status Validate() const;
 
   /// Serialization (bulk dump/load of the tree structure).
   void Serialize(BinaryWriter* writer) const;

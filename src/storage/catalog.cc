@@ -1,6 +1,7 @@
 #include "storage/catalog.h"
 
-#include "common/logging.h"
+#include <unordered_set>
+
 #include "storage/page_file.h"
 
 namespace walrus {
@@ -92,6 +93,49 @@ size_t Catalog::TotalRegions() const {
   size_t total = 0;
   for (const ImageRecord& rec : images_) total += rec.regions.size();
   return total;
+}
+
+Status Catalog::Validate() const {
+  if (by_id_.size() != images_.size()) {
+    return Status::Internal("catalog: id map has " +
+                            std::to_string(by_id_.size()) +
+                            " entries, record vector has " +
+                            std::to_string(images_.size()));
+  }
+  for (const auto& [id, index] : by_id_) {
+    if (index >= images_.size()) {
+      return Status::Internal("catalog: id map slot for image " +
+                              std::to_string(id) + " is out of range");
+    }
+    if (images_[index].image_id != id) {
+      return Status::Internal("catalog: id map for image " +
+                              std::to_string(id) +
+                              " points at record with id " +
+                              std::to_string(images_[index].image_id));
+    }
+  }
+  for (const ImageRecord& rec : images_) {
+    std::unordered_set<uint32_t> region_ids;
+    for (const RegionRecord& region : rec.regions) {
+      if (!region_ids.insert(region.region_id).second) {
+        return Status::Internal("catalog: duplicate region id " +
+                                std::to_string(region.region_id) +
+                                " in image " + std::to_string(rec.image_id));
+      }
+      if (region.bbox_lo.size() != region.bbox_hi.size()) {
+        return Status::Internal("catalog: bbox lo/hi length mismatch in image " +
+                                std::to_string(rec.image_id));
+      }
+      for (size_t d = 0; d < region.bbox_lo.size(); ++d) {
+        if (!(region.bbox_lo[d] <= region.bbox_hi[d])) {
+          return Status::Internal("catalog: inverted bbox in image " +
+                                  std::to_string(rec.image_id) + " region " +
+                                  std::to_string(region.region_id));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 void Catalog::Serialize(BinaryWriter* writer) const {

@@ -67,6 +67,13 @@ class Catalog {
   /// Total regions across all images.
   size_t TotalRegions() const;
 
+  /// Structural validation: the id map and the record vector must agree
+  /// (equal sizes, every map slot in range and pointing at the record with
+  /// that id), region ids must be unique within each image, and every
+  /// region bbox must be well-formed (lo/hi same length, lo <= hi). Returns
+  /// an error describing the first violation.
+  Status Validate() const;
+
   /// Persists the catalog into a freshly created PageFile at `path`.
   Status SaveToFile(const std::string& path) const;
 

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <cstring>
 #include <queue>
+#include <unordered_set>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/serialize.h"
 
 namespace walrus {
@@ -17,7 +18,10 @@ constexpr size_t kNodeHeaderBytes = 8;
 size_t EntryBytes(int dim) { return static_cast<size_t>(dim) * 8 + 8; }
 
 int CapacityFor(uint32_t page_size, int dim) {
-  return static_cast<int>((page_size - kNodeHeaderBytes) / EntryBytes(dim));
+  // The page file reserves its CRC-32 trailer at the end of every page.
+  return static_cast<int>(
+      (page_size - kNodeHeaderBytes - PageFile::kChecksumBytes) /
+      EntryBytes(dim));
 }
 
 void PutU16At(std::vector<uint8_t>* page, size_t pos, uint16_t v) {
@@ -264,6 +268,82 @@ Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
     node.values.push_back(value);
   }
   return node;
+}
+
+Status DiskRStarTree::Validate() const {
+  {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    WALRUS_RETURN_IF_ERROR(file_.ValidateChecksums());
+  }
+  if (size_ == 0) {
+    if (height_ != 0) {
+      return Status::Internal("disk rstar: empty tree with height " +
+                              std::to_string(height_));
+    }
+    return Status::OK();
+  }
+  if (height_ < 1) {
+    return Status::Internal("disk rstar: nonempty tree with height " +
+                            std::to_string(height_));
+  }
+
+  struct Item {
+    uint32_t page;
+    int depth;  // root is depth 1; leaves must sit at depth == height_
+    Rect expected;
+    bool has_expected;
+  };
+  std::vector<Item> stack;
+  stack.push_back({root_page_, 1, Rect::Empty(dim_), false});
+  std::unordered_set<uint32_t> visited;
+  int64_t leaf_entries = 0;
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    if (item.page == 0 || item.page >= file_.page_count()) {
+      return Status::Internal("disk rstar: child page id " +
+                              std::to_string(item.page) + " out of range");
+    }
+    if (!visited.insert(item.page).second) {
+      return Status::Internal("disk rstar: page " + std::to_string(item.page) +
+                              " reachable twice (cycle or shared child)");
+    }
+    WALRUS_ASSIGN_OR_RETURN(NodeRef node, ReadNode(item.page));
+    if (node.rects.empty()) {
+      return Status::Internal("disk rstar: empty node at page " +
+                              std::to_string(item.page));
+    }
+    Rect bounds = Rect::Empty(dim_);
+    for (const Rect& r : node.rects) bounds.ExpandToInclude(r);
+    if (item.has_expected && !(bounds == item.expected)) {
+      return Status::Internal(
+          "disk rstar: stored parent rect differs from child bounds union at "
+          "page " +
+          std::to_string(item.page));
+    }
+    if (node.is_leaf) {
+      if (item.depth != height_) {
+        return Status::Internal(
+            "disk rstar: leaf at depth " + std::to_string(item.depth) +
+            ", tree height " + std::to_string(height_));
+      }
+      leaf_entries += static_cast<int64_t>(node.rects.size());
+      continue;
+    }
+    if (item.depth >= height_) {
+      return Status::Internal("disk rstar: internal node below leaf level");
+    }
+    for (size_t i = 0; i < node.rects.size(); ++i) {
+      stack.push_back({static_cast<uint32_t>(node.values[i]), item.depth + 1,
+                       node.rects[i], true});
+    }
+  }
+  if (leaf_entries != size_) {
+    return Status::Internal("disk rstar: leaf entry count " +
+                            std::to_string(leaf_entries) +
+                            " != recorded size " + std::to_string(size_));
+  }
+  return Status::OK();
 }
 
 Status DiskRStarTree::RangeSearchVisit(

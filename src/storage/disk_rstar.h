@@ -83,6 +83,14 @@ class DiskRStarTree {
   Result<std::vector<std::pair<uint64_t, double>>> NearestNeighbors(
       const std::vector<float>& point, int k) const;
 
+  /// Deep structural validation: sweeps every page's CRC-32 trailer, then
+  /// walks the tree from the root verifying that each stored parent rect
+  /// equals the union of its child's rects, that all leaves sit at
+  /// `height()`, that no page is reachable twice (cycle guard), that page
+  /// ids stay in range, and that leaf entries sum to `size()`. O(file
+  /// size); validation/scrub tool, not a hot path.
+  Status Validate() const;
+
   /// Pages fetched by queries since opening (served from cache or disk).
   int64_t pages_read() const { return pages_read_; }
   /// Underlying page-cache counters.

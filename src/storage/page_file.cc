@@ -3,13 +3,16 @@
 #include <cstdio>
 #include <cstring>
 
-#include "common/logging.h"
+#include "common/check.h"
+#include "common/crc32.h"
 #include "common/serialize.h"
 
 namespace walrus {
 namespace {
 
-constexpr uint32_t kMagic = 0x57504746;  // "WPGF"
+// Bumped from "WPGF" when the CRC-32 page trailer was added: the trailer
+// changes the payload capacity, so files from the old format must not open.
+constexpr uint32_t kMagic = 0x32464750;  // "PGF2"
 constexpr uint32_t kMinPageSize = 64;
 
 void PutU32At(std::vector<uint8_t>* buf, size_t pos, uint32_t v) {
@@ -82,6 +85,19 @@ Result<PageFile> PageFile::Open(const std::string& path) {
     std::fclose(f);
     return Status::Corruption("page file: bad header: " + path);
   }
+  // Verify the header page's checksum before trusting anything else in it.
+  std::vector<uint8_t> header_page(page_size);
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fread(header_page.data(), 1, header_page.size(), f) !=
+          header_page.size()) {
+    std::fclose(f);
+    return Status::Corruption("page file: short header page: " + path);
+  }
+  size_t body = header_page.size() - PageFile::kChecksumBytes;
+  if (GetU32At(header_page, body) != Crc32(header_page.data(), body)) {
+    std::fclose(f);
+    return Status::Corruption("page file: header checksum mismatch: " + path);
+  }
   // The file must actually hold every page the header claims.
   if (std::fseek(f, 0, SEEK_END) != 0) {
     std::fclose(f);
@@ -110,15 +126,13 @@ Status PageFile::WriteHeader() {
   writer.PutU32(page_count_);
   std::vector<uint8_t> page(page_size_, 0);
   std::memcpy(page.data(), writer.buffer().data(), writer.size());
-  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fwrite(page.data(), 1, page.size(), file_) != page.size()) {
-    return Status::IOError("page file: header write failed");
-  }
-  return Status::OK();
+  return WritePageInternal(0, std::move(page));
 }
 
-Status PageFile::WritePageInternal(uint32_t id,
-                                   const std::vector<uint8_t>& data) {
+Status PageFile::WritePageInternal(uint32_t id, std::vector<uint8_t> data) {
+  WALRUS_DCHECK_EQ(data.size(), page_size_);
+  size_t body = data.size() - kChecksumBytes;
+  PutU32At(&data, body, Crc32(data.data(), body));
   long offset = static_cast<long>(id) * page_size_;
   if (std::fseek(file_, offset, SEEK_SET) != 0 ||
       std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
@@ -163,8 +177,31 @@ Result<std::vector<uint8_t>> PageFile::ReadPage(uint32_t id) {
       std::fread(page.data(), 1, page.size(), file_) != page.size()) {
     return Status::IOError("page read failed: page " + std::to_string(id));
   }
+  size_t body = page.size() - kChecksumBytes;
+  if (GetU32At(page, body) != Crc32(page.data(), body)) {
+    return Status::Corruption("page checksum mismatch: page " +
+                              std::to_string(id));
+  }
   CacheInsert(id, page);
   return page;
+}
+
+Status PageFile::ValidateChecksums() {
+  std::vector<uint8_t> page(page_size_);
+  for (uint32_t id = 0; id < page_count_; ++id) {
+    long offset = static_cast<long>(id) * page_size_;
+    if (std::fseek(file_, offset, SEEK_SET) != 0 ||
+        std::fread(page.data(), 1, page.size(), file_) != page.size()) {
+      return Status::IOError("checksum sweep: cannot read page " +
+                             std::to_string(id));
+    }
+    size_t body = page.size() - kChecksumBytes;
+    if (GetU32At(page, body) != Crc32(page.data(), body)) {
+      return Status::Corruption("checksum sweep: page " + std::to_string(id) +
+                                " is corrupt");
+    }
+  }
+  return Status::OK();
 }
 
 void PageFile::SetCacheCapacity(int pages) {

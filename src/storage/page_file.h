@@ -24,12 +24,17 @@ struct BlobRef {
 ///
 /// Layout: page 0 is the header (magic, page size, page count). Every data
 /// page starts with an 8-byte header: u32 next-page id (0 = end of chain)
-/// and u32 payload bytes used in this page.
+/// and u32 payload bytes used in this page. The last 4 bytes of every page
+/// (header page included) hold a CRC-32 of the rest of the page, stamped on
+/// write and verified on every uncached read, so media or software
+/// corruption surfaces as Status::Corruption instead of silently wrong data.
 class PageFile {
  public:
   static constexpr uint32_t kDefaultPageSize = 4096;
   /// Pages kept in the read cache (LRU). 0 disables caching.
   static constexpr int kDefaultCachePages = 64;
+  /// Bytes of each page reserved for the CRC-32 trailer.
+  static constexpr uint32_t kChecksumBytes = 4;
 
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
@@ -46,13 +51,16 @@ class PageFile {
 
   uint32_t page_size() const { return page_size_; }
   uint32_t page_count() const { return page_count_; }
-  /// Payload capacity per data page.
-  uint32_t PagePayload() const { return page_size_ - 8; }
+  /// Payload capacity per data page (page minus chain header and checksum).
+  uint32_t PagePayload() const { return page_size_ - 8 - kChecksumBytes; }
 
   /// Appends a new zeroed page; returns its id.
   Result<uint32_t> AllocatePage();
 
   /// Overwrites page `id` with `data` (must be exactly page_size bytes).
+  /// The last kChecksumBytes of the page are reserved: they are replaced by
+  /// the CRC-32 trailer, so only the first page_size - kChecksumBytes bytes
+  /// of `data` round-trip through ReadPage.
   Status WritePage(uint32_t id, const std::vector<uint8_t>& data);
 
   /// Reads page `id`, serving repeated reads from an LRU cache.
@@ -74,11 +82,18 @@ class PageFile {
   /// Flushes buffered writes and the header to disk.
   Status Sync();
 
+  /// Checksum sweep: re-reads every page straight from disk (bypassing the
+  /// read cache) and verifies its CRC-32 trailer. Returns Corruption naming
+  /// the first bad page. O(file size); validation/scrub tool, not a hot
+  /// path.
+  Status ValidateChecksums();
+
  private:
   PageFile() = default;
 
   Status WriteHeader();
-  Status WritePageInternal(uint32_t id, const std::vector<uint8_t>& data);
+  /// Stamps the CRC trailer into `data` and writes it at page `id`.
+  Status WritePageInternal(uint32_t id, std::vector<uint8_t> data);
   void CacheInsert(uint32_t id, const std::vector<uint8_t>& page);
   void CacheErase(uint32_t id);
 

@@ -7,6 +7,8 @@
 
 #include "common/math_util.h"
 
+#include "common/check.h"
+
 namespace walrus {
 namespace {
 

@@ -4,6 +4,8 @@
 
 #include "wavelet/haar1d.h"
 
+#include "common/check.h"
+
 namespace walrus {
 
 bool SquareMatrix::AlmostEquals(const SquareMatrix& other, float tol) const {

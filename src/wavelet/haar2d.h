@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/math_util.h"
 
 namespace walrus {

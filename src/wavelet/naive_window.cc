@@ -5,6 +5,8 @@
 #include "common/math_util.h"
 #include "wavelet/haar2d.h"
 
+#include "common/check.h"
+
 namespace walrus {
 
 WindowSignatureGrid ComputeNaiveWindowSignatures(

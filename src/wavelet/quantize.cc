@@ -6,6 +6,8 @@
 
 #include "common/math_util.h"
 
+#include "common/check.h"
+
 namespace walrus {
 
 TruncatedSignature TruncateTransform(const SquareMatrix& transform, int keep) {

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/default_init_allocator.h"
-#include "common/logging.h"
+#include "common/check.h"
 
 namespace walrus {
 

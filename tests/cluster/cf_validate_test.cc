@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cf_tree.h"
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+/// A tree with several levels: a tight threshold over scattered points
+/// creates many subclusters, forcing leaf and internal splits.
+CfTree BuildTree(int num_points) {
+  CfTree tree(/*dim=*/2, /*threshold=*/0.01);
+  Rng rng(11);
+  for (int i = 0; i < num_points; ++i) {
+    float p[2] = {rng.NextFloat() * 100.0f, rng.NextFloat() * 100.0f};
+    tree.InsertPoint(p);
+  }
+  return tree;
+}
+
+TEST(CfTreeValidate, HealthyTreeValidates) {
+  CfTree tree = BuildTree(300);
+  EXPECT_GT(tree.node_count(), 1);
+  Status status = tree.Validate();
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+TEST(CfTreeValidate, EmptyTreeValidates) {
+  CfTree tree(2, 0.5);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(CfTreeValidate, DetectsCorruptedEntry) {
+  CfTree tree = BuildTree(300);
+  ASSERT_TRUE(tree.Validate().ok());
+  // Perturb one leaf subcluster's square-sum without updating its
+  // ancestors: the CF additivity identity no longer holds.
+  tree.TestOnlyCorruptFirstLeafCf(1.0e6);
+  Status status = tree.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status;
+}
+
+TEST(CfTreeValidate, DetectsCorruptionInSingleNodeTree) {
+  // With only a root leaf there is no additivity identity to break, but an
+  // inflated square-sum pushes the subcluster radius past the threshold.
+  CfTree tree(2, 0.5);
+  float a[2] = {0.0f, 0.0f};
+  float b[2] = {0.1f, 0.1f};
+  tree.InsertPoint(a);
+  tree.InsertPoint(b);
+  ASSERT_TRUE(tree.Validate().ok());
+  tree.TestOnlyCorruptFirstLeafCf(1.0e6);
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,120 @@
+// Contract-macro coverage: passing checks are silent, failing checks abort
+// with file:line, the failed expression, and (for comparison forms) both
+// operand values; WALRUS_DCHECK* compile out of release builds.
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace walrus {
+namespace {
+
+TEST(Check, PassingChecksAreSilent) {
+  WALRUS_CHECK(true);
+  WALRUS_CHECK(1 + 1 == 2) << "streamed context is not evaluated on success";
+  WALRUS_CHECK_EQ(1, 1);
+  WALRUS_CHECK_NE(1, 2);
+  WALRUS_CHECK_LT(1, 2);
+  WALRUS_CHECK_LE(2, 2);
+  WALRUS_CHECK_GT(3, 2);
+  WALRUS_CHECK_GE(3, 3);
+}
+
+TEST(Check, PassingCheckDoesNotEvaluateStreamedContext) {
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "context";
+  };
+  WALRUS_CHECK(true) << expensive();
+  WALRUS_CHECK_EQ(4, 4) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, ComparisonOperandsEvaluatedOnce) {
+  int a = 0;
+  int b = 0;
+  WALRUS_CHECK_EQ(++a, 1);
+  WALRUS_CHECK_LE(++b, 5);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Check, WorksAsSingleStatementInControlFlow) {
+  // The macros must behave as one statement (no stray dangling-else).
+  bool flag = true;
+  if (flag)
+    WALRUS_CHECK_EQ(1, 1);
+  else
+    WALRUS_CHECK_EQ(1, 2);
+  for (int i = 0; i < 3; ++i) WALRUS_CHECK_LT(i, 3);
+}
+
+TEST(Check, DeepChecksFlagRoundTrip) {
+  bool saved = DeepChecksEnabled();
+  SetDeepChecks(true);
+  EXPECT_TRUE(DeepChecksEnabled());
+  SetDeepChecks(false);
+  EXPECT_FALSE(DeepChecksEnabled());
+  SetDeepChecks(saved);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureAbortsWithExpression) {
+  EXPECT_DEATH(WALRUS_CHECK(1 == 2), "Check failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, FailureReportsFileAndStreamedContext) {
+  EXPECT_DEATH(WALRUS_CHECK(false) << "extra context 42",
+               "check_test.cc.*Check failed: false.*extra context 42");
+}
+
+TEST(CheckDeathTest, ComparisonFailureReportsBothOperandValues) {
+  int lhs = 4;
+  int rhs = 5;
+  EXPECT_DEATH(WALRUS_CHECK_EQ(lhs, rhs),
+               "Check failed: lhs == rhs \\(4 vs. 5\\)");
+}
+
+TEST(CheckDeathTest, EveryComparisonFormAborts) {
+  EXPECT_DEATH(WALRUS_CHECK_NE(7, 7), "7 vs. 7");
+  EXPECT_DEATH(WALRUS_CHECK_LT(2, 1), "2 vs. 1");
+  EXPECT_DEATH(WALRUS_CHECK_LE(2, 1), "2 vs. 1");
+  EXPECT_DEATH(WALRUS_CHECK_GT(1, 2), "1 vs. 2");
+  EXPECT_DEATH(WALRUS_CHECK_GE(1, 2), "1 vs. 2");
+}
+
+TEST(CheckDeathTest, ErroredResultAccessAborts) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_DEATH((void)result.value(), "errored Result.*boom");
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckActiveInDebugBuilds) {
+  EXPECT_DEATH(WALRUS_DCHECK(false), "Check failed");
+  EXPECT_DEATH(WALRUS_DCHECK_EQ(1, 2), "1 vs. 2");
+}
+#else
+TEST(Check, DcheckCompilesOutInReleaseBuilds) {
+  // Neither the condition nor comparison operands may be evaluated.
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  WALRUS_DCHECK(touch() == 2);
+  WALRUS_DCHECK_EQ(touch(), 2);
+  WALRUS_DCHECK_NE(touch(), 1);
+  WALRUS_DCHECK_LT(touch(), 0);
+  WALRUS_DCHECK_LE(touch(), 0);
+  WALRUS_DCHECK_GT(touch(), 2);
+  WALRUS_DCHECK_GE(touch(), 2);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace walrus

@@ -37,40 +37,11 @@ TEST(Logging, DisabledLevelsDoNotEvaluateStreamArgs) {
   EXPECT_EQ(evaluations, 1);
 }
 
-TEST(Logging, CheckPassesSilently) {
-  WALRUS_CHECK(true);
-  WALRUS_CHECK_EQ(1, 1);
-  WALRUS_CHECK_NE(1, 2);
-  WALRUS_CHECK_LT(1, 2);
-  WALRUS_CHECK_LE(2, 2);
-  WALRUS_CHECK_GT(3, 2);
-  WALRUS_CHECK_GE(3, 3);
-}
-
 using LoggingDeathTest = ::testing::Test;
-
-TEST(LoggingDeathTest, CheckFailureAborts) {
-  EXPECT_DEATH(WALRUS_CHECK(1 == 2) << "custom message", "Check failed");
-}
-
-TEST(LoggingDeathTest, CheckEqFailureMentionsExpression) {
-  EXPECT_DEATH(WALRUS_CHECK_EQ(2 + 2, 5), "Check failed");
-}
 
 TEST(LoggingDeathTest, FatalLogAborts) {
   EXPECT_DEATH(WALRUS_LOG(Fatal) << "unrecoverable", "unrecoverable");
 }
-
-#ifndef NDEBUG
-TEST(LoggingDeathTest, DcheckActiveInDebugBuilds) {
-  EXPECT_DEATH(WALRUS_DCHECK(false), "Check failed");
-}
-#else
-TEST(Logging, DcheckCompiledOutInReleaseBuilds) {
-  WALRUS_DCHECK(false);  // must be a no-op
-  SUCCEED();
-}
-#endif
 
 }  // namespace
 }  // namespace walrus

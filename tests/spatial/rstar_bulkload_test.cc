@@ -26,12 +26,12 @@ std::vector<std::pair<Rect, uint64_t>> RandomEntries(int n, int dim,
 TEST(RStarBulkLoad, EmptyAndTiny) {
   RStarTree empty = RStarTree::BulkLoad(2, {});
   EXPECT_EQ(empty.size(), 0);
-  EXPECT_TRUE(empty.CheckInvariants().ok());
+  EXPECT_TRUE(empty.Validate().ok());
 
   RStarTree one = RStarTree::BulkLoad(2, RandomEntries(1, 2, 1));
   EXPECT_EQ(one.size(), 1);
   EXPECT_EQ(one.height(), 1);
-  EXPECT_TRUE(one.CheckInvariants().ok()) << one.CheckInvariants();
+  EXPECT_TRUE(one.Validate().ok()) << one.Validate();
 }
 
 class BulkLoadSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
@@ -43,7 +43,7 @@ TEST_P(BulkLoadSweep, InvariantsAndQueriesMatchIncremental) {
 
   RStarTree bulk = RStarTree::BulkLoad(dim, entries);
   EXPECT_EQ(bulk.size(), n);
-  ASSERT_TRUE(bulk.CheckInvariants().ok()) << bulk.CheckInvariants();
+  ASSERT_TRUE(bulk.Validate().ok()) << bulk.Validate();
 
   RStarTree incremental(dim);
   for (const auto& [rect, payload] : entries) {
@@ -93,12 +93,12 @@ TEST(RStarBulkLoad, SupportsSubsequentInsertAndDelete) {
     tree.Insert(Rect::Point(p), static_cast<uint64_t>(i));
   }
   EXPECT_EQ(tree.size(), 400);
-  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate();
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(tree.Delete(entries[i].first, entries[i].second).ok()) << i;
   }
   EXPECT_EQ(tree.size(), 300);
-  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate();
 }
 
 TEST(RStarBulkLoad, SerializationRoundTrip) {
@@ -109,7 +109,7 @@ TEST(RStarBulkLoad, SerializationRoundTrip) {
   auto restored = RStarTree::Deserialize(&reader);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->size(), 800);
-  EXPECT_TRUE(restored->CheckInvariants().ok());
+  EXPECT_TRUE(restored->Validate().ok());
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ TEST(RStarDelete, DeleteFromSingleLeaf) {
       tree.RangeSearch(Rect::Bounds({0, 0}, {1, 1}));
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], 2u);
-  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate();
 }
 
 TEST(RStarDelete, MissingEntryIsNotFound) {
@@ -56,14 +56,14 @@ TEST(RStarDelete, DrainEntireTree) {
     ASSERT_TRUE(tree.Delete(rects[id], static_cast<uint64_t>(id)).ok())
         << "step " << step;
     if (step % 50 == 49) {
-      ASSERT_TRUE(tree.CheckInvariants().ok())
-          << step << ": " << tree.CheckInvariants();
+      ASSERT_TRUE(tree.Validate().ok())
+          << step << ": " << tree.Validate();
     }
   }
   EXPECT_EQ(tree.size(), 0);
   EXPECT_TRUE(
       tree.RangeSearch(Rect::Bounds({-1, -1, -1}, {2, 2, 2})).empty());
-  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate();
   // Tree remains usable after draining.
   tree.Insert(Rect::Point({0.5f, 0.5f, 0.5f}), 777);
   EXPECT_EQ(tree.size(), 1);
@@ -90,8 +90,8 @@ TEST(RStarDelete, InterleavedFuzzMatchesBruteForce) {
       live.erase(it);
     }
     if (step % 500 == 499) {
-      ASSERT_TRUE(tree.CheckInvariants().ok())
-          << step << ": " << tree.CheckInvariants();
+      ASSERT_TRUE(tree.Validate().ok())
+          << step << ": " << tree.Validate();
       // Spot-check a range query against the live set.
       std::vector<float> lo(dim), hi(dim);
       for (int d = 0; d < dim; ++d) {
@@ -124,7 +124,7 @@ TEST(RStarDelete, DeleteIfRemovesMatchingPayloads) {
   for (uint64_t payload : tree.RangeSearch(Rect::Bounds({-1, -1}, {2, 2}))) {
     EXPECT_NE(payload % 3, 0u);
   }
-  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate();
 }
 
 TEST(RStarDelete, DuplicateRectsDeleteByPayload) {
@@ -136,7 +136,7 @@ TEST(RStarDelete, DuplicateRectsDeleteByPayload) {
   std::vector<uint64_t> hits = tree.RangeSearch(r.Expanded(1e-6f));
   EXPECT_EQ(hits.size(), 39u);
   EXPECT_EQ(std::count(hits.begin(), hits.end(), 17u), 0);
-  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate();
 }
 
 TEST(RStarDelete, BoxRectsSurviveCondense) {
@@ -156,7 +156,7 @@ TEST(RStarDelete, BoxRectsSurviveCondense) {
     ASSERT_TRUE(tree.Delete(rects[i], static_cast<uint64_t>(i)).ok()) << i;
   }
   EXPECT_EQ(tree.size(), 50);
-  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate();
   std::vector<uint64_t> all = tree.RangeSearch(Rect::Bounds({-1, -1}, {2, 2}));
   EXPECT_EQ(all.size(), 50u);
 }

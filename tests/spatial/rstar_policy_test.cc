@@ -35,7 +35,7 @@ TEST(RStarPolicy, QuadraticRangeSearchMatchesBruteForce) {
     rects.push_back(RandomPointRect(&rng, dim));
     tree.Insert(rects.back(), static_cast<uint64_t>(i));
   }
-  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate();
   for (int trial = 0; trial < 15; ++trial) {
     std::vector<float> lo(dim), hi(dim);
     for (int d = 0; d < dim; ++d) {
@@ -65,7 +65,7 @@ TEST(RStarPolicy, QuadraticSupportsDeletes) {
     ASSERT_TRUE(tree.Delete(rects[i], static_cast<uint64_t>(i)).ok()) << i;
   }
   EXPECT_EQ(tree.size(), 100);
-  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate();
 }
 
 TEST(RStarPolicy, PolicySurvivesSerialization) {
@@ -84,8 +84,8 @@ TEST(RStarPolicy, PolicySurvivesSerialization) {
     restored->Insert(RandomPointRect(&rng, 2), static_cast<uint64_t>(i));
   }
   EXPECT_EQ(restored->size(), 400);
-  EXPECT_TRUE(restored->CheckInvariants().ok())
-      << restored->CheckInvariants();
+  EXPECT_TRUE(restored->Validate().ok())
+      << restored->Validate();
 }
 
 TEST(RStarPolicy, RStarProbesNoMoreNodesThanQuadratic) {

@@ -30,7 +30,7 @@ TEST(RStarTree, EmptyTreeQueries) {
   RStarTree tree(2);
   EXPECT_EQ(tree.size(), 0);
   EXPECT_TRUE(tree.RangeSearch(Rect::Bounds({0, 0}, {1, 1})).empty());
-  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Validate().ok());
 }
 
 TEST(RStarTree, SingleInsertAndHit) {
@@ -57,7 +57,7 @@ TEST_P(RStarRandomized, RangeSearchMatchesBruteForce) {
     rects.push_back(r);
     tree.Insert(r, static_cast<uint64_t>(i));
   }
-  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate();
   EXPECT_EQ(tree.size(), n);
 
   for (int trial = 0; trial < 20; ++trial) {
@@ -124,7 +124,7 @@ TEST(RStarTree, DuplicatePointsAllRetrieved) {
   std::vector<uint64_t> hits =
       tree.RangeSearch(Rect::Point({0.5f, 0.5f}).Expanded(1e-6f));
   EXPECT_EQ(hits.size(), 50u);
-  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Validate().ok());
 }
 
 TEST(RStarTree, HeightGrowsLogarithmically) {
@@ -136,7 +136,7 @@ TEST(RStarTree, HeightGrowsLogarithmically) {
   // M = 16, 2000 entries: height should stay small.
   EXPECT_LE(tree.height(), 5);
   EXPECT_GE(tree.height(), 2);
-  EXPECT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate();
 }
 
 TEST(RStarTree, VisitorEarlyStop) {
@@ -172,8 +172,8 @@ TEST(RStarTree, SerializeDeserializeRoundTrip) {
   ASSERT_TRUE(restored.ok()) << restored.status();
   EXPECT_EQ(restored->size(), tree.size());
   EXPECT_EQ(restored->dim(), 3);
-  EXPECT_TRUE(restored->CheckInvariants().ok())
-      << restored->CheckInvariants();
+  EXPECT_TRUE(restored->Validate().ok())
+      << restored->Validate();
 
   for (int trial = 0; trial < 10; ++trial) {
     Rect query = RandomBoxRect(&rng, 3, 0.3f);
@@ -205,7 +205,7 @@ TEST(RStarTree, InsertionsAfterDeserialize) {
     restored.Insert(RandomPointRect(&rng, 2), static_cast<uint64_t>(i));
   }
   EXPECT_EQ(restored.size(), 200);
-  EXPECT_TRUE(restored.CheckInvariants().ok()) << restored.CheckInvariants();
+  EXPECT_TRUE(restored.Validate().ok()) << restored.Validate();
 }
 
 TEST(RStarTree, SmallNodeCapacityStressed) {
@@ -219,8 +219,8 @@ TEST(RStarTree, SmallNodeCapacityStressed) {
     rects.push_back(r);
     tree.Insert(r, static_cast<uint64_t>(i));
     if (i % 100 == 99) {
-      ASSERT_TRUE(tree.CheckInvariants().ok())
-          << i << ": " << tree.CheckInvariants();
+      ASSERT_TRUE(tree.Validate().ok())
+          << i << ": " << tree.Validate();
     }
   }
   Rect everything = Rect::Bounds({-1, -1}, {2, 2});

@@ -12,6 +12,13 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
+/// Caller-visible bytes of a page: everything before the CRC-32 trailer,
+/// which WritePage stamps over the last kChecksumBytes.
+std::vector<uint8_t> Body(std::vector<uint8_t> page) {
+  page.resize(page.size() - PageFile::kChecksumBytes);
+  return page;
+}
+
 TEST(PageCache, RepeatedReadsHit) {
   std::string path = TempPath("cache_hits.db");
   Result<PageFile> pf = PageFile::Create(path, 128);
@@ -20,10 +27,10 @@ TEST(PageCache, RepeatedReadsHit) {
   std::vector<uint8_t> page(128, 0x5A);
   ASSERT_TRUE(pf->WritePage(id, page).ok());
 
-  EXPECT_EQ(pf->ReadPage(id).value(), page);  // miss (first read)
+  EXPECT_EQ(Body(pf->ReadPage(id).value()), Body(page));  // miss (first read)
   int64_t misses_after_first = pf->cache_misses();
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(pf->ReadPage(id).value(), page);
+    EXPECT_EQ(Body(pf->ReadPage(id).value()), Body(page));
   }
   EXPECT_EQ(pf->cache_misses(), misses_after_first);
   EXPECT_GE(pf->cache_hits(), 10);
@@ -38,9 +45,9 @@ TEST(PageCache, WriteInvalidates) {
   std::vector<uint8_t> a(128, 0x11);
   std::vector<uint8_t> b(128, 0x22);
   ASSERT_TRUE(pf->WritePage(id, a).ok());
-  EXPECT_EQ(pf->ReadPage(id).value(), a);  // cached now
+  EXPECT_EQ(Body(pf->ReadPage(id).value()), Body(a));  // cached now
   ASSERT_TRUE(pf->WritePage(id, b).ok());
-  EXPECT_EQ(pf->ReadPage(id).value(), b);  // must see the new bytes
+  EXPECT_EQ(Body(pf->ReadPage(id).value()), Body(b));  // must see the new bytes
   std::remove(path.c_str());
 }
 
@@ -78,7 +85,7 @@ TEST(PageCache, ZeroCapacityDisables) {
   std::vector<uint8_t> page(128, 9);
   ASSERT_TRUE(pf->WritePage(id, page).ok());
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(pf->ReadPage(id).value(), page);
+    EXPECT_EQ(Body(pf->ReadPage(id).value()), Body(page));
   }
   EXPECT_EQ(pf->cache_hits(), 0);
   EXPECT_EQ(pf->cache_misses(), 5);
