@@ -1,0 +1,140 @@
+// walrusd loopback throughput/latency: QPS and client-observed p50/p99 vs.
+// client concurrency, for both index backends. Every client thread runs its
+// own connection and issues QUERY requests back-to-back, so the measurement
+// covers the full stack: framing, CRC, dispatch, the query pipeline, and
+// the response path.
+//
+//   WALRUS_BENCH_SERVER_IMAGES=300 WALRUS_BENCH_SERVER_QUERIES=40
+//   are the dataset/load knobs; run ./build/bench/bench_server_qps
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/index.h"
+#include "image/dataset.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+double Quantile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(
+                                            values->size() - 1));
+  return (*values)[rank];
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+RunResult RunLoad(const walrus::WalrusIndex& index,
+                  const std::vector<walrus::LabeledImage>& dataset,
+                  int num_clients, int queries_per_client) {
+  walrus::ServerOptions server_options;
+  server_options.max_pending = 4 * num_clients + 8;
+  walrus::WalrusServer server(index, server_options);
+  if (!server.Start().ok()) std::exit(1);
+
+  std::vector<std::vector<double>> latencies(num_clients);
+  walrus::WallTimer wall;
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = walrus::WalrusClient::Connect("127.0.0.1",
+                                                    server.port());
+        if (!client.ok()) std::exit(1);
+        walrus::QueryOptions options;
+        options.epsilon = 0.07f;
+        options.top_k = 10;
+        for (int q = 0; q < queries_per_client; ++q) {
+          const walrus::ImageF& image =
+              dataset[(c * queries_per_client + q) % dataset.size()].image;
+          walrus::WallTimer timer;
+          auto result = client->Query(image, options);
+          if (!result.ok()) {
+            std::fprintf(stderr, "query failed: %s\n",
+                         result.status().ToString().c_str());
+            std::exit(1);
+          }
+          latencies[c].push_back(timer.ElapsedMillis());
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  double seconds = wall.ElapsedSeconds();
+  server.Stop();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  RunResult result;
+  result.qps = static_cast<double>(all.size()) / seconds;
+  result.p50_ms = Quantile(&all, 0.50);
+  result.p99_ms = Quantile(&all, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int num_images = EnvInt("WALRUS_BENCH_SERVER_IMAGES", 200);
+  const int queries_per_client = EnvInt("WALRUS_BENCH_SERVER_QUERIES", 20);
+  walrus::DatasetParams dp;
+  dp.num_images = num_images;
+  dp.width = 128;
+  dp.height = 128;
+  dp.seed = 1999;
+  std::vector<walrus::LabeledImage> dataset = walrus::GenerateDataset(dp);
+
+  walrus::WalrusParams params;
+  params.slide_step = 8;
+  walrus::WalrusIndex memory_index(params);
+  std::vector<walrus::WalrusIndex::PendingImage> batch;
+  for (const walrus::LabeledImage& scene : dataset) {
+    batch.push_back({static_cast<uint64_t>(scene.id), "img", scene.image});
+  }
+  if (!memory_index.AddImages(std::move(batch)).ok()) return 1;
+
+  std::string prefix = "/tmp/walrus_bench_server";
+  if (!memory_index.SavePaged(prefix).ok()) return 1;
+  auto paged = walrus::WalrusIndex::OpenPaged(prefix);
+  if (!paged.ok()) return 1;
+
+  std::printf("# walrusd loopback QPS: %d images, %zu regions, %d queries "
+              "per client\n",
+              num_images, memory_index.RegionCount(), queries_per_client);
+  std::printf("%-12s %-10s %-12s %-10s %-10s\n", "backend", "clients",
+              "qps", "p50_ms", "p99_ms");
+  for (int clients : {1, 2, 4, 8}) {
+    RunResult mem = RunLoad(memory_index, dataset, clients,
+                            queries_per_client);
+    std::printf("%-12s %-10d %-12.1f %-10.2f %-10.2f\n", "in-memory",
+                clients, mem.qps, mem.p50_ms, mem.p99_ms);
+  }
+  for (int clients : {1, 2, 4, 8}) {
+    RunResult disk = RunLoad(*paged, dataset, clients, queries_per_client);
+    std::printf("%-12s %-10d %-12.1f %-10.2f %-10.2f\n", "paged", clients,
+                disk.qps, disk.p50_ms, disk.p99_ms);
+  }
+  for (const char* suffix : {".catalog", ".pmeta", ".ptree"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Command-line client for a running walrusd (examples/walrus_serve.cpp).
+//
+//   walrus_client <host> <port> ping
+//   walrus_client <host> <port> query <image.ppm> [epsilon] [top_k]
+//   walrus_client <host> <port> scene <image.ppm> <x> <y> <w> <h> [epsilon]
+//   walrus_client <host> <port> stats
+//   walrus_client <host> <port> shutdown
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/timer.h"
+#include "image/pnm_io.h"
+#include "server/client.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  walrus_client <host> <port> ping\n"
+               "  walrus_client <host> <port> query <image.ppm> [epsilon] "
+               "[top_k]\n"
+               "  walrus_client <host> <port> scene <image.ppm> <x> <y> <w> "
+               "<h> [epsilon]\n"
+               "  walrus_client <host> <port> stats\n"
+               "  walrus_client <host> <port> shutdown\n");
+  return 2;
+}
+
+void PrintMatches(const walrus::RemoteQueryResult& result, double rtt_ms) {
+  std::printf("%d query regions, %d candidate images, %.1f ms round trip\n",
+              result.stats.query_regions, result.stats.distinct_images,
+              rtt_ms);
+  for (size_t i = 0; i < result.matches.size(); ++i) {
+    const walrus::QueryMatch& m = result.matches[i];
+    std::printf("%2zu. image %-8llu similarity=%.3f (pairs=%d)\n", i + 1,
+                static_cast<unsigned long long>(m.image_id), m.similarity,
+                m.matching_pairs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto client = walrus::WalrusClient::Connect(
+      argv[1], static_cast<uint16_t>(std::atoi(argv[2])));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::string command = argv[3];
+
+  if (command == "ping") {
+    walrus::WallTimer timer;
+    walrus::Status status = client->Ping();
+    if (!status.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong (%.2f ms)\n", timer.ElapsedMillis());
+    return 0;
+  }
+
+  if (command == "stats") {
+    auto stats = client->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    for (int op = 0; op < walrus::kNumOpcodes; ++op) {
+      std::printf("%-12s %llu\n",
+                  walrus::OpcodeName(static_cast<walrus::Opcode>(op)),
+                  static_cast<unsigned long long>(
+                      stats->requests_by_opcode[op]));
+    }
+    std::printf("overloaded   %llu\n",
+                static_cast<unsigned long long>(stats->rejected_overload));
+    std::printf("deadline     %llu\n",
+                static_cast<unsigned long long>(stats->deadline_exceeded));
+    std::printf("proto_errors %llu\n",
+                static_cast<unsigned long long>(stats->protocol_errors));
+    std::printf("bytes in/out %llu / %llu\n",
+                static_cast<unsigned long long>(stats->bytes_in),
+                static_cast<unsigned long long>(stats->bytes_out));
+    std::printf("latency      p50 %.2f ms, p99 %.2f ms\n",
+                stats->latency_p50_ms, stats->latency_p99_ms);
+    return 0;
+  }
+
+  if (command == "shutdown") {
+    walrus::Status status = client->Shutdown();
+    if (!status.ok()) {
+      std::fprintf(stderr, "shutdown failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("server acknowledged shutdown\n");
+    return 0;
+  }
+
+  if (command == "query" || command == "scene") {
+    bool scene = command == "scene";
+    if (argc < (scene ? 9 : 5)) return Usage();
+    auto image = walrus::ReadPnm(argv[4]);
+    if (!image.ok()) {
+      std::fprintf(stderr, "reading %s failed: %s\n", argv[4],
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    walrus::QueryOptions options;
+    options.top_k = 14;
+    walrus::WallTimer timer;
+    walrus::Result<walrus::RemoteQueryResult> result =
+        walrus::Status::Internal("unreachable");
+    if (scene) {
+      walrus::PixelRect rect;
+      rect.x = std::atoi(argv[5]);
+      rect.y = std::atoi(argv[6]);
+      rect.width = std::atoi(argv[7]);
+      rect.height = std::atoi(argv[8]);
+      if (argc > 9) options.epsilon = static_cast<float>(std::atof(argv[9]));
+      result = client->SceneQuery(*image, rect, options);
+    } else {
+      if (argc > 5) options.epsilon = static_cast<float>(std::atof(argv[5]));
+      if (argc > 6) options.top_k = std::atoi(argv[6]);
+      result = client->Query(*image, options);
+    }
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrintMatches(*result, timer.ElapsedMillis());
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,71 @@
+// walrusd entry point: serves a persisted WALRUS index (either layout) over
+// the framed TCP protocol to walrus_client and library clients.
+//
+//   walrus_serve <index_prefix> [port] [workers] [max_pending]
+//
+// Example session (see also examples/walrus_client.cpp):
+//   ./build/examples/walrus_cli generate /tmp/db 100
+//   ./build/examples/walrus_cli index /tmp/db /tmp/db/walrus paged
+//   ./build/examples/walrus_serve /tmp/db/walrus 7788 &
+//   ./build/examples/walrus_client 127.0.0.1 7788 query /tmp/db/img_3.ppm
+//   ./build/examples/walrus_client 127.0.0.1 7788 shutdown
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/index.h"
+#include "server/server.h"
+
+namespace {
+
+/// Opens whichever layout exists at the prefix (paged preferred: the paged
+/// backend is the deployment shape walrusd is for).
+walrus::Result<walrus::WalrusIndex> OpenAny(const std::string& prefix) {
+  auto paged = walrus::WalrusIndex::OpenPaged(prefix);
+  if (paged.ok()) return paged;
+  return walrus::WalrusIndex::Open(prefix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: walrus_serve <index_prefix> [port] [workers] "
+                 "[max_pending]\n");
+    return 2;
+  }
+  auto index = OpenAny(argv[1]);
+  if (!index.ok()) {
+    std::fprintf(stderr, "open %s failed: %s\n", argv[1],
+                 index.status().ToString().c_str());
+    return 1;
+  }
+
+  walrus::ServerOptions options;
+  if (argc > 2) options.port = static_cast<uint16_t>(std::atoi(argv[2]));
+  if (argc > 3) options.num_workers = std::atoi(argv[3]);
+  if (argc > 4) options.max_pending = std::atoi(argv[4]);
+
+  walrus::WalrusServer server(*index, options);
+  walrus::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("walrusd: %zu images, %zu regions (%s backend) on port %u\n",
+              index->ImageCount(), index->RegionCount(),
+              index->is_paged() ? "paged" : "in-memory", server.port());
+  std::printf("walrusd: send a SHUTDOWN request to stop\n");
+  server.Wait();  // returns after a client SHUTDOWN, having drained
+
+  walrus::ServerStats stats = server.Snapshot();
+  std::printf(
+      "walrusd: served %llu queries, %llu pings; p50 %.2f ms, p99 %.2f ms\n",
+      static_cast<unsigned long long>(
+          stats.requests_by_opcode[static_cast<int>(walrus::Opcode::kQuery)]),
+      static_cast<unsigned long long>(
+          stats.requests_by_opcode[static_cast<int>(walrus::Opcode::kPing)]),
+      stats.latency_p50_ms, stats.latency_p99_ms);
+  return 0;
+}

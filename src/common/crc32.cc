@@ -28,8 +28,12 @@ const std::array<uint32_t, 256>& Table() {
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32Extend(0, data, size);
+}
+
+uint32_t Crc32Extend(uint32_t crc, const uint8_t* data, size_t size) {
   const std::array<uint32_t, 256>& table = Table();
-  uint32_t crc = 0xFFFFFFFFu;
+  crc ^= 0xFFFFFFFFu;
   for (size_t i = 0; i < size; ++i) {
     crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
   }

@@ -8,8 +8,14 @@
 namespace walrus {
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant) of `data`. Used for
-/// page-level integrity checksums in the storage layer.
+/// page-level integrity checksums in the storage layer and frame trailers
+/// in the wire protocol.
 uint32_t Crc32(const uint8_t* data, size_t size);
+
+/// Incremental variant (zlib-style): start from 0, feed chunks in order;
+/// Crc32Extend(Crc32Extend(0, a), b) == Crc32(a ++ b). Lets callers checksum
+/// scattered buffers (frame header + body) without a join copy.
+uint32_t Crc32Extend(uint32_t crc, const uint8_t* data, size_t size);
 
 /// CRC-32 of bytes [begin, end) of `buf`; bounds are checked.
 uint32_t Crc32(const std::vector<uint8_t>& buf, size_t begin, size_t end);

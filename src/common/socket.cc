@@ -1,0 +1,133 @@
+#include "common/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace walrus {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  WALRUS_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(Errno("bind " + host + ":" + std::to_string(port)));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IOError(Errno("listen"));
+  }
+  return fd;
+}
+
+Result<UniqueFd> AcceptTcp(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("accept"));
+  }
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::IOError(Errno("socket"));
+  sockaddr_in addr;
+  WALRUS_RETURN_IF_ERROR(MakeAddr(host, port, &addr));
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(
+        Errno("connect " + host + ":" + std::to_string(port)));
+  }
+}
+
+Result<uint16_t> SocketLocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IOError(Errno("getsockname"));
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Status ReadFull(int fd, void* buf, size_t n) {
+  uint8_t* at = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::recv(fd, at + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      if (done == 0) return Status::NotFound("connection closed");
+      return Status::IOError("connection closed mid-read (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("recv"));
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t n) {
+  const uint8_t* at = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::send(fd, at + done, n - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return Status::IOError(Errno("send"));
+  }
+  return Status::OK();
+}
+
+void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+}  // namespace walrus

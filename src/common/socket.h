@@ -1,0 +1,75 @@
+#ifndef WALRUS_COMMON_SOCKET_H_
+#define WALRUS_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace walrus {
+
+/// Owning file-descriptor handle (sockets). Closes on destruction; movable,
+/// not copyable. -1 means "no descriptor".
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ~UniqueFd() { Close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listening socket bound to `host:port` (SO_REUSEADDR, the
+/// given backlog). Port 0 binds an ephemeral port; read it back with
+/// SocketLocalPort.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog = 64);
+
+/// Accepts one connection from `listen_fd`, retrying on EINTR. Fails with
+/// IOError when the listening socket has been shut down or closed.
+Result<UniqueFd> AcceptTcp(int listen_fd);
+
+/// Opens a blocking TCP connection to `host:port` (numeric IPv4 host).
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// The port a bound socket actually listens on (resolves port 0 binds).
+Result<uint16_t> SocketLocalPort(int fd);
+
+/// Reads exactly `n` bytes, looping over short reads and EINTR. An orderly
+/// peer close before any byte of this call surfaces as NotFound ("connection
+/// closed"); a close mid-read or any other failure is IOError.
+Status ReadFull(int fd, void* buf, size_t n);
+
+/// Writes exactly `n` bytes, looping over short writes and EINTR. Uses
+/// MSG_NOSIGNAL so a dead peer yields IOError instead of SIGPIPE.
+Status WriteFull(int fd, const void* buf, size_t n);
+
+/// shutdown(2) the read side: unblocks a ReadFull blocked on this socket
+/// (it returns the connection-closed status). Used for graceful teardown.
+void ShutdownRead(int fd);
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_SOCKET_H_

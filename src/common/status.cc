@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -38,6 +42,11 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
+}
+
+Status Annotate(const Status& status, const std::string& context) {
+  if (status.ok()) return status;
+  return Status(status.code(), context + ": " + status.message());
 }
 
 namespace internal {

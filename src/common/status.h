@@ -20,7 +20,15 @@ enum class StatusCode {
   kCorruption = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  /// The service cannot take the request right now (e.g. the server's
+  /// admission queue is full); retrying later may succeed.
+  kUnavailable = 9,
+  /// The request's deadline elapsed before it could be served.
+  kDeadlineExceeded = 10,
 };
+
+/// One past the largest StatusCode value (wire-format validation).
+inline constexpr int kNumStatusCodes = 11;
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
 const char* StatusCodeToString(StatusCode code);
@@ -67,6 +75,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +99,12 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Returns `status` with `context` prepended to its message ("<context>:
+/// <message>"), preserving the code. OK statuses pass through unchanged.
+/// Used to attach call-site context (which query of a batch, which request
+/// of a connection) as an error propagates up.
+Status Annotate(const Status& status, const std::string& context);
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result is a checked fatal error.

@@ -49,6 +49,10 @@ class WalrusIndex {
   const DiskRStarTree* disk_tree() const {
     return disk_tree_.has_value() ? &*disk_tree_ : nullptr;
   }
+  /// Mutable access to the paged backend (cache-capacity tuning).
+  DiskRStarTree* disk_tree() {
+    return disk_tree_.has_value() ? &*disk_tree_ : nullptr;
+  }
 
   /// Region-signature probe: streams every indexed region whose rect
   /// intersects `query` (in-memory or paged backend).

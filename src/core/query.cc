@@ -190,7 +190,13 @@ Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
     });
   }
   for (size_t i = 0; i < slots.size(); ++i) {
-    if (!slots[i]->ok()) return slots[i]->status();
+    if (!slots[i]->ok()) {
+      // Name the failing query: a caller batching hundreds of images needs
+      // to know which one to drop or retry, not just that "one" failed.
+      return Annotate(slots[i]->status(),
+                      "query " + std::to_string(i) + " of " +
+                          std::to_string(queries.size()));
+    }
     results[i] = std::move(*slots[i]).value();
   }
   return results;

@@ -92,7 +92,8 @@ Result<std::vector<QueryMatch>> ExecuteSceneQuery(const WalrusIndex& index,
 /// Runs many queries against one index, parallelizing across a thread pool
 /// (region extraction dominates query cost and is independent per query;
 /// probes are read-only). 0 threads = hardware concurrency. Result i
-/// corresponds to queries[i]; a failed query surfaces as the first error.
+/// corresponds to queries[i]; on failure the first failing query's error is
+/// returned, annotated with its index ("query <i> of <n>: ...").
 Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
     const WalrusIndex& index, const std::vector<ImageF>& queries,
     const QueryOptions& options, int num_threads = 0);

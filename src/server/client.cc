@@ -1,0 +1,99 @@
+#include "server/client.h"
+
+namespace walrus {
+
+Result<WalrusClient> WalrusClient::Connect(const std::string& host,
+                                           uint16_t port) {
+  WALRUS_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
+  return WalrusClient(std::move(fd));
+}
+
+Result<std::vector<uint8_t>> WalrusClient::RoundTrip(
+    Opcode opcode, const std::vector<uint8_t>& body) {
+  uint64_t request_id = next_request_id_++;
+  std::vector<uint8_t> frame = EncodeFrame(opcode, request_id, body);
+  WALRUS_RETURN_IF_ERROR(WriteFull(fd_.get(), frame.data(), frame.size()));
+
+  std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+  WALRUS_RETURN_IF_ERROR(
+      ReadFull(fd_.get(), header_bytes.data(), header_bytes.size()));
+  FrameHeader header;
+  WALRUS_RETURN_IF_ERROR(DecodeFrameHeader(header_bytes.data(), &header));
+  std::vector<uint8_t> response(header.body_length);
+  if (header.body_length > 0) {
+    WALRUS_RETURN_IF_ERROR(
+        ReadFull(fd_.get(), response.data(), response.size()));
+  }
+  uint8_t trailer[kFrameTrailerBytes];
+  WALRUS_RETURN_IF_ERROR(ReadFull(fd_.get(), trailer, sizeof(trailer)));
+  uint32_t stored = static_cast<uint32_t>(trailer[0]) |
+                    static_cast<uint32_t>(trailer[1]) << 8 |
+                    static_cast<uint32_t>(trailer[2]) << 16 |
+                    static_cast<uint32_t>(trailer[3]) << 24;
+  if (stored != FrameCrc(header_bytes.data(), response)) {
+    return Status::Corruption("client: response CRC mismatch");
+  }
+  if (header.request_id != request_id) {
+    return Status::Corruption(
+        "client: response id " + std::to_string(header.request_id) +
+        " does not match request id " + std::to_string(request_id));
+  }
+
+  BinaryReader reader(response);
+  Status remote;
+  WALRUS_RETURN_IF_ERROR(DecodeResponseStatus(&reader, &remote));
+  WALRUS_RETURN_IF_ERROR(remote);
+  // Hand back only the payload that follows the status section.
+  return std::vector<uint8_t>(response.begin() + reader.position(),
+                              response.end());
+}
+
+Status WalrusClient::Ping() {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(Opcode::kPing, {}));
+  (void)payload;
+  return Status::OK();
+}
+
+Result<RemoteQueryResult> WalrusClient::RunQuery(Opcode opcode,
+                                                 const ImageF& image,
+                                                 const PixelRect* scene,
+                                                 const QueryOptions& options) {
+  BinaryWriter body;
+  EncodeQueryOptions(options, &body);
+  if (scene != nullptr) EncodePixelRect(*scene, &body);
+  EncodeImage(image, &body);
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(opcode, body.buffer()));
+  BinaryReader reader(payload);
+  RemoteQueryResult result;
+  WALRUS_ASSIGN_OR_RETURN(result.matches, DecodeMatches(&reader));
+  WALRUS_ASSIGN_OR_RETURN(result.stats, DecodeQueryStats(&reader));
+  return result;
+}
+
+Result<RemoteQueryResult> WalrusClient::Query(const ImageF& image,
+                                              const QueryOptions& options) {
+  return RunQuery(Opcode::kQuery, image, nullptr, options);
+}
+
+Result<RemoteQueryResult> WalrusClient::SceneQuery(
+    const ImageF& image, const PixelRect& scene, const QueryOptions& options) {
+  return RunQuery(Opcode::kSceneQuery, image, &scene, options);
+}
+
+Result<ServerStats> WalrusClient::Stats() {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(Opcode::kStats, {}));
+  BinaryReader reader(payload);
+  return DecodeServerStats(&reader);
+}
+
+Status WalrusClient::Shutdown() {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(Opcode::kShutdown, {}));
+  (void)payload;
+  return Status::OK();
+}
+
+}  // namespace walrus

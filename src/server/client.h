@@ -1,0 +1,71 @@
+#ifndef WALRUS_SERVER_CLIENT_H_
+#define WALRUS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/socket.h"
+#include "server/protocol.h"
+
+namespace walrus {
+
+/// Matches + per-query diagnostics returned by a remote query.
+struct RemoteQueryResult {
+  std::vector<QueryMatch> matches;
+  QueryStats stats;
+};
+
+/// Blocking client for walrusd: one TCP connection, one outstanding request
+/// at a time (request ids still increment and are verified on every reply,
+/// so a protocol desync surfaces as Corruption instead of crossed
+/// responses). Not thread-safe; give each thread its own client.
+class WalrusClient {
+ public:
+  /// Connects to a walrusd at `host:port` (numeric IPv4).
+  static Result<WalrusClient> Connect(const std::string& host, uint16_t port);
+
+  WalrusClient(WalrusClient&&) = default;
+  WalrusClient& operator=(WalrusClient&&) = default;
+
+  /// Round-trips an empty PING frame.
+  Status Ping();
+
+  /// Remote ExecuteQuery: ships the query image and options, returns the
+  /// server's ranked matches (bit-identical to an in-process call against
+  /// the same index).
+  Result<RemoteQueryResult> Query(const ImageF& image,
+                                  const QueryOptions& options);
+
+  /// Remote ExecuteSceneQuery over the part of `image` inside `scene`.
+  Result<RemoteQueryResult> SceneQuery(const ImageF& image,
+                                       const PixelRect& scene,
+                                       const QueryOptions& options);
+
+  /// Fetches the server's counters.
+  Result<ServerStats> Stats();
+
+  /// Asks the server to shut down gracefully (it drains in-flight requests
+  /// before exiting). OK means the server acknowledged.
+  Status Shutdown();
+
+ private:
+  explicit WalrusClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  /// Sends one request frame and returns the response body after the
+  /// frame-level checks (CRC, request id echo) and the embedded status
+  /// section have both passed.
+  Result<std::vector<uint8_t>> RoundTrip(Opcode opcode,
+                                         const std::vector<uint8_t>& body);
+
+  Result<RemoteQueryResult> RunQuery(Opcode opcode, const ImageF& image,
+                                     const PixelRect* scene,
+                                     const QueryOptions& options);
+
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_SERVER_CLIENT_H_

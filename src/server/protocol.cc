@@ -1,0 +1,297 @@
+#include "server/protocol.h"
+
+#include "common/crc32.h"
+
+namespace walrus {
+namespace {
+
+uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t ReadU64Le(const uint8_t* p) {
+  return static_cast<uint64_t>(ReadU32Le(p)) |
+         static_cast<uint64_t>(ReadU32Le(p + 4)) << 32;
+}
+
+}  // namespace
+
+const char* OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing:
+      return "PING";
+    case Opcode::kQuery:
+      return "QUERY";
+    case Opcode::kSceneQuery:
+      return "SCENE_QUERY";
+    case Opcode::kStats:
+      return "STATS";
+    case Opcode::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<uint8_t> EncodeFrame(Opcode opcode, uint64_t request_id,
+                                 const std::vector<uint8_t>& body) {
+  BinaryWriter writer;
+  writer.PutU32(kProtocolMagic);
+  writer.PutU8(kProtocolVersion);
+  writer.PutU8(static_cast<uint8_t>(opcode));
+  writer.PutU16(0);  // reserved
+  writer.PutU64(request_id);
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  if (!body.empty()) writer.PutBytes(body.data(), body.size());
+  std::vector<uint8_t> frame = writer.TakeBuffer();
+  uint32_t crc = Crc32(frame.data(), frame.size());
+  frame.push_back(static_cast<uint8_t>(crc));
+  frame.push_back(static_cast<uint8_t>(crc >> 8));
+  frame.push_back(static_cast<uint8_t>(crc >> 16));
+  frame.push_back(static_cast<uint8_t>(crc >> 24));
+  return frame;
+}
+
+Status DecodeFrameHeader(const uint8_t* data, FrameHeader* out) {
+  if (ReadU32Le(data) != kProtocolMagic) {
+    return Status::Corruption("frame: bad magic");
+  }
+  out->version = data[4];
+  out->opcode = static_cast<Opcode>(data[5]);
+  out->request_id = ReadU64Le(data + 8);
+  out->body_length = ReadU32Le(data + 16);
+  if (out->version != kProtocolVersion) {
+    return Status::InvalidArgument("frame: unsupported protocol version " +
+                                   std::to_string(out->version));
+  }
+  if (out->body_length > kMaxBodyBytes) {
+    return Status::InvalidArgument("frame: body length " +
+                                   std::to_string(out->body_length) +
+                                   " exceeds limit");
+  }
+  return Status::OK();
+}
+
+uint32_t FrameCrc(const uint8_t* header, const std::vector<uint8_t>& body) {
+  uint32_t crc = Crc32Extend(0, header, kFrameHeaderBytes);
+  return Crc32Extend(crc, body.data(), body.size());
+}
+
+void EncodeResponseStatus(const Status& status, BinaryWriter* writer) {
+  writer->PutU8(static_cast<uint8_t>(status.code()));
+  writer->PutString(status.message());
+}
+
+Status DecodeResponseStatus(BinaryReader* reader, Status* remote) {
+  WALRUS_ASSIGN_OR_RETURN(uint8_t code, reader->GetU8());
+  if (code >= kNumStatusCodes) {
+    return Status::Corruption("response: unknown status code " +
+                              std::to_string(code));
+  }
+  WALRUS_ASSIGN_OR_RETURN(std::string message, reader->GetString());
+  *remote = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+void EncodeQueryOptions(const QueryOptions& options, BinaryWriter* writer) {
+  writer->PutFloat(options.epsilon);
+  writer->PutDouble(options.tau);
+  writer->PutU8(static_cast<uint8_t>(options.matcher));
+  writer->PutU8(static_cast<uint8_t>(options.normalization));
+  writer->PutI32(options.knn_per_region);
+  writer->PutU8(options.use_refinement ? 1 : 0);
+  writer->PutFloat(options.refined_epsilon);
+  writer->PutI32(options.top_k);
+  writer->PutU8(options.collect_pairs ? 1 : 0);
+}
+
+Result<QueryOptions> DecodeQueryOptions(BinaryReader* reader) {
+  QueryOptions options;
+  WALRUS_ASSIGN_OR_RETURN(options.epsilon, reader->GetFloat());
+  WALRUS_ASSIGN_OR_RETURN(options.tau, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(uint8_t matcher, reader->GetU8());
+  if (matcher > static_cast<uint8_t>(MatcherKind::kGreedy)) {
+    return Status::InvalidArgument("options: unknown matcher " +
+                                   std::to_string(matcher));
+  }
+  options.matcher = static_cast<MatcherKind>(matcher);
+  WALRUS_ASSIGN_OR_RETURN(uint8_t norm, reader->GetU8());
+  if (norm > static_cast<uint8_t>(SimilarityNormalization::kSmallerImage)) {
+    return Status::InvalidArgument("options: unknown normalization " +
+                                   std::to_string(norm));
+  }
+  options.normalization = static_cast<SimilarityNormalization>(norm);
+  WALRUS_ASSIGN_OR_RETURN(options.knn_per_region, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(uint8_t refine, reader->GetU8());
+  options.use_refinement = refine != 0;
+  WALRUS_ASSIGN_OR_RETURN(options.refined_epsilon, reader->GetFloat());
+  WALRUS_ASSIGN_OR_RETURN(options.top_k, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(uint8_t pairs, reader->GetU8());
+  options.collect_pairs = pairs != 0;
+  return options;
+}
+
+void EncodeImage(const ImageF& image, BinaryWriter* writer) {
+  writer->PutU32(static_cast<uint32_t>(image.width()));
+  writer->PutU32(static_cast<uint32_t>(image.height()));
+  writer->PutU32(static_cast<uint32_t>(image.channels()));
+  writer->PutU8(static_cast<uint8_t>(image.color_space()));
+  for (int c = 0; c < image.channels(); ++c) {
+    writer->PutFloatVector(image.Plane(c));
+  }
+}
+
+Result<ImageF> DecodeImage(BinaryReader* reader) {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t width, reader->GetU32());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t height, reader->GetU32());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t channels, reader->GetU32());
+  WALRUS_ASSIGN_OR_RETURN(uint8_t cs, reader->GetU8());
+  if (width == 0 || height == 0 || width > kMaxImageSide ||
+      height > kMaxImageSide) {
+    return Status::InvalidArgument("image: bad dimensions " +
+                                   std::to_string(width) + "x" +
+                                   std::to_string(height));
+  }
+  if (channels == 0 || channels > 4) {
+    return Status::InvalidArgument("image: bad channel count " +
+                                   std::to_string(channels));
+  }
+  if (cs > static_cast<uint8_t>(ColorSpace::kHSV)) {
+    return Status::InvalidArgument("image: unknown color space " +
+                                   std::to_string(cs));
+  }
+  // Each plane costs width*height*4 bytes on the wire; refuse before
+  // allocating when the buffer cannot possibly hold it.
+  uint64_t plane_bytes = static_cast<uint64_t>(width) * height * 4;
+  if (plane_bytes * channels > reader->remaining()) {
+    return Status::Corruption("image: truncated planes");
+  }
+  ImageF image(static_cast<int>(width), static_cast<int>(height),
+               static_cast<int>(channels), static_cast<ColorSpace>(cs));
+  for (uint32_t c = 0; c < channels; ++c) {
+    WALRUS_ASSIGN_OR_RETURN(std::vector<float> plane,
+                            reader->GetFloatVector());
+    if (plane.size() != static_cast<size_t>(width) * height) {
+      return Status::Corruption("image: plane size mismatch");
+    }
+    image.Plane(static_cast<int>(c)) = std::move(plane);
+  }
+  return image;
+}
+
+void EncodePixelRect(const PixelRect& rect, BinaryWriter* writer) {
+  writer->PutI32(rect.x);
+  writer->PutI32(rect.y);
+  writer->PutI32(rect.width);
+  writer->PutI32(rect.height);
+}
+
+Result<PixelRect> DecodePixelRect(BinaryReader* reader) {
+  PixelRect rect;
+  WALRUS_ASSIGN_OR_RETURN(rect.x, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(rect.y, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(rect.width, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(rect.height, reader->GetI32());
+  return rect;
+}
+
+void EncodeMatches(const std::vector<QueryMatch>& matches,
+                   BinaryWriter* writer) {
+  writer->PutU32(static_cast<uint32_t>(matches.size()));
+  for (const QueryMatch& m : matches) {
+    writer->PutU64(m.image_id);
+    writer->PutDouble(m.similarity);
+    writer->PutI32(m.matching_pairs);
+    writer->PutI32(m.pairs_used);
+    writer->PutU32(static_cast<uint32_t>(m.pairs.size()));
+    for (const RegionPair& pair : m.pairs) {
+      writer->PutI32(pair.query_index);
+      writer->PutI32(pair.target_index);
+    }
+  }
+}
+
+Result<std::vector<QueryMatch>> DecodeMatches(BinaryReader* reader) {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t count, reader->GetU32());
+  // Each match is >= 24 bytes on the wire; a count that implies more data
+  // than remains is corruption, not an allocation request.
+  if (static_cast<uint64_t>(count) * 24 > reader->remaining()) {
+    return Status::Corruption("matches: truncated list");
+  }
+  std::vector<QueryMatch> matches;
+  matches.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryMatch m;
+    WALRUS_ASSIGN_OR_RETURN(m.image_id, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(m.similarity, reader->GetDouble());
+    WALRUS_ASSIGN_OR_RETURN(m.matching_pairs, reader->GetI32());
+    WALRUS_ASSIGN_OR_RETURN(m.pairs_used, reader->GetI32());
+    WALRUS_ASSIGN_OR_RETURN(uint32_t pair_count, reader->GetU32());
+    if (static_cast<uint64_t>(pair_count) * 8 > reader->remaining()) {
+      return Status::Corruption("matches: truncated pair list");
+    }
+    m.pairs.reserve(pair_count);
+    for (uint32_t p = 0; p < pair_count; ++p) {
+      RegionPair pair;
+      WALRUS_ASSIGN_OR_RETURN(pair.query_index, reader->GetI32());
+      WALRUS_ASSIGN_OR_RETURN(pair.target_index, reader->GetI32());
+      m.pairs.push_back(pair);
+    }
+    matches.push_back(std::move(m));
+  }
+  return matches;
+}
+
+void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer) {
+  writer->PutI32(stats.query_regions);
+  writer->PutI64(stats.regions_retrieved);
+  writer->PutDouble(stats.avg_regions_per_query_region);
+  writer->PutI32(stats.distinct_images);
+  writer->PutDouble(stats.seconds);
+}
+
+Result<QueryStats> DecodeQueryStats(BinaryReader* reader) {
+  QueryStats stats;
+  WALRUS_ASSIGN_OR_RETURN(stats.query_regions, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(stats.regions_retrieved, reader->GetI64());
+  WALRUS_ASSIGN_OR_RETURN(stats.avg_regions_per_query_region,
+                          reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.distinct_images, reader->GetI32());
+  WALRUS_ASSIGN_OR_RETURN(stats.seconds, reader->GetDouble());
+  return stats;
+}
+
+void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer) {
+  writer->PutU32(kNumOpcodes);
+  for (uint64_t count : stats.requests_by_opcode) writer->PutU64(count);
+  writer->PutU64(stats.rejected_overload);
+  writer->PutU64(stats.deadline_exceeded);
+  writer->PutU64(stats.protocol_errors);
+  writer->PutU64(stats.bytes_in);
+  writer->PutU64(stats.bytes_out);
+  writer->PutU64(stats.connections_accepted);
+  writer->PutDouble(stats.latency_p50_ms);
+  writer->PutDouble(stats.latency_p99_ms);
+}
+
+Result<ServerStats> DecodeServerStats(BinaryReader* reader) {
+  ServerStats stats;
+  WALRUS_ASSIGN_OR_RETURN(uint32_t opcodes, reader->GetU32());
+  if (opcodes != kNumOpcodes) {
+    return Status::Corruption("server stats: opcode count mismatch");
+  }
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    WALRUS_ASSIGN_OR_RETURN(stats.requests_by_opcode[i], reader->GetU64());
+  }
+  WALRUS_ASSIGN_OR_RETURN(stats.rejected_overload, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.deadline_exceeded, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.protocol_errors, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.bytes_in, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.bytes_out, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.connections_accepted, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.latency_p50_ms, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.latency_p99_ms, reader->GetDouble());
+  return stats;
+}
+
+}  // namespace walrus

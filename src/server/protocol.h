@@ -1,0 +1,123 @@
+#ifndef WALRUS_SERVER_PROTOCOL_H_
+#define WALRUS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "core/region_extractor.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// walrusd wire protocol (DESIGN.md section 9): a versioned length-prefixed
+/// binary framing in the iproto tradition. Every message — request or
+/// response — is one frame:
+///
+///   offset  size  field
+///   0       4     magic 0x57414C52 ("WALR", little-endian u32)
+///   4       1     protocol version (kProtocolVersion)
+///   5       1     opcode
+///   6       2     reserved (zero)
+///   8       8     request id (echoed verbatim in the response)
+///   16      4     body length in bytes (<= kMaxBodyBytes)
+///   20      n     body
+///   20+n    4     CRC-32 of bytes [0, 20+n)  (common/crc32.h)
+///
+/// Response bodies always begin with a status section (u8 StatusCode value +
+/// length-prefixed message string); an OK status is followed by the
+/// opcode-specific payload. Versioning rule: the header layout is frozen;
+/// incompatible body changes bump kProtocolVersion and the server rejects
+/// other versions with InvalidArgument (the connection stays usable, since
+/// the frame boundary is still known).
+inline constexpr uint32_t kProtocolMagic = 0x57414C52;  // "WALR"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Upper bound on a frame body; larger length prefixes are rejected before
+/// any allocation (a 4-byte length field must not let a peer OOM us).
+inline constexpr uint32_t kMaxBodyBytes = 64u << 20;
+
+enum class Opcode : uint8_t {
+  kPing = 0,        // liveness probe; empty body both ways
+  kQuery = 1,       // QueryOptions + query image -> matches + stats
+  kSceneQuery = 2,  // QueryOptions + scene rect + image -> matches + stats
+  kStats = 3,       // server counters snapshot
+  kShutdown = 4,    // graceful server shutdown (drains in-flight requests)
+};
+inline constexpr int kNumOpcodes = 5;
+
+/// Stable display name for an opcode ("QUERY", "PING", ...).
+const char* OpcodeName(Opcode opcode);
+
+/// Decoded frame header (magic/reserved validated away).
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  Opcode opcode = Opcode::kPing;
+  uint64_t request_id = 0;
+  uint32_t body_length = 0;
+};
+
+/// Builds a complete frame: header + body + CRC-32 trailer.
+std::vector<uint8_t> EncodeFrame(Opcode opcode, uint64_t request_id,
+                                 const std::vector<uint8_t>& body);
+
+/// Parses the fixed-size header (`data` must hold kFrameHeaderBytes).
+/// Corruption on bad magic (framing lost: the caller must drop the
+/// connection); InvalidArgument on an unsupported version or an oversized
+/// body length (frame boundary may still be recoverable for the version
+/// case). Unknown opcodes are *not* rejected here so the connection can
+/// skip the body and answer with an error.
+Status DecodeFrameHeader(const uint8_t* data, FrameHeader* out);
+
+/// CRC-32 over header + body, as stored in the frame trailer.
+uint32_t FrameCrc(const uint8_t* header, const std::vector<uint8_t>& body);
+
+/// Response status section: u8 code + message string. The decoder returns
+/// its own framing errors; the transmitted status lands in `remote`.
+void EncodeResponseStatus(const Status& status, BinaryWriter* writer);
+Status DecodeResponseStatus(BinaryReader* reader, Status* remote);
+
+// ---- Body payload encodings (shared by server, client, and tests) -------
+
+void EncodeQueryOptions(const QueryOptions& options, BinaryWriter* writer);
+Result<QueryOptions> DecodeQueryOptions(BinaryReader* reader);
+
+/// Planar float image; dimensions are validated on decode (kMaxImageSide,
+/// channel count 1..4) before any plane allocation.
+inline constexpr int kMaxImageSide = 1 << 14;
+void EncodeImage(const ImageF& image, BinaryWriter* writer);
+Result<ImageF> DecodeImage(BinaryReader* reader);
+
+void EncodePixelRect(const PixelRect& rect, BinaryWriter* writer);
+Result<PixelRect> DecodePixelRect(BinaryReader* reader);
+
+void EncodeMatches(const std::vector<QueryMatch>& matches,
+                   BinaryWriter* writer);
+Result<std::vector<QueryMatch>> DecodeMatches(BinaryReader* reader);
+
+void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer);
+Result<QueryStats> DecodeQueryStats(BinaryReader* reader);
+
+/// Server-side counters exposed through the STATS opcode.
+struct ServerStats {
+  uint64_t requests_by_opcode[kNumOpcodes] = {0, 0, 0, 0, 0};
+  uint64_t rejected_overload = 0;   // admission queue full -> OVERLOADED
+  uint64_t deadline_exceeded = 0;   // expired in queue before execution
+  uint64_t protocol_errors = 0;     // malformed frames / CRC failures
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t connections_accepted = 0;
+  /// Request latency (dispatch to response written), from the server's
+  /// log-scale histogram.
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer);
+Result<ServerStats> DecodeServerStats(BinaryReader* reader);
+
+}  // namespace walrus
+
+#endif  // WALRUS_SERVER_PROTOCOL_H_

@@ -1,0 +1,373 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace walrus {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool KnownOpcode(Opcode opcode) {
+  return static_cast<uint8_t>(opcode) < kNumOpcodes;
+}
+
+}  // namespace
+
+void WalrusServer::LatencyHistogram::Record(double seconds) {
+  double us = seconds * 1e6;
+  int bucket = 0;
+  if (us >= 1.0) {
+    bucket = std::min(kBuckets - 1,
+                      static_cast<int>(std::log2(us)) + 1);
+  }
+  counts[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double WalrusServer::LatencyHistogram::QuantileMs(double q) const {
+  uint64_t total = 0;
+  uint64_t snapshot[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    snapshot[i] = counts[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snapshot[i];
+    if (seen > rank) {
+      return std::pow(2.0, i) / 1e3;  // bucket upper edge, in ms
+    }
+  }
+  return std::pow(2.0, kBuckets - 1) / 1e3;
+}
+
+WalrusServer::WalrusServer(const WalrusIndex& index, ServerOptions options)
+    : index_(index), options_(std::move(options)) {
+  for (auto& counter : requests_by_opcode_) counter.store(0);
+  for (auto& counter : latency_.counts) counter.store(0);
+}
+
+WalrusServer::~WalrusServer() {
+  if (started_ && !joined_) Stop();
+}
+
+Status WalrusServer::Start() {
+  WALRUS_ASSIGN_OR_RETURN(listen_fd_,
+                          ListenTcp(options_.host, options_.port));
+  WALRUS_ASSIGN_OR_RETURN(port_, SocketLocalPort(listen_fd_.get()));
+  int workers = options_.num_workers > 0 ? options_.num_workers
+                                         : ThreadPool::DefaultThreads();
+  pool_ = std::make_unique<ThreadPool>(workers);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  WALRUS_LOG(Info) << "walrusd serving " << index_.ImageCount()
+                   << " images on " << options_.host << ":" << port_ << " ("
+                   << workers << " workers, admission bound "
+                   << options_.max_pending << ")";
+  return Status::OK();
+}
+
+void WalrusServer::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void WalrusServer::Stop() {
+  RequestStop();
+  Wait();
+}
+
+void WalrusServer::Wait() {
+  if (!started_ || joined_) return;
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stop_requested_; });
+  }
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: shutting the listener down unblocks accept(2). The
+  // fd itself is closed only after the accept thread is joined, so the
+  // thread never reads a dead descriptor.
+  ShutdownRead(listen_fd_.get());
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_.Close();
+
+  // 2. Unblock every connection reader; they finish dispatching whatever
+  // they had already framed and exit. No new requests after this.
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns = connections_;
+    threads.swap(conn_threads_);
+  }
+  for (const auto& conn : conns) ShutdownRead(conn->fd.get());
+  for (std::thread& t : threads) t.join();
+
+  // 3. Drain: every admitted request executes and its response is written
+  // (connections are still open for writing).
+  pool_->Wait();
+  pool_.reset();
+
+  // 4. Now the sockets can go.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.clear();
+  }
+  joined_ = true;
+}
+
+void WalrusServer::AcceptLoop() {
+  for (;;) {
+    Result<UniqueFd> accepted = AcceptTcp(listen_fd_.get());
+    if (!accepted.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      // Transient accept failure (e.g. EMFILE): keep serving, but don't
+      // spin hot if the condition persists.
+      WALRUS_LOG(Warning) << "walrusd accept: " << accepted.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = std::move(*accepted);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    connections_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn] { ConnectionLoop(std::move(conn)); });
+  }
+}
+
+void WalrusServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  ReadFrames(conn);
+  // The reader is done with this connection (peer hung up, shutdown, or a
+  // framing error). Drop the registry's reference: the socket closes as
+  // soon as the last in-flight worker has written its response, so clients
+  // see EOF promptly instead of at server stop.
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  connections_.erase(
+      std::remove(connections_.begin(), connections_.end(), conn),
+      connections_.end());
+}
+
+void WalrusServer::ReadFrames(const std::shared_ptr<Connection>& conn) {
+  std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+  for (;;) {
+    Status read = ReadFull(conn->fd.get(), header_bytes.data(),
+                           header_bytes.size());
+    if (!read.ok()) return;  // orderly close, peer reset, or shutdown
+
+    FrameHeader header;
+    Status parsed = DecodeFrameHeader(header_bytes.data(), &header);
+    if (parsed.code() == StatusCode::kCorruption) {
+      // Bad magic: the byte stream is not frame-aligned, so nothing after
+      // this point can be trusted. Error the request id we can't know
+      // (0) and drop the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, FrameHeader{}, parsed, {});
+      return;
+    }
+    if (!parsed.ok() && header.body_length > kMaxBodyBytes) {
+      // Oversized body length: reading past it to resync would let a peer
+      // stream gigabytes at us; reply and close.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, header, parsed, {});
+      return;
+    }
+
+    // The frame boundary is intact from here on: consume body + trailer so
+    // any further errors cost only this request, not the connection.
+    std::vector<uint8_t> body(header.body_length);
+    if (header.body_length > 0) {
+      Status body_read = ReadFull(conn->fd.get(), body.data(), body.size());
+      if (!body_read.ok()) return;  // truncated frame: peer went away
+    }
+    uint8_t trailer[kFrameTrailerBytes];
+    if (!ReadFull(conn->fd.get(), trailer, sizeof(trailer)).ok()) return;
+    bytes_in_.fetch_add(
+        kFrameHeaderBytes + header.body_length + kFrameTrailerBytes,
+        std::memory_order_relaxed);
+
+    uint32_t stored = static_cast<uint32_t>(trailer[0]) |
+                      static_cast<uint32_t>(trailer[1]) << 8 |
+                      static_cast<uint32_t>(trailer[2]) << 16 |
+                      static_cast<uint32_t>(trailer[3]) << 24;
+    if (stored != FrameCrc(header_bytes.data(), body)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, header,
+                    Status::Corruption("frame: CRC-32 trailer mismatch"), {});
+      continue;
+    }
+    if (!parsed.ok()) {  // unsupported version, boundary intact
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, header, parsed, {});
+      continue;
+    }
+    if (!KnownOpcode(header.opcode)) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteResponse(conn, header,
+                    Status::InvalidArgument(
+                        "frame: unknown opcode " +
+                        std::to_string(static_cast<int>(header.opcode))),
+                    {});
+      continue;
+    }
+
+    requests_by_opcode_[static_cast<int>(header.opcode)].fetch_add(
+        1, std::memory_order_relaxed);
+    DispatchRequest(conn, header, std::move(body));
+  }
+}
+
+void WalrusServer::DispatchRequest(const std::shared_ptr<Connection>& conn,
+                                   const FrameHeader& header,
+                                   std::vector<uint8_t> body) {
+  // Bounded admission: claim a slot or reject right here on the reader
+  // thread, so an overloaded server answers OVERLOADED in O(1) instead of
+  // stacking work it cannot serve.
+  int before = pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (before >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(
+        conn, header,
+        Status::Unavailable("OVERLOADED: admission queue full (" +
+                            std::to_string(options_.max_pending) +
+                            " in flight)"),
+        {});
+    return;
+  }
+  auto admitted = Clock::now();
+  auto shared_body =
+      std::make_shared<std::vector<uint8_t>>(std::move(body));
+  pool_->Submit([this, conn, header, shared_body, admitted] {
+    ExecuteRequest(conn, header, *shared_body, admitted);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void WalrusServer::ExecuteRequest(
+    const std::shared_ptr<Connection>& conn, const FrameHeader& header,
+    const std::vector<uint8_t>& body, Clock::time_point admitted) {
+  if (options_.deadline_ms > 0 &&
+      Clock::now() - admitted >=
+          std::chrono::milliseconds(options_.deadline_ms)) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    WriteResponse(conn, header,
+                  Status::DeadlineExceeded(
+                      "request spent over " +
+                      std::to_string(options_.deadline_ms) +
+                      "ms in the admission queue"),
+                  {});
+    return;
+  }
+  if (options_.execution_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.execution_delay_ms));
+  }
+
+  BinaryReader reader(body);
+  BinaryWriter payload;
+  Status status = Status::OK();
+  switch (header.opcode) {
+    case Opcode::kPing:
+      break;
+    case Opcode::kQuery:
+    case Opcode::kSceneQuery: {
+      QueryOptions query_options;
+      PixelRect scene;
+      ImageF image;
+      Status decoded = [&]() -> Status {
+        WALRUS_ASSIGN_OR_RETURN(query_options, DecodeQueryOptions(&reader));
+        if (header.opcode == Opcode::kSceneQuery) {
+          WALRUS_ASSIGN_OR_RETURN(scene, DecodePixelRect(&reader));
+        }
+        WALRUS_ASSIGN_OR_RETURN(image, DecodeImage(&reader));
+        return Status::OK();
+      }();
+      if (!decoded.ok()) {
+        // Body decode failures are protocol errors (the frame checksummed
+        // fine but its contents are not a valid request).
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        status = decoded;
+        break;
+      }
+      QueryStats stats;
+      Result<std::vector<QueryMatch>> matches =
+          header.opcode == Opcode::kQuery
+              ? ExecuteQuery(index_, image, query_options, &stats)
+              : ExecuteSceneQuery(index_, image, scene, query_options,
+                                  &stats);
+      if (!matches.ok()) {
+        status = matches.status();
+        break;
+      }
+      EncodeMatches(*matches, &payload);
+      EncodeQueryStats(stats, &payload);
+      break;
+    }
+    case Opcode::kStats:
+      EncodeServerStats(Snapshot(), &payload);
+      break;
+    case Opcode::kShutdown:
+      RequestStop();
+      break;
+  }
+  if (!status.ok()) {
+    // The same failure context discipline as ExecuteQueryBatch: name the
+    // request so a client multiplexing many can tell which one failed.
+    status = Annotate(status, std::string(OpcodeName(header.opcode)) +
+                                  " request " +
+                                  std::to_string(header.request_id));
+  }
+  WriteResponse(conn, header, status, payload.buffer());
+  latency_.Record(
+      std::chrono::duration<double>(Clock::now() - admitted).count());
+}
+
+void WalrusServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                                 const FrameHeader& header,
+                                 const Status& status,
+                                 const std::vector<uint8_t>& payload) {
+  BinaryWriter body;
+  EncodeResponseStatus(status, &body);
+  if (status.ok() && !payload.empty()) {
+    body.PutBytes(payload.data(), payload.size());
+  }
+  std::vector<uint8_t> frame =
+      EncodeFrame(header.opcode, header.request_id, body.buffer());
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (WriteFull(conn->fd.get(), frame.data(), frame.size()).ok()) {
+    bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
+  }
+  // A failed write means the peer is gone; its reader will notice EOF.
+}
+
+ServerStats WalrusServer::Snapshot() const {
+  ServerStats stats;
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    stats.requests_by_opcode[i] =
+        requests_by_opcode_[i].load(std::memory_order_relaxed);
+  }
+  stats.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  stats.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.latency_p50_ms = latency_.QuantileMs(0.50);
+  stats.latency_p99_ms = latency_.QuantileMs(0.99);
+  return stats;
+}
+
+}  // namespace walrus

@@ -1,0 +1,160 @@
+#ifndef WALRUS_SERVER_SERVER_H_
+#define WALRUS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/thread_pool.h"
+#include "core/index.h"
+#include "server/protocol.h"
+
+namespace walrus {
+
+/// Server knobs.
+struct ServerOptions {
+  /// Numeric IPv4 address to bind (loopback by default: walrusd fronts the
+  /// index for co-located clients; put a real proxy in front for the wild).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  uint16_t port = 0;
+  /// Worker threads executing requests; 0 = hardware concurrency.
+  int num_workers = 0;
+  /// Admission bound: maximum requests admitted (queued + executing) at
+  /// once. Requests beyond it are rejected immediately with an OVERLOADED
+  /// (Unavailable) reply instead of queueing unboundedly.
+  int max_pending = 128;
+  /// Per-request deadline in milliseconds, measured from admission. A
+  /// request still waiting in the queue when it expires is answered with
+  /// DeadlineExceeded instead of executing. 0 disables.
+  int deadline_ms = 0;
+  /// Test hook: every request handler sleeps this long before executing
+  /// (makes overload/deadline/drain behaviour deterministic in tests).
+  int execution_delay_ms = 0;
+};
+
+/// `walrusd`: a TCP query server exposing one shared read-only WalrusIndex
+/// (in-memory or paged) to many concurrent connections over the framed
+/// binary protocol in server/protocol.h.
+///
+/// Architecture: one accept thread; one reader thread per connection that
+/// frames and validates requests; a shared ThreadPool executing them under
+/// a bounded admission queue. Responses are written by the worker threads
+/// under a per-connection write lock, so a pipelining client may see
+/// replies out of order (match on request id). Malformed frames with an
+/// intact frame boundary (bad CRC, unsupported version, unknown opcode,
+/// undecodable body) error the single request and keep the connection; a
+/// lost boundary (bad magic, oversized body length) errors and closes it.
+/// The process never goes down on peer input.
+///
+/// Lifecycle: Start() begins serving; Wait() blocks until a stop is
+/// requested (RequestStop(), a SHUTDOWN request, or Stop()) and then drains
+/// gracefully -- in-flight requests finish and their responses are written
+/// before connections close.
+class WalrusServer {
+ public:
+  /// `index` must outlive the server and is queried concurrently; it is
+  /// never mutated.
+  WalrusServer(const WalrusIndex& index, ServerOptions options);
+  ~WalrusServer();
+
+  WalrusServer(const WalrusServer&) = delete;
+  WalrusServer& operator=(const WalrusServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop and worker pool.
+  Status Start();
+
+  /// The bound port (valid after Start; resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// Signals shutdown without blocking. Safe from any thread, including
+  /// request handlers (the SHUTDOWN opcode uses it).
+  void RequestStop();
+
+  /// Blocks until a stop is requested, then tears down: stops accepting,
+  /// unblocks connection readers, drains in-flight requests, writes their
+  /// responses, and joins every thread. Call from the owning thread.
+  void Wait();
+
+  /// RequestStop() + Wait().
+  void Stop();
+
+  /// Snapshot of the counters served by the STATS opcode.
+  ServerStats Snapshot() const;
+
+ private:
+  /// Latency histogram with power-of-two microsecond buckets (bucket i
+  /// covers [2^i, 2^(i+1)) us). Lock-free increments; quantiles answer to
+  /// bucket resolution, plenty for p50/p99 reporting.
+  struct LatencyHistogram {
+    static constexpr int kBuckets = 32;
+    std::atomic<uint64_t> counts[kBuckets];
+    void Record(double seconds);
+    /// Upper edge (ms) of the bucket containing quantile `q` in [0,1].
+    double QuantileMs(double q) const;
+  };
+
+  /// One accepted connection. Workers and the reader share it through
+  /// shared_ptr; the write mutex serializes response frames.
+  struct Connection {
+    UniqueFd fd;
+    std::mutex write_mutex;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  /// Frame-reading loop body; returns when the connection is done.
+  void ReadFrames(const std::shared_ptr<Connection>& conn);
+  /// Admission control + dispatch of one well-framed request.
+  void DispatchRequest(const std::shared_ptr<Connection>& conn,
+                       const FrameHeader& header, std::vector<uint8_t> body);
+  /// Executes a request on a worker thread and writes the response.
+  void ExecuteRequest(const std::shared_ptr<Connection>& conn,
+                      const FrameHeader& header,
+                      const std::vector<uint8_t>& body,
+                      std::chrono::steady_clock::time_point admitted);
+  /// Encodes and writes one response frame (status + payload body).
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const FrameHeader& header, const Status& status,
+                     const std::vector<uint8_t>& payload);
+
+  const WalrusIndex& index_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  UniqueFd listen_fd_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::atomic<int> pending_{0};
+  std::atomic<uint64_t> requests_by_opcode_[kNumOpcodes];
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_SERVER_SERVER_H_

@@ -25,8 +25,11 @@ namespace walrus {
 /// RStarTree::BulkLoad, writing levels bottom-up.
 ///
 /// Thread safety: concurrent queries are supported; page reads and the IO
-/// counters are serialized by an internal mutex (the page cache is shared
-/// mutable state).
+/// counters are serialized by an internal mutex (the page cache is an LRU
+/// that mutates on every read, so even "read-only" probes are writes at
+/// this layer). The counter accessors and SetCacheCapacity take the same
+/// mutex, so polling diagnostics while queries run is safe. Moving the
+/// tree is NOT thread-safe; finish all queries first.
 ///
 /// Page layout (little endian):
 ///   u8  is_leaf, u8 reserved, u16 entry_count, u32 reserved
@@ -92,12 +95,25 @@ class DiskRStarTree {
   Status Validate() const;
 
   /// Pages fetched by queries since opening (served from cache or disk).
-  int64_t pages_read() const { return pages_read_; }
+  int64_t pages_read() const {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    return pages_read_;
+  }
   /// Underlying page-cache counters.
-  int64_t cache_hits() const { return file_.cache_hits(); }
-  int64_t cache_misses() const { return file_.cache_misses(); }
-  /// Resizes the page cache (0 disables; measures cold-read costs).
-  void SetCacheCapacity(int pages) { file_.SetCacheCapacity(pages); }
+  int64_t cache_hits() const {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    return file_.cache_hits();
+  }
+  int64_t cache_misses() const {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    return file_.cache_misses();
+  }
+  /// Resizes the page cache (0 disables; measures cold-read costs). Safe
+  /// to call while queries are in flight.
+  void SetCacheCapacity(int pages) {
+    std::lock_guard<std::mutex> lock(io_mutex_);
+    file_.SetCacheCapacity(pages);
+  }
 
  private:
   struct NodeRef {

@@ -26,6 +26,9 @@
 #include "image/pnm_io.h"
 #include "image/synth.h"
 #include "image/transform.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "spatial/rstar_tree.h"
 #include "wavelet/compress.h"
 #include "wavelet/haar1d.h"
@@ -35,11 +38,12 @@
 namespace walrus {
 
 /// Library version (semantic). 1.0.0 corresponds to the full SIGMOD 1999
-/// reproduction described in DESIGN.md.
+/// reproduction described in DESIGN.md; 1.1.0 adds the walrusd network
+/// query-serving subsystem (server/).
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionMinor = 1;
 inline constexpr int kVersionPatch = 0;
-inline constexpr const char* kVersionString = "1.0.0";
+inline constexpr const char* kVersionString = "1.1.0";
 
 }  // namespace walrus
 

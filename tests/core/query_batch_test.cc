@@ -93,7 +93,11 @@ TEST_F(QueryBatchTest, ErrorPropagates) {
                                  ImageF(4, 4, 3, ColorSpace::kRGB)};
   QueryOptions options;
   auto batch = ExecuteQueryBatch(*index_, queries, options);
-  EXPECT_FALSE(batch.ok());  // second image smaller than min_window
+  ASSERT_FALSE(batch.ok());  // second image smaller than min_window
+  // The error names the failing query so callers (and walrusd's error
+  // replies) can attribute it without re-running the batch.
+  EXPECT_NE(batch.status().message().find("query 1 of 2"), std::string::npos)
+      << batch.status();
 }
 
 }  // namespace

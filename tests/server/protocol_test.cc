@@ -1,0 +1,244 @@
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "common/random.h"
+
+namespace walrus {
+namespace {
+
+TEST(ProtocolTest, FrameRoundTrip) {
+  std::vector<uint8_t> body = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> frame = EncodeFrame(Opcode::kQuery, 42, body);
+  ASSERT_EQ(frame.size(),
+            kFrameHeaderBytes + body.size() + kFrameTrailerBytes);
+
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &header).ok());
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.opcode, Opcode::kQuery);
+  EXPECT_EQ(header.request_id, 42u);
+  EXPECT_EQ(header.body_length, body.size());
+
+  // Trailer matches a recomputation over header + body.
+  uint32_t stored = static_cast<uint32_t>(frame[frame.size() - 4]) |
+                    static_cast<uint32_t>(frame[frame.size() - 3]) << 8 |
+                    static_cast<uint32_t>(frame[frame.size() - 2]) << 16 |
+                    static_cast<uint32_t>(frame[frame.size() - 1]) << 24;
+  EXPECT_EQ(stored, FrameCrc(frame.data(), body));
+}
+
+TEST(ProtocolTest, EmptyBodyFrame) {
+  std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 7, {});
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(frame.data(), &header).ok());
+  EXPECT_EQ(header.body_length, 0u);
+  EXPECT_EQ(FrameCrc(frame.data(), {}),
+            Crc32(frame.data(), kFrameHeaderBytes));
+}
+
+TEST(ProtocolTest, BadMagicIsCorruption) {
+  std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 1, {});
+  frame[0] ^= 0xFF;
+  FrameHeader header;
+  Status status = DecodeFrameHeader(frame.data(), &header);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, BadVersionIsInvalidArgument) {
+  std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 1, {});
+  frame[4] = kProtocolVersion + 1;
+  FrameHeader header;
+  Status status = DecodeFrameHeader(frame.data(), &header);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The rest of the header still parsed: the frame boundary is intact.
+  EXPECT_EQ(header.request_id, 1u);
+  EXPECT_EQ(header.body_length, 0u);
+}
+
+TEST(ProtocolTest, OversizedBodyLengthRejected) {
+  std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 1, {});
+  uint32_t huge = kMaxBodyBytes + 1;
+  frame[16] = static_cast<uint8_t>(huge);
+  frame[17] = static_cast<uint8_t>(huge >> 8);
+  frame[18] = static_cast<uint8_t>(huge >> 16);
+  frame[19] = static_cast<uint8_t>(huge >> 24);
+  FrameHeader header;
+  Status status = DecodeFrameHeader(frame.data(), &header);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ResponseStatusRoundTrip) {
+  for (const Status& status :
+       {Status::OK(), Status::Unavailable("OVERLOADED: full"),
+        Status::DeadlineExceeded("late"),
+        Status::InvalidArgument("bad frame")}) {
+    BinaryWriter writer;
+    EncodeResponseStatus(status, &writer);
+    BinaryReader reader(writer.buffer());
+    Status decoded;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &decoded).ok());
+    EXPECT_EQ(decoded, status);
+  }
+}
+
+TEST(ProtocolTest, ResponseStatusRejectsUnknownCode) {
+  BinaryWriter writer;
+  writer.PutU8(250);
+  writer.PutString("?");
+  BinaryReader reader(writer.buffer());
+  Status decoded;
+  EXPECT_EQ(DecodeResponseStatus(&reader, &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, QueryOptionsRoundTrip) {
+  QueryOptions options;
+  options.epsilon = 0.123f;
+  options.tau = 0.25;
+  options.matcher = MatcherKind::kGreedy;
+  options.normalization = SimilarityNormalization::kSmallerImage;
+  options.knn_per_region = 5;
+  options.use_refinement = true;
+  options.refined_epsilon = 0.2f;
+  options.top_k = 9;
+  options.collect_pairs = true;
+
+  BinaryWriter writer;
+  EncodeQueryOptions(options, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeQueryOptions(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epsilon, options.epsilon);
+  EXPECT_EQ(decoded->tau, options.tau);
+  EXPECT_EQ(decoded->matcher, options.matcher);
+  EXPECT_EQ(decoded->normalization, options.normalization);
+  EXPECT_EQ(decoded->knn_per_region, options.knn_per_region);
+  EXPECT_EQ(decoded->use_refinement, options.use_refinement);
+  EXPECT_EQ(decoded->refined_epsilon, options.refined_epsilon);
+  EXPECT_EQ(decoded->top_k, options.top_k);
+  EXPECT_EQ(decoded->collect_pairs, options.collect_pairs);
+}
+
+TEST(ProtocolTest, ImageRoundTrip) {
+  ImageF image(17, 9, 3, ColorSpace::kYCC);
+  Rng rng(3);
+  for (int c = 0; c < 3; ++c) {
+    for (float& v : image.Plane(c)) v = rng.NextFloat();
+  }
+  BinaryWriter writer;
+  EncodeImage(image, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeImage(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->width(), 17);
+  EXPECT_EQ(decoded->height(), 9);
+  EXPECT_EQ(decoded->channels(), 3);
+  EXPECT_EQ(decoded->color_space(), ColorSpace::kYCC);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(decoded->Plane(c), image.Plane(c));
+  }
+}
+
+TEST(ProtocolTest, ImageDecodeRejectsBadDimensions) {
+  BinaryWriter writer;
+  writer.PutU32(0);  // width 0
+  writer.PutU32(4);
+  writer.PutU32(3);
+  writer.PutU8(1);
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(DecodeImage(&reader).ok());
+
+  BinaryWriter writer2;
+  writer2.PutU32(1u << 20);  // absurd width: refused before allocation
+  writer2.PutU32(1u << 20);
+  writer2.PutU32(3);
+  writer2.PutU8(1);
+  BinaryReader reader2(writer2.buffer());
+  EXPECT_FALSE(DecodeImage(&reader2).ok());
+}
+
+TEST(ProtocolTest, ImageDecodeRejectsTruncatedPlanes) {
+  ImageF image(8, 8, 3, ColorSpace::kRGB);
+  BinaryWriter writer;
+  EncodeImage(image, &writer);
+  std::vector<uint8_t> bytes = writer.TakeBuffer();
+  bytes.resize(bytes.size() / 2);
+  BinaryReader reader(bytes);
+  EXPECT_FALSE(DecodeImage(&reader).ok());
+}
+
+TEST(ProtocolTest, MatchesRoundTrip) {
+  std::vector<QueryMatch> matches(2);
+  matches[0].image_id = 11;
+  matches[0].similarity = 0.75;
+  matches[0].matching_pairs = 3;
+  matches[0].pairs_used = 2;
+  matches[0].pairs = {{0, 4}, {1, 7}};
+  matches[1].image_id = 99;
+  matches[1].similarity = 0.5;
+
+  BinaryWriter writer;
+  EncodeMatches(matches, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeMatches(&reader);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].image_id, 11u);
+  EXPECT_EQ((*decoded)[0].similarity, 0.75);
+  EXPECT_EQ((*decoded)[0].matching_pairs, 3);
+  EXPECT_EQ((*decoded)[0].pairs_used, 2);
+  ASSERT_EQ((*decoded)[0].pairs.size(), 2u);
+  EXPECT_EQ((*decoded)[0].pairs[1].query_index, 1);
+  EXPECT_EQ((*decoded)[0].pairs[1].target_index, 7);
+  EXPECT_EQ((*decoded)[1].image_id, 99u);
+}
+
+TEST(ProtocolTest, MatchesDecodeRejectsTruncatedCount) {
+  BinaryWriter writer;
+  writer.PutU32(1000000);  // claims a million matches, provides none
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodeMatches(&reader).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, ServerStatsRoundTrip) {
+  ServerStats stats;
+  stats.requests_by_opcode[static_cast<int>(Opcode::kQuery)] = 17;
+  stats.rejected_overload = 3;
+  stats.deadline_exceeded = 2;
+  stats.protocol_errors = 5;
+  stats.bytes_in = 1024;
+  stats.bytes_out = 2048;
+  stats.connections_accepted = 9;
+  stats.latency_p50_ms = 1.5;
+  stats.latency_p99_ms = 20.0;
+
+  BinaryWriter writer;
+  EncodeServerStats(stats, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeServerStats(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->requests_by_opcode[static_cast<int>(Opcode::kQuery)],
+            17u);
+  EXPECT_EQ(decoded->rejected_overload, 3u);
+  EXPECT_EQ(decoded->deadline_exceeded, 2u);
+  EXPECT_EQ(decoded->protocol_errors, 5u);
+  EXPECT_EQ(decoded->bytes_in, 1024u);
+  EXPECT_EQ(decoded->bytes_out, 2048u);
+  EXPECT_EQ(decoded->connections_accepted, 9u);
+  EXPECT_EQ(decoded->latency_p50_ms, 1.5);
+  EXPECT_EQ(decoded->latency_p99_ms, 20.0);
+}
+
+TEST(ProtocolTest, Crc32ExtendComposes) {
+  std::vector<uint8_t> a = {1, 2, 3};
+  std::vector<uint8_t> b = {4, 5, 6, 7};
+  std::vector<uint8_t> joined = {1, 2, 3, 4, 5, 6, 7};
+  uint32_t incremental =
+      Crc32Extend(Crc32Extend(0, a.data(), a.size()), b.data(), b.size());
+  EXPECT_EQ(incremental, Crc32(joined.data(), joined.size()));
+}
+
+}  // namespace
+}  // namespace walrus

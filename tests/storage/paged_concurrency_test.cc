@@ -1,0 +1,99 @@
+// Concurrency audit for the paged index read path. The DiskRStarTree's LRU
+// page cache mutates on every read, so "read-only" probes are writes at the
+// cache layer; everything below io_mutex_ must stay race-free while many
+// threads query, poll the IO counters, and churn the cache capacity at
+// once. This test exists to run under TSan (scripts/check.sh stage 3).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "image/dataset.h"
+
+namespace walrus {
+namespace {
+
+TEST(PagedConcurrencyTest, ConcurrentQueriesCountersAndCacheChurn) {
+  DatasetParams dp;
+  dp.num_images = 10;
+  dp.width = 64;
+  dp.height = 64;
+  dp.seed = 7;
+  std::vector<LabeledImage> dataset = GenerateDataset(dp);
+
+  WalrusParams params;
+  params.min_window = 16;
+  params.max_window = 32;
+  params.slide_step = 8;
+  WalrusIndex builder(params);
+  for (const LabeledImage& scene : dataset) {
+    ASSERT_TRUE(
+        builder.AddImage(static_cast<uint64_t>(scene.id), "img", scene.image)
+            .ok());
+  }
+  std::string prefix = ::testing::TempDir() + "/walrus_paged_concurrency";
+  ASSERT_TRUE(builder.SavePaged(prefix).ok());
+  auto paged = WalrusIndex::OpenPaged(prefix);
+  ASSERT_TRUE(paged.ok()) << paged.status();
+  ASSERT_TRUE(paged->is_paged());
+
+  constexpr int kQueryThreads = 8;
+  constexpr int kQueriesPerThread = 4;
+  std::atomic<int> failures{0};
+  std::atomic<bool> done{false};
+  {
+    std::vector<std::thread> threads;
+    // Query threads hammer the paged probe path.
+    for (int t = 0; t < kQueryThreads; ++t) {
+      threads.emplace_back([&, t] {
+        QueryOptions options;
+        options.epsilon = 0.085f;
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          const ImageF& image =
+              dataset[(t + q) % dataset.size()].image;
+          if (!ExecuteQuery(*paged, image, options).ok()) ++failures;
+        }
+      });
+    }
+    // Poller reads the IO diagnostics while queries run.
+    threads.emplace_back([&] {
+      int64_t last_pages = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const DiskRStarTree* tree = paged->disk_tree();
+        int64_t pages = tree->pages_read();
+        EXPECT_GE(pages, last_pages);       // monotone under the lock
+        EXPECT_GE(tree->cache_hits(), 0);
+        EXPECT_GE(tree->cache_misses(), 0);
+        last_pages = pages;
+        std::this_thread::yield();
+      }
+    });
+    // Churner resizes the cache while queries are in flight.
+    threads.emplace_back([&] {
+      int capacity = 1;
+      while (!done.load(std::memory_order_acquire)) {
+        paged->disk_tree()->SetCacheCapacity(capacity);
+        capacity = capacity == 1 ? 64 : 1;
+        std::this_thread::yield();
+      }
+    });
+    for (int t = 0; t < kQueryThreads; ++t) threads[t].join();
+    done.store(true, std::memory_order_release);
+    threads[kQueryThreads].join();
+    threads[kQueryThreads + 1].join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(paged->disk_tree()->pages_read(), 0);
+
+  for (const char* suffix : {".catalog", ".pmeta", ".ptree"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace walrus
