@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "wavelet/naive_window.h"
@@ -58,6 +59,12 @@ int main() {
   std::printf("%-12s %-14s %-14s %-10s\n", "window", "naive_sec", "dp_sec",
               "speedup");
 
+  walrus::bench::BenchReport report("dp_window");
+  report.params()
+      .Set("image_size", kImageSize)
+      .Set("signature", kSignature)
+      .Set("slide_step", kStep);
+
   double naive_at_128 = 0.0;
   double dp_at_128 = 0.0;
   for (int window = 2; window <= 128; window *= 2) {
@@ -71,10 +78,16 @@ int main() {
     }
     std::printf("%-12d %-14.4f %-14.4f %-10.1f\n", window, naive_sec, dp_sec,
                 naive_sec / dp_sec);
+    report.AddRow()
+        .Set("window", window)
+        .Set("naive_sec", naive_sec)
+        .Set("dp_sec", dp_sec)
+        .Set("speedup", naive_sec / dp_sec);
   }
   std::printf(
       "# paper shape check: naive/dp speedup at window=128 was ~17x on the "
       "paper's hardware; measured %.1fx\n",
       naive_at_128 / dp_at_128);
+  report.WriteFile();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/timer.h"
 #include "core/index.h"
 #include "image/dataset.h"
@@ -122,17 +123,35 @@ int main() {
               num_images, memory_index.RegionCount(), queries_per_client);
   std::printf("%-12s %-10s %-12s %-10s %-10s\n", "backend", "clients",
               "qps", "p50_ms", "p99_ms");
+  walrus::bench::BenchReport report("server_qps");
+  report.params()
+      .Set("num_images", num_images)
+      .Set("queries_per_client", queries_per_client)
+      .Set("regions", static_cast<int64_t>(memory_index.RegionCount()));
   for (int clients : {1, 2, 4, 8}) {
     RunResult mem = RunLoad(memory_index, dataset, clients,
                             queries_per_client);
     std::printf("%-12s %-10d %-12.1f %-10.2f %-10.2f\n", "in-memory",
                 clients, mem.qps, mem.p50_ms, mem.p99_ms);
+    report.AddRow()
+        .Set("backend", "in-memory")
+        .Set("clients", clients)
+        .Set("qps", mem.qps)
+        .Set("p50_ms", mem.p50_ms)
+        .Set("p99_ms", mem.p99_ms);
   }
   for (int clients : {1, 2, 4, 8}) {
     RunResult disk = RunLoad(*paged, dataset, clients, queries_per_client);
     std::printf("%-12s %-10d %-12.1f %-10.2f %-10.2f\n", "paged", clients,
                 disk.qps, disk.p50_ms, disk.p99_ms);
+    report.AddRow()
+        .Set("backend", "paged")
+        .Set("clients", clients)
+        .Set("qps", disk.qps)
+        .Set("p50_ms", disk.p50_ms)
+        .Set("p99_ms", disk.p99_ms);
   }
+  report.WriteFile();
   for (const char* suffix : {".catalog", ".pmeta", ".ptree"}) {
     std::remove((prefix + suffix).c_str());
   }

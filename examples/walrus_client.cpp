@@ -1,9 +1,10 @@
 // Command-line client for a running walrusd (examples/walrus_serve.cpp).
 //
 //   walrus_client <host> <port> ping
-//   walrus_client <host> <port> query <image.ppm> [epsilon] [top_k]
-//   walrus_client <host> <port> scene <image.ppm> <x> <y> <w> <h> [epsilon]
+//   walrus_client <host> <port> query [--trace] <image.ppm> [epsilon] [top_k]
+//   walrus_client <host> <port> scene [--trace] <image.ppm> <x> <y> <w> <h> [epsilon]
 //   walrus_client <host> <port> stats
+//   walrus_client <host> <port> metrics [--json]
 //   walrus_client <host> <port> shutdown
 
 #include <cstdio>
@@ -20,11 +21,12 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  walrus_client <host> <port> ping\n"
-               "  walrus_client <host> <port> query <image.ppm> [epsilon] "
-               "[top_k]\n"
-               "  walrus_client <host> <port> scene <image.ppm> <x> <y> <w> "
-               "<h> [epsilon]\n"
+               "  walrus_client <host> <port> query [--trace] <image.ppm> "
+               "[epsilon] [top_k]\n"
+               "  walrus_client <host> <port> scene [--trace] <image.ppm> "
+               "<x> <y> <w> <h> [epsilon]\n"
                "  walrus_client <host> <port> stats\n"
+               "  walrus_client <host> <port> metrics [--json]\n"
                "  walrus_client <host> <port> shutdown\n");
   return 2;
 }
@@ -38,6 +40,11 @@ void PrintMatches(const walrus::RemoteQueryResult& result, double rtt_ms) {
     std::printf("%2zu. image %-8llu similarity=%.3f (pairs=%d)\n", i + 1,
                 static_cast<unsigned long long>(m.image_id), m.similarity,
                 m.matching_pairs);
+  }
+  if (!result.stats.spans.empty()) {
+    std::printf("server-side stage breakdown (%.2f ms total):\n%s",
+                result.stats.seconds * 1e3,
+                walrus::RenderTraceText(result.stats.spans).c_str());
   }
 }
 
@@ -103,31 +110,51 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "metrics") {
+    bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
+    auto metrics = client->Metrics();
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "metrics failed: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    std::string rendered = json ? walrus::RenderMetricsJson(*metrics)
+                                : walrus::RenderMetricsText(*metrics);
+    std::fputs(rendered.c_str(), stdout);
+    return 0;
+  }
+
   if (command == "query" || command == "scene") {
     bool scene = command == "scene";
-    if (argc < (scene ? 9 : 5)) return Usage();
-    auto image = walrus::ReadPnm(argv[4]);
+    int at = 4;
+    bool trace = argc > at && std::strcmp(argv[at], "--trace") == 0;
+    if (trace) ++at;
+    if (argc < at + (scene ? 5 : 1)) return Usage();
+    auto image = walrus::ReadPnm(argv[at]);
     if (!image.ok()) {
-      std::fprintf(stderr, "reading %s failed: %s\n", argv[4],
+      std::fprintf(stderr, "reading %s failed: %s\n", argv[at],
                    image.status().ToString().c_str());
       return 1;
     }
+    ++at;
     walrus::QueryOptions options;
     options.top_k = 14;
+    options.collect_trace = trace;
     walrus::WallTimer timer;
     walrus::Result<walrus::RemoteQueryResult> result =
         walrus::Status::Internal("unreachable");
     if (scene) {
       walrus::PixelRect rect;
-      rect.x = std::atoi(argv[5]);
-      rect.y = std::atoi(argv[6]);
-      rect.width = std::atoi(argv[7]);
-      rect.height = std::atoi(argv[8]);
-      if (argc > 9) options.epsilon = static_cast<float>(std::atof(argv[9]));
+      rect.x = std::atoi(argv[at]);
+      rect.y = std::atoi(argv[at + 1]);
+      rect.width = std::atoi(argv[at + 2]);
+      rect.height = std::atoi(argv[at + 3]);
+      at += 4;
+      if (argc > at) options.epsilon = static_cast<float>(std::atof(argv[at]));
       result = client->SceneQuery(*image, rect, options);
     } else {
-      if (argc > 5) options.epsilon = static_cast<float>(std::atof(argv[5]));
-      if (argc > 6) options.top_k = std::atoi(argv[6]);
+      if (argc > at) options.epsilon = static_cast<float>(std::atof(argv[at]));
+      if (argc > at + 1) options.top_k = std::atoi(argv[at + 1]);
       result = client->Query(*image, options);
     }
     if (!result.ok()) {

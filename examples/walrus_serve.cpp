@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/metrics.h"
 #include "core/index.h"
 #include "server/server.h"
 
@@ -67,5 +68,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           stats.requests_by_opcode[static_cast<int>(walrus::Opcode::kPing)]),
       stats.latency_p50_ms, stats.latency_p99_ms);
+  std::printf("walrusd: final metrics registry state:\n%s",
+              walrus::RenderMetricsText(
+                  walrus::MetricsRegistry::Global().Snapshot())
+                  .c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "cluster/cf_tree.h"
 
 namespace walrus {
@@ -69,6 +70,23 @@ BirchResult BirchPreCluster(const float* points, int n, int dim,
       }
     }
     result.assignments[i] = best;
+  }
+
+  // Registry counters: clustering volume and rebuild pressure (a rising
+  // rebuild rate means the node budget is too small for the workload).
+  {
+    static Counter* const runs =
+        MetricsRegistry::Global().GetCounter("walrus.birch.runs");
+    static Counter* const points_clustered =
+        MetricsRegistry::Global().GetCounter("walrus.birch.points");
+    static Counter* const clusters =
+        MetricsRegistry::Global().GetCounter("walrus.birch.clusters");
+    static Counter* const rebuilds =
+        MetricsRegistry::Global().GetCounter("walrus.birch.rebuilds");
+    runs->Increment();
+    points_clustered->Increment(static_cast<uint64_t>(n));
+    clusters->Increment(result.clusters.size());
+    rebuilds->Increment(static_cast<uint64_t>(result.rebuilds));
   }
   return result;
 }

@@ -1,0 +1,64 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace walrus {
+
+void QueryTrace::Begin(const std::string& name) {
+  stack_.push_back({name, timer_.ElapsedSeconds(), {}});
+}
+
+void QueryTrace::End() {
+  WALRUS_DCHECK(!stack_.empty());
+  if (stack_.empty()) return;
+  OpenSpan top = std::move(stack_.back());
+  stack_.pop_back();
+  TraceSpan span;
+  span.name = std::move(top.name);
+  span.start_seconds = top.start_seconds;
+  span.duration_seconds = timer_.ElapsedSeconds() - top.start_seconds;
+  span.children = std::move(top.children);
+  if (stack_.empty()) {
+    roots_.push_back(std::move(span));
+  } else {
+    stack_.back().children.push_back(std::move(span));
+  }
+}
+
+double TraceCoverageSeconds(const std::vector<TraceSpan>& spans) {
+  double total = 0.0;
+  for (const TraceSpan& span : spans) total += span.duration_seconds;
+  return total;
+}
+
+size_t TraceSpanCount(const std::vector<TraceSpan>& spans) {
+  size_t count = spans.size();
+  for (const TraceSpan& span : spans) count += TraceSpanCount(span.children);
+  return count;
+}
+
+namespace {
+
+void RenderSpans(const std::vector<TraceSpan>& spans, int depth,
+                 std::string* out) {
+  char buf[160];
+  for (const TraceSpan& span : spans) {
+    std::snprintf(buf, sizeof(buf), "%*s%-*s %9.3f ms\n", 2 * depth, "",
+                  24 - 2 * depth, span.name.c_str(),
+                  span.duration_seconds * 1e3);
+    *out += buf;
+    RenderSpans(span.children, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderTraceText(const std::vector<TraceSpan>& spans) {
+  std::string out;
+  RenderSpans(spans, 0, &out);
+  return out;
+}
+
+}  // namespace walrus

@@ -1,0 +1,89 @@
+#ifndef WALRUS_COMMON_TRACE_H_
+#define WALRUS_COMMON_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace walrus {
+
+/// One timed stage of a query, with nested sub-stages. Times are seconds
+/// relative to the owning trace's construction, so a span tree reads as a
+/// flame graph of the query: extract -> (wavelet, cluster, assemble),
+/// probe, match, rank.
+struct TraceSpan {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<TraceSpan> children;
+};
+
+/// Collects the span tree of a single query. Not thread-safe: one trace
+/// belongs to one query executing on one thread (the pipeline is
+/// sequential per query; batch queries get one trace each).
+///
+/// Spans nest by Begin/End pairing: a span that ends while another is open
+/// becomes its child. The RAII TraceScope is the intended call-site shape
+/// and is null-safe, so untraced queries pay one pointer test per stage.
+class QueryTrace {
+ public:
+  QueryTrace() = default;
+
+  void Begin(const std::string& name);
+  /// Ends the innermost open span. No-op (checked in debug) without one.
+  void End();
+
+  /// Seconds since construction (the spans' time base).
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+  /// Completed top-level spans, oldest first. Open spans are not included.
+  const std::vector<TraceSpan>& spans() const { return roots_; }
+  std::vector<TraceSpan> TakeSpans() { return std::move(roots_); }
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    double start_seconds;
+    std::vector<TraceSpan> children;
+  };
+
+  WallTimer timer_;
+  std::vector<OpenSpan> stack_;
+  std::vector<TraceSpan> roots_;
+};
+
+/// RAII span: begins on construction, ends on destruction. A null trace
+/// disables it, so instrumented code reads the same traced or not:
+///   TraceScope span(trace, "probe");
+class TraceScope {
+ public:
+  TraceScope(QueryTrace* trace, const std::string& name) : trace_(trace) {
+    if (trace_ != nullptr) trace_->Begin(name);
+  }
+  ~TraceScope() {
+    if (trace_ != nullptr) trace_->End();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  QueryTrace* trace_;
+};
+
+/// Sum of top-level span durations (how much of the query's wall time the
+/// trace accounts for).
+double TraceCoverageSeconds(const std::vector<TraceSpan>& spans);
+
+/// Total span count across the whole tree.
+size_t TraceSpanCount(const std::vector<TraceSpan>& spans);
+
+/// Indented human-readable rendering, durations in milliseconds:
+///   extract            12.41 ms
+///     wavelet           8.03 ms
+std::string RenderTraceText(const std::vector<TraceSpan>& spans);
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_TRACE_H_

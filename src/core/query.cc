@@ -5,8 +5,10 @@
 
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "common/trace.h"
 
 namespace walrus {
 namespace {
@@ -16,120 +18,212 @@ struct TargetCandidate {
   std::vector<RegionPair> pairs;
 };
 
-}  // namespace
+/// Shared bucket shape for all query-path latency histograms: 1us doubling
+/// up to ~68s.
+std::vector<double> QuerySecondsBuckets() {
+  return ExponentialBuckets(1e-6, 2.0, 36);
+}
 
-Result<std::vector<QueryMatch>> ExecuteQueryWithRegions(
+/// Query-funnel metrics (registered once, mutated lock-free per query).
+struct QueryPathMetrics {
+  Counter* queries;
+  Counter* regions_retrieved;
+  Counter* candidate_images;
+  Histogram* seconds;
+  Histogram* extract_seconds;
+  Histogram* probe_seconds;
+  Histogram* match_seconds;
+
+  static const QueryPathMetrics& Get() {
+    static const QueryPathMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      QueryPathMetrics m;
+      m.queries = registry.GetCounter("walrus.query.count");
+      m.regions_retrieved =
+          registry.GetCounter("walrus.query.regions_retrieved");
+      m.candidate_images =
+          registry.GetCounter("walrus.query.candidate_images");
+      m.seconds =
+          registry.GetHistogram("walrus.query.seconds", QuerySecondsBuckets());
+      m.extract_seconds = registry.GetHistogram(
+          "walrus.query.extract_seconds", QuerySecondsBuckets());
+      m.probe_seconds = registry.GetHistogram("walrus.query.probe_seconds",
+                                              QuerySecondsBuckets());
+      m.match_seconds = registry.GetHistogram("walrus.query.match_seconds",
+                                              QuerySecondsBuckets());
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Paged-backend IO counters at a point in time (for per-query deltas).
+struct DiskCounters {
+  int64_t pages_read = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  static DiskCounters Read(const DiskRStarTree* disk) {
+    DiskCounters c;
+    if (disk != nullptr) {
+      c.pages_read = disk->pages_read();
+      c.cache_hits = disk->cache_hits();
+      c.cache_misses = disk->cache_misses();
+    }
+    return c;
+  }
+};
+
+/// The matching pipeline behind every query entry point: probe the index
+/// with each query region, score candidate images, rank. `trace`, when
+/// non-null, receives the probe/match/rank spans; callers own the extract
+/// span (they know whether extraction happened at all).
+Result<std::vector<QueryMatch>> RunMatchingPipeline(
     const WalrusIndex& index, const std::vector<Region>& query_regions,
-    double query_area, const QueryOptions& options, QueryStats* stats) {
+    double query_area, const QueryOptions& options, QueryStats* stats,
+    QueryTrace* trace) {
   WallTimer timer;
+  const QueryPathMetrics& metrics = QueryPathMetrics::Get();
   const WalrusParams& params = index.params();
   const bool use_bbox =
       params.signature_kind == RegionSignatureKind::kBoundingBox;
+  const bool paged = index.is_paged();
+  const DiskCounters disk_before = DiskCounters::Read(index.disk_tree());
+  int64_t nodes_visited = 0;
 
   // Region matching (section 5.4): one epsilon-expanded probe per query
   // region; centroid mode post-filters the L-infinity candidates down to
   // true Euclidean matches.
   std::map<uint64_t, TargetCandidate> candidates;
   int64_t regions_retrieved = 0;
-  if (options.knn_per_region > 0 && !use_bbox) {
-    // kNN probing: fixed candidate budget per query region.
-    for (size_t qi = 0; qi < query_regions.size(); ++qi) {
-      const Region& q = query_regions[qi];
-      WALRUS_ASSIGN_OR_RETURN(
-          auto neighbors,
-          index.ProbeNearest(q.centroid, options.knn_per_region));
-      for (const auto& [payload, distance] : neighbors) {
-        (void)distance;
-        uint64_t image_id;
-        uint32_t region_id;
-        DecodeRegionPayload(payload, &image_id, &region_id);
-        ++regions_retrieved;
-        candidates[image_id].pairs.push_back(
-            {static_cast<int>(qi), static_cast<int>(region_id)});
+  double probe_seconds = 0.0;
+  {
+    TraceScope probe_span(trace, "probe");
+    WallTimer probe_timer;
+    if (options.knn_per_region > 0 && !use_bbox) {
+      // kNN probing: fixed candidate budget per query region.
+      for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+        const Region& q = query_regions[qi];
+        WALRUS_ASSIGN_OR_RETURN(
+            auto neighbors,
+            index.ProbeNearest(q.centroid, options.knn_per_region));
+        if (!paged) nodes_visited += index.tree().last_nodes_visited();
+        for (const auto& [payload, distance] : neighbors) {
+          (void)distance;
+          uint64_t image_id;
+          uint32_t region_id;
+          DecodeRegionPayload(payload, &image_id, &region_id);
+          ++regions_retrieved;
+          candidates[image_id].pairs.push_back(
+              {static_cast<int>(qi), static_cast<int>(region_id)});
+        }
+      }
+    } else {
+      for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+        const Region& q = query_regions[qi];
+        Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
+        WALRUS_RETURN_IF_ERROR(index.ProbeRange(
+            probe, [&](const Rect& rect, uint64_t payload) {
+              uint64_t image_id;
+              uint32_t region_id;
+              DecodeRegionPayload(payload, &image_id, &region_id);
+              if (!use_bbox) {
+                // Exact Euclidean test on the stored centroid (== rect.lo()).
+                if (!RegionsMatchCentroid(
+                        q.centroid.data(), rect.lo().data(),
+                        static_cast<int>(q.centroid.size()),
+                        options.epsilon)) {
+                  return true;
+                }
+              }
+              ++regions_retrieved;
+              candidates[image_id].pairs.push_back(
+                  {static_cast<int>(qi), static_cast<int>(region_id)});
+              return true;
+            }));
+        if (!paged) nodes_visited += index.tree().last_nodes_visited();
       }
     }
-  } else {
-    for (size_t qi = 0; qi < query_regions.size(); ++qi) {
-      const Region& q = query_regions[qi];
-      Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
-      WALRUS_RETURN_IF_ERROR(index.ProbeRange(
-          probe, [&](const Rect& rect, uint64_t payload) {
-            uint64_t image_id;
-            uint32_t region_id;
-            DecodeRegionPayload(payload, &image_id, &region_id);
-            if (!use_bbox) {
-              // Exact Euclidean test on the stored centroid (== rect.lo()).
-              if (!RegionsMatchCentroid(
-                      q.centroid.data(), rect.lo().data(),
-                      static_cast<int>(q.centroid.size()), options.epsilon)) {
-                return true;
-              }
-            }
-            ++regions_retrieved;
-            candidates[image_id].pairs.push_back(
-                {static_cast<int>(qi), static_cast<int>(region_id)});
-            return true;
-          }));
-    }
+    probe_seconds = probe_timer.ElapsedSeconds();
   }
 
   // Image matching (section 5.5).
   std::vector<QueryMatch> matches;
-  matches.reserve(candidates.size());
-  for (const auto& [image_id, candidate] : candidates) {
-    WALRUS_ASSIGN_OR_RETURN(std::vector<Region> target_regions,
-                            index.ImageRegions(image_id));
-    WALRUS_ASSIGN_OR_RETURN(double target_area, index.ImageArea(image_id));
-    // Refined matching phase (section 5.5): re-verify pairs with the more
-    // detailed signatures where both sides carry them.
-    const std::vector<RegionPair>* pairs = &candidate.pairs;
-    std::vector<RegionPair> refined_pairs;
-    if (options.use_refinement) {
-      refined_pairs.reserve(candidate.pairs.size());
-      for (const RegionPair& pair : candidate.pairs) {
-        const std::vector<float>& q_ref =
-            query_regions[pair.query_index].refined_centroid;
-        const std::vector<float>& t_ref =
-            target_regions[pair.target_index].refined_centroid;
-        if (!q_ref.empty() && q_ref.size() == t_ref.size() &&
-            !RegionsMatchCentroid(q_ref.data(), t_ref.data(),
-                                  static_cast<int>(q_ref.size()),
-                                  options.refined_epsilon)) {
-          continue;  // refuted at the finer resolution
+  double match_seconds = 0.0;
+  {
+    TraceScope match_span(trace, "match");
+    WallTimer match_timer;
+    matches.reserve(candidates.size());
+    for (const auto& [image_id, candidate] : candidates) {
+      WALRUS_ASSIGN_OR_RETURN(std::vector<Region> target_regions,
+                              index.ImageRegions(image_id));
+      WALRUS_ASSIGN_OR_RETURN(double target_area, index.ImageArea(image_id));
+      // Refined matching phase (section 5.5): re-verify pairs with the more
+      // detailed signatures where both sides carry them.
+      const std::vector<RegionPair>* pairs = &candidate.pairs;
+      std::vector<RegionPair> refined_pairs;
+      if (options.use_refinement) {
+        refined_pairs.reserve(candidate.pairs.size());
+        for (const RegionPair& pair : candidate.pairs) {
+          const std::vector<float>& q_ref =
+              query_regions[pair.query_index].refined_centroid;
+          const std::vector<float>& t_ref =
+              target_regions[pair.target_index].refined_centroid;
+          if (!q_ref.empty() && q_ref.size() == t_ref.size() &&
+              !RegionsMatchCentroid(q_ref.data(), t_ref.data(),
+                                    static_cast<int>(q_ref.size()),
+                                    options.refined_epsilon)) {
+            continue;  // refuted at the finer resolution
+          }
+          refined_pairs.push_back(pair);
         }
-        refined_pairs.push_back(pair);
+        pairs = &refined_pairs;
       }
-      pairs = &refined_pairs;
+      MatchResult result =
+          options.matcher == MatcherKind::kGreedy
+              ? GreedyMatch(query_regions, target_regions, *pairs,
+                            query_area, target_area)
+              : QuickMatch(query_regions, target_regions, *pairs,
+                           query_area, target_area);
+      double similarity = result.SimilarityAs(options.normalization,
+                                              query_area, target_area);
+      if (similarity < options.tau) continue;
+      QueryMatch match;
+      match.image_id = image_id;
+      match.similarity = similarity;
+      match.matching_pairs = static_cast<int>(pairs->size());
+      match.pairs_used = result.pairs_used;
+      if (options.collect_pairs) match.pairs = std::move(result.used_pairs);
+      matches.push_back(std::move(match));
     }
-    MatchResult result =
-        options.matcher == MatcherKind::kGreedy
-            ? GreedyMatch(query_regions, target_regions, *pairs,
-                          query_area, target_area)
-            : QuickMatch(query_regions, target_regions, *pairs,
-                         query_area, target_area);
-    double similarity = result.SimilarityAs(options.normalization,
-                                            query_area, target_area);
-    if (similarity < options.tau) continue;
-    QueryMatch match;
-    match.image_id = image_id;
-    match.similarity = similarity;
-    match.matching_pairs = static_cast<int>(pairs->size());
-    match.pairs_used = result.pairs_used;
-    if (options.collect_pairs) match.pairs = std::move(result.used_pairs);
-    matches.push_back(std::move(match));
+    match_seconds = match_timer.ElapsedSeconds();
   }
 
-  std::sort(matches.begin(), matches.end(),
-            [](const QueryMatch& a, const QueryMatch& b) {
-              if (a.similarity != b.similarity) {
-                return a.similarity > b.similarity;
-              }
-              return a.image_id < b.image_id;
-            });
-  if (options.top_k > 0 &&
-      static_cast<int>(matches.size()) > options.top_k) {
-    matches.resize(options.top_k);
+  double rank_seconds = 0.0;
+  {
+    TraceScope rank_span(trace, "rank");
+    WallTimer rank_timer;
+    std::sort(matches.begin(), matches.end(),
+              [](const QueryMatch& a, const QueryMatch& b) {
+                if (a.similarity != b.similarity) {
+                  return a.similarity > b.similarity;
+                }
+                return a.image_id < b.image_id;
+              });
+    if (options.top_k > 0 &&
+        static_cast<int>(matches.size()) > options.top_k) {
+      matches.resize(options.top_k);
+    }
+    rank_seconds = rank_timer.ElapsedSeconds();
   }
+
+  metrics.queries->Increment();
+  metrics.regions_retrieved->Increment(
+      static_cast<uint64_t>(regions_retrieved));
+  metrics.candidate_images->Increment(candidates.size());
+  metrics.seconds->Observe(timer.ElapsedSeconds());
+  metrics.probe_seconds->Observe(probe_seconds);
+  metrics.match_seconds->Observe(match_seconds);
 
   if (stats != nullptr) {
     stats->query_regions = static_cast<int>(query_regions.size());
@@ -140,8 +234,36 @@ Result<std::vector<QueryMatch>> ExecuteQueryWithRegions(
             : static_cast<double>(regions_retrieved) / query_regions.size();
     stats->distinct_images = static_cast<int>(candidates.size());
     stats->seconds += timer.ElapsedSeconds();
+    stats->probe_seconds = probe_seconds;
+    stats->match_seconds = match_seconds;
+    stats->rank_seconds = rank_seconds;
+    stats->nodes_visited = nodes_visited;
+    const DiskCounters disk_after = DiskCounters::Read(index.disk_tree());
+    stats->pages_read = disk_after.pages_read - disk_before.pages_read;
+    stats->cache_hits = disk_after.cache_hits - disk_before.cache_hits;
+    stats->cache_misses = disk_after.cache_misses - disk_before.cache_misses;
   }
   return matches;
+}
+
+/// Picks the trace for one query: an actual trace only when the caller
+/// asked for one AND passed a stats sink to carry the spans back.
+QueryTrace* TraceFor(const QueryOptions& options, QueryStats* stats,
+                     QueryTrace* storage) {
+  return options.collect_trace && stats != nullptr ? storage : nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<QueryMatch>> ExecuteQueryWithRegions(
+    const WalrusIndex& index, const std::vector<Region>& query_regions,
+    double query_area, const QueryOptions& options, QueryStats* stats) {
+  QueryTrace storage;
+  QueryTrace* trace = TraceFor(options, stats, &storage);
+  auto result = RunMatchingPipeline(index, query_regions, query_area,
+                                    options, stats, trace);
+  if (trace != nullptr) stats->spans = trace->TakeSpans();
+  return result;
 }
 
 Result<std::vector<QueryMatch>> ExecuteSceneQuery(const WalrusIndex& index,
@@ -149,27 +271,44 @@ Result<std::vector<QueryMatch>> ExecuteSceneQuery(const WalrusIndex& index,
                                                   const PixelRect& scene,
                                                   const QueryOptions& options,
                                                   QueryStats* stats) {
+  QueryTrace storage;
+  QueryTrace* trace = TraceFor(options, stats, &storage);
   WallTimer timer;
-  WALRUS_ASSIGN_OR_RETURN(
-      std::vector<Region> scene_regions,
-      ExtractSceneRegions(query_image, scene, index.params()));
-  if (stats != nullptr) stats->seconds = timer.ElapsedSeconds();
-  // Region bitmaps are image-relative, so the "query area" must be the
-  // pixels the scene's windows can actually cover: the union of all scene
-  // region bitmaps. With kQueryOnly normalization a perfect match then
-  // scores 1 regardless of how small the marked scene is.
-  if (scene_regions.empty()) {
-    return Status::InvalidArgument("scene produced no regions");
+  Result<std::vector<Region>> scene_regions =
+      Status::Internal("unreachable");
+  double effective_area = 0.0;
+  {
+    TraceScope extract_span(trace, "extract");
+    scene_regions = ExtractSceneRegions(query_image, scene, index.params(),
+                                        nullptr, trace);
+    if (scene_regions.ok()) {
+      // Region bitmaps are image-relative, so the "query area" must be the
+      // pixels the scene's windows can actually cover: the union of all
+      // scene region bitmaps. With kQueryOnly normalization a perfect match
+      // then scores 1 regardless of how small the marked scene is.
+      if (scene_regions->empty()) {
+        return Status::InvalidArgument("scene produced no regions");
+      }
+      CoverageBitmap coverable((*scene_regions)[0].bitmap.side());
+      for (const Region& region : *scene_regions) {
+        coverable.UnionWith(region.bitmap);
+      }
+      double image_area =
+          static_cast<double>(query_image.width()) * query_image.height();
+      effective_area = image_area * coverable.CoveredFraction();
+    }
   }
-  CoverageBitmap coverable(scene_regions[0].bitmap.side());
-  for (const Region& region : scene_regions) {
-    coverable.UnionWith(region.bitmap);
+  WALRUS_RETURN_IF_ERROR(scene_regions.status());
+  double extract_seconds = timer.ElapsedSeconds();
+  QueryPathMetrics::Get().extract_seconds->Observe(extract_seconds);
+  if (stats != nullptr) {
+    stats->seconds = extract_seconds;
+    stats->extract_seconds = extract_seconds;
   }
-  double image_area =
-      static_cast<double>(query_image.width()) * query_image.height();
-  double effective_area = image_area * coverable.CoveredFraction();
-  return ExecuteQueryWithRegions(index, scene_regions, effective_area,
-                                 options, stats);
+  auto result = RunMatchingPipeline(index, *scene_regions, effective_area,
+                                    options, stats, trace);
+  if (trace != nullptr) stats->spans = trace->TakeSpans();
+  return result;
 }
 
 Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
@@ -206,15 +345,29 @@ Result<std::vector<QueryMatch>> ExecuteQuery(const WalrusIndex& index,
                                              const ImageF& query_image,
                                              const QueryOptions& options,
                                              QueryStats* stats) {
+  QueryTrace storage;
+  QueryTrace* trace = TraceFor(options, stats, &storage);
   WallTimer timer;
-  WALRUS_ASSIGN_OR_RETURN(std::vector<Region> query_regions,
-                          ExtractRegions(query_image, index.params()));
+  Result<std::vector<Region>> query_regions =
+      Status::Internal("unreachable");
+  {
+    TraceScope extract_span(trace, "extract");
+    query_regions =
+        ExtractRegions(query_image, index.params(), nullptr, trace);
+  }
+  WALRUS_RETURN_IF_ERROR(query_regions.status());
   double extraction_seconds = timer.ElapsedSeconds();
-  if (stats != nullptr) stats->seconds = extraction_seconds;
-  return ExecuteQueryWithRegions(
-      index, query_regions,
+  QueryPathMetrics::Get().extract_seconds->Observe(extraction_seconds);
+  if (stats != nullptr) {
+    stats->seconds = extraction_seconds;
+    stats->extract_seconds = extraction_seconds;
+  }
+  auto result = RunMatchingPipeline(
+      index, *query_regions,
       static_cast<double>(query_image.width()) * query_image.height(),
-      options, stats);
+      options, stats, trace);
+  if (trace != nullptr) stats->spans = trace->TakeSpans();
+  return result;
 }
 
 }  // namespace walrus

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/trace.h"
 #include "core/index.h"
 #include "core/similarity.h"
 
@@ -43,6 +44,10 @@ struct QueryOptions {
   /// (for explaining/visualizing results). Off by default: pair lists can
   /// be large under the quick matcher.
   bool collect_pairs = false;
+  /// When true, QueryStats::spans receives the per-stage span tree of this
+  /// query (extract -> wavelet/cluster/assemble, probe, match, rank). Over
+  /// the wire the spans ride back with the results.
+  bool collect_trace = false;
 };
 
 /// One ranked target image.
@@ -56,7 +61,8 @@ struct QueryMatch {
   std::vector<RegionPair> pairs;
 };
 
-/// Diagnostics for the Table 1 selectivity experiment.
+/// Diagnostics for the Table 1 selectivity experiment plus the per-stage
+/// breakdown the observability layer reports (DESIGN.md section 10).
 struct QueryStats {
   int query_regions = 0;
   /// Total regions retrieved across all query-region probes.
@@ -67,6 +73,27 @@ struct QueryStats {
   int distinct_images = 0;
   /// End-to-end wall time in seconds (region extraction + probe + match).
   double seconds = 0.0;
+
+  // Per-stage wall time (seconds). extract covers sliding-window wavelets +
+  // BIRCH clustering + region assembly; probe the R*-tree range/kNN
+  // lookups; match the quick/greedy image matcher; rank the final sort.
+  double extract_seconds = 0.0;
+  double probe_seconds = 0.0;
+  double match_seconds = 0.0;
+  double rank_seconds = 0.0;
+
+  // Index-backend work done by this query's probes. For the in-memory tree
+  // nodes_visited counts R*-tree nodes touched; for a paged index
+  // pages_read / cache_hits / cache_misses are the page-IO deltas (under
+  // concurrent queries the per-query attribution is approximate; the
+  // process-wide truth lives in the metrics registry).
+  int64_t nodes_visited = 0;
+  int64_t pages_read = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  /// Span tree of this query; populated when QueryOptions::collect_trace.
+  std::vector<TraceSpan> spans;
 };
 
 /// Runs the full WALRUS query pipeline (paper section 5.1): decompose the

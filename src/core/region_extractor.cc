@@ -5,43 +5,79 @@
 #include "cluster/birch.h"
 #include "cluster/kmeans.h"
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/timer.h"
 
 namespace walrus {
+
+namespace {
+
+/// Extraction metrics: how many windows go in, how many regions come out.
+struct ExtractorMetrics {
+  Counter* extractions;
+  Counter* windows;
+  Counter* clusters;
+  Counter* regions;
+
+  static const ExtractorMetrics& Get() {
+    static const ExtractorMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      ExtractorMetrics m;
+      m.extractions = registry.GetCounter("walrus.extract.count");
+      m.windows = registry.GetCounter("walrus.extract.windows");
+      m.clusters = registry.GetCounter("walrus.extract.clusters");
+      m.regions = registry.GetCounter("walrus.extract.regions");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::vector<Region> ExtractRegionsFromWindows(
     const WindowSignatureSet& set, int image_width, int image_height,
     const WalrusParams& params, ExtractionStats* stats,
-    const WindowSignatureSet* refined_set) {
+    const WindowSignatureSet* refined_set, QueryTrace* trace) {
   WALRUS_CHECK_GT(set.Count(), 0);
   // Cluster the window signatures: BIRCH pre-clustering (the paper's
   // choice) or k-means (ablation).
   std::vector<std::vector<float>> centroids;
   std::vector<int> assignments;
-  if (params.clusterer == ClustererKind::kKMeans) {
-    KMeansParams kmeans;
-    kmeans.k = params.kmeans_k > 0
-                   ? params.kmeans_k
-                   : std::max(2, static_cast<int>(
-                                     std::sqrt(static_cast<double>(
-                                         set.Count())) /
-                                     2.0));
-    kmeans.seed = 1;
-    KMeansResult result =
-        KMeansCluster(set.signatures.data(), set.Count(), set.dim, kmeans);
-    centroids = std::move(result.centroids);
-    assignments = std::move(result.assignments);
-  } else {
-    BirchParams birch;
-    birch.threshold = params.cluster_epsilon;
-    birch.branching = params.birch_branching;
-    birch.leaf_entries = params.birch_leaf_entries;
-    BirchResult result =
-        BirchPreCluster(set.signatures.data(), set.Count(), set.dim, birch);
-    centroids = std::move(result.centroids);
-    assignments = std::move(result.assignments);
+  double cluster_seconds = 0.0;
+  {
+    TraceScope cluster_span(trace, "cluster");
+    WallTimer cluster_timer;
+    if (params.clusterer == ClustererKind::kKMeans) {
+      KMeansParams kmeans;
+      kmeans.k = params.kmeans_k > 0
+                     ? params.kmeans_k
+                     : std::max(2, static_cast<int>(
+                                       std::sqrt(static_cast<double>(
+                                           set.Count())) /
+                                       2.0));
+      kmeans.seed = 1;
+      KMeansResult result =
+          KMeansCluster(set.signatures.data(), set.Count(), set.dim, kmeans);
+      centroids = std::move(result.centroids);
+      assignments = std::move(result.assignments);
+    } else {
+      BirchParams birch;
+      birch.threshold = params.cluster_epsilon;
+      birch.branching = params.birch_branching;
+      birch.leaf_entries = params.birch_leaf_entries;
+      BirchResult result =
+          BirchPreCluster(set.signatures.data(), set.Count(), set.dim, birch);
+      centroids = std::move(result.centroids);
+      assignments = std::move(result.assignments);
+    }
+    cluster_seconds = cluster_timer.ElapsedSeconds();
   }
 
   const int num_clusters = static_cast<int>(centroids.size());
+
+  TraceScope assemble_span(trace, "assemble");
+  WallTimer assemble_timer;
 
   // Signature bounding box and coverage bitmap per cluster, from the final
   // point assignments.
@@ -95,11 +131,19 @@ std::vector<Region> ExtractRegionsFromWindows(
     regions.push_back(std::move(region));
   }
 
+  const ExtractorMetrics& metrics = ExtractorMetrics::Get();
+  metrics.extractions->Increment();
+  metrics.windows->Increment(static_cast<uint64_t>(set.Count()));
+  metrics.clusters->Increment(static_cast<uint64_t>(num_clusters));
+  metrics.regions->Increment(regions.size());
+
   if (stats != nullptr) {
     stats->window_count = set.Count();
     stats->cluster_count = num_clusters;
     stats->region_count = static_cast<int>(regions.size());
     stats->birch_threshold = params.cluster_epsilon;
+    stats->cluster_seconds = cluster_seconds;
+    stats->assemble_seconds = assemble_timer.ElapsedSeconds();
   }
   return regions;
 }
@@ -126,15 +170,21 @@ WindowSignatureSet FilterToScene(const WindowSignatureSet& set,
 Result<std::vector<Region>> ExtractSceneRegions(const ImageF& image,
                                                 const PixelRect& scene,
                                                 const WalrusParams& params,
-                                                ExtractionStats* stats) {
+                                                ExtractionStats* stats,
+                                                QueryTrace* trace) {
   if (scene.width <= 0 || scene.height <= 0 || scene.x < 0 || scene.y < 0 ||
       scene.x + scene.width > image.width() ||
       scene.y + scene.height > image.height()) {
     return Status::InvalidArgument("scene rectangle outside the image");
   }
-  WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet set,
-                          ComputeWindowSignatures(image, params));
-  WindowSignatureSet scene_set = FilterToScene(set, scene);
+  WallTimer wavelet_timer;
+  Result<WindowSignatureSet> set = Status::Internal("unreachable");
+  {
+    TraceScope wavelet_span(trace, "wavelet");
+    set = ComputeWindowSignatures(image, params);
+  }
+  WALRUS_RETURN_IF_ERROR(set.status());
+  WindowSignatureSet scene_set = FilterToScene(*set, scene);
   if (scene_set.Count() == 0) {
     return Status::InvalidArgument(
         "scene rectangle smaller than the minimum sliding window (" +
@@ -144,32 +194,62 @@ Result<std::vector<Region>> ExtractSceneRegions(const ImageF& image,
     WalrusParams refined_params = params;
     refined_params.signature_size = params.refined_signature_size;
     refined_params.refined_signature_size = 0;
-    WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet refined,
-                            ComputeWindowSignatures(image, refined_params));
-    WindowSignatureSet scene_refined = FilterToScene(refined, scene);
-    return ExtractRegionsFromWindows(scene_set, image.width(), image.height(),
-                                     params, stats, &scene_refined);
+    Result<WindowSignatureSet> refined = Status::Internal("unreachable");
+    {
+      TraceScope wavelet_span(trace, "wavelet_refined");
+      refined = ComputeWindowSignatures(image, refined_params);
+    }
+    WALRUS_RETURN_IF_ERROR(refined.status());
+    WindowSignatureSet scene_refined = FilterToScene(*refined, scene);
+    double wavelet_seconds = wavelet_timer.ElapsedSeconds();
+    auto regions =
+        ExtractRegionsFromWindows(scene_set, image.width(), image.height(),
+                                  params, stats, &scene_refined, trace);
+    if (stats != nullptr) stats->wavelet_seconds = wavelet_seconds;
+    return regions;
   }
-  return ExtractRegionsFromWindows(scene_set, image.width(), image.height(),
-                                   params, stats);
+  double wavelet_seconds = wavelet_timer.ElapsedSeconds();
+  auto regions = ExtractRegionsFromWindows(
+      scene_set, image.width(), image.height(), params, stats, nullptr,
+      trace);
+  if (stats != nullptr) stats->wavelet_seconds = wavelet_seconds;
+  return regions;
 }
 
 Result<std::vector<Region>> ExtractRegions(const ImageF& image,
                                            const WalrusParams& params,
-                                           ExtractionStats* stats) {
-  WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet set,
-                          ComputeWindowSignatures(image, params));
+                                           ExtractionStats* stats,
+                                           QueryTrace* trace) {
+  WallTimer wavelet_timer;
+  Result<WindowSignatureSet> set = Status::Internal("unreachable");
+  {
+    TraceScope wavelet_span(trace, "wavelet");
+    set = ComputeWindowSignatures(image, params);
+  }
+  WALRUS_RETURN_IF_ERROR(set.status());
   if (params.refined_signature_size > 0) {
     WalrusParams refined_params = params;
     refined_params.signature_size = params.refined_signature_size;
     refined_params.refined_signature_size = 0;
-    WALRUS_ASSIGN_OR_RETURN(WindowSignatureSet refined,
-                            ComputeWindowSignatures(image, refined_params));
-    return ExtractRegionsFromWindows(set, image.width(), image.height(),
-                                     params, stats, &refined);
+    Result<WindowSignatureSet> refined = Status::Internal("unreachable");
+    {
+      TraceScope wavelet_span(trace, "wavelet_refined");
+      refined = ComputeWindowSignatures(image, refined_params);
+    }
+    WALRUS_RETURN_IF_ERROR(refined.status());
+    double wavelet_seconds = wavelet_timer.ElapsedSeconds();
+    auto regions =
+        ExtractRegionsFromWindows(*set, image.width(), image.height(),
+                                  params, stats, &*refined, trace);
+    if (stats != nullptr) stats->wavelet_seconds = wavelet_seconds;
+    return regions;
   }
-  return ExtractRegionsFromWindows(set, image.width(), image.height(), params,
-                                   stats);
+  double wavelet_seconds = wavelet_timer.ElapsedSeconds();
+  auto regions = ExtractRegionsFromWindows(*set, image.width(),
+                                           image.height(), params, stats,
+                                           nullptr, trace);
+  if (stats != nullptr) stats->wavelet_seconds = wavelet_seconds;
+  return regions;
 }
 
 }  // namespace walrus

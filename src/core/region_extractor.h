@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/trace.h"
 #include "core/params.h"
 #include "core/region.h"
 #include "core/signature.h"
@@ -16,16 +17,23 @@ struct ExtractionStats {
   int cluster_count = 0;   // clusters before min_cluster_windows pruning
   int region_count = 0;    // regions actually produced
   double birch_threshold = 0.0;
+  // Per-phase wall time (seconds): sliding-window wavelet signatures,
+  // BIRCH/k-means clustering, and region assembly (boxes + bitmaps).
+  double wavelet_seconds = 0.0;
+  double cluster_seconds = 0.0;
+  double assemble_seconds = 0.0;
 };
 
 /// Decomposes an image into regions: sliding-window signatures (DP wavelet
 /// algorithm) -> BIRCH pre-clustering with radius threshold epsilon_c ->
 /// one Region per surviving cluster, carrying the centroid, the signature
 /// bounding box and the pixel-coverage bitmap of its member windows
-/// (paper sections 5.1-5.3).
+/// (paper sections 5.1-5.3). `trace`, when non-null, receives
+/// wavelet/cluster/assemble child spans.
 Result<std::vector<Region>> ExtractRegions(const ImageF& image,
                                            const WalrusParams& params,
-                                           ExtractionStats* stats = nullptr);
+                                           ExtractionStats* stats = nullptr,
+                                           QueryTrace* trace = nullptr);
 
 /// Same, but starting from precomputed window signatures (used by tests and
 /// by benchmarks that sweep clustering parameters over fixed signatures).
@@ -35,7 +43,8 @@ Result<std::vector<Region>> ExtractRegions(const ImageF& image,
 std::vector<Region> ExtractRegionsFromWindows(
     const WindowSignatureSet& set, int image_width, int image_height,
     const WalrusParams& params, ExtractionStats* stats = nullptr,
-    const WindowSignatureSet* refined_set = nullptr);
+    const WindowSignatureSet* refined_set = nullptr,
+    QueryTrace* trace = nullptr);
 
 /// Axis-aligned pixel rectangle [x, x+width) x [y, y+height) marking the
 /// part of a query image the user cares about.
@@ -60,7 +69,8 @@ Result<std::vector<Region>> ExtractSceneRegions(const ImageF& image,
                                                 const PixelRect& scene,
                                                 const WalrusParams& params,
                                                 ExtractionStats* stats =
-                                                    nullptr);
+                                                    nullptr,
+                                                QueryTrace* trace = nullptr);
 
 }  // namespace walrus
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace walrus {
 
@@ -87,12 +88,36 @@ MatchResult AssembleResult(int covered_query_cells, int query_cells_total,
   return result;
 }
 
+/// Matcher invocation counters, by kind, plus the candidate pair volume
+/// they chewed through (the greedy matcher is O(pairs^2): this counter is
+/// the early-warning signal for pair explosion under a loose epsilon).
+void RecordMatcherMetrics(const char* kind,
+                          const std::vector<RegionPair>& pairs) {
+  static Counter* const quick_calls =
+      MetricsRegistry::Global().GetCounter("walrus.match.quick_calls");
+  static Counter* const greedy_calls =
+      MetricsRegistry::Global().GetCounter("walrus.match.greedy_calls");
+  static Counter* const exact_calls =
+      MetricsRegistry::Global().GetCounter("walrus.match.exact_calls");
+  static Counter* const pairs_scored =
+      MetricsRegistry::Global().GetCounter("walrus.match.pairs_scored");
+  if (kind[0] == 'q') {
+    quick_calls->Increment();
+  } else if (kind[0] == 'g') {
+    greedy_calls->Increment();
+  } else {
+    exact_calls->Increment();
+  }
+  pairs_scored->Increment(pairs.size());
+}
+
 }  // namespace
 
 MatchResult QuickMatch(const std::vector<Region>& query,
                        const std::vector<Region>& target,
                        const std::vector<RegionPair>& pairs,
                        double query_area, double target_area) {
+  RecordMatcherMetrics("quick", pairs);
   if (pairs.empty()) return MatchResult{};
   CoverageBitmap union_q(query[0].bitmap.side());
   CoverageBitmap union_t(target[0].bitmap.side());
@@ -112,6 +137,7 @@ MatchResult GreedyMatch(const std::vector<Region>& query,
                         const std::vector<Region>& target,
                         const std::vector<RegionPair>& pairs,
                         double query_area, double target_area) {
+  RecordMatcherMetrics("greedy", pairs);
   if (pairs.empty()) return MatchResult{};
   CoverageBitmap union_q(query[0].bitmap.side());
   CoverageBitmap union_t(target[0].bitmap.side());
@@ -224,6 +250,7 @@ MatchResult ExactMatch(const std::vector<Region>& query,
                        const std::vector<Region>& target,
                        const std::vector<RegionPair>& pairs,
                        double query_area, double target_area) {
+  RecordMatcherMetrics("exact", pairs);
   if (pairs.empty()) return MatchResult{};
   WALRUS_CHECK_LE(pairs.size(), 24u)
       << "ExactMatch is exponential; use GreedyMatch";

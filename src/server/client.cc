@@ -89,6 +89,13 @@ Result<ServerStats> WalrusClient::Stats() {
   return DecodeServerStats(&reader);
 }
 
+Result<MetricsSnapshot> WalrusClient::Metrics() {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(Opcode::kMetrics, {}));
+  BinaryReader reader(payload);
+  return DecodeMetricsSnapshot(&reader);
+}
+
 Status WalrusClient::Shutdown() {
   WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           RoundTrip(Opcode::kShutdown, {}));

@@ -45,6 +45,10 @@ class WalrusClient {
   /// Fetches the server's counters.
   Result<ServerStats> Stats();
 
+  /// Fetches the server process's metrics-registry snapshot (every counter,
+  /// gauge, and histogram on the query path).
+  Result<MetricsSnapshot> Metrics();
+
   /// Asks the server to shut down gracefully (it drains in-flight requests
   /// before exiting). OK means the server acknowledged.
   Status Shutdown();

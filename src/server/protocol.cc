@@ -29,6 +29,8 @@ const char* OpcodeName(Opcode opcode) {
       return "STATS";
     case Opcode::kShutdown:
       return "SHUTDOWN";
+    case Opcode::kMetrics:
+      return "METRICS";
   }
   return "UNKNOWN";
 }
@@ -103,6 +105,7 @@ void EncodeQueryOptions(const QueryOptions& options, BinaryWriter* writer) {
   writer->PutFloat(options.refined_epsilon);
   writer->PutI32(options.top_k);
   writer->PutU8(options.collect_pairs ? 1 : 0);
+  writer->PutU8(options.collect_trace ? 1 : 0);
 }
 
 Result<QueryOptions> DecodeQueryOptions(BinaryReader* reader) {
@@ -128,6 +131,8 @@ Result<QueryOptions> DecodeQueryOptions(BinaryReader* reader) {
   WALRUS_ASSIGN_OR_RETURN(options.top_k, reader->GetI32());
   WALRUS_ASSIGN_OR_RETURN(uint8_t pairs, reader->GetU8());
   options.collect_pairs = pairs != 0;
+  WALRUS_ASSIGN_OR_RETURN(uint8_t trace, reader->GetU8());
+  options.collect_trace = trace != 0;
   return options;
 }
 
@@ -248,6 +253,15 @@ void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer) {
   writer->PutDouble(stats.avg_regions_per_query_region);
   writer->PutI32(stats.distinct_images);
   writer->PutDouble(stats.seconds);
+  writer->PutDouble(stats.extract_seconds);
+  writer->PutDouble(stats.probe_seconds);
+  writer->PutDouble(stats.match_seconds);
+  writer->PutDouble(stats.rank_seconds);
+  writer->PutI64(stats.nodes_visited);
+  writer->PutI64(stats.pages_read);
+  writer->PutI64(stats.cache_hits);
+  writer->PutI64(stats.cache_misses);
+  EncodeTraceSpans(stats.spans, writer);
 }
 
 Result<QueryStats> DecodeQueryStats(BinaryReader* reader) {
@@ -258,7 +272,141 @@ Result<QueryStats> DecodeQueryStats(BinaryReader* reader) {
                           reader->GetDouble());
   WALRUS_ASSIGN_OR_RETURN(stats.distinct_images, reader->GetI32());
   WALRUS_ASSIGN_OR_RETURN(stats.seconds, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.extract_seconds, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.probe_seconds, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.match_seconds, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.rank_seconds, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.nodes_visited, reader->GetI64());
+  WALRUS_ASSIGN_OR_RETURN(stats.pages_read, reader->GetI64());
+  WALRUS_ASSIGN_OR_RETURN(stats.cache_hits, reader->GetI64());
+  WALRUS_ASSIGN_OR_RETURN(stats.cache_misses, reader->GetI64());
+  WALRUS_ASSIGN_OR_RETURN(stats.spans, DecodeTraceSpans(reader));
   return stats;
+}
+
+namespace {
+
+void EncodeSpanList(const std::vector<TraceSpan>& spans,
+                    BinaryWriter* writer) {
+  writer->PutU32(static_cast<uint32_t>(spans.size()));
+  for (const TraceSpan& span : spans) {
+    writer->PutString(span.name);
+    writer->PutDouble(span.start_seconds);
+    writer->PutDouble(span.duration_seconds);
+    EncodeSpanList(span.children, writer);
+  }
+}
+
+Result<std::vector<TraceSpan>> DecodeSpanList(BinaryReader* reader,
+                                              int depth) {
+  if (depth > kMaxTraceDepth) {
+    return Status::Corruption("trace: span nesting exceeds depth limit");
+  }
+  WALRUS_ASSIGN_OR_RETURN(uint32_t count, reader->GetU32());
+  // Each span is >= 24 bytes on the wire (name length + two doubles +
+  // child count); refuse impossible counts before reserving.
+  if (static_cast<uint64_t>(count) * 24 > reader->remaining()) {
+    return Status::Corruption("trace: truncated span list");
+  }
+  std::vector<TraceSpan> spans;
+  spans.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TraceSpan span;
+    WALRUS_ASSIGN_OR_RETURN(span.name, reader->GetString());
+    WALRUS_ASSIGN_OR_RETURN(span.start_seconds, reader->GetDouble());
+    WALRUS_ASSIGN_OR_RETURN(span.duration_seconds, reader->GetDouble());
+    WALRUS_ASSIGN_OR_RETURN(span.children, DecodeSpanList(reader, depth + 1));
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace
+
+void EncodeTraceSpans(const std::vector<TraceSpan>& spans,
+                      BinaryWriter* writer) {
+  EncodeSpanList(spans, writer);
+}
+
+Result<std::vector<TraceSpan>> DecodeTraceSpans(BinaryReader* reader) {
+  return DecodeSpanList(reader, 0);
+}
+
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot,
+                           BinaryWriter* writer) {
+  writer->PutU32(static_cast<uint32_t>(snapshot.metrics.size()));
+  for (const MetricValue& m : snapshot.metrics) {
+    writer->PutString(m.name);
+    writer->PutU8(static_cast<uint8_t>(m.type));
+    switch (m.type) {
+      case MetricType::kCounter:
+        writer->PutU64(m.counter);
+        break;
+      case MetricType::kGauge:
+        writer->PutI64(m.gauge);
+        break;
+      case MetricType::kHistogram:
+        writer->PutU32(static_cast<uint32_t>(m.bounds.size()));
+        for (double b : m.bounds) writer->PutDouble(b);
+        for (uint64_t c : m.bucket_counts) writer->PutU64(c);
+        writer->PutU64(m.count);
+        writer->PutDouble(m.sum);
+        break;
+    }
+  }
+}
+
+Result<MetricsSnapshot> DecodeMetricsSnapshot(BinaryReader* reader) {
+  WALRUS_ASSIGN_OR_RETURN(uint32_t count, reader->GetU32());
+  // Each metric is >= 13 bytes (name length + type + smallest value).
+  if (static_cast<uint64_t>(count) * 13 > reader->remaining()) {
+    return Status::Corruption("metrics: truncated snapshot");
+  }
+  MetricsSnapshot snapshot;
+  snapshot.metrics.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MetricValue m;
+    WALRUS_ASSIGN_OR_RETURN(m.name, reader->GetString());
+    WALRUS_ASSIGN_OR_RETURN(uint8_t type, reader->GetU8());
+    if (type > static_cast<uint8_t>(MetricType::kHistogram)) {
+      return Status::Corruption("metrics: unknown metric type " +
+                                std::to_string(type));
+    }
+    m.type = static_cast<MetricType>(type);
+    switch (m.type) {
+      case MetricType::kCounter: {
+        WALRUS_ASSIGN_OR_RETURN(m.counter, reader->GetU64());
+        break;
+      }
+      case MetricType::kGauge: {
+        WALRUS_ASSIGN_OR_RETURN(m.gauge, reader->GetI64());
+        break;
+      }
+      case MetricType::kHistogram: {
+        WALRUS_ASSIGN_OR_RETURN(uint32_t num_bounds, reader->GetU32());
+        // bounds doubles + (bounds + 1) count u64s must still fit.
+        uint64_t needed = static_cast<uint64_t>(num_bounds) * 16 + 8;
+        if (needed > reader->remaining()) {
+          return Status::Corruption("metrics: truncated histogram");
+        }
+        m.bounds.reserve(num_bounds);
+        for (uint32_t b = 0; b < num_bounds; ++b) {
+          WALRUS_ASSIGN_OR_RETURN(double bound, reader->GetDouble());
+          m.bounds.push_back(bound);
+        }
+        m.bucket_counts.reserve(num_bounds + 1);
+        for (uint32_t b = 0; b < num_bounds + 1; ++b) {
+          WALRUS_ASSIGN_OR_RETURN(uint64_t c, reader->GetU64());
+          m.bucket_counts.push_back(c);
+        }
+        WALRUS_ASSIGN_OR_RETURN(m.count, reader->GetU64());
+        WALRUS_ASSIGN_OR_RETURN(m.sum, reader->GetDouble());
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(m));
+  }
+  return snapshot;
 }
 
 void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer) {

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/query.h"
 #include "core/region_extractor.h"
 #include "image/image.h"
@@ -33,7 +35,9 @@ namespace walrus {
 /// other versions with InvalidArgument (the connection stays usable, since
 /// the frame boundary is still known).
 inline constexpr uint32_t kProtocolMagic = 0x57414C52;  // "WALR"
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2: QueryOptions gained collect_trace; QueryStats gained the per-stage
+/// breakdown and span tree; the METRICS opcode was added.
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr size_t kFrameTrailerBytes = 4;
 /// Upper bound on a frame body; larger length prefixes are rejected before
@@ -46,8 +50,9 @@ enum class Opcode : uint8_t {
   kSceneQuery = 2,  // QueryOptions + scene rect + image -> matches + stats
   kStats = 3,       // server counters snapshot
   kShutdown = 4,    // graceful server shutdown (drains in-flight requests)
+  kMetrics = 5,     // process-global metrics registry snapshot
 };
-inline constexpr int kNumOpcodes = 5;
+inline constexpr int kNumOpcodes = 6;
 
 /// Stable display name for an opcode ("QUERY", "PING", ...).
 const char* OpcodeName(Opcode opcode);
@@ -101,9 +106,21 @@ Result<std::vector<QueryMatch>> DecodeMatches(BinaryReader* reader);
 void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer);
 Result<QueryStats> DecodeQueryStats(BinaryReader* reader);
 
+/// Query span tree (QueryStats::spans when QueryOptions::collect_trace is
+/// set). Nesting deeper than kMaxTraceDepth is rejected on decode.
+inline constexpr int kMaxTraceDepth = 64;
+void EncodeTraceSpans(const std::vector<TraceSpan>& spans,
+                      BinaryWriter* writer);
+Result<std::vector<TraceSpan>> DecodeTraceSpans(BinaryReader* reader);
+
+/// Metrics registry snapshot, exposed through the METRICS opcode.
+void EncodeMetricsSnapshot(const MetricsSnapshot& snapshot,
+                           BinaryWriter* writer);
+Result<MetricsSnapshot> DecodeMetricsSnapshot(BinaryReader* reader);
+
 /// Server-side counters exposed through the STATS opcode.
 struct ServerStats {
-  uint64_t requests_by_opcode[kNumOpcodes] = {0, 0, 0, 0, 0};
+  uint64_t requests_by_opcode[kNumOpcodes] = {};
   uint64_t rejected_overload = 0;   // admission queue full -> OVERLOADED
   uint64_t deadline_exceeded = 0;   // expired in queue before execution
   uint64_t protocol_errors = 0;     // malformed frames / CRC failures

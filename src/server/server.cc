@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace walrus {
 
@@ -13,6 +14,15 @@ using Clock = std::chrono::steady_clock;
 
 bool KnownOpcode(Opcode opcode) {
   return static_cast<uint8_t>(opcode) < kNumOpcodes;
+}
+
+/// Registry mirror of the per-server latency histogram: cumulative across
+/// every server in the process, and in the shared exponential bucket shape
+/// the rest of the query path uses.
+Histogram* RequestSecondsHistogram() {
+  static Histogram* const histogram = MetricsRegistry::Global().GetHistogram(
+      "walrus.server.request_seconds", ExponentialBuckets(1e-6, 2.0, 36));
+  return histogram;
 }
 
 }  // namespace
@@ -321,6 +331,9 @@ void WalrusServer::ExecuteRequest(
     case Opcode::kShutdown:
       RequestStop();
       break;
+    case Opcode::kMetrics:
+      EncodeMetricsSnapshot(MetricsRegistry::Global().Snapshot(), &payload);
+      break;
   }
   if (!status.ok()) {
     // The same failure context discipline as ExecuteQueryBatch: name the
@@ -330,8 +343,10 @@ void WalrusServer::ExecuteRequest(
                                   std::to_string(header.request_id));
   }
   WriteResponse(conn, header, status, payload.buffer());
-  latency_.Record(
-      std::chrono::duration<double>(Clock::now() - admitted).count());
+  double seconds =
+      std::chrono::duration<double>(Clock::now() - admitted).count();
+  latency_.Record(seconds);
+  RequestSecondsHistogram()->Observe(seconds);
 }
 
 void WalrusServer::WriteResponse(const std::shared_ptr<Connection>& conn,

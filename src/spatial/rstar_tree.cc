@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace walrus {
 
@@ -604,6 +605,11 @@ void RStarTree::RangeSearchVisit(
     const Rect& query,
     const std::function<bool(const Rect&, uint64_t)>& visitor) const {
   WALRUS_CHECK_EQ(query.dim(), dim_);
+  static Counter* const probes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.range_probes");
+  static Counter* const nodes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.nodes_visited");
+  probes->Increment();
   // Accumulate locally so concurrent read-only searches do not race.
   int64_t visited = 0;
   std::vector<const Node*> stack = {root_.get()};
@@ -616,6 +622,7 @@ void RStarTree::RangeSearchVisit(
       if (node->is_leaf()) {
         if (!visitor(e.rect, e.payload)) {
           last_nodes_visited_.store(visited, std::memory_order_relaxed);
+          nodes->Increment(static_cast<uint64_t>(visited));
           return;
         }
       } else {
@@ -624,6 +631,7 @@ void RStarTree::RangeSearchVisit(
     }
   }
   last_nodes_visited_.store(visited, std::memory_order_relaxed);
+  nodes->Increment(static_cast<uint64_t>(visited));
 }
 
 std::vector<uint64_t> RStarTree::RangeSearch(const Rect& query) const {
@@ -639,6 +647,11 @@ std::vector<std::pair<uint64_t, double>> RStarTree::NearestNeighbors(
     const std::vector<float>& point, int k) const {
   WALRUS_CHECK_EQ(static_cast<int>(point.size()), dim_);
   WALRUS_CHECK_GE(k, 1);
+  static Counter* const probes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.knn_probes");
+  static Counter* const nodes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.nodes_visited");
+  probes->Increment();
   int64_t visited = 0;
 
   struct QueueItem {
@@ -669,6 +682,7 @@ std::vector<std::pair<uint64_t, double>> RStarTree::NearestNeighbors(
     }
   }
   last_nodes_visited_.store(visited, std::memory_order_relaxed);
+  nodes->Increment(static_cast<uint64_t>(visited));
   return result;
 }
 

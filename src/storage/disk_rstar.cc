@@ -7,10 +7,36 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/serialize.h"
 
 namespace walrus {
 namespace {
+
+/// Paged-backend IO counters. pages_read counts node fetches (cache or
+/// disk); hits/misses split them by whether the LRU page cache served the
+/// request.
+struct DiskRStarMetrics {
+  Counter* range_probes;
+  Counter* knn_probes;
+  Counter* pages_read;
+  Counter* cache_hits;
+  Counter* cache_misses;
+
+  static const DiskRStarMetrics& Get() {
+    static const DiskRStarMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      DiskRStarMetrics m;
+      m.range_probes = registry.GetCounter("walrus.disk_rstar.range_probes");
+      m.knn_probes = registry.GetCounter("walrus.disk_rstar.knn_probes");
+      m.pages_read = registry.GetCounter("walrus.disk_rstar.pages_read");
+      m.cache_hits = registry.GetCounter("walrus.disk_rstar.cache_hits");
+      m.cache_misses = registry.GetCounter("walrus.disk_rstar.cache_misses");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 constexpr uint32_t kMetaMagic = 0x44525354;  // "DRST"
 constexpr size_t kNodeHeaderBytes = 8;
@@ -223,8 +249,16 @@ Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
   std::vector<uint8_t> page;
   {
     std::lock_guard<std::mutex> lock(io_mutex_);
+    int64_t hits_before = file_.cache_hits();
     WALRUS_ASSIGN_OR_RETURN(page, file_.ReadPage(page_id));
     ++pages_read_;
+    const DiskRStarMetrics& metrics = DiskRStarMetrics::Get();
+    metrics.pages_read->Increment();
+    if (file_.cache_hits() > hits_before) {
+      metrics.cache_hits->Increment();
+    } else {
+      metrics.cache_misses->Increment();
+    }
   }
   NodeRef node;
   node.is_leaf = page[0] != 0;
@@ -350,6 +384,7 @@ Status DiskRStarTree::RangeSearchVisit(
     const Rect& query,
     const std::function<bool(const Rect&, uint64_t)>& visitor) const {
   WALRUS_CHECK_EQ(query.dim(), dim_);
+  DiskRStarMetrics::Get().range_probes->Increment();
   if (size_ == 0) return Status::OK();
   std::vector<uint32_t> stack = {root_page_};
   while (!stack.empty()) {
@@ -384,6 +419,7 @@ DiskRStarTree::NearestNeighbors(const std::vector<float>& point,
                                 int k) const {
   WALRUS_CHECK_EQ(static_cast<int>(point.size()), dim_);
   WALRUS_CHECK_GE(k, 1);
+  DiskRStarMetrics::Get().knn_probes->Increment();
   std::vector<std::pair<uint64_t, double>> result;
   if (size_ == 0) return result;
 

@@ -6,9 +6,31 @@
 #include "common/math_util.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace walrus {
 namespace {
+
+/// DP sliding-window metrics: how many window signatures the wavelet stage
+/// produces (summed over all pyramid levels) and how many full plane
+/// computations ran.
+struct SlidingWindowMetrics {
+  Counter* plane_computations;
+  Counter* windows_computed;
+
+  static const SlidingWindowMetrics& Get() {
+    static const SlidingWindowMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      SlidingWindowMetrics m;
+      m.plane_computations =
+          registry.GetCounter("walrus.wavelet.plane_computations");
+      m.windows_computed =
+          registry.GetCounter("walrus.wavelet.windows_computed");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 /// copyBlocks (Figure 3): tiles the detail quadrants at size p/2 of the
 /// target from the corresponding quadrants (at size p/4) of the four
@@ -128,11 +150,16 @@ std::vector<WindowSignatureGrid> ComputeSlidingWindowSignatures(
   ValidateArgs(plane, width, height, s, omega_max, step);
   std::vector<WindowSignatureGrid> levels;
   levels.reserve(Log2Floor(static_cast<uint32_t>(omega_max)));
+  uint64_t windows = 0;
   for (int omega = 2; omega <= omega_max; omega *= 2) {
     const WindowSignatureGrid* prev = levels.empty() ? nullptr : &levels.back();
     levels.push_back(
         ComputeLevel(plane, width, height, s, omega, step, prev));
+    windows += static_cast<uint64_t>(levels.back().WindowCount());
   }
+  const SlidingWindowMetrics& metrics = SlidingWindowMetrics::Get();
+  metrics.plane_computations->Increment();
+  metrics.windows_computed->Increment(windows);
   return levels;
 }
 
@@ -143,11 +170,16 @@ WindowSignatureGrid ComputeSlidingWindowSignaturesAt(
   // Only the previous level is retained, giving the paper's N*S auxiliary
   // space bound instead of one grid per level.
   WindowSignatureGrid prev;
+  uint64_t windows = 0;
   for (int level = 2; level <= omega; level *= 2) {
     WindowSignatureGrid current = ComputeLevel(
         plane, width, height, s, level, step, level == 2 ? nullptr : &prev);
+    windows += static_cast<uint64_t>(current.WindowCount());
     prev = std::move(current);
   }
+  const SlidingWindowMetrics& metrics = SlidingWindowMetrics::Get();
+  metrics.plane_computations->Increment();
+  metrics.windows_computed->Increment(windows);
   return prev;
 }
 

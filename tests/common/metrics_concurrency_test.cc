@@ -1,0 +1,100 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace walrus {
+namespace {
+
+/// TSan soak: writer threads hammer one counter and one histogram through
+/// the registry's lock-free hot path while a reader thread snapshots
+/// continuously. Run under scripts/check.sh's TSan build (the suite name is
+/// in its test filter); correctness assertions are meaningful in any build:
+/// snapshot totals must be monotonic and the final totals exact.
+TEST(MetricsConcurrencyTest, ConcurrentWritersAndSnapshotsStayMonotonic) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* counter =
+      registry.GetCounter("walrus.test.concurrency.events");
+  Histogram* histogram = registry.GetHistogram(
+      "walrus.test.concurrency.seconds", ExponentialBuckets(1e-6, 2.0, 20));
+  uint64_t counter_base = counter->Value();
+  uint64_t histogram_base = histogram->TotalCount();
+
+  constexpr int kWriters = 4;
+  constexpr int kIncrementsPerWriter = 50000;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kIncrementsPerWriter; ++i) {
+        counter->Increment();
+        histogram->Observe(1e-6 * static_cast<double>((w + i) % 1000 + 1));
+      }
+    });
+  }
+
+  std::thread snapshotter([&] {
+    uint64_t last_counter = 0;
+    uint64_t last_histogram = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      MetricsSnapshot snapshot = registry.Snapshot();
+      const MetricValue* c = snapshot.Find("walrus.test.concurrency.events");
+      const MetricValue* h = snapshot.Find("walrus.test.concurrency.seconds");
+      ASSERT_NE(c, nullptr);
+      ASSERT_NE(h, nullptr);
+      // Totals only grow while writers are running.
+      EXPECT_GE(c->counter, last_counter);
+      EXPECT_GE(h->count, last_histogram);
+      last_counter = c->counter;
+      last_histogram = h->count;
+      // Bucket counts never exceed the total observation count.
+      uint64_t bucket_sum = 0;
+      for (uint64_t b : h->bucket_counts) bucket_sum += b;
+      EXPECT_LE(bucket_sum, h->count + kWriters);
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  uint64_t expected = static_cast<uint64_t>(kWriters) * kIncrementsPerWriter;
+  EXPECT_EQ(counter->Value() - counter_base, expected);
+  EXPECT_EQ(histogram->TotalCount() - histogram_base, expected);
+
+  // Every observation landed in exactly one bucket.
+  MetricsSnapshot final_snapshot = registry.Snapshot();
+  const MetricValue* h = final_snapshot.Find("walrus.test.concurrency.seconds");
+  ASSERT_NE(h, nullptr);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : h->bucket_counts) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, h->count);
+  EXPECT_GT(h->sum, 0.0);
+}
+
+/// Registration itself raced from many threads must return one stable
+/// pointer per name.
+TEST(MetricsConcurrencyTest, ConcurrentRegistrationReturnsOneMetric) {
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Counter* c = MetricsRegistry::Global().GetCounter(
+          "walrus.test.concurrency.registration");
+      c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,170 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace walrus {
+namespace {
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetsAndAdds) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.Value(), -5);
+}
+
+TEST(MetricsTest, HistogramBucketsObservations) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // bucket 0 (<= 1)
+  histogram.Observe(1.0);    // bucket 0 (exact bound counts low)
+  histogram.Observe(5.0);    // bucket 1
+  histogram.Observe(50.0);   // bucket 2
+  histogram.Observe(500.0);  // overflow
+  EXPECT_EQ(histogram.TotalCount(), 5u);
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 1u);
+  EXPECT_EQ(histogram.BucketCount(2), 1u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 556.5);
+}
+
+TEST(MetricsTest, ExponentialBucketsDouble) {
+  std::vector<double> bounds = ExponentialBuckets(1e-6, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  EXPECT_DOUBLE_EQ(bounds[1], 2e-6);
+  EXPECT_DOUBLE_EQ(bounds[3], 8e-6);
+}
+
+TEST(MetricsTest, RegistryFindsOrCreatesByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("walrus.test.registry.counter");
+  Counter* b = registry.GetCounter("walrus.test.registry.counter");
+  EXPECT_EQ(a, b);
+  Gauge* g = registry.GetGauge("walrus.test.registry.gauge");
+  EXPECT_EQ(g, registry.GetGauge("walrus.test.registry.gauge"));
+  Histogram* h = registry.GetHistogram("walrus.test.registry.histogram",
+                                       {1.0, 2.0});
+  // Later bounds are ignored: the first registration wins.
+  EXPECT_EQ(h, registry.GetHistogram("walrus.test.registry.histogram",
+                                     {5.0, 6.0, 7.0}));
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MetricsTest, SnapshotReflectsValuesSortedByName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("walrus.test.snapshot.b")->Increment(2);
+  registry.GetCounter("walrus.test.snapshot.a")->Increment(1);
+  registry.GetGauge("walrus.test.snapshot.g")->Set(-7);
+  Histogram* h = registry.GetHistogram("walrus.test.snapshot.h", {1.0});
+  h->Observe(0.5);
+  h->Observe(3.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  for (size_t i = 1; i < snapshot.metrics.size(); ++i) {
+    EXPECT_LT(snapshot.metrics[i - 1].name, snapshot.metrics[i].name);
+  }
+  const MetricValue* a = snapshot.Find("walrus.test.snapshot.a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_GE(a->counter, 1u);
+  const MetricValue* g = snapshot.Find("walrus.test.snapshot.g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->type, MetricType::kGauge);
+  EXPECT_EQ(g->gauge, -7);
+  const MetricValue* hv = snapshot.Find("walrus.test.snapshot.h");
+  ASSERT_NE(hv, nullptr);
+  ASSERT_EQ(hv->bucket_counts.size(), 2u);
+  EXPECT_GE(hv->bucket_counts[0], 1u);  // 0.5 <= 1.0
+  EXPECT_GE(hv->bucket_counts[1], 1u);  // 3.0 overflow
+  EXPECT_EQ(snapshot.Find("walrus.test.snapshot.missing"), nullptr);
+}
+
+TEST(MetricsTest, HistogramQuantileReturnsBucketEdge) {
+  MetricValue h;
+  h.type = MetricType::kHistogram;
+  h.bounds = {1.0, 10.0, 100.0};
+  h.bucket_counts = {10, 80, 10, 0};
+  h.count = 100;
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.95), 100.0);
+
+  MetricValue empty;
+  empty.type = MetricType::kHistogram;
+  empty.bounds = {1.0};
+  empty.bucket_counts = {0, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(empty, 0.5), 0.0);
+}
+
+TEST(MetricsTest, TextExpositionRendersAllTypes) {
+  MetricsSnapshot snapshot;
+  MetricValue counter;
+  counter.name = "walrus.render.counter";
+  counter.type = MetricType::kCounter;
+  counter.counter = 7;
+  snapshot.metrics.push_back(counter);
+  MetricValue gauge;
+  gauge.name = "walrus.render.gauge";
+  gauge.type = MetricType::kGauge;
+  gauge.gauge = -3;
+  snapshot.metrics.push_back(gauge);
+  MetricValue histogram;
+  histogram.name = "walrus.render.seconds";
+  histogram.type = MetricType::kHistogram;
+  histogram.bounds = {0.5};
+  histogram.bucket_counts = {2, 1};
+  histogram.count = 3;
+  histogram.sum = 1.25;
+  snapshot.metrics.push_back(histogram);
+
+  std::string text = RenderMetricsText(snapshot);
+  EXPECT_NE(text.find("walrus.render.counter 7"), std::string::npos);
+  EXPECT_NE(text.find("walrus.render.gauge -3"), std::string::npos);
+  // Cumulative buckets: le="0.5" holds 2, le="+Inf" holds all 3.
+  EXPECT_NE(text.find("le=\"0.5\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("walrus.render.seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("walrus.render.seconds_sum 1.25"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExpositionIsWellFormedEnough) {
+  MetricsSnapshot snapshot;
+  MetricValue counter;
+  counter.name = "walrus.render.counter";
+  counter.type = MetricType::kCounter;
+  counter.counter = 7;
+  snapshot.metrics.push_back(counter);
+
+  std::string json = RenderMetricsJson(snapshot);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"name\":\"walrus.render.counter\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(MetricsTest, ScopedHistogramTimerRecordsOnce) {
+  Histogram histogram(ExponentialBuckets(1e-9, 10.0, 12));
+  { ScopedHistogramTimer timer(&histogram); }
+  EXPECT_EQ(histogram.TotalCount(), 1u);
+  EXPECT_GT(histogram.Sum(), 0.0);
+  { ScopedHistogramTimer timer(nullptr); }  // null-safe: no crash
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,110 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+
+namespace walrus {
+namespace {
+
+TEST(TraceTest, SpansNestByBeginEndPairing) {
+  QueryTrace trace;
+  trace.Begin("extract");
+  trace.Begin("wavelet");
+  trace.End();
+  trace.Begin("cluster");
+  trace.End();
+  trace.End();
+  trace.Begin("probe");
+  trace.End();
+
+  const std::vector<TraceSpan>& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "extract");
+  ASSERT_EQ(spans[0].children.size(), 2u);
+  EXPECT_EQ(spans[0].children[0].name, "wavelet");
+  EXPECT_EQ(spans[0].children[1].name, "cluster");
+  EXPECT_EQ(spans[1].name, "probe");
+  EXPECT_TRUE(spans[1].children.empty());
+}
+
+TEST(TraceTest, TimesAreOrderedAndNonNegative) {
+  QueryTrace trace;
+  trace.Begin("a");
+  trace.End();
+  trace.Begin("b");
+  trace.End();
+  const std::vector<TraceSpan>& spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_GE(spans[0].start_seconds, 0.0);
+  EXPECT_GE(spans[0].duration_seconds, 0.0);
+  // b began after a ended.
+  EXPECT_GE(spans[1].start_seconds,
+            spans[0].start_seconds + spans[0].duration_seconds);
+  // A child's window sits inside its parent's.
+  QueryTrace nested;
+  nested.Begin("parent");
+  nested.Begin("child");
+  nested.End();
+  nested.End();
+  const TraceSpan& parent = nested.spans()[0];
+  ASSERT_EQ(parent.children.size(), 1u);
+  const TraceSpan& child = parent.children[0];
+  EXPECT_GE(child.start_seconds, parent.start_seconds);
+  EXPECT_LE(child.start_seconds + child.duration_seconds,
+            parent.start_seconds + parent.duration_seconds + 1e-9);
+}
+
+TEST(TraceTest, OpenSpansAreNotReported) {
+  QueryTrace trace;
+  trace.Begin("open");
+  EXPECT_TRUE(trace.spans().empty());
+  trace.End();
+  EXPECT_EQ(trace.spans().size(), 1u);
+}
+
+TEST(TraceTest, TraceScopeIsNullSafe) {
+  { TraceScope scope(nullptr, "nothing"); }  // must not crash
+  QueryTrace trace;
+  {
+    TraceScope scope(&trace, "stage");
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "stage");
+}
+
+TEST(TraceTest, TakeSpansMovesTree) {
+  QueryTrace trace;
+  trace.Begin("a");
+  trace.End();
+  std::vector<TraceSpan> taken = trace.TakeSpans();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_TRUE(trace.spans().empty());
+}
+
+TEST(TraceTest, CoverageAndCountWalkTheTree) {
+  std::vector<TraceSpan> spans(2);
+  spans[0].duration_seconds = 0.5;
+  spans[0].children.resize(2);
+  spans[0].children[0].duration_seconds = 0.2;
+  spans[1].duration_seconds = 0.25;
+  // Coverage sums top-level spans only (children overlap their parents).
+  EXPECT_DOUBLE_EQ(TraceCoverageSeconds(spans), 0.75);
+  EXPECT_EQ(TraceSpanCount(spans), 4u);
+}
+
+TEST(TraceTest, RenderTraceTextIndentsChildren) {
+  std::vector<TraceSpan> spans(1);
+  spans[0].name = "extract";
+  spans[0].duration_seconds = 0.012;
+  spans[0].children.resize(1);
+  spans[0].children[0].name = "wavelet";
+  spans[0].children[0].duration_seconds = 0.008;
+  std::string text = RenderTraceText(spans);
+  EXPECT_NE(text.find("extract"), std::string::npos);
+  EXPECT_NE(text.find("  wavelet"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace walrus

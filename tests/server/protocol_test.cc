@@ -104,6 +104,7 @@ TEST(ProtocolTest, QueryOptionsRoundTrip) {
   options.refined_epsilon = 0.2f;
   options.top_k = 9;
   options.collect_pairs = true;
+  options.collect_trace = true;
 
   BinaryWriter writer;
   EncodeQueryOptions(options, &writer);
@@ -119,6 +120,7 @@ TEST(ProtocolTest, QueryOptionsRoundTrip) {
   EXPECT_EQ(decoded->refined_epsilon, options.refined_epsilon);
   EXPECT_EQ(decoded->top_k, options.top_k);
   EXPECT_EQ(decoded->collect_pairs, options.collect_pairs);
+  EXPECT_EQ(decoded->collect_trace, options.collect_trace);
 }
 
 TEST(ProtocolTest, ImageRoundTrip) {
@@ -229,6 +231,232 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   EXPECT_EQ(decoded->connections_accepted, 9u);
   EXPECT_EQ(decoded->latency_p50_ms, 1.5);
   EXPECT_EQ(decoded->latency_p99_ms, 20.0);
+}
+
+TEST(ProtocolTest, QueryStatsRoundTripCarriesStageBreakdown) {
+  QueryStats stats;
+  stats.query_regions = 4;
+  stats.regions_retrieved = 120;
+  stats.avg_regions_per_query_region = 30.0;
+  stats.distinct_images = 17;
+  stats.seconds = 0.25;
+  stats.extract_seconds = 0.125;
+  stats.probe_seconds = 0.0625;
+  stats.match_seconds = 0.03125;
+  stats.rank_seconds = 0.015625;
+  stats.nodes_visited = 42;
+  stats.pages_read = 13;
+  stats.cache_hits = 9;
+  stats.cache_misses = 4;
+  TraceSpan extract;
+  extract.name = "extract";
+  extract.start_seconds = 0.0;
+  extract.duration_seconds = 0.125;
+  TraceSpan wavelet;
+  wavelet.name = "wavelet";
+  wavelet.start_seconds = 0.01;
+  wavelet.duration_seconds = 0.09;
+  extract.children.push_back(wavelet);
+  stats.spans.push_back(extract);
+
+  BinaryWriter writer;
+  EncodeQueryStats(stats, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeQueryStats(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query_regions, 4);
+  EXPECT_EQ(decoded->regions_retrieved, 120);
+  EXPECT_EQ(decoded->seconds, 0.25);
+  EXPECT_EQ(decoded->extract_seconds, 0.125);
+  EXPECT_EQ(decoded->probe_seconds, 0.0625);
+  EXPECT_EQ(decoded->match_seconds, 0.03125);
+  EXPECT_EQ(decoded->rank_seconds, 0.015625);
+  EXPECT_EQ(decoded->nodes_visited, 42);
+  EXPECT_EQ(decoded->pages_read, 13);
+  EXPECT_EQ(decoded->cache_hits, 9);
+  EXPECT_EQ(decoded->cache_misses, 4);
+  ASSERT_EQ(decoded->spans.size(), 1u);
+  EXPECT_EQ(decoded->spans[0].name, "extract");
+  EXPECT_EQ(decoded->spans[0].duration_seconds, 0.125);
+  ASSERT_EQ(decoded->spans[0].children.size(), 1u);
+  EXPECT_EQ(decoded->spans[0].children[0].name, "wavelet");
+  EXPECT_EQ(decoded->spans[0].children[0].start_seconds, 0.01);
+}
+
+TEST(ProtocolTest, TraceSpansRoundTripEmpty) {
+  BinaryWriter writer;
+  EncodeTraceSpans({}, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeTraceSpans(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ProtocolTest, TraceSpansDecodeRejectsTruncatedCount) {
+  BinaryWriter writer;
+  writer.PutU32(1000000);  // claims a million spans, provides none
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodeTraceSpans(&reader).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, TraceSpansDecodeRejectsExcessiveNesting) {
+  // A chain nested one past the limit: each level is one span whose only
+  // child is the next level.
+  std::vector<TraceSpan> spans(1);
+  TraceSpan* tip = &spans[0];
+  for (int i = 0; i < kMaxTraceDepth + 1; ++i) {
+    tip->name = "s";
+    tip->children.resize(1);
+    tip = &tip->children[0];
+  }
+  tip->name = "leaf";
+  BinaryWriter writer;
+  EncodeTraceSpans(spans, &writer);
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodeTraceSpans(&reader).status().code(),
+            StatusCode::kCorruption);
+}
+
+MetricsSnapshot MakeSnapshot() {
+  MetricsSnapshot snapshot;
+  MetricValue counter;
+  counter.name = "walrus.test.counter";
+  counter.type = MetricType::kCounter;
+  counter.counter = 123456789;
+  snapshot.metrics.push_back(counter);
+
+  MetricValue gauge;
+  gauge.name = "walrus.test.gauge";
+  gauge.type = MetricType::kGauge;
+  gauge.gauge = -42;
+  snapshot.metrics.push_back(gauge);
+
+  MetricValue histogram;
+  histogram.name = "walrus.test.seconds";
+  histogram.type = MetricType::kHistogram;
+  histogram.bounds = {0.001, 0.01, 0.1};
+  histogram.bucket_counts = {5, 10, 2, 1};
+  histogram.count = 18;
+  histogram.sum = 0.375;
+  snapshot.metrics.push_back(histogram);
+  return snapshot;
+}
+
+TEST(ProtocolTest, MetricsSnapshotRoundTrip) {
+  MetricsSnapshot snapshot = MakeSnapshot();
+  BinaryWriter writer;
+  EncodeMetricsSnapshot(snapshot, &writer);
+  BinaryReader reader(writer.buffer());
+  auto decoded = DecodeMetricsSnapshot(&reader);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->metrics.size(), 3u);
+
+  const MetricValue* counter = decoded->Find("walrus.test.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->type, MetricType::kCounter);
+  EXPECT_EQ(counter->counter, 123456789u);
+
+  const MetricValue* gauge = decoded->Find("walrus.test.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->type, MetricType::kGauge);
+  EXPECT_EQ(gauge->gauge, -42);
+
+  const MetricValue* histogram = decoded->Find("walrus.test.seconds");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->type, MetricType::kHistogram);
+  EXPECT_EQ(histogram->bounds, (std::vector<double>{0.001, 0.01, 0.1}));
+  EXPECT_EQ(histogram->bucket_counts, (std::vector<uint64_t>{5, 10, 2, 1}));
+  EXPECT_EQ(histogram->count, 18u);
+  EXPECT_EQ(histogram->sum, 0.375);
+}
+
+TEST(ProtocolTest, MetricsSnapshotDecodeRejectsTruncatedCount) {
+  BinaryWriter writer;
+  writer.PutU32(1000000);  // claims a million metrics, provides none
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodeMetricsSnapshot(&reader).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, MetricsSnapshotDecodeRejectsUnknownType) {
+  BinaryWriter writer;
+  writer.PutU32(1);
+  writer.PutString("m");
+  writer.PutU8(77);  // not a MetricType
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodeMetricsSnapshot(&reader).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, MetricsSnapshotDecodeRejectsOversizedHistogram) {
+  BinaryWriter writer;
+  writer.PutU32(1);
+  writer.PutString("h");
+  writer.PutU8(static_cast<uint8_t>(MetricType::kHistogram));
+  writer.PutU32(1000000);  // a million bounds, no data behind them
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(DecodeMetricsSnapshot(&reader).status().code(),
+            StatusCode::kCorruption);
+}
+
+/// Mirror of the server's malformed-frame discipline for the new codecs:
+/// arbitrary bytes must produce a Status, never a crash or an OOM
+/// allocation.
+TEST(ProtocolFuzzTest, RandomBytesNeverCrashTraceSpanDecode) {
+  Rng rng(20260806);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> bytes(rng.NextInt(0, 96));
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextInt(0, 255));
+    }
+    BinaryReader reader(bytes);
+    auto decoded = DecodeTraceSpans(&reader);  // must not crash
+    (void)decoded;
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomBytesNeverCrashMetricsDecode) {
+  Rng rng(8062026);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> bytes(rng.NextInt(0, 96));
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextInt(0, 255));
+    }
+    BinaryReader reader(bytes);
+    auto decoded = DecodeMetricsSnapshot(&reader);  // must not crash
+    (void)decoded;
+  }
+}
+
+TEST(ProtocolFuzzTest, TruncatedValidEncodingsFailCleanly) {
+  // Every proper prefix of a valid encoding must decode to an error, not a
+  // crash (the wire can cut a frame anywhere).
+  BinaryWriter span_writer;
+  std::vector<TraceSpan> spans(2);
+  spans[0].name = "extract";
+  spans[0].duration_seconds = 0.5;
+  spans[0].children.resize(1);
+  spans[0].children[0].name = "wavelet";
+  spans[1].name = "probe";
+  EncodeTraceSpans(spans, &span_writer);
+  const std::vector<uint8_t>& span_bytes = span_writer.buffer();
+  for (size_t cut = 0; cut < span_bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(span_bytes.begin(),
+                                span_bytes.begin() + cut);
+    BinaryReader reader(prefix);
+    EXPECT_FALSE(DecodeTraceSpans(&reader).ok()) << "cut at " << cut;
+  }
+
+  BinaryWriter metric_writer;
+  EncodeMetricsSnapshot(MakeSnapshot(), &metric_writer);
+  const std::vector<uint8_t>& metric_bytes = metric_writer.buffer();
+  for (size_t cut = 0; cut < metric_bytes.size(); ++cut) {
+    std::vector<uint8_t> prefix(metric_bytes.begin(),
+                                metric_bytes.begin() + cut);
+    BinaryReader reader(prefix);
+    EXPECT_FALSE(DecodeMetricsSnapshot(&reader).ok()) << "cut at " << cut;
+  }
 }
 
 TEST(ProtocolTest, Crc32ExtendComposes) {

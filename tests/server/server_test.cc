@@ -512,6 +512,104 @@ TEST_F(WalrusServerTest, GracefulShutdownDrainsInFlightRequests) {
       << "in-flight request was dropped during graceful shutdown";
 }
 
+// ---- Observability ------------------------------------------------------
+
+// A traced QUERY returns a span tree whose top-level spans account for
+// nearly all of the query's measured wall time (the observability
+// acceptance bar: untracked time under 5%).
+TEST_F(WalrusServerTest, TracedQuerySpansCoverQueryWallTime) {
+  WalrusServer server(*index_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  QueryOptions options;
+  options.collect_trace = true;
+  auto result = client->Query(dataset_[0].image, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const QueryStats& stats = result->stats;
+  ASSERT_FALSE(stats.spans.empty());
+  // extract must be present and carry the wavelet/cluster children.
+  bool found_extract = false;
+  for (const TraceSpan& span : stats.spans) {
+    if (span.name != "extract") continue;
+    found_extract = true;
+    bool wavelet = false;
+    bool cluster = false;
+    for (const TraceSpan& child : span.children) {
+      if (child.name == "wavelet") wavelet = true;
+      if (child.name == "cluster") cluster = true;
+    }
+    EXPECT_TRUE(wavelet) << "extract span lost its wavelet child";
+    EXPECT_TRUE(cluster) << "extract span lost its cluster child";
+  }
+  EXPECT_TRUE(found_extract);
+
+  ASSERT_GT(stats.seconds, 0.0);
+  double covered = TraceCoverageSeconds(stats.spans);
+  EXPECT_GE(covered, 0.95 * stats.seconds)
+      << "spans cover " << covered << "s of " << stats.seconds
+      << "s measured (" << RenderTraceText(stats.spans) << ")";
+  // Spans also never claim more than the whole query (small slack for
+  // clock granularity).
+  EXPECT_LE(covered, stats.seconds * 1.001 + 1e-6);
+
+  // The per-stage scalar timings mirror the span tree.
+  EXPECT_GT(stats.extract_seconds, 0.0);
+
+  // An untraced query stays span-free (no silent overhead).
+  QueryOptions untraced;
+  auto plain = client->Query(dataset_[0].image, untraced);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_TRUE(plain->stats.spans.empty());
+  server.Stop();
+}
+
+// METRICS returns the registry snapshot, and query-path counters move when
+// queries execute.
+TEST_F(WalrusServerTest, MetricsOpcodeReflectsQueryWork) {
+  WalrusServer server(*index_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  auto before = client->Metrics();
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  QueryOptions options;
+  ASSERT_TRUE(client->Query(dataset_[0].image, options).ok());
+  ASSERT_TRUE(client->Query(dataset_[1].image, options).ok());
+
+  auto after = client->Metrics();
+  ASSERT_TRUE(after.ok()) << after.status();
+
+  auto counter_delta = [&](const std::string& name) -> int64_t {
+    const MetricValue* b = before->Find(name);
+    const MetricValue* a = after->Find(name);
+    uint64_t bv = b != nullptr ? b->counter : 0;
+    uint64_t av = a != nullptr ? a->counter : 0;
+    return static_cast<int64_t>(av) - static_cast<int64_t>(bv);
+  };
+  EXPECT_EQ(counter_delta("walrus.query.count"), 2);
+  EXPECT_GT(counter_delta("walrus.extract.count"), 0);
+  EXPECT_GT(counter_delta("walrus.wavelet.plane_computations"), 0);
+  EXPECT_GT(counter_delta("walrus.birch.runs"), 0);
+  EXPECT_GT(counter_delta("walrus.rstar.range_probes"), 0);
+  EXPECT_GT(counter_delta("walrus.match.pairs_scored"), 0);
+
+  // The request-latency histogram in the registry advanced too.
+  const MetricValue* latency = after->Find("walrus.server.request_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->type, MetricType::kHistogram);
+  const MetricValue* latency_before =
+      before->Find("walrus.server.request_seconds");
+  uint64_t before_count =
+      latency_before != nullptr ? latency_before->count : 0;
+  EXPECT_GT(latency->count, before_count);
+  server.Stop();
+}
+
 TEST_F(WalrusServerTest, StopIsIdempotentAndDestructorSafe) {
   auto server = std::make_unique<WalrusServer>(*index_, ServerOptions{});
   ASSERT_TRUE(server->Start().ok());
