@@ -1,15 +1,23 @@
 // walrusd loopback throughput/latency: QPS and client-observed p50/p99 vs.
-// client concurrency, for both index backends. Every client thread runs its
-// own connection and issues QUERY requests back-to-back, so the measurement
-// covers the full stack: framing, CRC, dispatch, the query pipeline, and
-// the response path.
+// client concurrency, for both index backends and for the sharded engine.
+// Every client thread runs its own connection and issues QUERY requests
+// back-to-back, so the measurement covers the full stack: framing, CRC,
+// dispatch, the query pipeline, and the response path.
+//
+// Two reports:
+//   BENCH_server_qps.json   backend (in-memory / paged) x client sweep
+//   BENCH_sharded_qps.json  shards x cache sweep (fan-out + result cache)
 //
 //   WALRUS_BENCH_SERVER_IMAGES=300 WALRUS_BENCH_SERVER_QUERIES=40
 //   are the dataset/load knobs; run ./build/bench/bench_server_qps
+//   [--shards N] [--cache M] restrict the sharded sweep to one
+//   configuration (e.g. for A/B-ing --shards 1 vs --shards 4).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +25,8 @@
 #include "bench_json.h"
 #include "common/timer.h"
 #include "core/index.h"
+#include "core/query_engine.h"
+#include "core/sharded_index.h"
 #include "image/dataset.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -36,35 +46,51 @@ double Quantile(std::vector<double>* values, double q) {
   return (*values)[rank];
 }
 
+struct LoadOptions {
+  int num_clients = 4;
+  int queries_per_client = 20;
+  /// Size of the distinct-query pool the clients cycle through. Smaller
+  /// than the total request count -> repeats -> result-cache hits.
+  int distinct_queries = 0;  // 0 = whole dataset, no repeats
+  float epsilon = 0.07f;
+  int top_k = 10;
+};
+
 struct RunResult {
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
-RunResult RunLoad(const walrus::WalrusIndex& index,
+RunResult RunLoad(const walrus::QueryEngine& engine,
                   const std::vector<walrus::LabeledImage>& dataset,
-                  int num_clients, int queries_per_client) {
+                  const LoadOptions& load) {
   walrus::ServerOptions server_options;
-  server_options.max_pending = 4 * num_clients + 8;
-  walrus::WalrusServer server(index, server_options);
+  server_options.max_pending = 4 * load.num_clients + 8;
+  walrus::WalrusServer server(engine, server_options);
   if (!server.Start().ok()) std::exit(1);
 
-  std::vector<std::vector<double>> latencies(num_clients);
+  int pool = load.distinct_queries > 0
+                 ? std::min<int>(load.distinct_queries,
+                                 static_cast<int>(dataset.size()))
+                 : static_cast<int>(dataset.size());
+  std::vector<std::vector<double>> latencies(load.num_clients);
   walrus::WallTimer wall;
   {
     std::vector<std::thread> clients;
-    for (int c = 0; c < num_clients; ++c) {
+    for (int c = 0; c < load.num_clients; ++c) {
       clients.emplace_back([&, c] {
         auto client = walrus::WalrusClient::Connect("127.0.0.1",
                                                     server.port());
         if (!client.ok()) std::exit(1);
         walrus::QueryOptions options;
-        options.epsilon = 0.07f;
-        options.top_k = 10;
-        for (int q = 0; q < queries_per_client; ++q) {
+        options.epsilon = load.epsilon;
+        options.top_k = load.top_k;
+        for (int q = 0; q < load.queries_per_client; ++q) {
           const walrus::ImageF& image =
-              dataset[(c * queries_per_client + q) % dataset.size()].image;
+              dataset[(c * load.queries_per_client + q) % pool].image;
           walrus::WallTimer timer;
           auto result = client->Query(image, options);
           if (!result.ok()) {
@@ -79,6 +105,7 @@ RunResult RunLoad(const walrus::WalrusIndex& index,
     for (std::thread& t : clients) t.join();
   }
   double seconds = wall.ElapsedSeconds();
+  walrus::ServerStats stats = server.Snapshot();
   server.Stop();
 
   std::vector<double> all;
@@ -89,14 +116,30 @@ RunResult RunLoad(const walrus::WalrusIndex& index,
   result.qps = static_cast<double>(all.size()) / seconds;
   result.p50_ms = Quantile(&all, 0.50);
   result.p99_ms = Quantile(&all, 0.99);
+  result.cache_hits = stats.result_cache_hits;
+  result.cache_misses = stats.result_cache_misses;
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int num_images = EnvInt("WALRUS_BENCH_SERVER_IMAGES", 200);
   const int queries_per_client = EnvInt("WALRUS_BENCH_SERVER_QUERIES", 20);
+  // Sharding pays off when probe+match dominate; the sharded sweep uses a
+  // wider envelope than the backend sweep to model the selective-but-heavy
+  // regime (more candidates per probe).
+  const float sharded_epsilon = 0.30f;
+  int only_shards = 0;
+  int only_cache = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      only_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      only_cache = std::atoi(argv[++i]);
+    }
+  }
+
   walrus::DatasetParams dp;
   dp.num_images = num_images;
   dp.width = 128;
@@ -128,9 +171,13 @@ int main() {
       .Set("num_images", num_images)
       .Set("queries_per_client", queries_per_client)
       .Set("regions", static_cast<int64_t>(memory_index.RegionCount()));
+  walrus::SingleIndexEngine memory_engine(memory_index);
+  walrus::SingleIndexEngine paged_engine(*paged);
   for (int clients : {1, 2, 4, 8}) {
-    RunResult mem = RunLoad(memory_index, dataset, clients,
-                            queries_per_client);
+    LoadOptions load;
+    load.num_clients = clients;
+    load.queries_per_client = queries_per_client;
+    RunResult mem = RunLoad(memory_engine, dataset, load);
     std::printf("%-12s %-10d %-12.1f %-10.2f %-10.2f\n", "in-memory",
                 clients, mem.qps, mem.p50_ms, mem.p99_ms);
     report.AddRow()
@@ -141,7 +188,10 @@ int main() {
         .Set("p99_ms", mem.p99_ms);
   }
   for (int clients : {1, 2, 4, 8}) {
-    RunResult disk = RunLoad(*paged, dataset, clients, queries_per_client);
+    LoadOptions load;
+    load.num_clients = clients;
+    load.queries_per_client = queries_per_client;
+    RunResult disk = RunLoad(paged_engine, dataset, load);
     std::printf("%-12s %-10d %-12.1f %-10.2f %-10.2f\n", "paged", clients,
                 disk.qps, disk.p50_ms, disk.p99_ms);
     report.AddRow()
@@ -152,6 +202,64 @@ int main() {
         .Set("p99_ms", disk.p99_ms);
   }
   report.WriteFile();
+
+  // Shards x cache sweep. Same loopback protocol path; the engine behind
+  // the server changes. Clients cycle a small distinct-query pool so the
+  // cached configurations see repeats (and therefore hits).
+  std::printf("\n# sharded engine: shards x cache (epsilon %.2f)\n",
+              sharded_epsilon);
+  std::printf("%-8s %-8s %-10s %-12s %-10s %-10s %-12s\n", "shards",
+              "cache", "clients", "qps", "p50_ms", "p99_ms", "hit_ratio");
+  walrus::bench::BenchReport sharded_report("sharded_qps");
+  sharded_report.params()
+      .Set("num_images", num_images)
+      .Set("queries_per_client", queries_per_client)
+      .Set("regions", static_cast<int64_t>(memory_index.RegionCount()))
+      .Set("epsilon", static_cast<double>(sharded_epsilon));
+  std::vector<int> shard_counts = {1, 2, 4};
+  if (only_shards > 0) shard_counts = {only_shards};
+  std::vector<int> cache_sizes = {0, 64};
+  if (only_cache >= 0) cache_sizes = {only_cache};
+  for (int shards : shard_counts) {
+    for (int cache : cache_sizes) {
+      walrus::ShardedIndex::Options shard_options;
+      shard_options.num_shards = shards;
+      shard_options.cache_capacity = static_cast<size_t>(cache);
+      auto engine =
+          walrus::ShardedIndex::Partition(memory_index, shard_options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "partition failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      LoadOptions load;
+      load.num_clients = 4;
+      load.queries_per_client = queries_per_client;
+      load.distinct_queries = 8;  // repeats -> cache hits when enabled
+      load.epsilon = sharded_epsilon;
+      RunResult run = RunLoad(*engine, dataset, load);
+      uint64_t lookups = run.cache_hits + run.cache_misses;
+      double hit_ratio =
+          lookups == 0 ? 0.0
+                       : static_cast<double>(run.cache_hits) /
+                             static_cast<double>(lookups);
+      std::printf("%-8d %-8d %-10d %-12.1f %-10.2f %-10.2f %-12.2f\n",
+                  shards, cache, load.num_clients, run.qps, run.p50_ms,
+                  run.p99_ms, hit_ratio);
+      sharded_report.AddRow()
+          .Set("shards", shards)
+          .Set("cache", cache)
+          .Set("clients", load.num_clients)
+          .Set("qps", run.qps)
+          .Set("p50_ms", run.p50_ms)
+          .Set("p99_ms", run.p99_ms)
+          .Set("cache_hits", static_cast<int64_t>(run.cache_hits))
+          .Set("cache_misses", static_cast<int64_t>(run.cache_misses))
+          .Set("hit_ratio", hit_ratio);
+    }
+  }
+  sharded_report.WriteFile();
+
   for (const char* suffix : {".catalog", ".pmeta", ".ptree"}) {
     std::remove((prefix + suffix).c_str());
   }

@@ -96,6 +96,25 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->bytes_out));
     std::printf("latency      p50 %.2f ms, p99 %.2f ms\n",
                 stats->latency_p50_ms, stats->latency_p99_ms);
+    std::printf("shards       %u\n", stats->num_shards);
+    for (size_t s = 0; s < stats->shard_probes.size(); ++s) {
+      std::printf("  shard %-4zu probed %llu regions\n", s,
+                  static_cast<unsigned long long>(stats->shard_probes[s]));
+    }
+    if (stats->result_cache_capacity > 0) {
+      uint64_t lookups =
+          stats->result_cache_hits + stats->result_cache_misses;
+      std::printf(
+          "result cache %llu/%llu entries, %llu/%llu hits (%.1f%%)\n",
+          static_cast<unsigned long long>(stats->result_cache_entries),
+          static_cast<unsigned long long>(stats->result_cache_capacity),
+          static_cast<unsigned long long>(stats->result_cache_hits),
+          static_cast<unsigned long long>(lookups),
+          lookups == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(stats->result_cache_hits) /
+                    static_cast<double>(lookups));
+    }
     return 0;
   }
 

@@ -2,19 +2,30 @@
 // the framed TCP protocol to walrus_client and library clients.
 //
 //   walrus_serve <index_prefix> [port] [workers] [max_pending]
+//                [--shards N] [--cache M]
+//
+// --shards N   repartition the index across N parallel shards (hash-routed
+//              by image id; identical rankings, lower per-query latency)
+// --cache M    LRU result cache of M entries in front of the query
+//              pipeline (invalidated on mutation; METRICS shows hit ratio)
 //
 // Example session (see also examples/walrus_client.cpp):
 //   ./build/examples/walrus_cli generate /tmp/db 100
 //   ./build/examples/walrus_cli index /tmp/db /tmp/db/walrus paged
-//   ./build/examples/walrus_serve /tmp/db/walrus 7788 &
+//   ./build/examples/walrus_serve /tmp/db/walrus 7788 --shards 4 --cache 256 &
 //   ./build/examples/walrus_client 127.0.0.1 7788 query /tmp/db/img_3.ppm
 //   ./build/examples/walrus_client 127.0.0.1 7788 shutdown
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "core/index.h"
+#include "core/sharded_index.h"
 #include "server/server.h"
 
 namespace {
@@ -30,33 +41,72 @@ walrus::Result<walrus::WalrusIndex> OpenAny(const std::string& prefix) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // Split --flag value pairs from the positional args so the original
+  // positional interface keeps working unchanged.
+  int num_shards = 1;
+  size_t cache_capacity = 0;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      num_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || num_shards < 1) {
     std::fprintf(stderr,
                  "usage: walrus_serve <index_prefix> [port] [workers] "
-                 "[max_pending]\n");
+                 "[max_pending] [--shards N] [--cache M]\n");
     return 2;
   }
-  auto index = OpenAny(argv[1]);
+  auto index = OpenAny(positional[0]);
   if (!index.ok()) {
-    std::fprintf(stderr, "open %s failed: %s\n", argv[1],
+    std::fprintf(stderr, "open %s failed: %s\n", positional[0],
                  index.status().ToString().c_str());
     return 1;
   }
 
   walrus::ServerOptions options;
-  if (argc > 2) options.port = static_cast<uint16_t>(std::atoi(argv[2]));
-  if (argc > 3) options.num_workers = std::atoi(argv[3]);
-  if (argc > 4) options.max_pending = std::atoi(argv[4]);
+  if (positional.size() > 1) {
+    options.port = static_cast<uint16_t>(std::atoi(positional[1]));
+  }
+  if (positional.size() > 2) options.num_workers = std::atoi(positional[2]);
+  if (positional.size() > 3) options.max_pending = std::atoi(positional[3]);
 
-  walrus::WalrusServer server(*index, options);
+  // The sharded engine repartitions the opened catalog in memory; a cache
+  // without sharding still goes through ShardedIndex (num_shards=1 adds no
+  // fan-out overhead: shard 0 runs on the calling thread).
+  std::unique_ptr<walrus::QueryEngine> engine;
+  if (num_shards > 1 || cache_capacity > 0) {
+    walrus::ShardedIndex::Options shard_options;
+    shard_options.num_shards = num_shards;
+    shard_options.cache_capacity = cache_capacity;
+    auto partitioned = walrus::ShardedIndex::Partition(*index, shard_options);
+    if (!partitioned.ok()) {
+      std::fprintf(stderr, "sharding failed: %s\n",
+                   partitioned.status().ToString().c_str());
+      return 1;
+    }
+    engine =
+        std::make_unique<walrus::ShardedIndex>(std::move(*partitioned));
+  } else {
+    engine = std::make_unique<walrus::SingleIndexEngine>(*index);
+  }
+
+  walrus::WalrusServer server(*engine, options);
   walrus::Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("walrusd: %zu images, %zu regions (%s backend) on port %u\n",
-              index->ImageCount(), index->RegionCount(),
-              index->is_paged() ? "paged" : "in-memory", server.port());
+  std::printf(
+      "walrusd: %zu images, %zu regions (%s backend, %d shard(s), cache "
+      "%zu) on port %u\n",
+      engine->ImageCount(), engine->RegionCount(),
+      index->is_paged() ? "paged" : "in-memory", num_shards, cache_capacity,
+      server.port());
   std::printf("walrusd: send a SHUTDOWN request to stop\n");
   server.Wait();  // returns after a client SHUTDOWN, having drained
 
@@ -68,6 +118,21 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           stats.requests_by_opcode[static_cast<int>(walrus::Opcode::kPing)]),
       stats.latency_p50_ms, stats.latency_p99_ms);
+  for (size_t s = 0; s < stats.shard_probes.size(); ++s) {
+    std::printf("walrusd: shard %zu probed %llu regions\n", s,
+                static_cast<unsigned long long>(stats.shard_probes[s]));
+  }
+  if (stats.result_cache_capacity > 0) {
+    uint64_t lookups = stats.result_cache_hits + stats.result_cache_misses;
+    std::printf(
+        "walrusd: result cache %llu/%llu hits (%.1f%%)\n",
+        static_cast<unsigned long long>(stats.result_cache_hits),
+        static_cast<unsigned long long>(lookups),
+        lookups == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(stats.result_cache_hits) /
+                  static_cast<double>(lookups));
+  }
   std::printf("walrusd: final metrics registry state:\n%s",
               walrus::RenderMetricsText(
                   walrus::MetricsRegistry::Global().Snapshot())

@@ -138,6 +138,20 @@ Status WalrusIndex::RemoveImage(uint64_t image_id) {
   return Status::OK();
 }
 
+Result<WalrusIndex> WalrusIndex::FromRecords(
+    WalrusParams params, std::vector<ImageRecord> records) {
+  WalrusIndex index(std::move(params));
+  for (ImageRecord& record : records) {
+    WALRUS_RETURN_IF_ERROR(index.catalog_.AddImage(std::move(record)));
+  }
+  index.tree_ = RStarTree::BulkLoad(index.params_.SignatureDim(),
+                                    index.CatalogEntries());
+  if (DeepChecksEnabled()) {
+    WALRUS_RETURN_IF_ERROR(index.ValidateConsistency());
+  }
+  return index;
+}
+
 Result<std::vector<Region>> WalrusIndex::ImageRegions(
     uint64_t image_id) const {
   const ImageRecord* record = catalog_.FindImage(image_id);

@@ -29,6 +29,9 @@ void DecodeRegionPayload(uint64_t payload, uint64_t* image_id,
 /// bitmap) into the catalog. Both parts serialize to disk.
 class WalrusIndex {
  public:
+  /// Empty index. `params` fixes the extraction settings and the signature
+  /// dimensionality for the index's lifetime (persisted alongside the data
+  /// and checked on Open).
   explicit WalrusIndex(WalrusParams params);
 
   WalrusIndex(const WalrusIndex&) = delete;
@@ -36,7 +39,9 @@ class WalrusIndex {
   WalrusIndex(WalrusIndex&&) = default;
   WalrusIndex& operator=(WalrusIndex&&) = default;
 
+  /// The construction-time parameters (immutable).
   const WalrusParams& params() const { return params_; }
+  /// Image + region metadata store (names, areas, signatures, bitmaps).
   const Catalog& catalog() const { return catalog_; }
   /// The in-memory R*-tree. Empty when the index was opened paged
   /// (is_paged()); use ProbeRange/ProbeNearest, which dispatch correctly.
@@ -64,7 +69,9 @@ class WalrusIndex {
   Result<std::vector<std::pair<uint64_t, double>>> ProbeNearest(
       const std::vector<float>& point, int k) const;
 
+  /// Number of indexed images.
   size_t ImageCount() const { return catalog_.size(); }
+  /// Total regions across all indexed images (== R*-tree entry count).
   size_t RegionCount() const { return catalog_.TotalRegions(); }
 
   /// Extracts regions from `image` and indexes them under `image_id`.
@@ -88,6 +95,14 @@ class WalrusIndex {
   /// serially. 0 threads = hardware concurrency. The batch is atomic: on
   /// any extraction failure or duplicate id nothing is added.
   Status AddImages(std::vector<PendingImage> images, int num_threads = 0);
+
+  /// Builds an index directly from already-extracted catalog records,
+  /// STR-bulk-loading the tree from their region signatures. This is the
+  /// repartitioning path: ShardedIndex::Partition slices one index's
+  /// catalog by shard and rebuilds each slice without re-running region
+  /// extraction. Fails on duplicate image ids.
+  static Result<WalrusIndex> FromRecords(WalrusParams params,
+                                         std::vector<ImageRecord> records);
 
   /// Materializes the Region objects of an indexed image.
   Result<std::vector<Region>> ImageRegions(uint64_t image_id) const;

@@ -9,14 +9,11 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
+#include "core/query_engine.h"
+#include "core/query_pipeline.h"
 
 namespace walrus {
 namespace {
-
-/// Region matches grouped by target image.
-struct TargetCandidate {
-  std::vector<RegionPair> pairs;
-};
 
 /// Shared bucket shape for all query-path latency histograms: 1us doubling
 /// up to ~68s.
@@ -74,75 +71,263 @@ struct DiskCounters {
   }
 };
 
-/// The matching pipeline behind every query entry point: probe the index
-/// with each query region, score candidate images, rank. `trace`, when
-/// non-null, receives the probe/match/rank spans; callers own the extract
-/// span (they know whether extraction happened at all).
+/// Converts the probe-time (image -> pairs) map into the canonical
+/// candidate list: images ascending (std::map order), pairs sorted by
+/// (query_index, target_index). Each (query region, target region) pair
+/// appears at most once, so the sort is a total order and the resulting
+/// candidate list is a pure function of the candidate *set* — independent
+/// of the tree traversal order that discovered it.
+std::vector<CandidateImage> CanonicalCandidates(
+    std::map<uint64_t, std::vector<RegionPair>> by_image) {
+  std::vector<CandidateImage> candidates;
+  candidates.reserve(by_image.size());
+  for (auto& [image_id, pairs] : by_image) {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const RegionPair& a, const RegionPair& b) {
+                if (a.query_index != b.query_index) {
+                  return a.query_index < b.query_index;
+                }
+                return a.target_index < b.target_index;
+              });
+    candidates.push_back({image_id, std::move(pairs)});
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<ExtractedQuery> ExtractQueryRegions(const ImageF& query_image,
+                                           const WalrusParams& params,
+                                           QueryTrace* trace) {
+  TraceScope extract_span(trace, "extract");
+  WALRUS_ASSIGN_OR_RETURN(std::vector<Region> regions,
+                          ExtractRegions(query_image, params, nullptr, trace));
+  ExtractedQuery extracted;
+  extracted.regions = std::move(regions);
+  extracted.query_area =
+      static_cast<double>(query_image.width()) * query_image.height();
+  return extracted;
+}
+
+Result<ExtractedQuery> ExtractSceneQueryRegions(const ImageF& query_image,
+                                                const PixelRect& scene,
+                                                const WalrusParams& params,
+                                                QueryTrace* trace) {
+  TraceScope extract_span(trace, "extract");
+  WALRUS_ASSIGN_OR_RETURN(
+      std::vector<Region> regions,
+      ExtractSceneRegions(query_image, scene, params, nullptr, trace));
+  if (regions.empty()) {
+    return Status::InvalidArgument("scene produced no regions");
+  }
+  // Region bitmaps are image-relative, so the "query area" must be the
+  // pixels the scene's windows can actually cover: the union of all scene
+  // region bitmaps. With kQueryOnly normalization a perfect match then
+  // scores 1 regardless of how small the marked scene is.
+  CoverageBitmap coverable(regions[0].bitmap.side());
+  for (const Region& region : regions) {
+    coverable.UnionWith(region.bitmap);
+  }
+  double image_area =
+      static_cast<double>(query_image.width()) * query_image.height();
+  ExtractedQuery extracted;
+  extracted.regions = std::move(regions);
+  extracted.query_area = image_area * coverable.CoveredFraction();
+  return extracted;
+}
+
+Result<std::vector<CandidateImage>> ProbeCandidates(
+    const WalrusIndex& index, const std::vector<Region>& query_regions,
+    const QueryOptions& options, ProbeDiagnostics* diag) {
+  const bool use_bbox =
+      index.params().signature_kind == RegionSignatureKind::kBoundingBox;
+  const bool paged = index.is_paged();
+  const DiskCounters disk_before = DiskCounters::Read(index.disk_tree());
+  int64_t nodes_visited = 0;
+  int64_t regions_retrieved = 0;
+
+  std::map<uint64_t, std::vector<RegionPair>> by_image;
+  for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+    const Region& q = query_regions[qi];
+    Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
+    WALRUS_RETURN_IF_ERROR(
+        index.ProbeRange(probe, [&](const Rect& rect, uint64_t payload) {
+          uint64_t image_id;
+          uint32_t region_id;
+          DecodeRegionPayload(payload, &image_id, &region_id);
+          if (!use_bbox) {
+            // Exact Euclidean test on the stored centroid (== rect.lo()).
+            if (!RegionsMatchCentroid(q.centroid.data(), rect.lo().data(),
+                                      static_cast<int>(q.centroid.size()),
+                                      options.epsilon)) {
+              return true;
+            }
+          }
+          ++regions_retrieved;
+          by_image[image_id].push_back(
+              {static_cast<int>(qi), static_cast<int>(region_id)});
+          return true;
+        }));
+    if (!paged) nodes_visited += index.tree().last_nodes_visited();
+  }
+
+  if (diag != nullptr) {
+    diag->regions_retrieved = regions_retrieved;
+    diag->nodes_visited = nodes_visited;
+    const DiskCounters disk_after = DiskCounters::Read(index.disk_tree());
+    diag->pages_read = disk_after.pages_read - disk_before.pages_read;
+    diag->cache_hits = disk_after.cache_hits - disk_before.cache_hits;
+    diag->cache_misses = disk_after.cache_misses - disk_before.cache_misses;
+  }
+  return CanonicalCandidates(std::move(by_image));
+}
+
+Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
+ProbeNearestPerRegion(const WalrusIndex& index,
+                      const std::vector<Region>& query_regions, int k,
+                      ProbeDiagnostics* diag) {
+  const bool paged = index.is_paged();
+  const DiskCounters disk_before = DiskCounters::Read(index.disk_tree());
+  int64_t nodes_visited = 0;
+
+  std::vector<std::vector<std::pair<uint64_t, double>>> neighbors;
+  neighbors.reserve(query_regions.size());
+  for (const Region& q : query_regions) {
+    WALRUS_ASSIGN_OR_RETURN(auto found, index.ProbeNearest(q.centroid, k));
+    if (!paged) nodes_visited += index.tree().last_nodes_visited();
+    neighbors.push_back(std::move(found));
+  }
+
+  if (diag != nullptr) {
+    int64_t retrieved = 0;
+    for (const auto& per_region : neighbors) {
+      retrieved += static_cast<int64_t>(per_region.size());
+    }
+    diag->regions_retrieved = retrieved;
+    diag->nodes_visited = nodes_visited;
+    const DiskCounters disk_after = DiskCounters::Read(index.disk_tree());
+    diag->pages_read = disk_after.pages_read - disk_before.pages_read;
+    diag->cache_hits = disk_after.cache_hits - disk_before.cache_hits;
+    diag->cache_misses = disk_after.cache_misses - disk_before.cache_misses;
+  }
+  return neighbors;
+}
+
+std::vector<CandidateImage> CandidatesFromNeighbors(
+    const std::vector<std::vector<std::pair<uint64_t, double>>>& neighbors) {
+  std::map<uint64_t, std::vector<RegionPair>> by_image;
+  for (size_t qi = 0; qi < neighbors.size(); ++qi) {
+    for (const auto& [payload, distance] : neighbors[qi]) {
+      (void)distance;
+      uint64_t image_id;
+      uint32_t region_id;
+      DecodeRegionPayload(payload, &image_id, &region_id);
+      by_image[image_id].push_back(
+          {static_cast<int>(qi), static_cast<int>(region_id)});
+    }
+  }
+  return CanonicalCandidates(std::move(by_image));
+}
+
+Result<std::vector<QueryMatch>> ScoreCandidates(
+    const WalrusIndex& index, const std::vector<Region>& query_regions,
+    double query_area, const QueryOptions& options,
+    const std::vector<CandidateImage>& candidates) {
+  std::vector<QueryMatch> matches;
+  matches.reserve(candidates.size());
+  for (const CandidateImage& candidate : candidates) {
+    WALRUS_ASSIGN_OR_RETURN(std::vector<Region> target_regions,
+                            index.ImageRegions(candidate.image_id));
+    WALRUS_ASSIGN_OR_RETURN(double target_area,
+                            index.ImageArea(candidate.image_id));
+    // Refined matching phase (section 5.5): re-verify pairs with the more
+    // detailed signatures where both sides carry them.
+    const std::vector<RegionPair>* pairs = &candidate.pairs;
+    std::vector<RegionPair> refined_pairs;
+    if (options.use_refinement) {
+      refined_pairs.reserve(candidate.pairs.size());
+      for (const RegionPair& pair : candidate.pairs) {
+        const std::vector<float>& q_ref =
+            query_regions[pair.query_index].refined_centroid;
+        const std::vector<float>& t_ref =
+            target_regions[pair.target_index].refined_centroid;
+        if (!q_ref.empty() && q_ref.size() == t_ref.size() &&
+            !RegionsMatchCentroid(q_ref.data(), t_ref.data(),
+                                  static_cast<int>(q_ref.size()),
+                                  options.refined_epsilon)) {
+          continue;  // refuted at the finer resolution
+        }
+        refined_pairs.push_back(pair);
+      }
+      pairs = &refined_pairs;
+    }
+    MatchResult result =
+        options.matcher == MatcherKind::kGreedy
+            ? GreedyMatch(query_regions, target_regions, *pairs, query_area,
+                          target_area)
+            : QuickMatch(query_regions, target_regions, *pairs, query_area,
+                         target_area);
+    double similarity = result.SimilarityAs(options.normalization, query_area,
+                                            target_area);
+    if (similarity < options.tau) continue;
+    QueryMatch match;
+    match.image_id = candidate.image_id;
+    match.similarity = similarity;
+    match.matching_pairs = static_cast<int>(pairs->size());
+    match.pairs_used = result.pairs_used;
+    if (options.collect_pairs) match.pairs = std::move(result.used_pairs);
+    matches.push_back(std::move(match));
+  }
+  return matches;
+}
+
+void RankMatches(std::vector<QueryMatch>* matches, int top_k) {
+  std::sort(matches->begin(), matches->end(),
+            [](const QueryMatch& a, const QueryMatch& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.image_id < b.image_id;
+            });
+  if (top_k > 0 && static_cast<int>(matches->size()) > top_k) {
+    matches->resize(top_k);
+  }
+}
+
+namespace {
+
+/// The matching pipeline behind every single-index query entry point:
+/// probe -> score -> rank (the query_pipeline.h stages), plus timing,
+/// metrics, and tracing. `trace`, when non-null, receives the
+/// probe/match/rank spans; callers own the extract span (they know whether
+/// extraction happened at all).
 Result<std::vector<QueryMatch>> RunMatchingPipeline(
     const WalrusIndex& index, const std::vector<Region>& query_regions,
     double query_area, const QueryOptions& options, QueryStats* stats,
     QueryTrace* trace) {
   WallTimer timer;
   const QueryPathMetrics& metrics = QueryPathMetrics::Get();
-  const WalrusParams& params = index.params();
   const bool use_bbox =
-      params.signature_kind == RegionSignatureKind::kBoundingBox;
-  const bool paged = index.is_paged();
-  const DiskCounters disk_before = DiskCounters::Read(index.disk_tree());
-  int64_t nodes_visited = 0;
+      index.params().signature_kind == RegionSignatureKind::kBoundingBox;
 
-  // Region matching (section 5.4): one epsilon-expanded probe per query
-  // region; centroid mode post-filters the L-infinity candidates down to
-  // true Euclidean matches.
-  std::map<uint64_t, TargetCandidate> candidates;
-  int64_t regions_retrieved = 0;
+  // Region matching (section 5.4): one epsilon-expanded probe (or kNN
+  // lookup) per query region.
+  std::vector<CandidateImage> candidates;
+  ProbeDiagnostics diag;
   double probe_seconds = 0.0;
   {
     TraceScope probe_span(trace, "probe");
     WallTimer probe_timer;
     if (options.knn_per_region > 0 && !use_bbox) {
       // kNN probing: fixed candidate budget per query region.
-      for (size_t qi = 0; qi < query_regions.size(); ++qi) {
-        const Region& q = query_regions[qi];
-        WALRUS_ASSIGN_OR_RETURN(
-            auto neighbors,
-            index.ProbeNearest(q.centroid, options.knn_per_region));
-        if (!paged) nodes_visited += index.tree().last_nodes_visited();
-        for (const auto& [payload, distance] : neighbors) {
-          (void)distance;
-          uint64_t image_id;
-          uint32_t region_id;
-          DecodeRegionPayload(payload, &image_id, &region_id);
-          ++regions_retrieved;
-          candidates[image_id].pairs.push_back(
-              {static_cast<int>(qi), static_cast<int>(region_id)});
-        }
-      }
+      WALRUS_ASSIGN_OR_RETURN(
+          auto neighbors,
+          ProbeNearestPerRegion(index, query_regions, options.knn_per_region,
+                                &diag));
+      candidates = CandidatesFromNeighbors(neighbors);
     } else {
-      for (size_t qi = 0; qi < query_regions.size(); ++qi) {
-        const Region& q = query_regions[qi];
-        Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
-        WALRUS_RETURN_IF_ERROR(index.ProbeRange(
-            probe, [&](const Rect& rect, uint64_t payload) {
-              uint64_t image_id;
-              uint32_t region_id;
-              DecodeRegionPayload(payload, &image_id, &region_id);
-              if (!use_bbox) {
-                // Exact Euclidean test on the stored centroid (== rect.lo()).
-                if (!RegionsMatchCentroid(
-                        q.centroid.data(), rect.lo().data(),
-                        static_cast<int>(q.centroid.size()),
-                        options.epsilon)) {
-                  return true;
-                }
-              }
-              ++regions_retrieved;
-              candidates[image_id].pairs.push_back(
-                  {static_cast<int>(qi), static_cast<int>(region_id)});
-              return true;
-            }));
-        if (!paged) nodes_visited += index.tree().last_nodes_visited();
-      }
+      WALRUS_ASSIGN_OR_RETURN(
+          candidates, ProbeCandidates(index, query_regions, options, &diag));
     }
     probe_seconds = probe_timer.ElapsedSeconds();
   }
@@ -153,49 +338,9 @@ Result<std::vector<QueryMatch>> RunMatchingPipeline(
   {
     TraceScope match_span(trace, "match");
     WallTimer match_timer;
-    matches.reserve(candidates.size());
-    for (const auto& [image_id, candidate] : candidates) {
-      WALRUS_ASSIGN_OR_RETURN(std::vector<Region> target_regions,
-                              index.ImageRegions(image_id));
-      WALRUS_ASSIGN_OR_RETURN(double target_area, index.ImageArea(image_id));
-      // Refined matching phase (section 5.5): re-verify pairs with the more
-      // detailed signatures where both sides carry them.
-      const std::vector<RegionPair>* pairs = &candidate.pairs;
-      std::vector<RegionPair> refined_pairs;
-      if (options.use_refinement) {
-        refined_pairs.reserve(candidate.pairs.size());
-        for (const RegionPair& pair : candidate.pairs) {
-          const std::vector<float>& q_ref =
-              query_regions[pair.query_index].refined_centroid;
-          const std::vector<float>& t_ref =
-              target_regions[pair.target_index].refined_centroid;
-          if (!q_ref.empty() && q_ref.size() == t_ref.size() &&
-              !RegionsMatchCentroid(q_ref.data(), t_ref.data(),
-                                    static_cast<int>(q_ref.size()),
-                                    options.refined_epsilon)) {
-            continue;  // refuted at the finer resolution
-          }
-          refined_pairs.push_back(pair);
-        }
-        pairs = &refined_pairs;
-      }
-      MatchResult result =
-          options.matcher == MatcherKind::kGreedy
-              ? GreedyMatch(query_regions, target_regions, *pairs,
-                            query_area, target_area)
-              : QuickMatch(query_regions, target_regions, *pairs,
-                           query_area, target_area);
-      double similarity = result.SimilarityAs(options.normalization,
-                                              query_area, target_area);
-      if (similarity < options.tau) continue;
-      QueryMatch match;
-      match.image_id = image_id;
-      match.similarity = similarity;
-      match.matching_pairs = static_cast<int>(pairs->size());
-      match.pairs_used = result.pairs_used;
-      if (options.collect_pairs) match.pairs = std::move(result.used_pairs);
-      matches.push_back(std::move(match));
-    }
+    WALRUS_ASSIGN_OR_RETURN(
+        matches, ScoreCandidates(index, query_regions, query_area, options,
+                                 candidates));
     match_seconds = match_timer.ElapsedSeconds();
   }
 
@@ -203,23 +348,13 @@ Result<std::vector<QueryMatch>> RunMatchingPipeline(
   {
     TraceScope rank_span(trace, "rank");
     WallTimer rank_timer;
-    std::sort(matches.begin(), matches.end(),
-              [](const QueryMatch& a, const QueryMatch& b) {
-                if (a.similarity != b.similarity) {
-                  return a.similarity > b.similarity;
-                }
-                return a.image_id < b.image_id;
-              });
-    if (options.top_k > 0 &&
-        static_cast<int>(matches.size()) > options.top_k) {
-      matches.resize(options.top_k);
-    }
+    RankMatches(&matches, options.top_k);
     rank_seconds = rank_timer.ElapsedSeconds();
   }
 
   metrics.queries->Increment();
   metrics.regions_retrieved->Increment(
-      static_cast<uint64_t>(regions_retrieved));
+      static_cast<uint64_t>(diag.regions_retrieved));
   metrics.candidate_images->Increment(candidates.size());
   metrics.seconds->Observe(timer.ElapsedSeconds());
   metrics.probe_seconds->Observe(probe_seconds);
@@ -227,21 +362,21 @@ Result<std::vector<QueryMatch>> RunMatchingPipeline(
 
   if (stats != nullptr) {
     stats->query_regions = static_cast<int>(query_regions.size());
-    stats->regions_retrieved = regions_retrieved;
+    stats->regions_retrieved = diag.regions_retrieved;
     stats->avg_regions_per_query_region =
         query_regions.empty()
             ? 0.0
-            : static_cast<double>(regions_retrieved) / query_regions.size();
+            : static_cast<double>(diag.regions_retrieved) /
+                  query_regions.size();
     stats->distinct_images = static_cast<int>(candidates.size());
     stats->seconds += timer.ElapsedSeconds();
     stats->probe_seconds = probe_seconds;
     stats->match_seconds = match_seconds;
     stats->rank_seconds = rank_seconds;
-    stats->nodes_visited = nodes_visited;
-    const DiskCounters disk_after = DiskCounters::Read(index.disk_tree());
-    stats->pages_read = disk_after.pages_read - disk_before.pages_read;
-    stats->cache_hits = disk_after.cache_hits - disk_before.cache_hits;
-    stats->cache_misses = disk_after.cache_misses - disk_before.cache_misses;
+    stats->nodes_visited = diag.nodes_visited;
+    stats->pages_read = diag.pages_read;
+    stats->cache_hits = diag.cache_hits;
+    stats->cache_misses = diag.cache_misses;
   }
   return matches;
 }
@@ -274,45 +409,24 @@ Result<std::vector<QueryMatch>> ExecuteSceneQuery(const WalrusIndex& index,
   QueryTrace storage;
   QueryTrace* trace = TraceFor(options, stats, &storage);
   WallTimer timer;
-  Result<std::vector<Region>> scene_regions =
-      Status::Internal("unreachable");
-  double effective_area = 0.0;
-  {
-    TraceScope extract_span(trace, "extract");
-    scene_regions = ExtractSceneRegions(query_image, scene, index.params(),
-                                        nullptr, trace);
-    if (scene_regions.ok()) {
-      // Region bitmaps are image-relative, so the "query area" must be the
-      // pixels the scene's windows can actually cover: the union of all
-      // scene region bitmaps. With kQueryOnly normalization a perfect match
-      // then scores 1 regardless of how small the marked scene is.
-      if (scene_regions->empty()) {
-        return Status::InvalidArgument("scene produced no regions");
-      }
-      CoverageBitmap coverable((*scene_regions)[0].bitmap.side());
-      for (const Region& region : *scene_regions) {
-        coverable.UnionWith(region.bitmap);
-      }
-      double image_area =
-          static_cast<double>(query_image.width()) * query_image.height();
-      effective_area = image_area * coverable.CoveredFraction();
-    }
-  }
-  WALRUS_RETURN_IF_ERROR(scene_regions.status());
+  WALRUS_ASSIGN_OR_RETURN(
+      ExtractedQuery extracted,
+      ExtractSceneQueryRegions(query_image, scene, index.params(), trace));
   double extract_seconds = timer.ElapsedSeconds();
   QueryPathMetrics::Get().extract_seconds->Observe(extract_seconds);
   if (stats != nullptr) {
     stats->seconds = extract_seconds;
     stats->extract_seconds = extract_seconds;
   }
-  auto result = RunMatchingPipeline(index, *scene_regions, effective_area,
-                                    options, stats, trace);
+  auto result =
+      RunMatchingPipeline(index, extracted.regions, extracted.query_area,
+                          options, stats, trace);
   if (trace != nullptr) stats->spans = trace->TakeSpans();
   return result;
 }
 
 Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
-    const WalrusIndex& index, const std::vector<ImageF>& queries,
+    const QueryEngine& engine, const std::vector<ImageF>& queries,
     const QueryOptions& options, int num_threads) {
   std::vector<std::vector<QueryMatch>> results(queries.size());
   if (queries.empty()) return results;
@@ -325,7 +439,7 @@ Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
     ThreadPool pool(num_threads);
     pool.ParallelFor(static_cast<int>(queries.size()), [&](int i) {
       slots[i] = std::make_unique<Result<std::vector<QueryMatch>>>(
-          ExecuteQuery(index, queries[i], options));
+          engine.RunQuery(queries[i], options, nullptr));
     });
   }
   for (size_t i = 0; i < slots.size(); ++i) {
@@ -341,6 +455,13 @@ Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
   return results;
 }
 
+Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
+    const WalrusIndex& index, const std::vector<ImageF>& queries,
+    const QueryOptions& options, int num_threads) {
+  SingleIndexEngine engine(index);
+  return ExecuteQueryBatch(engine, queries, options, num_threads);
+}
+
 Result<std::vector<QueryMatch>> ExecuteQuery(const WalrusIndex& index,
                                              const ImageF& query_image,
                                              const QueryOptions& options,
@@ -348,24 +469,18 @@ Result<std::vector<QueryMatch>> ExecuteQuery(const WalrusIndex& index,
   QueryTrace storage;
   QueryTrace* trace = TraceFor(options, stats, &storage);
   WallTimer timer;
-  Result<std::vector<Region>> query_regions =
-      Status::Internal("unreachable");
-  {
-    TraceScope extract_span(trace, "extract");
-    query_regions =
-        ExtractRegions(query_image, index.params(), nullptr, trace);
-  }
-  WALRUS_RETURN_IF_ERROR(query_regions.status());
+  WALRUS_ASSIGN_OR_RETURN(
+      ExtractedQuery extracted,
+      ExtractQueryRegions(query_image, index.params(), trace));
   double extraction_seconds = timer.ElapsedSeconds();
   QueryPathMetrics::Get().extract_seconds->Observe(extraction_seconds);
   if (stats != nullptr) {
     stats->seconds = extraction_seconds;
     stats->extract_seconds = extraction_seconds;
   }
-  auto result = RunMatchingPipeline(
-      index, *query_regions,
-      static_cast<double>(query_image.width()) * query_image.height(),
-      options, stats, trace);
+  auto result =
+      RunMatchingPipeline(index, extracted.regions, extracted.query_area,
+                          options, stats, trace);
   if (trace != nullptr) stats->spans = trace->TakeSpans();
   return result;
 }

@@ -74,23 +74,28 @@ struct QueryStats {
   /// End-to-end wall time in seconds (region extraction + probe + match).
   double seconds = 0.0;
 
-  // Per-stage wall time (seconds). extract covers sliding-window wavelets +
-  // BIRCH clustering + region assembly; probe the R*-tree range/kNN
-  // lookups; match the quick/greedy image matcher; rank the final sort.
+  /// Per-stage wall time (seconds). extract covers sliding-window wavelets
+  /// + BIRCH clustering + region assembly; probe the R*-tree range/kNN
+  /// lookups; match the quick/greedy image matcher; rank the final sort.
   double extract_seconds = 0.0;
   double probe_seconds = 0.0;
   double match_seconds = 0.0;
   double rank_seconds = 0.0;
 
-  // Index-backend work done by this query's probes. For the in-memory tree
-  // nodes_visited counts R*-tree nodes touched; for a paged index
-  // pages_read / cache_hits / cache_misses are the page-IO deltas (under
-  // concurrent queries the per-query attribution is approximate; the
-  // process-wide truth lives in the metrics registry).
+  /// Index-backend work done by this query's probes. For the in-memory
+  /// tree nodes_visited counts R*-tree nodes touched; for a paged index
+  /// pages_read / cache_hits / cache_misses are the page-IO deltas (under
+  /// concurrent queries the per-query attribution is approximate; the
+  /// process-wide truth lives in the metrics registry).
   int64_t nodes_visited = 0;
   int64_t pages_read = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+
+  /// True when the query was answered from the engine's result cache (see
+  /// core/result_cache.h) — the extract/probe/match stages were skipped and
+  /// their per-stage timings above are zero.
+  bool result_cache_hit = false;
 
   /// Span tree of this query; populated when QueryOptions::collect_trace.
   std::vector<TraceSpan> spans;
@@ -123,6 +128,15 @@ Result<std::vector<QueryMatch>> ExecuteSceneQuery(const WalrusIndex& index,
 /// returned, annotated with its index ("query <i> of <n>: ...").
 Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
     const WalrusIndex& index, const std::vector<ImageF>& queries,
+    const QueryOptions& options, int num_threads = 0);
+
+class QueryEngine;
+
+/// Batch entry point over any query engine (single index or sharded). Each
+/// query runs on its own pool thread via QueryEngine::RunQuery — engines
+/// must be thread-safe for concurrent queries (both implementations are).
+Result<std::vector<std::vector<QueryMatch>>> ExecuteQueryBatch(
+    const QueryEngine& engine, const std::vector<ImageF>& queries,
     const QueryOptions& options, int num_threads = 0);
 
 /// Same pipeline starting from pre-extracted query regions (lets callers

@@ -1,0 +1,165 @@
+#include "core/result_cache.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace walrus {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t hash, const void* data, size_t bytes) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+template <typename T>
+uint64_t FnvMixValue(uint64_t hash, const T& value) {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "hash raw bytes of trivial types only");
+  return FnvMix(hash, &value, sizeof(value));
+}
+
+uint64_t DigestImage(uint64_t hash, const ImageF& image) {
+  hash = FnvMixValue(hash, image.width());
+  hash = FnvMixValue(hash, image.height());
+  hash = FnvMixValue(hash, image.channels());
+  hash = FnvMixValue(hash, image.color_space());
+  for (int c = 0; c < image.channels(); ++c) {
+    const std::vector<float>& plane = image.Plane(c);
+    hash = FnvMix(hash, plane.data(), plane.size() * sizeof(float));
+  }
+  return hash;
+}
+
+/// Canonical options encoding: every field that changes the ranking, in
+/// declaration order. collect_trace is deliberately excluded — the cached
+/// ranking is identical, and callers that want spans bypass the cache (a
+/// cached entry has no pipeline to trace). collect_pairs IS included:
+/// whether QueryMatch::pairs is populated is part of the cached value.
+uint64_t DigestOptions(uint64_t hash, const QueryOptions& options) {
+  hash = FnvMixValue(hash, options.epsilon);
+  hash = FnvMixValue(hash, options.tau);
+  hash = FnvMixValue(hash, options.matcher);
+  hash = FnvMixValue(hash, options.normalization);
+  hash = FnvMixValue(hash, options.knn_per_region);
+  hash = FnvMixValue(hash, options.use_refinement);
+  hash = FnvMixValue(hash, options.refined_epsilon);
+  hash = FnvMixValue(hash, options.top_k);
+  hash = FnvMixValue(hash, options.collect_pairs);
+  return hash;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity)
+    : capacity_(capacity),
+      metric_hits_(
+          MetricsRegistry::Global().GetCounter("walrus.result_cache.hits")),
+      metric_misses_(
+          MetricsRegistry::Global().GetCounter("walrus.result_cache.misses")),
+      metric_evictions_(MetricsRegistry::Global().GetCounter(
+          "walrus.result_cache.evictions")),
+      metric_invalidations_(MetricsRegistry::Global().GetCounter(
+          "walrus.result_cache.invalidations")),
+      metric_entries_(
+          MetricsRegistry::Global().GetGauge("walrus.result_cache.entries")) {}
+
+ResultCache::Key ResultCache::MakeKey(const ImageF& image,
+                                      const QueryOptions& options) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMixValue(hash, uint8_t{0});  // domain tag: whole-image query
+  hash = DigestImage(hash, image);
+  hash = DigestOptions(hash, options);
+  return Key{hash};
+}
+
+ResultCache::Key ResultCache::MakeKey(const ImageF& image,
+                                      const PixelRect& scene,
+                                      const QueryOptions& options) {
+  uint64_t hash = kFnvOffset;
+  hash = FnvMixValue(hash, uint8_t{1});  // domain tag: scene query
+  hash = DigestImage(hash, image);
+  hash = FnvMixValue(hash, scene.x);
+  hash = FnvMixValue(hash, scene.y);
+  hash = FnvMixValue(hash, scene.width);
+  hash = FnvMixValue(hash, scene.height);
+  hash = DigestOptions(hash, options);
+  return Key{hash};
+}
+
+std::optional<std::vector<QueryMatch>> ResultCache::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    metric_misses_->Increment();
+    return std::nullopt;
+  }
+  ++hits_;
+  metric_hits_->Increment();
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return it->second->matches;
+}
+
+void ResultCache::Insert(const Key& key, std::vector<QueryMatch> matches) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh in place (a racing miss on the same key already inserted).
+    it->second->matches = std::move(matches);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+    metric_evictions_->Increment();
+  }
+  lru_.push_front(Entry{key, std::move(matches)});
+  map_[key] = lru_.begin();
+  metric_entries_->Set(static_cast<int64_t>(lru_.size()));
+}
+
+void ResultCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  ++invalidations_;
+  metric_invalidations_->Increment();
+  metric_entries_->Set(0);
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+uint64_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+}  // namespace walrus

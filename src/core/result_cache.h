@@ -1,0 +1,104 @@
+#ifndef WALRUS_CORE_RESULT_CACHE_H_
+#define WALRUS_CORE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/query.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// LRU cache of ranked query results, keyed by a digest of the query image
+/// pixels (plus the scene rect for scene queries) and the QueryOptions that
+/// shape the ranking. A hit skips the whole pipeline — extraction, probing,
+/// and matching — which is what makes repeated hot queries cheap.
+///
+/// Invalidation is coarse by design: any index mutation (AddImage,
+/// AddImages, RemoveImage) clears the entire cache via Invalidate().
+/// Per-entry invalidation is impossible without re-running the query — a
+/// newly added image can enter any cached ranking — so correctness requires
+/// the big hammer. Sized in entries, not bytes; rankings are top_k-bounded
+/// in every caching caller.
+///
+/// Thread-safe: a single mutex guards the map and the LRU list. Queries
+/// under the quick matcher run in ~milliseconds, so a cache lookup is never
+/// the contention point; the fan-out pool is.
+class ResultCache {
+ public:
+  /// Cache key: 64-bit FNV-1a digest over the query content + a canonical
+  /// encoding of the options. Collisions conflate two different queries
+  /// (~2^-32 at a million distinct queries by birthday bound) — acceptable
+  /// for a ranking cache, same tradeoff page caches make.
+  struct Key {
+    uint64_t digest = 0;
+    bool operator==(const Key& other) const { return digest == other.digest; }
+  };
+
+  /// `capacity` = max cached rankings; 0 disables the cache entirely
+  /// (Lookup always misses, Insert is a no-op).
+  explicit ResultCache(size_t capacity);
+
+  /// Digest of a whole-image query: image pixels + options.
+  static Key MakeKey(const ImageF& image, const QueryOptions& options);
+  /// Digest of a scene query: image pixels + scene rect + options.
+  static Key MakeKey(const ImageF& image, const PixelRect& scene,
+                     const QueryOptions& options);
+
+  /// Returns the cached ranking and promotes the entry to most-recently
+  /// used; nullopt on miss.
+  std::optional<std::vector<QueryMatch>> Lookup(const Key& key);
+
+  /// Stores a ranking, evicting the least-recently-used entry when full.
+  /// No-op when capacity is 0.
+  void Insert(const Key& key, std::vector<QueryMatch> matches);
+
+  /// Drops every entry. Called on any index mutation.
+  void Invalidate();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+  uint64_t invalidations() const;
+
+ private:
+  struct Entry {
+    Key key;
+    std::vector<QueryMatch> matches;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(key.digest);
+    }
+  };
+
+  const size_t capacity_;
+  /// Process-global registry mirrors of the per-instance counters below
+  /// (walrus.result_cache.{hits,misses,evictions,invalidations,entries}),
+  /// so cache health shows up in walrusd METRICS alongside the query
+  /// funnel. Shared across cache instances — cumulative by design.
+  Counter* metric_hits_;
+  Counter* metric_misses_;
+  Counter* metric_evictions_;
+  Counter* metric_invalidations_;
+  Gauge* metric_entries_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_RESULT_CACHE_H_

@@ -261,6 +261,7 @@ void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer) {
   writer->PutI64(stats.pages_read);
   writer->PutI64(stats.cache_hits);
   writer->PutI64(stats.cache_misses);
+  writer->PutU8(stats.result_cache_hit ? 1 : 0);
   EncodeTraceSpans(stats.spans, writer);
 }
 
@@ -280,6 +281,8 @@ Result<QueryStats> DecodeQueryStats(BinaryReader* reader) {
   WALRUS_ASSIGN_OR_RETURN(stats.pages_read, reader->GetI64());
   WALRUS_ASSIGN_OR_RETURN(stats.cache_hits, reader->GetI64());
   WALRUS_ASSIGN_OR_RETURN(stats.cache_misses, reader->GetI64());
+  WALRUS_ASSIGN_OR_RETURN(uint8_t cache_hit, reader->GetU8());
+  stats.result_cache_hit = cache_hit != 0;
   WALRUS_ASSIGN_OR_RETURN(stats.spans, DecodeTraceSpans(reader));
   return stats;
 }
@@ -420,6 +423,13 @@ void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer) {
   writer->PutU64(stats.connections_accepted);
   writer->PutDouble(stats.latency_p50_ms);
   writer->PutDouble(stats.latency_p99_ms);
+  writer->PutU32(stats.num_shards);
+  writer->PutU32(static_cast<uint32_t>(stats.shard_probes.size()));
+  for (uint64_t probes : stats.shard_probes) writer->PutU64(probes);
+  writer->PutU64(stats.result_cache_hits);
+  writer->PutU64(stats.result_cache_misses);
+  writer->PutU64(stats.result_cache_entries);
+  writer->PutU64(stats.result_cache_capacity);
 }
 
 Result<ServerStats> DecodeServerStats(BinaryReader* reader) {
@@ -439,6 +449,23 @@ Result<ServerStats> DecodeServerStats(BinaryReader* reader) {
   WALRUS_ASSIGN_OR_RETURN(stats.connections_accepted, reader->GetU64());
   WALRUS_ASSIGN_OR_RETURN(stats.latency_p50_ms, reader->GetDouble());
   WALRUS_ASSIGN_OR_RETURN(stats.latency_p99_ms, reader->GetDouble());
+  WALRUS_ASSIGN_OR_RETURN(stats.num_shards, reader->GetU32());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t num_probe_entries, reader->GetU32());
+  // One probe counter per shard; refuse implausible counts before
+  // reserving (same discipline as the span decoder).
+  if (num_probe_entries > 4096 ||
+      static_cast<uint64_t>(num_probe_entries) * 8 > reader->remaining()) {
+    return Status::Corruption("server stats: truncated shard probe list");
+  }
+  stats.shard_probes.reserve(num_probe_entries);
+  for (uint32_t i = 0; i < num_probe_entries; ++i) {
+    WALRUS_ASSIGN_OR_RETURN(uint64_t probes, reader->GetU64());
+    stats.shard_probes.push_back(probes);
+  }
+  WALRUS_ASSIGN_OR_RETURN(stats.result_cache_hits, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.result_cache_misses, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.result_cache_entries, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(stats.result_cache_capacity, reader->GetU64());
   return stats;
 }
 

@@ -37,7 +37,10 @@ namespace walrus {
 inline constexpr uint32_t kProtocolMagic = 0x57414C52;  // "WALR"
 /// v2: QueryOptions gained collect_trace; QueryStats gained the per-stage
 /// breakdown and span tree; the METRICS opcode was added.
-inline constexpr uint8_t kProtocolVersion = 2;
+/// v3: QueryStats gained result_cache_hit; ServerStats gained the shard
+/// fan-out section (num_shards, per-shard probe counts) and result-cache
+/// counters.
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr size_t kFrameTrailerBytes = 4;
 /// Upper bound on a frame body; larger length prefixes are rejected before
@@ -131,6 +134,16 @@ struct ServerStats {
   /// log-scale histogram.
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
+  /// Shard fan-out (v3): shard count of the engine behind the server (1
+  /// when serving a plain WalrusIndex) and cumulative regions retrieved by
+  /// probes against each shard.
+  uint32_t num_shards = 1;
+  std::vector<uint64_t> shard_probes;
+  /// Result-cache health (v3); all zero when no cache is configured.
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_entries = 0;
+  uint64_t result_cache_capacity = 0;
 };
 void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer);
 Result<ServerStats> DecodeServerStats(BinaryReader* reader);

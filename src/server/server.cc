@@ -57,7 +57,15 @@ double WalrusServer::LatencyHistogram::QuantileMs(double q) const {
 }
 
 WalrusServer::WalrusServer(const WalrusIndex& index, ServerOptions options)
-    : index_(index), options_(std::move(options)) {
+    : owned_engine_(std::make_unique<SingleIndexEngine>(index)),
+      engine_(*owned_engine_),
+      options_(std::move(options)) {
+  for (auto& counter : requests_by_opcode_) counter.store(0);
+  for (auto& counter : latency_.counts) counter.store(0);
+}
+
+WalrusServer::WalrusServer(const QueryEngine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
   for (auto& counter : requests_by_opcode_) counter.store(0);
   for (auto& counter : latency_.counts) counter.store(0);
 }
@@ -75,10 +83,12 @@ Status WalrusServer::Start() {
   pool_ = std::make_unique<ThreadPool>(workers);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
-  WALRUS_LOG(Info) << "walrusd serving " << index_.ImageCount()
+  EngineStats engine_stats = engine_.Stats();
+  WALRUS_LOG(Info) << "walrusd serving " << engine_.ImageCount()
                    << " images on " << options_.host << ":" << port_ << " ("
-                   << workers << " workers, admission bound "
-                   << options_.max_pending << ")";
+                   << engine_stats.num_shards << " shard(s), " << workers
+                   << " workers, admission bound " << options_.max_pending
+                   << ")";
   return Status::OK();
 }
 
@@ -314,9 +324,8 @@ void WalrusServer::ExecuteRequest(
       QueryStats stats;
       Result<std::vector<QueryMatch>> matches =
           header.opcode == Opcode::kQuery
-              ? ExecuteQuery(index_, image, query_options, &stats)
-              : ExecuteSceneQuery(index_, image, scene, query_options,
-                                  &stats);
+              ? engine_.RunQuery(image, query_options, &stats)
+              : engine_.RunSceneQuery(image, scene, query_options, &stats);
       if (!matches.ok()) {
         status = matches.status();
         break;
@@ -382,6 +391,13 @@ ServerStats WalrusServer::Snapshot() const {
       connections_accepted_.load(std::memory_order_relaxed);
   stats.latency_p50_ms = latency_.QuantileMs(0.50);
   stats.latency_p99_ms = latency_.QuantileMs(0.99);
+  EngineStats engine_stats = engine_.Stats();
+  stats.num_shards = static_cast<uint32_t>(engine_stats.num_shards);
+  stats.shard_probes = std::move(engine_stats.shard_probes);
+  stats.result_cache_hits = engine_stats.result_cache_hits;
+  stats.result_cache_misses = engine_stats.result_cache_misses;
+  stats.result_cache_entries = engine_stats.result_cache_entries;
+  stats.result_cache_capacity = engine_stats.result_cache_capacity;
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #include "common/socket.h"
 #include "common/thread_pool.h"
 #include "core/index.h"
+#include "core/query_engine.h"
 #include "server/protocol.h"
 
 namespace walrus {
@@ -61,8 +62,13 @@ struct ServerOptions {
 class WalrusServer {
  public:
   /// `index` must outlive the server and is queried concurrently; it is
-  /// never mutated.
+  /// never mutated. Serves through an internally owned SingleIndexEngine.
   WalrusServer(const WalrusIndex& index, ServerOptions options);
+
+  /// Serves any query engine — this is how walrusd runs sharded
+  /// (`--shards N` builds a ShardedIndex and hands it here). `engine` must
+  /// outlive the server; it is queried concurrently and never mutated.
+  WalrusServer(const QueryEngine& engine, ServerOptions options);
   ~WalrusServer();
 
   WalrusServer(const WalrusServer&) = delete;
@@ -125,7 +131,9 @@ class WalrusServer {
                      const FrameHeader& header, const Status& status,
                      const std::vector<uint8_t>& payload);
 
-  const WalrusIndex& index_;
+  /// Set only by the WalrusIndex convenience ctor; engine_ points at it.
+  std::unique_ptr<SingleIndexEngine> owned_engine_;
+  const QueryEngine& engine_;
   ServerOptions options_;
   uint16_t port_ = 0;
 

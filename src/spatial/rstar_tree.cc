@@ -658,7 +658,20 @@ std::vector<std::pair<uint64_t, double>> RStarTree::NearestNeighbors(
     double dist;
     const Node* node;    // non-null for subtree items
     const Entry* entry;  // non-null for leaf-entry items
-    bool operator>(const QueueItem& other) const { return dist > other.dist; }
+    /// Min-heap order: distance first; at equal distance subtrees pop
+    /// before leaf entries (an unexpanded subtree may still hold an
+    /// equal-distance entry with a smaller payload), and tied entries pop
+    /// by payload. This makes the neighbor list a function of the entry
+    /// set alone, not of tree layout, so bulk-loaded and incrementally
+    /// built trees return identical results even under distance ties.
+    bool operator>(const QueueItem& other) const {
+      if (dist != other.dist) return dist > other.dist;
+      const bool leaf = entry != nullptr;
+      const bool other_leaf = other.entry != nullptr;
+      if (leaf != other_leaf) return leaf;
+      if (leaf) return entry->payload > other.entry->payload;
+      return false;
+    }
   };
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> heap;
   heap.push({0.0, root_.get(), nullptr});

@@ -1,0 +1,196 @@
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/result_cache.h"
+#include "core/sharded_index.h"
+#include "image/dataset.h"
+
+namespace walrus {
+namespace {
+
+ImageF SolidImage(int side, float r, float g, float b) {
+  ImageF image(side, side, 3, ColorSpace::kRGB);
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      image.SetPixel(x, y, {r, g, b});
+    }
+  }
+  return image;
+}
+
+std::vector<QueryMatch> OneMatch(uint64_t id, double similarity) {
+  QueryMatch m;
+  m.image_id = id;
+  m.similarity = similarity;
+  return {m};
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  ImageF image = SolidImage(16, 0.3f, 0.4f, 0.5f);
+  QueryOptions options;
+  ResultCache::Key key = ResultCache::MakeKey(image, options);
+
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Insert(key, OneMatch(7, 0.9));
+  auto hit = cache.Lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0].image_id, 7u);
+  EXPECT_DOUBLE_EQ((*hit)[0].similarity, 0.9);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, KeyDependsOnImageAndOptions) {
+  ImageF a = SolidImage(16, 0.3f, 0.4f, 0.5f);
+  ImageF b = SolidImage(16, 0.3f, 0.4f, 0.6f);
+  QueryOptions options;
+  EXPECT_EQ(ResultCache::MakeKey(a, options).digest,
+            ResultCache::MakeKey(a, options).digest);
+  EXPECT_NE(ResultCache::MakeKey(a, options).digest,
+            ResultCache::MakeKey(b, options).digest);
+
+  QueryOptions wider = options;
+  wider.epsilon = 0.2f;
+  EXPECT_NE(ResultCache::MakeKey(a, options).digest,
+            ResultCache::MakeKey(a, wider).digest);
+
+  // collect_trace does not shape the ranking, so it must not split keys
+  // (trace queries bypass the cache at the engine layer anyway).
+  QueryOptions traced = options;
+  traced.collect_trace = true;
+  EXPECT_EQ(ResultCache::MakeKey(a, options).digest,
+            ResultCache::MakeKey(a, traced).digest);
+
+  // The scene rect is part of a scene-query key.
+  PixelRect scene1{0, 0, 8, 8};
+  PixelRect scene2{4, 4, 12, 12};
+  EXPECT_NE(ResultCache::MakeKey(a, scene1, options).digest,
+            ResultCache::MakeKey(a, scene2, options).digest);
+  EXPECT_NE(ResultCache::MakeKey(a, options).digest,
+            ResultCache::MakeKey(a, scene1, options).digest);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  ImageF a = SolidImage(8, 0.1f, 0.1f, 0.1f);
+  ImageF b = SolidImage(8, 0.2f, 0.2f, 0.2f);
+  ImageF c = SolidImage(8, 0.3f, 0.3f, 0.3f);
+  QueryOptions options;
+  ResultCache::Key ka = ResultCache::MakeKey(a, options);
+  ResultCache::Key kb = ResultCache::MakeKey(b, options);
+  ResultCache::Key kc = ResultCache::MakeKey(c, options);
+
+  cache.Insert(ka, OneMatch(1, 0.1));
+  cache.Insert(kb, OneMatch(2, 0.2));
+  // Touch `a` so `b` becomes the LRU entry, then overflow with `c`.
+  ASSERT_TRUE(cache.Lookup(ka).has_value());
+  cache.Insert(kc, OneMatch(3, 0.3));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(ka).has_value());
+  EXPECT_FALSE(cache.Lookup(kb).has_value());  // evicted
+  EXPECT_TRUE(cache.Lookup(kc).has_value());
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  ImageF image = SolidImage(8, 0.5f, 0.5f, 0.5f);
+  QueryOptions options;
+  ResultCache::Key key = ResultCache::MakeKey(image, options);
+  cache.Insert(key, OneMatch(1, 1.0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+}
+
+TEST(ResultCacheTest, InvalidateDropsEverything) {
+  ResultCache cache(4);
+  QueryOptions options;
+  ImageF a = SolidImage(8, 0.1f, 0.2f, 0.3f);
+  ImageF b = SolidImage(8, 0.4f, 0.5f, 0.6f);
+  cache.Insert(ResultCache::MakeKey(a, options), OneMatch(1, 0.5));
+  cache.Insert(ResultCache::MakeKey(b, options), OneMatch(2, 0.6));
+  ASSERT_EQ(cache.size(), 2u);
+
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_FALSE(cache.Lookup(ResultCache::MakeKey(a, options)).has_value());
+}
+
+// End-to-end invalidation rule: a mutation through the sharded engine must
+// clear the cache, so the next identical query sees the new image instead
+// of a stale ranking.
+TEST(ResultCacheTest, InvalidationOnAddImages) {
+  WalrusParams params;
+  params.min_window = 16;
+  params.max_window = 32;
+  params.slide_step = 8;
+
+  DatasetParams dp;
+  dp.num_images = 10;
+  dp.width = 64;
+  dp.height = 64;
+  dp.seed = 91;
+  std::vector<LabeledImage> dataset = GenerateDataset(dp);
+
+  ShardedIndex::Options shard_options;
+  shard_options.num_shards = 2;
+  shard_options.cache_capacity = 8;
+  ShardedIndex engine(params, shard_options);
+  std::vector<WalrusIndex::PendingImage> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(
+        {static_cast<uint64_t>(dataset[i].id), "img", dataset[i].image});
+  }
+  ASSERT_TRUE(engine.AddImages(std::move(batch)).ok());
+
+  QueryOptions options;
+  options.epsilon = 0.12f;
+  const ImageF& query = dataset[8].image;
+
+  QueryStats stats;
+  auto first = engine.RunQuery(query, options, &stats);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(stats.result_cache_hit);
+
+  auto second = engine.RunQuery(query, options, &stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(stats.result_cache_hit);
+  ASSERT_EQ(second->size(), first->size());
+
+  // Index the query image itself: the cache must be invalidated, and the
+  // re-executed query must now rank the exact duplicate.
+  ASSERT_TRUE(engine
+                  .AddImage(static_cast<uint64_t>(dataset[8].id), "img",
+                            dataset[8].image)
+                  .ok());
+  ASSERT_NE(engine.result_cache(), nullptr);
+  EXPECT_EQ(engine.result_cache()->size(), 0u);
+  EXPECT_GE(engine.result_cache()->invalidations(), 1u);
+
+  auto third = engine.RunQuery(query, options, &stats);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(stats.result_cache_hit);
+  ASSERT_FALSE(third->empty());
+  // The duplicate must now appear, tied with the best similarity (other
+  // images can tie at the top under this epsilon; ranking ties break by id).
+  bool found = false;
+  for (const QueryMatch& m : *third) {
+    if (m.image_id == static_cast<uint64_t>(dataset[8].id)) {
+      found = true;
+      EXPECT_EQ(m.similarity, (*third)[0].similarity);
+    }
+  }
+  EXPECT_TRUE(found) << "newly added image missing from re-executed query";
+  EXPECT_GT(third->size(), first->size());
+}
+
+}  // namespace
+}  // namespace walrus

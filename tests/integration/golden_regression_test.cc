@@ -12,6 +12,8 @@
 #include "common/status.h"
 #include "core/index.h"
 #include "core/query.h"
+#include "core/query_engine.h"
+#include "core/sharded_index.h"
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "image/dataset.h"
@@ -97,7 +99,7 @@ std::string Key(int query_id, const char* metric) {
 }
 
 /// Runs the pinned workload and computes every golden metric.
-MetricMap ComputeActualMetrics(const WalrusIndex& index,
+MetricMap ComputeActualMetrics(const QueryEngine& engine,
                                const std::vector<LabeledImage>& dataset,
                                const GroundTruth& truth) {
   QueryOptions options;
@@ -107,7 +109,7 @@ MetricMap ComputeActualMetrics(const WalrusIndex& index,
   std::vector<double> precisions, recalls, aps, ndcgs;
   for (int id = 0; id < kNumQueries; ++id) {
     Result<std::vector<QueryMatch>> matches =
-        ExecuteQuery(index, dataset[id].image, options);
+        engine.RunQuery(dataset[id].image, options);
     EXPECT_TRUE(matches.ok()) << matches.status();
     if (!matches.ok()) continue;
 
@@ -189,7 +191,8 @@ void WriteGolden(const std::string& path, const MetricMap& metrics) {
 
 TEST_F(GoldenRegressionTest, RetrievalMetricsMatchGolden) {
   const std::string golden_path = WALRUS_GOLDEN_FILE;
-  MetricMap actual = ComputeActualMetrics(*index_, *dataset_, *truth_);
+  SingleIndexEngine engine(*index_);
+  MetricMap actual = ComputeActualMetrics(engine, *dataset_, *truth_);
   ASSERT_FALSE(actual.empty());
 
   if (std::getenv("WALRUS_UPDATE_GOLDEN") != nullptr) {
@@ -239,11 +242,50 @@ TEST_F(GoldenRegressionTest, RetrievalMetricsMatchGolden) {
          "WALRUS_UPDATE_GOLDEN=1 and commit the updated golden file.";
 }
 
+/// The sharded engine must reproduce the golden metrics bit-for-bit: its
+/// rankings are byte-identical to the single index by construction
+/// (core/sharded_index.h), so the SAME golden file is its acceptance
+/// harness. WALRUS_GOLDEN_SHARDS overrides the shard count (default 4).
+TEST_F(GoldenRegressionTest, ShardedRetrievalMetricsMatchGolden) {
+  int num_shards = 4;
+  if (const char* env = std::getenv("WALRUS_GOLDEN_SHARDS")) {
+    num_shards = std::atoi(env);
+    ASSERT_GE(num_shards, 1);
+  }
+  ShardedIndex::Options options;
+  options.num_shards = num_shards;
+  Result<ShardedIndex> sharded = ShardedIndex::Partition(*index_, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+
+  SingleIndexEngine single(*index_);
+  MetricMap expected = ComputeActualMetrics(single, *dataset_, *truth_);
+  MetricMap actual = ComputeActualMetrics(*sharded, *dataset_, *truth_);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [key, value] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << key;
+    // Exact equality, not a tolerance: sharding must not move a single bit.
+    EXPECT_EQ(it->second, value) << key << " (shards=" << num_shards << ")";
+  }
+
+  Result<MetricMap> golden = LoadGolden(WALRUS_GOLDEN_FILE);
+  if (golden.ok()) {
+    constexpr double kTolerance = 1e-6;
+    for (const auto& [key, value] : *golden) {
+      auto it = actual.find(key);
+      ASSERT_NE(it, actual.end()) << key;
+      EXPECT_NEAR(it->second, value, kTolerance)
+          << key << " (shards=" << num_shards << ")";
+    }
+  }
+}
+
 /// The workload itself must stay sane regardless of the pinned numbers:
 /// self-retrieval is the floor any index build must clear. If this fails,
 /// fix retrieval before re-pinning the golden file.
 TEST_F(GoldenRegressionTest, WorkloadSanitySelfRetrievalWorks) {
-  MetricMap actual = ComputeActualMetrics(*index_, *dataset_, *truth_);
+  SingleIndexEngine engine(*index_);
+  MetricMap actual = ComputeActualMetrics(engine, *dataset_, *truth_);
   for (int id = 0; id < kNumQueries; ++id) {
     auto it = actual.find(Key(id, "self_rank"));
     ASSERT_NE(it, actual.end());
