@@ -1,0 +1,176 @@
+// Micro-benchmark for the runtime-dispatched similarity kernels
+// (common/simd.h, DESIGN.md section 12): each kernel is timed at every ISA
+// level this CPU supports, over workload shapes matching the query path
+// (dim-12 signatures, node-sized entry batches). Reports ns/op and the
+// speedup of each level over the scalar reference, and writes
+// BENCH_simd_kernels.json.
+//
+// The pair kernels (squared_l2, min_squared_distance) keep an ordered
+// scalar reduction for bit-exactness, so their vector speedups are modest;
+// the batch kernels (lanes = entries) carry the real throughput gains.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/random.h"
+#include "common/simd.h"
+#include "common/timer.h"
+
+namespace {
+
+using walrus::Rng;
+using walrus::WallTimer;
+using walrus::simd::IsaLevel;
+using walrus::simd::IsaName;
+using walrus::simd::Kernels;
+using walrus::simd::MaxSupportedIsa;
+
+constexpr int kDim = 12;     // region signature dim for s=2, 3 channels
+constexpr int kCount = 256;  // entries per batch (a few tree nodes)
+
+struct Workload {
+  std::vector<float> a, b;          // pair operands, kDim
+  std::vector<float> lo, hi;        // SoA planes, kDim * kCount
+  std::vector<float> qlo, qhi, q;   // query box / point, kDim
+  std::vector<float> row0, row1;    // haar input rows, 2 * kCount
+  std::vector<double> out;          // batch distance sink, kCount
+  std::vector<float> haar_out;      // haar sink, 4 * kCount
+  std::vector<uint64_t> mask;       // batch intersect sink
+};
+
+Workload MakeWorkload() {
+  Rng rng(20260806);
+  Workload w;
+  auto fill = [&rng](std::vector<float>* v, size_t n) {
+    v->resize(n);
+    for (float& x : *v) x = rng.NextFloat();
+  };
+  fill(&w.a, kDim);
+  fill(&w.b, kDim);
+  fill(&w.lo, static_cast<size_t>(kDim) * kCount);
+  w.hi = w.lo;
+  for (float& x : w.hi) x += 0.05f;
+  fill(&w.qlo, kDim);
+  w.qhi = w.qlo;
+  for (float& x : w.qhi) x += 0.3f;
+  fill(&w.q, kDim);
+  fill(&w.row0, 2 * kCount);
+  fill(&w.row1, 2 * kCount);
+  w.out.resize(kCount);
+  w.haar_out.resize(4 * kCount);
+  w.mask.resize((kCount + 63) / 64);
+  return w;
+}
+
+// Runs `op` until ~20ms elapse and returns ns per call. `sink` defeats DCE.
+template <typename Op>
+double TimeNs(Op op, double* sink) {
+  // Warm up and calibrate.
+  int iters = 64;
+  for (int i = 0; i < iters; ++i) *sink += op();
+  double elapsed = 0.0;
+  while (true) {
+    WallTimer timer;
+    for (int i = 0; i < iters; ++i) *sink += op();
+    elapsed = timer.ElapsedSeconds();
+    if (elapsed > 0.02) break;
+    iters *= 4;
+  }
+  return elapsed * 1e9 / iters;
+}
+
+}  // namespace
+
+int main() {
+  Workload w = MakeWorkload();
+  walrus::bench::BenchReport report("simd_kernels");
+  report.params()
+      .Set("dim", kDim)
+      .Set("batch_count", kCount)
+      .Set("max_isa", IsaName(MaxSupportedIsa()));
+
+  struct KernelCase {
+    const char* name;
+    double (*run)(const walrus::simd::KernelTable&, Workload&);
+    int64_t ops_per_call;  // logical elements processed per call
+  };
+  const KernelCase cases[] = {
+      {"squared_l2_f32",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         return k.squared_l2_f32(wl.a.data(), wl.b.data(), kDim);
+       },
+       kDim},
+      {"min_squared_distance",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         return k.min_squared_distance(wl.lo.data(), wl.hi.data(),
+                                       wl.q.data(), kDim);
+       },
+       kDim},
+      {"rect_intersects_expanded",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         return k.rect_intersects_expanded(wl.a.data(), wl.b.data(), 0.05f,
+                                           wl.qlo.data(), wl.qhi.data(), kDim)
+                    ? 1.0
+                    : 0.0;
+       },
+       kDim},
+      {"batch_squared_l2",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         k.batch_squared_l2(wl.lo.data(), kCount, kDim, kCount, wl.q.data(),
+                            wl.out.data());
+         return wl.out[0];
+       },
+       static_cast<int64_t>(kDim) * kCount},
+      {"batch_min_squared_distance",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         k.batch_min_squared_distance(wl.lo.data(), wl.hi.data(), kCount,
+                                      kDim, kCount, wl.q.data(),
+                                      wl.out.data());
+         return wl.out[0];
+       },
+       static_cast<int64_t>(kDim) * kCount},
+      {"batch_intersects",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         k.batch_intersects(wl.lo.data(), wl.hi.data(), kCount, kDim, kCount,
+                            wl.qlo.data(), wl.qhi.data(), wl.mask.data());
+         return static_cast<double>(wl.mask[0] & 1);
+       },
+       static_cast<int64_t>(kDim) * kCount},
+      {"haar_base_2x2",
+       [](const walrus::simd::KernelTable& k, Workload& wl) {
+         k.haar_base_2x2(wl.row0.data(), wl.row1.data(), kCount,
+                         wl.haar_out.data());
+         return static_cast<double>(wl.haar_out[0]);
+       },
+       4 * kCount},
+  };
+
+  std::printf("%-28s %-8s %14s %10s\n", "kernel", "isa", "ns_per_call",
+              "speedup");
+  double sink = 0.0;
+  for (const KernelCase& kc : cases) {
+    double scalar_ns = 0.0;
+    for (int l = 0; l <= static_cast<int>(MaxSupportedIsa()); ++l) {
+      const IsaLevel level = static_cast<IsaLevel>(l);
+      const walrus::simd::KernelTable& table = Kernels(level);
+      const double ns = TimeNs([&] { return kc.run(table, w); }, &sink);
+      if (level == IsaLevel::kScalar) scalar_ns = ns;
+      const double speedup = scalar_ns / ns;
+      std::printf("%-28s %-8s %14.1f %9.2fx\n", kc.name, IsaName(level), ns,
+                  speedup);
+      report.AddRow()
+          .Set("kernel", kc.name)
+          .Set("isa", IsaName(level))
+          .Set("ns_per_call", ns)
+          .Set("elements_per_call", kc.ops_per_call)
+          .Set("speedup_vs_scalar", speedup);
+    }
+  }
+  if (sink == 42.0) std::printf("# sink %f\n", sink);  // defeat DCE
+  report.WriteFile();
+  return 0;
+}

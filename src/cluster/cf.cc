@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace walrus {
 
@@ -15,11 +16,9 @@ CfVector CfVector::FromPoint(const float* point, int dim) {
 void CfVector::AddPoint(const float* point, int dim) {
   if (ls_.empty()) ls_.assign(dim, 0.0);
   WALRUS_DCHECK_EQ(dim, this->dim());
-  for (int i = 0; i < dim; ++i) {
-    double v = point[i];
-    ls_[i] += v;
-    ss_ += v * v;
-  }
+  // The kernel threads the running ss_ through so the v*v additions land in
+  // the same order as the historical scalar loop (see common/simd.h).
+  ss_ = simd::Active().accumulate_f32(ls_.data(), point, dim, ss_);
   ++count_;
 }
 
@@ -27,7 +26,7 @@ void CfVector::Merge(const CfVector& other) {
   if (other.empty()) return;
   if (ls_.empty()) ls_.assign(other.dim(), 0.0);
   WALRUS_DCHECK_EQ(dim(), other.dim());
-  for (int i = 0; i < dim(); ++i) ls_[i] += other.ls_[i];
+  simd::Active().add_f64(ls_.data(), other.ls_.data(), dim());
   ss_ += other.ss_;
   count_ += other.count_;
 }
@@ -65,12 +64,8 @@ double CfVector::CentroidDistance(const CfVector& a, const CfVector& b) {
   WALRUS_DCHECK(a.count_ > 0 && b.count_ > 0);
   double inv_a = 1.0 / static_cast<double>(a.count_);
   double inv_b = 1.0 / static_cast<double>(b.count_);
-  double sum = 0.0;
-  for (int i = 0; i < a.dim(); ++i) {
-    double d = a.ls_[i] * inv_a - b.ls_[i] * inv_b;
-    sum += d * d;
-  }
-  return std::sqrt(sum);
+  return std::sqrt(simd::Active().scaled_squared_l2_f64(
+      a.ls_.data(), inv_a, b.ls_.data(), inv_b, a.dim()));
 }
 
 double CfVector::MergedRadius(const CfVector& other) const {

@@ -237,6 +237,16 @@ Status WalrusIndex::ProbeRange(
   return Status::OK();
 }
 
+Status WalrusIndex::ProbeRangeBatch(
+    const std::vector<Rect>& probes,
+    const std::function<bool(int, const Rect&, uint64_t)>& visitor) const {
+  if (disk_tree_.has_value()) {
+    return disk_tree_->RangeQueryBatch(probes, visitor);
+  }
+  tree_.RangeQueryBatch(probes, visitor);
+  return Status::OK();
+}
+
 Result<std::vector<std::pair<uint64_t, double>>> WalrusIndex::ProbeNearest(
     const std::vector<float>& point, int k) const {
   if (disk_tree_.has_value()) {

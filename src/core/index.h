@@ -65,6 +65,15 @@ class WalrusIndex {
       const Rect& query,
       const std::function<bool(const Rect&, uint64_t)>& visitor) const;
 
+  /// Batched multi-probe: answers all query-region probes in one shared
+  /// tree traversal (see RStarTree::RangeQueryBatch). The visitor's first
+  /// argument is the index into `probes` of the matching probe; the
+  /// delivered (probe, payload) set is identical to running ProbeRange per
+  /// probe, grouped by node rather than by probe.
+  Status ProbeRangeBatch(
+      const std::vector<Rect>& probes,
+      const std::function<bool(int, const Rect&, uint64_t)>& visitor) const;
+
   /// k nearest region signatures to `point` (centroid mode).
   Result<std::vector<std::pair<uint64_t, double>>> ProbeNearest(
       const std::vector<float>& point, int k) const;

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"
@@ -71,25 +72,35 @@ struct DiskCounters {
   }
 };
 
-/// Converts the probe-time (image -> pairs) map into the canonical
-/// candidate list: images ascending (std::map order), pairs sorted by
-/// (query_index, target_index). Each (query region, target region) pair
-/// appears at most once, so the sort is a total order and the resulting
-/// candidate list is a pure function of the candidate *set* — independent
-/// of the tree traversal order that discovered it.
-std::vector<CandidateImage> CanonicalCandidates(
-    std::map<uint64_t, std::vector<RegionPair>> by_image) {
+/// One accepted probe hit, recorded flat during traversal (a plain vector
+/// push per hit; the by-image grouping happens once at the end, not per
+/// candidate).
+struct ProbeHit {
+  uint64_t image_id;
+  RegionPair pair;
+};
+
+/// Converts the flat probe-hit list into the canonical candidate list:
+/// images ascending, pairs sorted by (query_index, target_index). Each
+/// (query region, target region) pair appears at most once, so the sort is
+/// a total order and the resulting candidate list is a pure function of the
+/// candidate *set* — independent of the tree traversal order that
+/// discovered it.
+std::vector<CandidateImage> CanonicalCandidates(std::vector<ProbeHit> hits) {
+  std::sort(hits.begin(), hits.end(),
+            [](const ProbeHit& a, const ProbeHit& b) {
+              if (a.image_id != b.image_id) return a.image_id < b.image_id;
+              if (a.pair.query_index != b.pair.query_index) {
+                return a.pair.query_index < b.pair.query_index;
+              }
+              return a.pair.target_index < b.pair.target_index;
+            });
   std::vector<CandidateImage> candidates;
-  candidates.reserve(by_image.size());
-  for (auto& [image_id, pairs] : by_image) {
-    std::sort(pairs.begin(), pairs.end(),
-              [](const RegionPair& a, const RegionPair& b) {
-                if (a.query_index != b.query_index) {
-                  return a.query_index < b.query_index;
-                }
-                return a.target_index < b.target_index;
-              });
-    candidates.push_back({image_id, std::move(pairs)});
+  for (ProbeHit& hit : hits) {
+    if (candidates.empty() || candidates.back().image_id != hit.image_id) {
+      candidates.push_back({hit.image_id, {}});
+    }
+    candidates.back().pairs.push_back(hit.pair);
   }
   return candidates;
 }
@@ -146,29 +157,64 @@ Result<std::vector<CandidateImage>> ProbeCandidates(
   int64_t nodes_visited = 0;
   int64_t regions_retrieved = 0;
 
-  std::map<uint64_t, std::vector<RegionPair>> by_image;
-  for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+  std::vector<ProbeHit> hits;
+  hits.reserve(256);
+  // Records a probe hit after the centroid post-filter. Identical for the
+  // batched and per-region paths, so the candidate *set* (and therefore
+  // the canonicalized output) cannot depend on which path ran. The kernel
+  // table is resolved once for the whole probe stage; the inlined distance
+  // test matches RegionsMatchCentroid exactly (full ordered sum vs eps^2).
+  const simd::KernelTable& kern = simd::Active();
+  const double eps2 =
+      static_cast<double>(options.epsilon) * options.epsilon;
+  const auto accept = [&](size_t qi, const Rect& rect, uint64_t payload) {
     const Region& q = query_regions[qi];
-    Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
-    WALRUS_RETURN_IF_ERROR(
-        index.ProbeRange(probe, [&](const Rect& rect, uint64_t payload) {
-          uint64_t image_id;
-          uint32_t region_id;
-          DecodeRegionPayload(payload, &image_id, &region_id);
-          if (!use_bbox) {
-            // Exact Euclidean test on the stored centroid (== rect.lo()).
-            if (!RegionsMatchCentroid(q.centroid.data(), rect.lo().data(),
-                                      static_cast<int>(q.centroid.size()),
-                                      options.epsilon)) {
-              return true;
-            }
-          }
-          ++regions_retrieved;
-          by_image[image_id].push_back(
-              {static_cast<int>(qi), static_cast<int>(region_id)});
+    if (!use_bbox) {
+      // Exact Euclidean test on the stored centroid (== rect.lo()).
+      if (kern.squared_l2_f32(q.centroid.data(), rect.lo().data(),
+                              static_cast<int>(q.centroid.size())) > eps2) {
+        return;
+      }
+    }
+    uint64_t image_id;
+    uint32_t region_id;
+    DecodeRegionPayload(payload, &image_id, &region_id);
+    ++regions_retrieved;
+    hits.push_back(
+        {image_id, {static_cast<int>(qi), static_cast<int>(region_id)}});
+  };
+
+  if (options.batched_probe && query_regions.size() > 1) {
+    // Batched multi-probe: every region's envelope goes down ONE shared
+    // traversal (Hilbert-ordered active sets, per-node SIMD filtering).
+    static Histogram* const batch_size =
+        MetricsRegistry::Global().GetHistogram("walrus.probe.batch_size",
+                                               ExponentialBuckets(1, 2, 12));
+    std::vector<Rect> probes;
+    probes.reserve(query_regions.size());
+    for (const Region& q : query_regions) {
+      probes.push_back(q.IndexRect(use_bbox).Expanded(options.epsilon));
+    }
+    batch_size->Observe(static_cast<double>(probes.size()));
+    WALRUS_RETURN_IF_ERROR(index.ProbeRangeBatch(
+        probes, [&](int qi, const Rect& rect, uint64_t payload) {
+          accept(static_cast<size_t>(qi), rect, payload);
           return true;
         }));
-    if (!paged) nodes_visited += index.tree().last_nodes_visited();
+    // One traversal for the whole batch: the count is deduplicated nodes,
+    // not a per-probe sum.
+    if (!paged) nodes_visited = index.tree().last_nodes_visited();
+  } else {
+    for (size_t qi = 0; qi < query_regions.size(); ++qi) {
+      const Region& q = query_regions[qi];
+      Rect probe = q.IndexRect(use_bbox).Expanded(options.epsilon);
+      WALRUS_RETURN_IF_ERROR(
+          index.ProbeRange(probe, [&](const Rect& rect, uint64_t payload) {
+            accept(qi, rect, payload);
+            return true;
+          }));
+      if (!paged) nodes_visited += index.tree().last_nodes_visited();
+    }
   }
 
   if (diag != nullptr) {
@@ -179,7 +225,7 @@ Result<std::vector<CandidateImage>> ProbeCandidates(
     diag->cache_hits = disk_after.cache_hits - disk_before.cache_hits;
     diag->cache_misses = disk_after.cache_misses - disk_before.cache_misses;
   }
-  return CanonicalCandidates(std::move(by_image));
+  return CanonicalCandidates(std::move(hits));
 }
 
 Result<std::vector<std::vector<std::pair<uint64_t, double>>>>
@@ -215,18 +261,18 @@ ProbeNearestPerRegion(const WalrusIndex& index,
 
 std::vector<CandidateImage> CandidatesFromNeighbors(
     const std::vector<std::vector<std::pair<uint64_t, double>>>& neighbors) {
-  std::map<uint64_t, std::vector<RegionPair>> by_image;
+  std::vector<ProbeHit> hits;
   for (size_t qi = 0; qi < neighbors.size(); ++qi) {
     for (const auto& [payload, distance] : neighbors[qi]) {
       (void)distance;
       uint64_t image_id;
       uint32_t region_id;
       DecodeRegionPayload(payload, &image_id, &region_id);
-      by_image[image_id].push_back(
-          {static_cast<int>(qi), static_cast<int>(region_id)});
+      hits.push_back(
+          {image_id, {static_cast<int>(qi), static_cast<int>(region_id)}});
     }
   }
-  return CanonicalCandidates(std::move(by_image));
+  return CanonicalCandidates(std::move(hits));
 }
 
 Result<std::vector<QueryMatch>> ScoreCandidates(

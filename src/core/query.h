@@ -48,6 +48,13 @@ struct QueryOptions {
   /// query (extract -> wavelet/cluster/assemble, probe, match, rank). Over
   /// the wire the spans ride back with the results.
   bool collect_trace = false;
+  /// Answer all query-region epsilon probes in one shared R*-tree
+  /// traversal (RStarTree::RangeQueryBatch) instead of one descent per
+  /// region. Candidates are identical either way (the batch is a set
+  /// union); this is purely a throughput knob. Local execution knob, NOT
+  /// transmitted by the wire protocol (walrusd servers apply their own
+  /// default), so toggling it cannot change protocol compatibility.
+  bool batched_probe = true;
 };
 
 /// One ranked target image.

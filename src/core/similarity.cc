@@ -1,27 +1,27 @@
 #include "core/similarity.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/simd.h"
+#include "core/packed_store.h"
 
 namespace walrus {
 
 bool RegionsMatchCentroid(const float* a, const float* b, int dim,
                           float epsilon) {
-  double sum = 0.0;
-  double eps2 = static_cast<double>(epsilon) * epsilon;
-  for (int i = 0; i < dim; ++i) {
-    double d = static_cast<double>(a[i]) - b[i];
-    sum += d * d;
-    if (sum > eps2) return false;
-  }
-  return true;
+  // The kernel computes the full ordered sum; with nonnegative terms,
+  // "some prefix exceeds eps^2" and "the total exceeds eps^2" are the same
+  // predicate, so this matches the historical early-exit loop exactly.
+  const double eps2 = static_cast<double>(epsilon) * epsilon;
+  return simd::Active().squared_l2_f32(a, b, dim) <= eps2;
 }
 
 bool RegionsMatchBBox(const Rect& a, const Rect& b, float epsilon) {
-  return a.Expanded(epsilon).Intersects(b);
+  return a.ExpandedIntersects(epsilon, b);
 }
 
 std::vector<RegionPair> FindMatchingPairs(const std::vector<Region>& query,
@@ -29,17 +29,55 @@ std::vector<RegionPair> FindMatchingPairs(const std::vector<Region>& query,
                                           float epsilon,
                                           bool use_bounding_box) {
   std::vector<RegionPair> pairs;
-  for (size_t qi = 0; qi < query.size(); ++qi) {
-    for (size_t ti = 0; ti < target.size(); ++ti) {
-      bool match =
-          use_bounding_box
-              ? RegionsMatchBBox(query[qi].bounding_box,
-                                 target[ti].bounding_box, epsilon)
-              : RegionsMatchCentroid(
-                    query[qi].centroid.data(), target[ti].centroid.data(),
-                    static_cast<int>(query[qi].centroid.size()), epsilon);
-      if (match) {
-        pairs.push_back({static_cast<int>(qi), static_cast<int>(ti)});
+  if (query.empty() || target.empty()) return pairs;
+  // Pack the target signatures once into SoA planes; each query region then
+  // scores ALL targets with one batch kernel call instead of a pointer
+  // chase per (query, target) pair. Match booleans are bit-identical to the
+  // historical pair loop (see common/simd.h), and pair order is preserved:
+  // query-major, targets ascending.
+  const simd::KernelTable& kern = simd::Active();
+  const int count = static_cast<int>(target.size());
+  if (use_bounding_box) {
+    const PackedSignatureStore pack =
+        PackedSignatureStore::FromBoundingBoxes(target);
+    const int dim = pack.dim();
+    std::vector<uint64_t> mask((count + 63) / 64);
+    std::vector<float> qlo(dim), qhi(dim);
+    for (size_t qi = 0; qi < query.size(); ++qi) {
+      const Rect& qbox = query[qi].bounding_box;
+      WALRUS_DCHECK_EQ(qbox.dim(), dim);
+      // Same float arithmetic as Rect::Expanded, hoisted out of the pair
+      // loop.
+      for (int d = 0; d < dim; ++d) {
+        qlo[d] = qbox.lo(d) - epsilon;
+        qhi[d] = qbox.hi(d) + epsilon;
+      }
+      kern.batch_intersects(pack.lo_planes(), pack.hi_planes(),
+                            pack.stride(), dim, count, qlo.data(),
+                            qhi.data(), mask.data());
+      for (size_t w = 0; w < mask.size(); ++w) {
+        uint64_t bits = mask[w];
+        while (bits != 0) {
+          const int ti = static_cast<int>(w) * 64 + std::countr_zero(bits);
+          bits &= bits - 1;
+          pairs.push_back({static_cast<int>(qi), ti});
+        }
+      }
+    }
+  } else {
+    const PackedSignatureStore pack =
+        PackedSignatureStore::FromCentroids(target);
+    const int dim = pack.dim();
+    std::vector<double> dist2(count);
+    for (size_t qi = 0; qi < query.size(); ++qi) {
+      WALRUS_DCHECK_EQ(static_cast<int>(query[qi].centroid.size()), dim);
+      const double eps2 = static_cast<double>(epsilon) * epsilon;
+      kern.batch_squared_l2(pack.lo_planes(), pack.stride(), dim, count,
+                            query[qi].centroid.data(), dist2.data());
+      for (int ti = 0; ti < count; ++ti) {
+        if (dist2[ti] <= eps2) {
+          pairs.push_back({static_cast<int>(qi), ti});
+        }
       }
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace walrus {
 
@@ -69,19 +70,29 @@ Rect Rect::Expanded(float epsilon) const {
 bool Rect::Intersects(const Rect& other) const {
   if (empty_ || other.empty_) return false;
   WALRUS_DCHECK_EQ(dim(), other.dim());
-  for (int i = 0; i < dim(); ++i) {
-    if (lo_[i] > other.hi_[i] || other.lo_[i] > hi_[i]) return false;
-  }
-  return true;
+  return simd::Active().rect_intersects(lo_.data(), hi_.data(),
+                                        other.lo_.data(), other.hi_.data(),
+                                        dim());
+}
+
+bool Rect::ExpandedIntersects(float epsilon, const Rect& other) const {
+  WALRUS_CHECK(!empty_);
+  if (other.empty_) return false;
+  WALRUS_DCHECK_EQ(dim(), other.dim());
+  return simd::Active().rect_intersects_expanded(
+      lo_.data(), hi_.data(), epsilon, other.lo_.data(), other.hi_.data(),
+      dim());
 }
 
 bool Rect::Contains(const std::vector<float>& point) const {
+  return Contains(point.data(), static_cast<int>(point.size()));
+}
+
+bool Rect::Contains(const float* point, int n) const {
   if (empty_) return false;
-  WALRUS_DCHECK_EQ(dim(), static_cast<int>(point.size()));
-  for (int i = 0; i < dim(); ++i) {
-    if (point[i] < lo_[i] || point[i] > hi_[i]) return false;
-  }
-  return true;
+  WALRUS_DCHECK_EQ(dim(), n);
+  return simd::Active().rect_contains_point(lo_.data(), hi_.data(), point,
+                                            n);
 }
 
 bool Rect::ContainsRect(const Rect& other) const {
@@ -134,19 +145,14 @@ Rect Rect::Union(const Rect& a, const Rect& b) {
 }
 
 double Rect::MinSquaredDistance(const std::vector<float>& point) const {
+  return MinSquaredDistance(point.data(), static_cast<int>(point.size()));
+}
+
+double Rect::MinSquaredDistance(const float* point, int n) const {
   WALRUS_CHECK(!empty_);
-  WALRUS_DCHECK_EQ(dim(), static_cast<int>(point.size()));
-  double sum = 0.0;
-  for (int i = 0; i < dim(); ++i) {
-    double d = 0.0;
-    if (point[i] < lo_[i]) {
-      d = static_cast<double>(lo_[i]) - point[i];
-    } else if (point[i] > hi_[i]) {
-      d = static_cast<double>(point[i]) - hi_[i];
-    }
-    sum += d * d;
-  }
-  return sum;
+  WALRUS_DCHECK_EQ(dim(), n);
+  return simd::Active().min_squared_distance(lo_.data(), hi_.data(), point,
+                                             n);
 }
 
 }  // namespace walrus

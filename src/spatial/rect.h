@@ -47,8 +47,16 @@ class Rect {
   /// True if the rectangles share at least one point (closed bounds).
   bool Intersects(const Rect& other) const;
 
+  /// Equivalent to `Expanded(epsilon).Intersects(other)` without
+  /// materializing the expanded copy (the hot epsilon-containment test of
+  /// Definition 4.1; executed by a fused kernel, see common/simd.h).
+  bool ExpandedIntersects(float epsilon, const Rect& other) const;
+
   /// True if `point` lies inside (closed bounds).
   bool Contains(const std::vector<float>& point) const;
+
+  /// Pointer overload for packed/SoA callers (`point` holds `n` floats).
+  bool Contains(const float* point, int n) const;
 
   /// True if `other` lies fully inside this rect.
   bool ContainsRect(const Rect& other) const;
@@ -70,6 +78,11 @@ class Rect {
 
   /// Squared minimum distance from `point` to this rect (0 when inside).
   double MinSquaredDistance(const std::vector<float>& point) const;
+
+  /// Pointer overload (`point` holds `n` floats): packed-store and
+  /// tree-scan callers pass plane pointers directly instead of
+  /// materializing a temporary vector per node visit.
+  double MinSquaredDistance(const float* point, int n) const;
 
   bool operator==(const Rect& other) const {
     return empty_ == other.empty_ && lo_ == other.lo_ && hi_ == other.hi_;

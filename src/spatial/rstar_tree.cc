@@ -1,12 +1,15 @@
 #include "spatial/rstar_tree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <queue>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/simd.h"
+#include "spatial/hilbert.h"
 
 namespace walrus {
 
@@ -632,6 +635,185 @@ void RStarTree::RangeSearchVisit(
   }
   last_nodes_visited_.store(visited, std::memory_order_relaxed);
   nodes->Increment(static_cast<uint64_t>(visited));
+}
+
+void RStarTree::RangeQueryBatch(
+    const std::vector<Rect>& probes,
+    const std::function<bool(int, const Rect&, uint64_t)>& visitor) const {
+  static Counter* const batch_probes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.batch_probes");
+  static Counter* const range_probes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.range_probes");
+  static Counter* const nodes =
+      MetricsRegistry::Global().GetCounter("walrus.rstar.nodes_visited");
+  static Histogram* const occupancy =
+      MetricsRegistry::Global().GetHistogram("walrus.probe.batch_occupancy",
+                                             ExponentialBuckets(1, 2, 12));
+  batch_probes->Increment();
+  // A batch of N probes answers N range probes; keep the per-probe counter
+  // meaningful regardless of traversal strategy.
+  range_probes->Increment(static_cast<uint64_t>(probes.size()));
+
+  // Probe visit order: Hilbert on the first two center dimensions, so that
+  // probes adjacent in signature space stay adjacent in active sets.
+  std::vector<int> order;
+  order.reserve(probes.size());
+  for (int p = 0; p < static_cast<int>(probes.size()); ++p) {
+    if (probes[p].IsEmpty()) continue;  // empty probes match nothing
+    WALRUS_CHECK_EQ(probes[p].dim(), dim_);
+    order.push_back(p);
+  }
+  if (order.empty()) return;
+  if (order.size() > 1 && dim_ >= 2) {
+    float min_v = std::numeric_limits<float>::max();
+    float max_v = std::numeric_limits<float>::lowest();
+    for (int p : order) {
+      for (int d = 0; d < 2; ++d) {
+        const float c = 0.5f * (probes[p].lo(d) + probes[p].hi(d));
+        min_v = std::min(min_v, c);
+        max_v = std::max(max_v, c);
+      }
+    }
+    std::vector<uint64_t> keys(probes.size());
+    for (int p : order) {
+      keys[p] = HilbertProbeKey(0.5f * (probes[p].lo(0) + probes[p].hi(0)),
+                                0.5f * (probes[p].lo(1) + probes[p].hi(1)),
+                                min_v, max_v);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](int a, int b) { return keys[a] < keys[b]; });
+  }
+
+  const simd::KernelTable& kern = simd::Active();
+  // Active sets live in one append-only arena; each frame references a
+  // slice of it. Child slices are appended in place of per-frame vector
+  // allocations, and a frame whose active set did not split (single probe)
+  // reuses its parent's slice outright.
+  struct Frame {
+    const Node* node;
+    uint32_t begin;  // arena offset of this frame's active probe indices
+    uint32_t len;
+  };
+  std::vector<int> arena = std::move(order);
+  std::vector<Frame> stack;
+  stack.push_back({root_.get(), 0, static_cast<uint32_t>(arena.size())});
+
+  // Call-local scratch (concurrent readers share no traversal state).
+  std::vector<float> scratch_lo;
+  std::vector<float> scratch_hi;
+  std::vector<uint64_t> masks;  // probe-major: masks[pi * words + w]
+  std::vector<Frame> pending;   // children of the current node, entry order
+  int64_t visited = 0;
+  const auto finish = [&] {
+    last_nodes_visited_.store(visited, std::memory_order_relaxed);
+    nodes->Increment(static_cast<uint64_t>(visited));
+  };
+
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node* node = frame.node;
+    ++visited;
+    occupancy->Observe(static_cast<double>(frame.len));
+    const int m = static_cast<int>(node->entries.size());
+    if (m == 0) continue;
+
+    if (frame.len == 1) {
+      // Single active probe: a per-entry test beats packing the node into
+      // SoA scratch (the pack would be read exactly once).
+      const int p = arena[frame.begin];
+      const Rect& probe = probes[p];
+      if (node->is_leaf()) {
+        for (const Entry& ent : node->entries) {
+          if (kern.rect_intersects(ent.rect.lo().data(),
+                                   ent.rect.hi().data(), probe.lo().data(),
+                                   probe.hi().data(), dim_)) {
+            if (!visitor(p, ent.rect, ent.payload)) {
+              finish();
+              return;
+            }
+          }
+        }
+      } else {
+        // Reverse entry order so the DFS pops children first-entry-first.
+        for (int e = m - 1; e >= 0; --e) {
+          const Entry& ent = node->entries[e];
+          if (kern.rect_intersects(ent.rect.lo().data(),
+                                   ent.rect.hi().data(), probe.lo().data(),
+                                   probe.hi().data(), dim_)) {
+            stack.push_back({ent.child.get(), frame.begin, 1});
+          }
+        }
+      }
+      continue;
+    }
+
+    // Pack this node's rects once; every active probe filters against the
+    // same SoA block.
+    scratch_lo.resize(static_cast<size_t>(dim_) * m);
+    scratch_hi.resize(static_cast<size_t>(dim_) * m);
+    for (int e = 0; e < m; ++e) {
+      const Rect& r = node->entries[e].rect;
+      for (int d = 0; d < dim_; ++d) {
+        scratch_lo[static_cast<size_t>(d) * m + e] = r.lo(d);
+        scratch_hi[static_cast<size_t>(d) * m + e] = r.hi(d);
+      }
+    }
+    const int words = (m + 63) / 64;
+
+    if (node->is_leaf()) {
+      masks.resize(words);
+      for (uint32_t pi = 0; pi < frame.len; ++pi) {
+        const int p = arena[frame.begin + pi];
+        kern.batch_intersects(scratch_lo.data(), scratch_hi.data(), m, dim_,
+                              m, probes[p].lo().data(),
+                              probes[p].hi().data(), masks.data());
+        for (int w = 0; w < words; ++w) {
+          uint64_t bits = masks[w];
+          while (bits != 0) {
+            const int e = w * 64 + std::countr_zero(bits);
+            bits &= bits - 1;
+            const Entry& ent = node->entries[e];
+            if (!visitor(p, ent.rect, ent.payload)) {
+              finish();
+              return;
+            }
+          }
+        }
+      }
+    } else {
+      masks.resize(static_cast<size_t>(words) * frame.len);
+      for (uint32_t pi = 0; pi < frame.len; ++pi) {
+        const int p = arena[frame.begin + pi];
+        kern.batch_intersects(scratch_lo.data(), scratch_hi.data(), m, dim_,
+                              m, probes[p].lo().data(),
+                              probes[p].hi().data(),
+                              masks.data() + static_cast<size_t>(pi) * words);
+      }
+      // Gather each child's active probes (probe order preserved) into
+      // fresh arena slices, then push in reverse entry order so the DFS
+      // pops children first-entry-first.
+      pending.clear();
+      for (int e = 0; e < m; ++e) {
+        const uint32_t begin = static_cast<uint32_t>(arena.size());
+        const int w = e >> 6;
+        const uint64_t bit = uint64_t{1} << (e & 63);
+        for (uint32_t pi = 0; pi < frame.len; ++pi) {
+          if (masks[static_cast<size_t>(pi) * words + w] & bit) {
+            arena.push_back(arena[frame.begin + pi]);
+          }
+        }
+        const uint32_t len = static_cast<uint32_t>(arena.size()) - begin;
+        if (len > 0) {
+          pending.push_back({node->entries[e].child.get(), begin, len});
+        }
+      }
+      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  finish();
 }
 
 std::vector<uint64_t> RStarTree::RangeSearch(const Rect& query) const {

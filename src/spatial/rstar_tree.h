@@ -81,6 +81,25 @@ class RStarTree {
       const Rect& query,
       const std::function<bool(const Rect&, uint64_t)>& visitor) const;
 
+  /// Batched multi-probe range search: answers all `probes` in ONE tree
+  /// traversal instead of one descent per probe. Probes are Hilbert-sorted
+  /// (first two center dimensions) so nearby probes stay adjacent in the
+  /// per-node active sets; each visited node's entries are packed once into
+  /// a SoA scratch block and every active probe is filtered against them
+  /// with one batch SIMD kernel call (common/simd.h). A node is descended
+  /// at most once per batch, so shared upper levels of the tree are read
+  /// once rather than once per query region.
+  ///
+  /// `visitor(probe, rect, payload)` receives the index into `probes` of
+  /// the matching probe; the set of (probe, payload) pairs delivered is
+  /// exactly the union over p of RangeSearchVisit(probes[p]) results,
+  /// though the delivery ORDER differs (grouped by node, not by probe).
+  /// Returning false aborts the entire batch. Thread-safe against
+  /// concurrent read-only searches: all traversal state is call-local.
+  void RangeQueryBatch(
+      const std::vector<Rect>& probes,
+      const std::function<bool(int, const Rect&, uint64_t)>& visitor) const;
+
   /// The k entries whose rects minimize the distance to `point`
   /// (min-distance best-first search). Returns (payload, distance) pairs in
   /// ascending distance order.

@@ -1,14 +1,18 @@
 #include "storage/disk_rstar.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <queue>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/serialize.h"
+#include "common/simd.h"
+#include "spatial/hilbert.h"
 
 namespace walrus {
 namespace {
@@ -19,6 +23,7 @@ namespace {
 struct DiskRStarMetrics {
   Counter* range_probes;
   Counter* knn_probes;
+  Counter* batch_probes;
   Counter* pages_read;
   Counter* cache_hits;
   Counter* cache_misses;
@@ -29,6 +34,7 @@ struct DiskRStarMetrics {
       DiskRStarMetrics m;
       m.range_probes = registry.GetCounter("walrus.disk_rstar.range_probes");
       m.knn_probes = registry.GetCounter("walrus.disk_rstar.knn_probes");
+      m.batch_probes = registry.GetCounter("walrus.disk_rstar.batch_probes");
       m.pages_read = registry.GetCounter("walrus.disk_rstar.pages_read");
       m.cache_hits = registry.GetCounter("walrus.disk_rstar.cache_hits");
       m.cache_misses = registry.GetCounter("walrus.disk_rstar.cache_misses");
@@ -267,29 +273,34 @@ Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
   if (count > CapacityFor(file_.page_size(), dim_)) {
     return Status::Corruption("disk rstar: node overfull");
   }
-  node.rects.reserve(count);
+  node.count = count;
+  // Transpose the entry-major page into dimension-major SoA planes as we
+  // decode: plane d of lo/hi holds bound d of all entries contiguously.
+  node.lo.resize(static_cast<size_t>(dim_) * count);
+  node.hi.resize(static_cast<size_t>(dim_) * count);
   node.values.reserve(count);
   size_t at = kNodeHeaderBytes;
+  const auto read_f32 = [&page](size_t pos) {
+    uint32_t bits = 0;
+    for (int b = 0; b < 4; ++b) {
+      bits |= static_cast<uint32_t>(page[pos + b]) << (8 * b);
+    }
+    float value;
+    std::memcpy(&value, &bits, 4);
+    return value;
+  };
   for (uint16_t i = 0; i < count; ++i) {
-    std::vector<float> lo(dim_), hi(dim_);
     for (int d = 0; d < dim_; ++d) {
-      uint32_t bits = 0;
-      for (int b = 0; b < 4; ++b) {
-        bits |= static_cast<uint32_t>(page[at + b]) << (8 * b);
-      }
-      std::memcpy(&lo[d], &bits, 4);
+      node.lo[static_cast<size_t>(d) * count + i] = read_f32(at);
       at += 4;
     }
     for (int d = 0; d < dim_; ++d) {
-      uint32_t bits = 0;
-      for (int b = 0; b < 4; ++b) {
-        bits |= static_cast<uint32_t>(page[at + b]) << (8 * b);
-      }
-      std::memcpy(&hi[d], &bits, 4);
+      node.hi[static_cast<size_t>(d) * count + i] = read_f32(at);
       at += 4;
     }
     for (int d = 0; d < dim_; ++d) {
-      if (!(lo[d] <= hi[d])) {
+      if (!(node.lo[static_cast<size_t>(d) * count + i] <=
+            node.hi[static_cast<size_t>(d) * count + i])) {
         return Status::Corruption("disk rstar: inverted rect");
       }
     }
@@ -298,10 +309,18 @@ Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
       value |= static_cast<uint64_t>(page[at + b]) << (8 * b);
     }
     at += 8;
-    node.rects.push_back(Rect::Bounds(std::move(lo), std::move(hi)));
     node.values.push_back(value);
   }
   return node;
+}
+
+Rect DiskRStarTree::NodeRef::RectAt(int i, int dim) const {
+  std::vector<float> rect_lo(dim), rect_hi(dim);
+  for (int d = 0; d < dim; ++d) {
+    rect_lo[d] = lo[static_cast<size_t>(d) * count + i];
+    rect_hi[d] = hi[static_cast<size_t>(d) * count + i];
+  }
+  return Rect::Bounds(std::move(rect_lo), std::move(rect_hi));
 }
 
 Status DiskRStarTree::Validate() const {
@@ -343,12 +362,14 @@ Status DiskRStarTree::Validate() const {
                               " reachable twice (cycle or shared child)");
     }
     WALRUS_ASSIGN_OR_RETURN(NodeRef node, ReadNode(item.page));
-    if (node.rects.empty()) {
+    if (node.count == 0) {
       return Status::Internal("disk rstar: empty node at page " +
                               std::to_string(item.page));
     }
     Rect bounds = Rect::Empty(dim_);
-    for (const Rect& r : node.rects) bounds.ExpandToInclude(r);
+    for (int i = 0; i < node.count; ++i) {
+      bounds.ExpandToInclude(node.RectAt(i, dim_));
+    }
     if (item.has_expected && !(bounds == item.expected)) {
       return Status::Internal(
           "disk rstar: stored parent rect differs from child bounds union at "
@@ -361,15 +382,15 @@ Status DiskRStarTree::Validate() const {
             "disk rstar: leaf at depth " + std::to_string(item.depth) +
             ", tree height " + std::to_string(height_));
       }
-      leaf_entries += static_cast<int64_t>(node.rects.size());
+      leaf_entries += node.count;
       continue;
     }
     if (item.depth >= height_) {
       return Status::Internal("disk rstar: internal node below leaf level");
     }
-    for (size_t i = 0; i < node.rects.size(); ++i) {
+    for (int i = 0; i < node.count; ++i) {
       stack.push_back({static_cast<uint32_t>(node.values[i]), item.depth + 1,
-                       node.rects[i], true});
+                       node.RectAt(i, dim_), true});
     }
   }
   if (leaf_entries != size_) {
@@ -386,17 +407,144 @@ Status DiskRStarTree::RangeSearchVisit(
   WALRUS_CHECK_EQ(query.dim(), dim_);
   DiskRStarMetrics::Get().range_probes->Increment();
   if (size_ == 0) return Status::OK();
+  const simd::KernelTable& kern = simd::Active();
   std::vector<uint32_t> stack = {root_page_};
+  std::vector<uint64_t> mask;
   while (!stack.empty()) {
     uint32_t page_id = stack.back();
     stack.pop_back();
     WALRUS_ASSIGN_OR_RETURN(NodeRef node, ReadNode(page_id));
-    for (size_t i = 0; i < node.rects.size(); ++i) {
-      if (!node.rects[i].Intersects(query)) continue;
-      if (node.is_leaf) {
-        if (!visitor(node.rects[i], node.values[i])) return Status::OK();
-      } else {
-        stack.push_back(static_cast<uint32_t>(node.values[i]));
+    // The decoded node is already SoA: filter the whole node with one
+    // batch kernel call and walk the hit bits.
+    const int words = (node.count + 63) / 64;
+    mask.resize(words);
+    kern.batch_intersects(node.lo_planes(), node.hi_planes(), node.count,
+                          dim_, node.count, query.lo().data(),
+                          query.hi().data(), mask.data());
+    for (int w = 0; w < words; ++w) {
+      uint64_t bits = mask[w];
+      while (bits != 0) {
+        const int i = w * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (node.is_leaf) {
+          if (!visitor(node.RectAt(i, dim_), node.values[i])) {
+            return Status::OK();
+          }
+        } else {
+          stack.push_back(static_cast<uint32_t>(node.values[i]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status DiskRStarTree::RangeQueryBatch(
+    const std::vector<Rect>& probes,
+    const std::function<bool(int, const Rect&, uint64_t)>& visitor) const {
+  DiskRStarMetrics::Get().batch_probes->Increment();
+  // A batch of N probes answers N range probes; keep the per-probe counter
+  // meaningful regardless of traversal strategy.
+  DiskRStarMetrics::Get().range_probes->Increment(
+      static_cast<uint64_t>(probes.size()));
+  static Histogram* const occupancy =
+      MetricsRegistry::Global().GetHistogram("walrus.probe.batch_occupancy",
+                                             ExponentialBuckets(1, 2, 12));
+  std::vector<int> order;
+  order.reserve(probes.size());
+  for (int p = 0; p < static_cast<int>(probes.size()); ++p) {
+    if (probes[p].IsEmpty()) continue;  // empty probes match nothing
+    WALRUS_CHECK_EQ(probes[p].dim(), dim_);
+    order.push_back(p);
+  }
+  if (order.empty() || size_ == 0) return Status::OK();
+  if (order.size() > 1 && dim_ >= 2) {
+    float min_v = std::numeric_limits<float>::max();
+    float max_v = std::numeric_limits<float>::lowest();
+    for (int p : order) {
+      for (int d = 0; d < 2; ++d) {
+        const float c = 0.5f * (probes[p].lo(d) + probes[p].hi(d));
+        min_v = std::min(min_v, c);
+        max_v = std::max(max_v, c);
+      }
+    }
+    std::vector<uint64_t> keys(probes.size());
+    for (int p : order) {
+      keys[p] = HilbertProbeKey(0.5f * (probes[p].lo(0) + probes[p].hi(0)),
+                                0.5f * (probes[p].lo(1) + probes[p].hi(1)),
+                                min_v, max_v);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](int a, int b) { return keys[a] < keys[b]; });
+  }
+
+  const simd::KernelTable& kern = simd::Active();
+  // Active sets live in one append-only arena; each frame references a
+  // slice (see RStarTree::RangeQueryBatch — same structure, but node pages
+  // decode straight into SoA planes so no packing step exists here).
+  struct Frame {
+    uint32_t page;
+    uint32_t begin;
+    uint32_t len;
+  };
+  std::vector<int> arena = std::move(order);
+  std::vector<Frame> stack;
+  stack.push_back({root_page_, 0, static_cast<uint32_t>(arena.size())});
+  std::vector<uint64_t> masks;  // probe-major: masks[pi * words + w]
+  std::vector<Frame> pending;   // children of the current node, entry order
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    // One page fetch serves every active probe at this node.
+    WALRUS_ASSIGN_OR_RETURN(NodeRef node, ReadNode(frame.page));
+    occupancy->Observe(static_cast<double>(frame.len));
+    if (node.count == 0) continue;
+    const int words = (node.count + 63) / 64;
+    if (node.is_leaf) {
+      masks.resize(words);
+      for (uint32_t pi = 0; pi < frame.len; ++pi) {
+        const int p = arena[frame.begin + pi];
+        kern.batch_intersects(node.lo_planes(), node.hi_planes(), node.count,
+                              dim_, node.count, probes[p].lo().data(),
+                              probes[p].hi().data(), masks.data());
+        for (int w = 0; w < words; ++w) {
+          uint64_t bits = masks[w];
+          while (bits != 0) {
+            const int i = w * 64 + std::countr_zero(bits);
+            bits &= bits - 1;
+            if (!visitor(p, node.RectAt(i, dim_), node.values[i])) {
+              return Status::OK();
+            }
+          }
+        }
+      }
+    } else {
+      masks.resize(static_cast<size_t>(words) * frame.len);
+      for (uint32_t pi = 0; pi < frame.len; ++pi) {
+        const int p = arena[frame.begin + pi];
+        kern.batch_intersects(node.lo_planes(), node.hi_planes(), node.count,
+                              dim_, node.count, probes[p].lo().data(),
+                              probes[p].hi().data(),
+                              masks.data() + static_cast<size_t>(pi) * words);
+      }
+      pending.clear();
+      for (int i = 0; i < node.count; ++i) {
+        const uint32_t begin = static_cast<uint32_t>(arena.size());
+        const int w = i >> 6;
+        const uint64_t bit = uint64_t{1} << (i & 63);
+        for (uint32_t pi = 0; pi < frame.len; ++pi) {
+          if (masks[static_cast<size_t>(pi) * words + w] & bit) {
+            arena.push_back(arena[frame.begin + pi]);
+          }
+        }
+        const uint32_t len = static_cast<uint32_t>(arena.size()) - begin;
+        if (len > 0) {
+          pending.push_back(
+              {static_cast<uint32_t>(node.values[i]), begin, len});
+        }
+      }
+      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+        stack.push_back(*it);
       }
     }
   }
@@ -429,6 +577,8 @@ DiskRStarTree::NearestNeighbors(const std::vector<float>& point,
     uint64_t value;  // payload (entry) or page id (node)
     bool operator>(const Item& other) const { return dist > other.dist; }
   };
+  const simd::KernelTable& kern = simd::Active();
+  std::vector<double> dists;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
   heap.push({0.0, false, root_page_});
   while (!heap.empty() && static_cast<int>(result.size()) < k) {
@@ -440,9 +590,14 @@ DiskRStarTree::NearestNeighbors(const std::vector<float>& point,
     }
     WALRUS_ASSIGN_OR_RETURN(NodeRef node,
                             ReadNode(static_cast<uint32_t>(item.value)));
-    for (size_t i = 0; i < node.rects.size(); ++i) {
-      double d = node.rects[i].MinSquaredDistance(point);
-      heap.push({d, node.is_leaf, node.values[i]});
+    // SoA node: one batch kernel call scores every entry (bit-identical to
+    // per-entry MinSquaredDistance -- each lane runs the scalar dim loop).
+    dists.resize(node.count);
+    kern.batch_min_squared_distance(node.lo_planes(), node.hi_planes(),
+                                    node.count, dim_, node.count,
+                                    point.data(), dists.data());
+    for (int i = 0; i < node.count; ++i) {
+      heap.push({dists[i], node.is_leaf, node.values[i]});
     }
   }
   return result;

@@ -82,6 +82,16 @@ class DiskRStarTree {
   /// Collects intersecting payloads.
   Result<std::vector<uint64_t>> RangeSearch(const Rect& query) const;
 
+  /// Batched multi-probe range search: one shared traversal answers every
+  /// probe, so each page along a shared path is fetched once per batch
+  /// instead of once per probe (same contract as
+  /// RStarTree::RangeQueryBatch -- Hilbert-sorted probes, per-node SIMD
+  /// filtering of the active set, union-of-single-probe results with
+  /// node-grouped delivery order, visitor false aborts the batch).
+  Status RangeQueryBatch(
+      const std::vector<Rect>& probes,
+      const std::function<bool(int, const Rect&, uint64_t)>& visitor) const;
+
   /// Best-first k nearest entries to `point` (ascending distance).
   Result<std::vector<std::pair<uint64_t, double>>> NearestNeighbors(
       const std::vector<float>& point, int k) const;
@@ -116,10 +126,22 @@ class DiskRStarTree {
   }
 
  private:
+  /// One decoded node, re-laid as SoA planes for the batch kernels
+  /// (common/simd.h): dimension d's lower bounds occupy
+  /// lo[d * count, (d + 1) * count), likewise hi. Decoding transposes the
+  /// on-disk entry-major layout directly into the planes -- no per-entry
+  /// Rect / vector allocations on the read path.
   struct NodeRef {
     bool is_leaf = false;
-    std::vector<Rect> rects;
+    int count = 0;
+    std::vector<float> lo;         // dim * count floats, dimension-major
+    std::vector<float> hi;
     std::vector<uint64_t> values;  // payloads (leaf) or child pages
+
+    const float* lo_planes() const { return lo.data(); }
+    const float* hi_planes() const { return hi.data(); }
+    /// Materializes entry i as a Rect (hit delivery / validation only).
+    Rect RectAt(int i, int dim) const;
   };
 
   explicit DiskRStarTree(PageFile file) : file_(std::move(file)) {}

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 
 namespace walrus {
 namespace {
@@ -75,11 +76,21 @@ WindowSignatureGrid ComputeLevel(const std::vector<float>& plane, int width,
   WindowSignatureGrid grid(omega, dist, nx, ny, sig_n);
 
   if (omega == 2) {
-    // Subwindows are single pixels: read the image plane directly.
+    // Subwindows are single pixels: read the image plane directly. With
+    // dist == 2 and sig_n == 2 a whole grid row is the vectorized Haar base
+    // case: adjacent windows read disjoint pixel pairs and their 2x2
+    // signature blocks are contiguous (WindowSignatureGrid::SigAt), so one
+    // kernel call covers the row bit-identically to the scalar loop.
+    const bool vectorizable = (dist == 2 && sig_n == 2);
+    const simd::KernelTable& kern = simd::Active();
     for (int iy = 0; iy < ny; ++iy) {
       int y0 = iy * dist;
       const float* row0 = plane.data() + static_cast<size_t>(y0) * width;
       const float* row1 = row0 + width;
+      if (vectorizable) {
+        kern.haar_base_2x2(row0, row1, nx, grid.SigAt(0, iy));
+        continue;
+      }
       for (int ix = 0; ix < nx; ++ix) {
         int x0 = ix * dist;
         ComputeSingleWindow(row0 + x0, row0 + x0 + 1, row1 + x0,
