@@ -51,6 +51,13 @@ int main(int argc, char** argv) {
       num_shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      // Reject unknown flags instead of letting them fall through as
+      // positionals (a stray "--port 7788" would otherwise silently parse
+      // 7788 as the worker count and try to spawn that many threads).
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      positional.clear();
+      break;
     } else {
       positional.push_back(argv[i]);
     }

@@ -12,6 +12,24 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 failures=0
 
+# --- Stage 0: repo invariants (walrus-lint) + format diff ----------------
+# Dependency-free, so these never skip: the lint runs anywhere Python 3
+# does, and check_format.sh degrades to a no-op without clang-format.
+echo "== walrus-lint =="
+if ! python3 scripts/walrus_lint.py --self-test; then
+  echo "check.sh: FAIL: walrus-lint self-test" >&2
+  failures=1
+fi
+if ! python3 scripts/walrus_lint.py; then
+  echo "check.sh: FAIL: walrus-lint findings" >&2
+  failures=1
+fi
+echo "== clang-format (changed files) =="
+if ! scripts/check_format.sh; then
+  echo "check.sh: FAIL: formatting drift in changed files" >&2
+  failures=1
+fi
+
 # --- Stage 1: clang-tidy (skipped when the binary is unavailable) --------
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="

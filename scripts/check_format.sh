@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Format gate, diff mode only: clang-format checks just the C++ files a
+# change touches, so formatting is enforced where work happens without
+# ever mass-reformatting the tree (which would destroy blame and conflict
+# with every open branch).
+#
+#   scripts/check_format.sh                 # files changed vs origin/main
+#   scripts/check_format.sh --base REF      # files changed vs REF
+#   scripts/check_format.sh FILE...         # exactly these files
+#
+# Exits 0 when every checked file is clean or when clang-format is not
+# installed (the CI static-analysis job is the gate of record, mirroring
+# how check.sh gates clang-tidy); exits 1 listing the dirty files with
+# their diffs otherwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: clang-format not installed; skipping"
+  exit 0
+fi
+
+base="origin/main"
+files=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --base)
+      base="${2:?--base needs a ref}"
+      shift 2
+      ;;
+    *)
+      files+=("$1")
+      shift
+      ;;
+  esac
+done
+
+if [ ${#files[@]} -eq 0 ]; then
+  # Everything touched relative to the merge base, plus uncommitted work.
+  # `--diff-filter=d` drops deletions (nothing left to format).
+  if ! merge_base="$(git merge-base "$base" HEAD 2>/dev/null)"; then
+    merge_base=""  # shallow clone or missing ref: check the working tree
+  fi
+  mapfile -t files < <(
+    { [ -n "$merge_base" ] && git diff --name-only --diff-filter=d "$merge_base"; \
+      git diff --name-only --diff-filter=d; \
+      git diff --name-only --diff-filter=d --cached; } \
+    | sort -u | grep -E '\.(h|cc|cpp)$' || true)
+fi
+
+if [ ${#files[@]} -eq 0 ]; then
+  echo "check_format.sh: no C++ files changed; nothing to check"
+  exit 0
+fi
+
+failures=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || continue
+  if ! diff_out="$(diff -u "$f" <(clang-format --style=file "$f"))"; then
+    echo "NEEDS FORMAT: $f"
+    echo "$diff_out" | head -40
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_format.sh: $failures file(s) need clang-format" >&2
+  exit 1
+fi
+echo "check_format.sh: ${#files[@]} changed file(s) clean"

@@ -1,0 +1,513 @@
+#!/usr/bin/env python3
+"""walrus-lint: repo-specific invariant checker (DESIGN.md section 13).
+
+Checks the contracts that the compiler cannot (or that only Clang checks,
+while this lint must hold on any machine):
+
+  bare-mutex           No direct use of <mutex>/<shared_mutex>/
+                       <condition_variable> primitives outside
+                       src/common/sync.h. Raw std::mutex fields cannot carry
+                       WALRUS_GUARDED_BY contracts, so every lock in the
+                       tree must be the annotated wrappers.
+  discarded-status     No `(void)` cast applied to a call expression.
+                       Status and Result<T> are class-level [[nodiscard]]
+                       and the build runs -Werror=unused-result; the only
+                       way to silently drop an error is to launder it
+                       through a void cast, so that spelling is banned
+                       outright ((void)variable marks an unused binding and
+                       stays legal). Also verifies the [[nodiscard]]
+                       markers themselves are still present on Status and
+                       Result in common/status.h.
+  metric-docs          Every `walrus.*` metric name literal in src/ appears
+                       in the docs/OPERATIONS.md catalog (exact match, a
+                       `<i>`-placeholder prefix, or the `a.b.x` / `y` / `z`
+                       shorthand the tables use). New metrics must land
+                       with their documentation.
+  dcheck-side-effect   WALRUS_DCHECK compiles to nothing in release builds,
+                       so its argument must not mutate state: no ++/--,
+                       no assignment or compound assignment inside the
+                       checked expression.
+  iwyu-common          Spot include-what-you-use rules for src/common/
+                       macros and lock types: a file that names
+                       WALRUS_LOG / WALRUS_CHECK / MutexLock / etc. must
+                       include the defining header itself (or in its
+                       same-named primary header) rather than leaning on a
+                       transitive include.
+
+The engine is regex/line based and dependency-free so it runs anywhere
+Python 3 does. When the optional libclang bindings are importable the
+discarded-status rule additionally walks the AST for unused
+Status-returning call statements; absence of libclang only narrows that
+one rule, it never fails the lint.
+
+Usage:
+  scripts/walrus_lint.py              lint the repo (src/ + docs catalog)
+  scripts/walrus_lint.py --self-test  run against tests/static/lint_corpus
+                                      and verify every bad_*.cc file
+                                      triggers exactly its declared rule
+Exit status: 0 clean, 1 findings (or self-test mismatch), 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class Finding(NamedTuple):
+    rule: str
+    path: str
+    line: int  # 1-based; 0 = whole-file finding
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+def _strip_comments_keep_lines(text: str) -> str:
+    """Removes // and /* */ comments and string/char literals, preserving
+    line structure so findings keep real line numbers. Lint rules must not
+    fire on prose or on quoted examples."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        if state == "code":
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            i += 1
+            continue
+        elif state == "block_comment":
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+            i += 1
+            continue
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and i + 1 < n:
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; resync
+                state = "code"
+                out.append(c)
+            i += 1
+            continue
+        i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Rule: bare-mutex
+# --------------------------------------------------------------------------
+
+_BARE_MUTEX_EXEMPT = {os.path.join("src", "common", "sync.h")}
+_BARE_MUTEX_TOKENS = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|std::shared_(?:mutex|timed_mutex|lock)\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+)
+_BARE_MUTEX_INCLUDE = re.compile(
+    r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+
+def check_bare_mutex(path: str, rel: str, code: str) -> List[Finding]:
+    if rel.replace(os.sep, "/") in {p.replace(os.sep, "/")
+                                    for p in _BARE_MUTEX_EXEMPT}:
+        return []
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        m = _BARE_MUTEX_INCLUDE.search(line)
+        if m:
+            findings.append(Finding(
+                "bare-mutex", rel, lineno,
+                f"#include <{m.group(1)}> outside common/sync.h; "
+                "use the annotated wrappers in common/sync.h"))
+            continue
+        m = _BARE_MUTEX_TOKENS.search(line)
+        if m:
+            findings.append(Finding(
+                "bare-mutex", rel, lineno,
+                f"raw {m.group(0)} outside common/sync.h; "
+                "use walrus::Mutex / MutexLock / CondVar so the lock "
+                "carries thread-safety annotations"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: discarded-status
+# --------------------------------------------------------------------------
+
+# `(void)` immediately applied to something that is (or leads to) a call:
+# (void)Foo(...), (void)obj.Method(...), (void)ns::Fn(...),
+# (void)ptr->Method(...). `(void)identifier;` (unused binding) stays legal.
+_VOID_CAST_CALL = re.compile(
+    r"\(\s*void\s*\)\s*[A-Za-z_][\w:.\->]*\s*\(")
+
+
+def check_discarded_status(path: str, rel: str, code: str) -> List[Finding]:
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if _VOID_CAST_CALL.search(line):
+            findings.append(Finding(
+                "discarded-status", rel, lineno,
+                "(void)-cast of a call expression; if the callee returns "
+                "Status, handle or propagate it — there is no sanctioned "
+                "discard spelling"))
+    return findings
+
+
+def check_status_nodiscard(root: str) -> List[Finding]:
+    """Whole-repo half of discarded-status: the [[nodiscard]] markers that
+    make -Werror=unused-result bite must stay on Status and Result."""
+    rel = os.path.join("src", "common", "status.h")
+    path = os.path.join(root, rel)
+    if not os.path.exists(path):
+        return []
+    text = open(path, encoding="utf-8").read()
+    findings = []
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Status\b", text):
+        findings.append(Finding(
+            "discarded-status", rel, 0,
+            "class Status has lost its [[nodiscard]] marker"))
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result\b", text):
+        findings.append(Finding(
+            "discarded-status", rel, 0,
+            "class Result has lost its [[nodiscard]] marker"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: metric-docs
+# --------------------------------------------------------------------------
+
+_METRIC_LITERAL = re.compile(r'"(walrus\.[a-zA-Z0-9_.]+)"')
+_DOC_METRIC = re.compile(r"(walrus\.[a-zA-Z0-9_.]*[a-zA-Z0-9_])(<[a-z]+>)?")
+_DOC_SHORTHAND = re.compile(r"`([a-z0-9_]+)`")
+
+
+def load_documented_metrics(doc_path: str) -> Tuple[set, List[str]]:
+    """Returns (exact names, placeholder prefixes) documented in the
+    operations catalog. Handles the two table shorthands:
+      `walrus.birch.runs` / `points` / `clusters`   (same-prefix family)
+      `walrus.sharded.probe_regions.s<i>`           (indexed series)
+    """
+    exact: set = set()
+    prefixes: List[str] = []
+    for line in open(doc_path, encoding="utf-8"):
+        full_names = _DOC_METRIC.findall(line)
+        for name, placeholder in full_names:
+            if placeholder:
+                # `walrus.x.s<i>`: everything up to the placeholder is the
+                # documented prefix of an indexed metric family.
+                prefixes.append(name)
+            else:
+                exact.add(name)
+        if full_names:
+            # `walrus.a.b` / `c` / `d`  documents walrus.a.c and walrus.a.d.
+            first = full_names[0][0]
+            family = first.rsplit(".", 1)[0]
+            for short in _DOC_SHORTHAND.findall(line):
+                exact.add(f"{family}.{short}")
+    return exact, prefixes
+
+
+def check_metric_docs(rel: str, code: str, documented: set,
+                      prefixes: List[str]) -> List[Finding]:
+    findings = []
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for name in _METRIC_LITERAL.findall(line):
+            if name in documented:
+                continue
+            if any(name.startswith(p) or p.startswith(name)
+                   for p in prefixes):
+                continue
+            findings.append(Finding(
+                "metric-docs", rel, lineno,
+                f'metric "{name}" is not documented in the '
+                "docs/OPERATIONS.md catalog"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: dcheck-side-effect
+# --------------------------------------------------------------------------
+
+_MUTATION = re.compile(
+    r"\+\+|--"
+    r"|[+\-*/%&|^]="          # compound assignment
+    r"|(?<![=!<>+\-*/%&|^])=(?![=])"  # plain =, not ==/!=/<=/>= or compound
+)
+
+
+def _balanced_argument(text: str, start: int) -> Optional[str]:
+    """Returns the text between the parens opening at text[start]=='('."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[start + 1:i]
+    return None
+
+
+def check_dcheck_side_effect(rel: str, code: str) -> List[Finding]:
+    findings = []
+    for m in re.finditer(r"\bWALRUS_DCHECK\s*\(", code):
+        arg = _balanced_argument(code, m.end() - 1)
+        if arg is None:
+            continue
+        lineno = code.count("\n", 0, m.start()) + 1
+        if _MUTATION.search(arg):
+            findings.append(Finding(
+                "dcheck-side-effect", rel, lineno,
+                "WALRUS_DCHECK argument mutates state; the macro compiles "
+                "out in release builds, so the side effect silently "
+                "disappears — hoist the mutation out of the check"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: iwyu-common
+# --------------------------------------------------------------------------
+
+# Macro / lock-type tokens that cannot be forward-declared: naming one
+# means the file depends directly on the defining header.
+_IWYU_RULES: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bWALRUS_LOG\b"), "common/logging.h"),
+    (re.compile(r"\bWALRUS_D?CHECK\b"), "common/check.h"),
+    (re.compile(
+        r"\bWALRUS_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES(?:_SHARED)?|"
+        r"ACQUIRE(?:_SHARED)?|RELEASE(?:_SHARED|_GENERIC)?|TRY_ACQUIRE|"
+        r"EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY|CAPABILITY|"
+        r"SCOPED_CAPABILITY|ACQUIRED_(?:BEFORE|AFTER)|"
+        r"NO_THREAD_SAFETY_ANALYSIS)\b"
+        r"|\b(?:MutexLock|WriterMutexLock|ReaderMutexLock|CondVar)\b"),
+     "common/sync.h"),
+    (re.compile(r"\bWALRUS_RETURN_IF_ERROR\b|\bWALRUS_ASSIGN_OR_RETURN\b"),
+     "common/status.h"),
+]
+
+
+def _direct_includes(text: str) -> set:
+    return set(re.findall(r'#\s*include\s*"([^"]+)"', text))
+
+
+def check_iwyu_common(root: str, rel: str, code: str,
+                      raw_text: str) -> List[Finding]:
+    rel_posix = rel.replace(os.sep, "/")
+    includes = _direct_includes(raw_text)
+    # A foo.cc may rely on its primary header foo.h pulling the dependency:
+    # the pair is one module and the header's include list is its contract.
+    if rel_posix.endswith(".cc"):
+        primary = rel_posix[len("src/"):-len(".cc")] + ".h"
+        primary_path = os.path.join(root, "src", primary)
+        if primary in includes and os.path.exists(primary_path):
+            includes |= _direct_includes(
+                open(primary_path, encoding="utf-8").read())
+    findings = []
+    for pattern, header in _IWYU_RULES:
+        if rel_posix == f"src/{header}":
+            continue  # the defining header itself
+        if header in includes:
+            continue
+        m = pattern.search(code)
+        if m:
+            lineno = code.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                "iwyu-common", rel, lineno,
+                f"uses {m.group(0)} but does not include \"{header}\" "
+                "(directly or via its primary header)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Optional libclang refinement (discarded-status)
+# --------------------------------------------------------------------------
+
+def libclang_unused_status(root: str, files: List[str]) -> List[Finding]:
+    """AST pass: expression statements that call a Status-returning
+    function and drop the value. Runs only when the python libclang
+    bindings and a compile_commands.json are both available; regex rules
+    above remain the gate of record either way."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return []
+    db_dir = os.path.join(root, "build")
+    if not os.path.exists(os.path.join(db_dir, "compile_commands.json")):
+        return []
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(db_dir)
+        index = cindex.Index.create()
+    except Exception:
+        return []
+    findings: List[Finding] = []
+    for path in files:
+        if not path.endswith(".cc"):
+            continue
+        cmds = db.getCompileCommands(path)
+        if not cmds:
+            continue
+        args = [a for a in list(cmds[0].arguments)[1:]
+                if a not in (path, "-c", "-o") and not a.endswith(".o")]
+        try:
+            tu = index.parse(path, args=args)
+        except Exception:
+            continue
+
+        def walk(node, parent_kind):
+            if (node.kind == cindex.CursorKind.CALL_EXPR
+                    and parent_kind == cindex.CursorKind.COMPOUND_STMT
+                    and node.type.spelling.split("::")[-1] == "Status"):
+                findings.append(Finding(
+                    "discarded-status",
+                    os.path.relpath(path, root),
+                    node.location.line,
+                    "call returns Status but the value is unused (AST)"))
+            for child in node.get_children():
+                walk(child, node.kind)
+
+        walk(tu.cursor, None)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def iter_sources(src_root: str) -> List[str]:
+    out = []
+    for dirpath, _, names in os.walk(src_root):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def lint_tree(root: str, doc_path: str, files: List[str],
+              use_libclang: bool = True) -> List[Finding]:
+    documented, prefixes = (set(), [])
+    if os.path.exists(doc_path):
+        documented, prefixes = load_documented_metrics(doc_path)
+    findings: List[Finding] = list(check_status_nodiscard(root))
+    for path in files:
+        rel = os.path.relpath(path, root)
+        raw = open(path, encoding="utf-8").read()
+        code = _strip_comments_keep_lines(raw)
+        findings += check_bare_mutex(path, rel, code)
+        findings += check_discarded_status(path, rel, code)
+        findings += check_metric_docs(rel, raw, documented, prefixes)
+        findings += check_dcheck_side_effect(rel, code)
+        findings += check_iwyu_common(root, rel, code, raw)
+    if use_libclang:
+        findings += libclang_unused_status(root, files)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self test
+# --------------------------------------------------------------------------
+
+_EXPECT = re.compile(r"lint-expect:\s*([a-z-]+)")
+
+
+def self_test(root: str) -> int:
+    corpus = os.path.join(root, "tests", "static", "lint_corpus")
+    if not os.path.isdir(corpus):
+        print(f"walrus-lint: self-test corpus missing: {corpus}",
+              file=sys.stderr)
+        return 2
+    doc_path = os.path.join(corpus, "operations.md")
+    failures = 0
+    for name in sorted(os.listdir(corpus)):
+        if not name.endswith((".h", ".cc")):
+            continue
+        path = os.path.join(corpus, name)
+        raw = open(path, encoding="utf-8").read()
+        expected = sorted(set(_EXPECT.findall(raw)))
+        # Corpus files stand in for files under src/, so lint them with
+        # corpus-relative paths and the corpus's own metric catalog.
+        findings = lint_tree(corpus, doc_path, [path], use_libclang=False)
+        # Whole-repo status.h marker check doesn't apply to corpus files.
+        findings = [f for f in findings if f.line != 0]
+        got = sorted({f.rule for f in findings})
+        if got != expected:
+            failures += 1
+            print(f"SELF-TEST FAIL {name}: expected rules {expected}, "
+                  f"got {got}", file=sys.stderr)
+            for f in findings:
+                print(f"    {f.render()}", file=sys.stderr)
+    if failures:
+        print(f"walrus-lint self-test: {failures} corpus file(s) "
+              "misclassified", file=sys.stderr)
+        return 1
+    print("walrus-lint self-test: corpus classified correctly")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root (default: script's repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the linter against its corpus")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: all of src/)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    src_root = os.path.join(args.root, "src")
+    files = ([os.path.abspath(f) for f in args.files]
+             if args.files else iter_sources(src_root))
+    doc_path = os.path.join(args.root, "docs", "OPERATIONS.md")
+    findings = lint_tree(args.root, doc_path, files)
+    for f in sorted(findings):
+        print(f.render())
+    if findings:
+        print(f"walrus-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"walrus-lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

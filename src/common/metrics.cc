@@ -225,8 +225,8 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Entry& entry = entries_[name];
+  MutexLock lock(mutex_);
+  Entry& entry = EntryLocked(name);
   if (entry.counter == nullptr) {
     WALRUS_CHECK(entry.gauge == nullptr && entry.histogram == nullptr);
     entry.type = MetricType::kCounter;
@@ -236,8 +236,8 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Entry& entry = entries_[name];
+  MutexLock lock(mutex_);
+  Entry& entry = EntryLocked(name);
   if (entry.gauge == nullptr) {
     WALRUS_CHECK(entry.counter == nullptr && entry.histogram == nullptr);
     entry.type = MetricType::kGauge;
@@ -248,8 +248,8 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Entry& entry = entries_[name];
+  MutexLock lock(mutex_);
+  Entry& entry = EntryLocked(name);
   if (entry.histogram == nullptr) {
     WALRUS_CHECK(entry.counter == nullptr && entry.gauge == nullptr);
     entry.type = MetricType::kHistogram;
@@ -259,7 +259,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.metrics.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -291,7 +291,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, entry] : entries_) {
     (void)name;
     switch (entry.type) {

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace walrus {
 
@@ -137,18 +138,18 @@ class MetricsRegistry {
   /// Finds or creates the metric with this name. The returned pointer is
   /// stable for the life of the registry. Registering the same name as two
   /// different types is a contract violation (checked).
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) WALRUS_EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) WALRUS_EXCLUDES(mutex_);
   /// On first registration the histogram uses `bounds`; later calls return
   /// the existing histogram regardless of the bounds passed.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds);
+                          std::vector<double> bounds) WALRUS_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const WALRUS_EXCLUDES(mutex_);
 
   /// Zeroes every metric in place (pointers stay valid). Test/bench hook;
   /// production readers should diff snapshots instead.
-  void Reset();
+  void Reset() WALRUS_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -158,8 +159,13 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  /// The registration slot for `name` (created empty on first use).
+  Entry& EntryLocked(const std::string& name) WALRUS_REQUIRES(mutex_) {
+    return entries_[name];
+  }
+
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ WALRUS_GUARDED_BY(mutex_);
 };
 
 /// Records seconds elapsed between construction and destruction into a

@@ -49,18 +49,18 @@ class BinaryReader {
   explicit BinaryReader(const std::vector<uint8_t>& buf)
       : BinaryReader(buf.data(), buf.size()) {}
 
-  Result<uint8_t> GetU8();
-  Result<uint16_t> GetU16();
-  Result<uint32_t> GetU32();
-  Result<uint64_t> GetU64();
-  Result<int32_t> GetI32();
-  Result<int64_t> GetI64();
-  Result<float> GetFloat();
-  Result<double> GetDouble();
-  Result<std::string> GetString();
-  Result<std::vector<float>> GetFloatVector();
+  [[nodiscard]] Result<uint8_t> GetU8();
+  [[nodiscard]] Result<uint16_t> GetU16();
+  [[nodiscard]] Result<uint32_t> GetU32();
+  [[nodiscard]] Result<uint64_t> GetU64();
+  [[nodiscard]] Result<int32_t> GetI32();
+  [[nodiscard]] Result<int64_t> GetI64();
+  [[nodiscard]] Result<float> GetFloat();
+  [[nodiscard]] Result<double> GetDouble();
+  [[nodiscard]] Result<std::string> GetString();
+  [[nodiscard]] Result<std::vector<float>> GetFloatVector();
   /// Copies `n` raw bytes into `out`.
-  Status GetBytes(void* out, size_t n);
+  [[nodiscard]] Status GetBytes(void* out, size_t n);
 
   size_t position() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
@@ -75,11 +75,12 @@ class BinaryReader {
 };
 
 /// Writes `bytes` to `path`, replacing any existing file.
-Status WriteFileBytes(const std::string& path,
+[[nodiscard]] Status WriteFileBytes(const std::string& path,
                       const std::vector<uint8_t>& bytes);
 
 /// Reads the whole file at `path`.
-Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+[[nodiscard]] Result<std::vector<uint8_t>> ReadFileBytes(
+    const std::string& path);
 
 }  // namespace walrus
 

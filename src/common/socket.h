@@ -44,27 +44,28 @@ class UniqueFd {
 /// Creates a TCP listening socket bound to `host:port` (SO_REUSEADDR, the
 /// given backlog). Port 0 binds an ephemeral port; read it back with
 /// SocketLocalPort.
-Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+[[nodiscard]] Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
                            int backlog = 64);
 
 /// Accepts one connection from `listen_fd`, retrying on EINTR. Fails with
 /// IOError when the listening socket has been shut down or closed.
-Result<UniqueFd> AcceptTcp(int listen_fd);
+[[nodiscard]] Result<UniqueFd> AcceptTcp(int listen_fd);
 
 /// Opens a blocking TCP connection to `host:port` (numeric IPv4 host).
-Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+[[nodiscard]] Result<UniqueFd> ConnectTcp(const std::string& host,
+                                           uint16_t port);
 
 /// The port a bound socket actually listens on (resolves port 0 binds).
-Result<uint16_t> SocketLocalPort(int fd);
+[[nodiscard]] Result<uint16_t> SocketLocalPort(int fd);
 
 /// Reads exactly `n` bytes, looping over short reads and EINTR. An orderly
 /// peer close before any byte of this call surfaces as NotFound ("connection
 /// closed"); a close mid-read or any other failure is IOError.
-Status ReadFull(int fd, void* buf, size_t n);
+[[nodiscard]] Status ReadFull(int fd, void* buf, size_t n);
 
 /// Writes exactly `n` bytes, looping over short writes and EINTR. Uses
 /// MSG_NOSIGNAL so a dead peer yields IOError instead of SIGPIPE.
-Status WriteFull(int fd, const void* buf, size_t n);
+[[nodiscard]] Status WriteFull(int fd, const void* buf, size_t n);
 
 /// shutdown(2) the read side: unblocks a ReadFull blocked on this socket
 /// (it returns the connection-closed status). Used for graceful teardown.

@@ -38,7 +38,13 @@ const char* StatusCodeToString(StatusCode code);
 /// The library is exception-free (Google style); every operation that can
 /// fail for reasons other than programmer error returns a Status or a
 /// Result<T>. Programmer errors are caught with WALRUS_CHECK/WALRUS_DCHECK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping an error return is the bug class this
+/// type exists to prevent, so discarding any by-value Status is a compile
+/// error (-Werror=unused-result). Call sites that genuinely cannot act on
+/// a failure still have to name it and decide (typically log it) — there
+/// is no sanctioned (void)-cast escape hatch; walrus_lint.py flags those.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -107,9 +113,11 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 Status Annotate(const Status& status, const std::string& context);
 
 /// Either a value of type T or an error Status. Accessing the value of an
-/// errored Result is a checked fatal error.
+/// errored Result is a checked fatal error. [[nodiscard]] like Status: a
+/// discarded Result hides the error AND leaks the work that produced the
+/// value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status so call sites can `return value;`
   /// or `return Status::...;` directly (mirrors absl::StatusOr).

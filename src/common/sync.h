@@ -1,0 +1,212 @@
+#ifndef WALRUS_COMMON_SYNC_H_
+#define WALRUS_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace walrus {
+
+/// Compile-time concurrency contracts (DESIGN.md section 13).
+///
+/// Every mutex in the tree is one of the wrappers below, and every field a
+/// mutex protects is annotated WALRUS_GUARDED_BY(that mutex). Under Clang
+/// the annotations feed Thread Safety Analysis (-Wthread-safety), so a
+/// guarded field touched without its lock -- or a *Locked() helper called
+/// from an unlocked path -- fails the build instead of racing in
+/// production. Under GCC the attributes expand to nothing and the wrappers
+/// cost exactly what the std primitives they hold cost.
+///
+/// Rules of use (enforced by scripts/walrus_lint.py):
+///   - No bare std::mutex / std::shared_mutex / std::condition_variable /
+///     std::lock_guard / std::unique_lock outside this header.
+///   - New shared mutable state gets WALRUS_GUARDED_BY at the declaration.
+///   - Helpers that assume the lock is held are named *Locked() and
+///     annotated WALRUS_REQUIRES(mutex).
+///   - Condition-variable waits are written as explicit while loops
+///     (`while (!pred) cv.Wait(lock);`), not lambda predicates: the
+///     analysis checks a lambda body as its own function and cannot see
+///     that the enclosing wait holds the lock.
+
+// Thread Safety Analysis attribute spellings. Clang-only: GCC parses
+// neither __attribute__((capability)) nor its friends, so everything
+// expands to nothing elsewhere and the wrappers degrade to plain RAII.
+#if defined(__clang__) && !defined(SWIG)
+#define WALRUS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define WALRUS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex").
+#define WALRUS_CAPABILITY(x) WALRUS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define WALRUS_SCOPED_CAPABILITY WALRUS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field is readable/writable only while holding `x`.
+#define WALRUS_GUARDED_BY(x) WALRUS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee (not the pointer) is guarded by `x`.
+#define WALRUS_PT_GUARDED_BY(x) WALRUS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function may only be called while holding the named capabilities
+/// exclusively; it does not acquire or release them. The *Locked() helper
+/// annotation.
+#define WALRUS_REQUIRES(...) \
+  WALRUS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavour of WALRUS_REQUIRES.
+#define WALRUS_REQUIRES_SHARED(...) \
+  WALRUS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define WALRUS_ACQUIRE(...) \
+  WALRUS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define WALRUS_ACQUIRE_SHARED(...) \
+  WALRUS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller holds.
+#define WALRUS_RELEASE(...) \
+  WALRUS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define WALRUS_RELEASE_SHARED(...) \
+  WALRUS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Releases whichever mode (exclusive or shared) is held.
+#define WALRUS_RELEASE_GENERIC(...) \
+  WALRUS_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the lock; first argument is the success return value.
+#define WALRUS_TRY_ACQUIRE(...) \
+  WALRUS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the named capabilities (deadlock guard for
+/// public entry points that take the lock themselves).
+#define WALRUS_EXCLUDES(...) \
+  WALRUS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at analysis time) that the capability is held.
+#define WALRUS_ASSERT_CAPABILITY(x) \
+  WALRUS_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define WALRUS_RETURN_CAPABILITY(x) WALRUS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Documented lock-ordering edges.
+#define WALRUS_ACQUIRED_BEFORE(...) \
+  WALRUS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define WALRUS_ACQUIRED_AFTER(...) \
+  WALRUS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Escape hatch that turns the analysis off for one function. Policy: the
+/// tree builds with zero uses of this in src/ (the lint self-test corpus
+/// is the only legitimate home); fix the locking instead.
+#define WALRUS_NO_THREAD_SAFETY_ANALYSIS \
+  WALRUS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+class CondVar;
+
+/// std::mutex carrying the "mutex" capability. Lock it with MutexLock;
+/// Lock()/Unlock() exist for the rare non-scoped pattern and for the
+/// negative-compilation tests.
+class WALRUS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WALRUS_ACQUIRE() { mu_.lock(); }
+  void Unlock() WALRUS_RELEASE() { mu_.unlock(); }
+  bool TryLock() WALRUS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped holder of a Mutex: acquires on construction, releases on
+/// destruction. The only way the query path takes a lock.
+class WALRUS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WALRUS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() WALRUS_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable bound to Mutex/MutexLock. Waits release the
+/// lock while blocked and reacquire before returning, exactly like the
+/// std primitive; from the analysis's point of view the caller holds the
+/// mutex across the wait, which is true at every point the caller can
+/// observe.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups happen; always wait in a
+  /// `while (!condition)` loop.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::shared_mutex carrying the "shared_mutex" capability: one writer or
+/// many readers. Lock it with WriterMutexLock / ReaderMutexLock.
+class WALRUS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() WALRUS_ACQUIRE() { mu_.lock(); }
+  void Unlock() WALRUS_RELEASE() { mu_.unlock(); }
+  void LockShared() WALRUS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() WALRUS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive (writer) hold of a SharedMutex.
+class WALRUS_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) WALRUS_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() WALRUS_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared (reader) hold of a SharedMutex.
+class WALRUS_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) WALRUS_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() WALRUS_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_COMMON_SYNC_H_

@@ -1,12 +1,12 @@
 #ifndef WALRUS_COMMON_THREAD_POOL_H_
 #define WALRUS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace walrus {
 
@@ -24,10 +24,10 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues a task. Must not be called after destruction has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) WALRUS_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() WALRUS_EXCLUDES(mutex_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -38,14 +38,18 @@ class ThreadPool {
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() WALRUS_EXCLUDES(mutex_);
+  /// True when no task is queued or executing.
+  bool IdleLocked() const WALRUS_REQUIRES(mutex_) {
+    return queue_.empty() && in_flight_ == 0;
+  }
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ WALRUS_GUARDED_BY(mutex_);
+  int in_flight_ WALRUS_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ WALRUS_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 
 namespace walrus {

@@ -61,7 +61,7 @@ class WalrusIndex {
 
   /// Region-signature probe: streams every indexed region whose rect
   /// intersects `query` (in-memory or paged backend).
-  Status ProbeRange(
+  [[nodiscard]] Status ProbeRange(
       const Rect& query,
       const std::function<bool(const Rect&, uint64_t)>& visitor) const;
 
@@ -70,12 +70,12 @@ class WalrusIndex {
   /// argument is the index into `probes` of the matching probe; the
   /// delivered (probe, payload) set is identical to running ProbeRange per
   /// probe, grouped by node rather than by probe.
-  Status ProbeRangeBatch(
+  [[nodiscard]] Status ProbeRangeBatch(
       const std::vector<Rect>& probes,
       const std::function<bool(int, const Rect&, uint64_t)>& visitor) const;
 
   /// k nearest region signatures to `point` (centroid mode).
-  Result<std::vector<std::pair<uint64_t, double>>> ProbeNearest(
+  [[nodiscard]] Result<std::vector<std::pair<uint64_t, double>>> ProbeNearest(
       const std::vector<float>& point, int k) const;
 
   /// Number of indexed images.
@@ -85,12 +85,12 @@ class WalrusIndex {
 
   /// Extracts regions from `image` and indexes them under `image_id`.
   /// `stats` (optional) receives extraction diagnostics.
-  Status AddImage(uint64_t image_id, const std::string& name,
+  [[nodiscard]] Status AddImage(uint64_t image_id, const std::string& name,
                   const ImageF& image, ExtractionStats* stats = nullptr);
 
   /// Removes an indexed image: its catalog record and every one of its
   /// region entries in the R*-tree. NotFound when the id is not indexed.
-  Status RemoveImage(uint64_t image_id);
+  [[nodiscard]] Status RemoveImage(uint64_t image_id);
 
   /// One image of a batch insert.
   struct PendingImage {
@@ -103,40 +103,43 @@ class WalrusIndex {
   /// wavelets + clustering) across `num_threads` workers and then inserting
   /// serially. 0 threads = hardware concurrency. The batch is atomic: on
   /// any extraction failure or duplicate id nothing is added.
-  Status AddImages(std::vector<PendingImage> images, int num_threads = 0);
+  [[nodiscard]] Status AddImages(std::vector<PendingImage> images,
+                                 int num_threads = 0);
 
   /// Builds an index directly from already-extracted catalog records,
   /// STR-bulk-loading the tree from their region signatures. This is the
   /// repartitioning path: ShardedIndex::Partition slices one index's
   /// catalog by shard and rebuilds each slice without re-running region
   /// extraction. Fails on duplicate image ids.
-  static Result<WalrusIndex> FromRecords(WalrusParams params,
+  [[nodiscard]] static Result<WalrusIndex> FromRecords(WalrusParams params,
                                          std::vector<ImageRecord> records);
 
   /// Materializes the Region objects of an indexed image.
-  Result<std::vector<Region>> ImageRegions(uint64_t image_id) const;
+  [[nodiscard]] Result<std::vector<Region>> ImageRegions(
+      uint64_t image_id) const;
 
   /// Pixel area (width*height) of an indexed image.
-  Result<double> ImageArea(uint64_t image_id) const;
+  [[nodiscard]] Result<double> ImageArea(uint64_t image_id) const;
 
   /// Persists to `<path_prefix>.catalog` (page file) and
   /// `<path_prefix>.index` (params + R*-tree).
-  Status Save(const std::string& path_prefix) const;
+  [[nodiscard]] Status Save(const std::string& path_prefix) const;
 
   /// Loads an index previously written by Save.
-  static Result<WalrusIndex> Open(const std::string& path_prefix);
+  [[nodiscard]] static Result<WalrusIndex> Open(const std::string& path_prefix);
 
   /// Persists with a disk-resident page tree instead of the serialized
   /// in-memory tree: `<path_prefix>.catalog`, `<path_prefix>.pmeta`
   /// (params) and `<path_prefix>.ptree` (one R-tree node per page). An
   /// index opened with OpenPaged answers queries by reading tree pages
   /// through an LRU cache -- the paper's "disk-based index" deployment.
-  Status SavePaged(const std::string& path_prefix) const;
+  [[nodiscard]] Status SavePaged(const std::string& path_prefix) const;
 
   /// Opens a paged index written by SavePaged. The returned index is
   /// read-only: AddImage/RemoveImage on it fail the id checks as usual but
   /// the page tree never changes.
-  static Result<WalrusIndex> OpenPaged(const std::string& path_prefix);
+  [[nodiscard]] static Result<WalrusIndex> OpenPaged(
+      const std::string& path_prefix);
 
   /// Deep cross-layer validation: the catalog's own invariants
   /// (Catalog::Validate), the spatial backend's own invariants
@@ -145,7 +148,7 @@ class WalrusIndex {
   /// region signature in the catalog must appear in the tree exactly once
   /// with the same rect and payload, and vice versa. O(index size);
   /// invoked from tests and, when DeepChecksEnabled(), after mutations.
-  Status ValidateConsistency() const;
+  [[nodiscard]] Status ValidateConsistency() const;
 
  private:
   /// (Rect, payload) entries for every region in the catalog, in the
@@ -160,7 +163,7 @@ class WalrusIndex {
 
 /// Serializes params (used by Save/Open; exposed for tests).
 void SerializeParams(const WalrusParams& params, BinaryWriter* writer);
-Result<WalrusParams> DeserializeParams(BinaryReader* reader);
+[[nodiscard]] Result<WalrusParams> DeserializeParams(BinaryReader* reader);
 
 }  // namespace walrus
 

@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/simd.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/trace.h"

@@ -6,6 +6,7 @@
 #include "cluster/kmeans.h"
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/status.h"
 #include "common/timer.h"
 
 namespace walrus {

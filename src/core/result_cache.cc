@@ -94,7 +94,7 @@ ResultCache::Key ResultCache::MakeKey(const ImageF& image,
 }
 
 std::optional<std::vector<QueryMatch>> ResultCache::Lookup(const Key& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -109,7 +109,7 @@ std::optional<std::vector<QueryMatch>> ResultCache::Lookup(const Key& key) {
 
 void ResultCache::Insert(const Key& key, std::vector<QueryMatch> matches) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = map_.find(key);
   if (it != map_.end()) {
     // Refresh in place (a racing miss on the same key already inserted).
@@ -117,19 +117,21 @@ void ResultCache::Insert(const Key& key, std::vector<QueryMatch> matches) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  if (lru_.size() >= capacity_) {
-    map_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
-    metric_evictions_->Increment();
-  }
+  if (lru_.size() >= capacity_) EvictLRULocked();
   lru_.push_front(Entry{key, std::move(matches)});
   map_[key] = lru_.begin();
   metric_entries_->Set(static_cast<int64_t>(lru_.size()));
 }
 
+void ResultCache::EvictLRULocked() {
+  map_.erase(lru_.back().key);
+  lru_.pop_back();
+  ++evictions_;
+  metric_evictions_->Increment();
+}
+
 void ResultCache::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   ++invalidations_;
@@ -138,27 +140,27 @@ void ResultCache::Invalidate() {
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
 uint64_t ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 uint64_t ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 uint64_t ResultCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 
 uint64_t ResultCache::invalidations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return invalidations_;
 }
 

@@ -4,12 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "core/query.h"
 #include "image/image.h"
 
@@ -53,21 +53,23 @@ class ResultCache {
 
   /// Returns the cached ranking and promotes the entry to most-recently
   /// used; nullopt on miss.
-  std::optional<std::vector<QueryMatch>> Lookup(const Key& key);
+  std::optional<std::vector<QueryMatch>> Lookup(const Key& key)
+      WALRUS_EXCLUDES(mu_);
 
   /// Stores a ranking, evicting the least-recently-used entry when full.
   /// No-op when capacity is 0.
-  void Insert(const Key& key, std::vector<QueryMatch> matches);
+  void Insert(const Key& key, std::vector<QueryMatch> matches)
+      WALRUS_EXCLUDES(mu_);
 
   /// Drops every entry. Called on any index mutation.
-  void Invalidate();
+  void Invalidate() WALRUS_EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
-  size_t size() const;
-  uint64_t hits() const;
-  uint64_t misses() const;
-  uint64_t evictions() const;
-  uint64_t invalidations() const;
+  size_t size() const WALRUS_EXCLUDES(mu_);
+  uint64_t hits() const WALRUS_EXCLUDES(mu_);
+  uint64_t misses() const WALRUS_EXCLUDES(mu_);
+  uint64_t evictions() const WALRUS_EXCLUDES(mu_);
+  uint64_t invalidations() const WALRUS_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -80,6 +82,9 @@ class ResultCache {
     }
   };
 
+  /// Evicts the least-recently-used entry (the cache must be non-empty).
+  void EvictLRULocked() WALRUS_REQUIRES(mu_);
+
   const size_t capacity_;
   /// Process-global registry mirrors of the per-instance counters below
   /// (walrus.result_cache.{hits,misses,evictions,invalidations,entries}),
@@ -90,13 +95,15 @@ class ResultCache {
   Counter* metric_evictions_;
   Counter* metric_invalidations_;
   Gauge* metric_entries_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t invalidations_ = 0;
+  mutable Mutex mu_;
+  /// front = most recently used
+  std::list<Entry> lru_ WALRUS_GUARDED_BY(mu_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_
+      WALRUS_GUARDED_BY(mu_);
+  uint64_t hits_ WALRUS_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ WALRUS_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ WALRUS_GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ WALRUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace walrus

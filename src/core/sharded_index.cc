@@ -1,12 +1,12 @@
 #include "core/sharded_index.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
 #include <unordered_set>
 
 #include "common/metrics.h"
 #include "common/serialize.h"
+#include "common/status.h"
+#include "common/sync.h"
 #include "common/timer.h"
 #include "core/query_pipeline.h"
 
@@ -188,19 +188,21 @@ Result<std::vector<QueryMatch>> ShardedIndex::RunPipelineSharded(
     if (n == 1 || fanout_pool_ == nullptr) {
       for (int s = 0; s < n; ++s) run_shard(s);
     } else {
-      std::mutex mu;
-      std::condition_variable done;
+      // Per-call latch: mu guards `remaining` (locals cannot carry
+      // WALRUS_GUARDED_BY; the discipline here is by construction).
+      Mutex mu;
+      CondVar done;
       int remaining = n - 1;
       for (int s = 1; s < n; ++s) {
         fanout_pool_->Submit([&, s] {
           run_shard(s);
-          std::lock_guard<std::mutex> lock(mu);
-          if (--remaining == 0) done.notify_one();
+          MutexLock lock(mu);
+          if (--remaining == 0) done.NotifyOne();
         });
       }
       run_shard(0);
-      std::unique_lock<std::mutex> lock(mu);
-      done.wait(lock, [&] { return remaining == 0; });
+      MutexLock lock(mu);
+      while (remaining != 0) done.Wait(lock);
     }
     fanout_seconds = fanout_timer.ElapsedSeconds();
   }

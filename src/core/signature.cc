@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/math_util.h"
+#include "common/status.h"
 #include "image/color.h"
 #include "wavelet/sliding_window.h"
 

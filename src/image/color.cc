@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "common/status.h"
 
 namespace walrus {
 

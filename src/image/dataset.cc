@@ -5,6 +5,7 @@
 
 #include "common/math_util.h"
 #include "common/serialize.h"
+#include "common/status.h"
 #include "image/pnm_io.h"
 #include "image/transform.h"
 

@@ -1,4 +1,5 @@
 #include "server/client.h"
+#include "common/status.h"
 
 namespace walrus {
 

@@ -23,35 +23,36 @@ struct RemoteQueryResult {
 class WalrusClient {
  public:
   /// Connects to a walrusd at `host:port` (numeric IPv4).
-  static Result<WalrusClient> Connect(const std::string& host, uint16_t port);
+  [[nodiscard]] static Result<WalrusClient> Connect(const std::string& host,
+                                                    uint16_t port);
 
   WalrusClient(WalrusClient&&) = default;
   WalrusClient& operator=(WalrusClient&&) = default;
 
   /// Round-trips an empty PING frame.
-  Status Ping();
+  [[nodiscard]] Status Ping();
 
   /// Remote ExecuteQuery: ships the query image and options, returns the
   /// server's ranked matches (bit-identical to an in-process call against
   /// the same index).
-  Result<RemoteQueryResult> Query(const ImageF& image,
+  [[nodiscard]] Result<RemoteQueryResult> Query(const ImageF& image,
                                   const QueryOptions& options);
 
   /// Remote ExecuteSceneQuery over the part of `image` inside `scene`.
-  Result<RemoteQueryResult> SceneQuery(const ImageF& image,
+  [[nodiscard]] Result<RemoteQueryResult> SceneQuery(const ImageF& image,
                                        const PixelRect& scene,
                                        const QueryOptions& options);
 
   /// Fetches the server's counters.
-  Result<ServerStats> Stats();
+  [[nodiscard]] Result<ServerStats> Stats();
 
   /// Fetches the server process's metrics-registry snapshot (every counter,
   /// gauge, and histogram on the query path).
-  Result<MetricsSnapshot> Metrics();
+  [[nodiscard]] Result<MetricsSnapshot> Metrics();
 
   /// Asks the server to shut down gracefully (it drains in-flight requests
   /// before exiting). OK means the server acknowledged.
-  Status Shutdown();
+  [[nodiscard]] Status Shutdown();
 
  private:
   explicit WalrusClient(UniqueFd fd) : fd_(std::move(fd)) {}
@@ -59,10 +60,11 @@ class WalrusClient {
   /// Sends one request frame and returns the response body after the
   /// frame-level checks (CRC, request id echo) and the embedded status
   /// section have both passed.
-  Result<std::vector<uint8_t>> RoundTrip(Opcode opcode,
+  [[nodiscard]] Result<std::vector<uint8_t>> RoundTrip(Opcode opcode,
                                          const std::vector<uint8_t>& body);
 
-  Result<RemoteQueryResult> RunQuery(Opcode opcode, const ImageF& image,
+  [[nodiscard]] Result<RemoteQueryResult> RunQuery(Opcode opcode,
+                                                   const ImageF& image,
                                      const PixelRect* scene,
                                      const QueryOptions& options);
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/status.h"
 
 namespace walrus {
 
@@ -94,10 +95,10 @@ Status WalrusServer::Start() {
 
 void WalrusServer::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     stop_requested_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
 }
 
 void WalrusServer::Stop() {
@@ -108,8 +109,8 @@ void WalrusServer::Stop() {
 void WalrusServer::Wait() {
   if (!started_ || joined_) return;
   {
-    std::unique_lock<std::mutex> lock(stop_mutex_);
-    stop_cv_.wait(lock, [this] { return stop_requested_; });
+    MutexLock lock(stop_mutex_);
+    while (!stop_requested_) stop_cv_.Wait(lock);
   }
   stopping_.store(true, std::memory_order_release);
 
@@ -125,7 +126,7 @@ void WalrusServer::Wait() {
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     conns = connections_;
     threads.swap(conn_threads_);
   }
@@ -139,7 +140,7 @@ void WalrusServer::Wait() {
 
   // 4. Now the sockets can go.
   {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     connections_.clear();
   }
   joined_ = true;
@@ -159,7 +160,7 @@ void WalrusServer::AcceptLoop() {
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>();
     conn->fd = std::move(*accepted);
-    std::lock_guard<std::mutex> lock(conn_mutex_);
+    MutexLock lock(conn_mutex_);
     if (stopping_.load(std::memory_order_acquire)) return;
     connections_.push_back(conn);
     conn_threads_.emplace_back(
@@ -173,7 +174,7 @@ void WalrusServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
   // framing error). Drop the registry's reference: the socket closes as
   // soon as the last in-flight worker has written its response, so clients
   // see EOF promptly instead of at server stop.
-  std::lock_guard<std::mutex> lock(conn_mutex_);
+  MutexLock lock(conn_mutex_);
   connections_.erase(
       std::remove(connections_.begin(), connections_.end(), conn),
       connections_.end());
@@ -369,7 +370,7 @@ void WalrusServer::WriteResponse(const std::shared_ptr<Connection>& conn,
   }
   std::vector<uint8_t> frame =
       EncodeFrame(header.opcode, header.request_id, body.buffer());
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  MutexLock lock(conn->write_mutex);
   if (WriteFull(conn->fd.get(), frame.data(), frame.size()).ok()) {
     bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
   }

@@ -3,15 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/socket.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "core/index.h"
 #include "core/query_engine.h"
@@ -82,7 +81,7 @@ class WalrusServer {
 
   /// Signals shutdown without blocking. Safe from any thread, including
   /// request handlers (the SHUTDOWN opcode uses it).
-  void RequestStop();
+  void RequestStop() WALRUS_EXCLUDES(stop_mutex_);
 
   /// Blocks until a stop is requested, then tears down: stops accepting,
   /// unblocks connection readers, drains in-flight requests, writes their
@@ -111,10 +110,10 @@ class WalrusServer {
   /// shared_ptr; the write mutex serializes response frames.
   struct Connection {
     UniqueFd fd;
-    std::mutex write_mutex;
+    Mutex write_mutex;
   };
 
-  void AcceptLoop();
+  void AcceptLoop() WALRUS_EXCLUDES(conn_mutex_);
   void ConnectionLoop(std::shared_ptr<Connection> conn);
   /// Frame-reading loop body; returns when the connection is done.
   void ReadFrames(const std::shared_ptr<Connection>& conn);
@@ -141,14 +140,17 @@ class WalrusServer {
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
 
-  std::mutex conn_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> conn_threads_;
+  Mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_
+      WALRUS_GUARDED_BY(conn_mutex_);
+  std::vector<std::thread> conn_threads_ WALRUS_GUARDED_BY(conn_mutex_);
 
-  std::mutex stop_mutex_;
-  std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
+  Mutex stop_mutex_;
+  CondVar stop_cv_;
+  bool stop_requested_ WALRUS_GUARDED_BY(stop_mutex_) = false;
   std::atomic<bool> stopping_{false};
+  /// Lifecycle flags, touched only by the owning thread (the one that
+  /// calls Start/Wait/Stop and destroys the server) — unguarded by design.
   bool started_ = false;
   bool joined_ = false;
 

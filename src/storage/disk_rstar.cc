@@ -12,6 +12,7 @@
 #include "common/metrics.h"
 #include "common/serialize.h"
 #include "common/simd.h"
+#include "common/status.h"
 #include "spatial/hilbert.h"
 
 namespace walrus {
@@ -101,7 +102,7 @@ std::vector<uint8_t> EncodeNode(uint32_t page_size, int dim, bool is_leaf,
 }  // namespace
 
 int DiskRStarTree::NodeCapacity() const {
-  return CapacityFor(file_.page_size(), dim_);
+  return CapacityFor(page_size_, dim_);
 }
 
 Result<DiskRStarTree> DiskRStarTree::Build(
@@ -254,10 +255,10 @@ Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
     uint32_t page_id) const {
   std::vector<uint8_t> page;
   {
-    std::lock_guard<std::mutex> lock(io_mutex_);
+    MutexLock lock(io_mutex_);
     int64_t hits_before = file_.cache_hits();
     WALRUS_ASSIGN_OR_RETURN(page, file_.ReadPage(page_id));
-    ++pages_read_;
+    pages_read_.fetch_add(1, std::memory_order_relaxed);
     const DiskRStarMetrics& metrics = DiskRStarMetrics::Get();
     metrics.pages_read->Increment();
     if (file_.cache_hits() > hits_before) {
@@ -270,7 +271,7 @@ Result<DiskRStarTree::NodeRef> DiskRStarTree::ReadNode(
   node.is_leaf = page[0] != 0;
   uint16_t count = static_cast<uint16_t>(page[2]) |
                    static_cast<uint16_t>(page[3]) << 8;
-  if (count > CapacityFor(file_.page_size(), dim_)) {
+  if (count > CapacityFor(page_size_, dim_)) {
     return Status::Corruption("disk rstar: node overfull");
   }
   node.count = count;
@@ -325,7 +326,7 @@ Rect DiskRStarTree::NodeRef::RectAt(int i, int dim) const {
 
 Status DiskRStarTree::Validate() const {
   {
-    std::lock_guard<std::mutex> lock(io_mutex_);
+    MutexLock lock(io_mutex_);
     WALRUS_RETURN_IF_ERROR(file_.ValidateChecksums());
   }
   if (size_ == 0) {
@@ -353,7 +354,7 @@ Status DiskRStarTree::Validate() const {
   while (!stack.empty()) {
     Item item = std::move(stack.back());
     stack.pop_back();
-    if (item.page == 0 || item.page >= file_.page_count()) {
+    if (item.page == 0 || item.page >= page_count_) {
       return Status::Internal("disk rstar: child page id " +
                               std::to_string(item.page) + " out of range");
     }

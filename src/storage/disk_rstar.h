@@ -1,13 +1,14 @@
 #ifndef WALRUS_STORAGE_DISK_RSTAR_H_
 #define WALRUS_STORAGE_DISK_RSTAR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "spatial/rect.h"
 #include "storage/page_file.h"
 
@@ -24,12 +25,16 @@ namespace walrus {
 /// Construction uses the same Sort-Tile-Recursive packing as
 /// RStarTree::BulkLoad, writing levels bottom-up.
 ///
-/// Thread safety: concurrent queries are supported; page reads and the IO
-/// counters are serialized by an internal mutex (the page cache is an LRU
-/// that mutates on every read, so even "read-only" probes are writes at
-/// this layer). The counter accessors and SetCacheCapacity take the same
-/// mutex, so polling diagnostics while queries run is safe. Moving the
-/// tree is NOT thread-safe; finish all queries first.
+/// Thread safety: concurrent queries are supported; page reads are
+/// serialized by an internal mutex (the page cache is an LRU that mutates
+/// on every read, so even "read-only" probes are writes at this layer).
+/// The compiler enforces the discipline: `file_` is WALRUS_GUARDED_BY
+/// io_mutex_, so any path that touches the page file without the lock
+/// fails a -Wthread-safety build. The cache-counter accessors and
+/// SetCacheCapacity take the same mutex, so polling diagnostics while
+/// queries run is safe; pages_read() is a relaxed atomic and never blocks
+/// a query. Moving the tree takes both objects' locks, but a moved-from
+/// tree must no longer be queried.
 ///
 /// Page layout (little endian):
 ///   u8  is_leaf, u8 reserved, u16 entry_count, u32 reserved
@@ -40,20 +45,27 @@ class DiskRStarTree {
   DiskRStarTree(const DiskRStarTree&) = delete;
   DiskRStarTree& operator=(const DiskRStarTree&) = delete;
   DiskRStarTree(DiskRStarTree&& other) noexcept
-      : file_(std::move(other.file_)),
+      : file_(TakeFile(other)),
+        page_size_(other.page_size_),
+        page_count_(other.page_count_),
         dim_(other.dim_),
         size_(other.size_),
         height_(other.height_),
         root_page_(other.root_page_),
-        pages_read_(other.pages_read_) {}
+        pages_read_(other.pages_read_.load(std::memory_order_relaxed)) {}
   DiskRStarTree& operator=(DiskRStarTree&& other) noexcept {
     if (this != &other) {
+      MutexLock mine(io_mutex_);
+      MutexLock theirs(other.io_mutex_);
       file_ = std::move(other.file_);
+      page_size_ = other.page_size_;
+      page_count_ = other.page_count_;
       dim_ = other.dim_;
       size_ = other.size_;
       height_ = other.height_;
       root_page_ = other.root_page_;
-      pages_read_ = other.pages_read_;
+      pages_read_.store(other.pages_read_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
     }
     return *this;
   }
@@ -106,22 +118,21 @@ class DiskRStarTree {
 
   /// Pages fetched by queries since opening (served from cache or disk).
   int64_t pages_read() const {
-    std::lock_guard<std::mutex> lock(io_mutex_);
-    return pages_read_;
+    return pages_read_.load(std::memory_order_relaxed);
   }
   /// Underlying page-cache counters.
-  int64_t cache_hits() const {
-    std::lock_guard<std::mutex> lock(io_mutex_);
+  int64_t cache_hits() const WALRUS_EXCLUDES(io_mutex_) {
+    MutexLock lock(io_mutex_);
     return file_.cache_hits();
   }
-  int64_t cache_misses() const {
-    std::lock_guard<std::mutex> lock(io_mutex_);
+  int64_t cache_misses() const WALRUS_EXCLUDES(io_mutex_) {
+    MutexLock lock(io_mutex_);
     return file_.cache_misses();
   }
   /// Resizes the page cache (0 disables; measures cold-read costs). Safe
   /// to call while queries are in flight.
-  void SetCacheCapacity(int pages) {
-    std::lock_guard<std::mutex> lock(io_mutex_);
+  void SetCacheCapacity(int pages) WALRUS_EXCLUDES(io_mutex_) {
+    MutexLock lock(io_mutex_);
     file_.SetCacheCapacity(pages);
   }
 
@@ -144,17 +155,35 @@ class DiskRStarTree {
     Rect RectAt(int i, int dim) const;
   };
 
-  explicit DiskRStarTree(PageFile file) : file_(std::move(file)) {}
+  explicit DiskRStarTree(PageFile file)
+      : file_(std::move(file)),
+        page_size_(file_.page_size()),
+        page_count_(file_.page_count()) {}
 
-  Result<NodeRef> ReadNode(uint32_t page_id) const;
+  /// Extracts `other`'s page file under its lock (move-construction only:
+  /// guarded fields may not be read without the owning mutex, even from a
+  /// constructor of the same class).
+  static PageFile TakeFile(DiskRStarTree& other)
+      WALRUS_EXCLUDES(other.io_mutex_) {
+    MutexLock lock(other.io_mutex_);
+    return std::move(other.file_);
+  }
 
-  mutable std::mutex io_mutex_;
-  mutable PageFile file_;
+  Result<NodeRef> ReadNode(uint32_t page_id) const
+      WALRUS_EXCLUDES(io_mutex_);
+
+  mutable Mutex io_mutex_;
+  mutable PageFile file_ WALRUS_GUARDED_BY(io_mutex_);
+  /// Page geometry, cached at construction so probe paths can size and
+  /// bound-check nodes without taking io_mutex_ (immutable once built).
+  uint32_t page_size_ = PageFile::kDefaultPageSize;
+  uint32_t page_count_ = 0;
   int dim_ = 0;
   int64_t size_ = 0;
   int height_ = 0;
   uint32_t root_page_ = 0;
-  mutable int64_t pages_read_ = 0;
+  /// Pages fetched by queries (relaxed: a diagnostics counter).
+  mutable std::atomic<int64_t> pages_read_{0};
 };
 
 }  // namespace walrus

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/logging.h"
 #include "common/serialize.h"
 
 namespace walrus {
@@ -48,7 +49,13 @@ PageFile& PageFile::operator=(PageFile&& other) noexcept {
 
 PageFile::~PageFile() {
   if (file_ != nullptr) {
-    WriteHeader();
+    // Destructors cannot propagate; a failed header flush here means the
+    // file is already unusable, so record it and close anyway.
+    Status flushed = WriteHeader();
+    if (!flushed.ok()) {
+      WALRUS_LOG(Warning) << "page file header flush failed on close: "
+                          << flushed;
+    }
     std::fclose(file_);
   }
 }

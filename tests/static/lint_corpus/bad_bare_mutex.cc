@@ -1,0 +1,22 @@
+// walrus-lint self-test corpus. Known-bad: raw standard-library locking
+// outside common/sync.h. Raw std::mutex fields cannot carry
+// WALRUS_GUARDED_BY contracts, so both the include and the declarations
+// below must be flagged.
+//
+// lint-expect: bare-mutex
+
+#include <mutex>
+
+namespace corpus {
+
+struct UsesRawMutex {
+  std::mutex mu;
+  int value = 0;
+
+  void Set(int v) {
+    std::lock_guard<std::mutex> lock(mu);
+    value = v;
+  }
+};
+
+}  // namespace corpus

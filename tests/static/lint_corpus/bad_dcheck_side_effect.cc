@@ -1,0 +1,17 @@
+// walrus-lint self-test corpus. Known-bad: a WALRUS_DCHECK whose
+// argument mutates state. The macro compiles to nothing in release
+// builds, so the increment below would silently disappear there —
+// debug and release binaries would compute different values.
+//
+// lint-expect: dcheck-side-effect
+
+#include "common/check.h"
+
+namespace corpus {
+
+int Advance(int cursor, int limit) {
+  WALRUS_DCHECK(++cursor <= limit);  // flagged: mutation inside DCHECK
+  return cursor;
+}
+
+}  // namespace corpus

@@ -1,0 +1,16 @@
+// walrus-lint self-test corpus. Known-bad: names a common/ macro without
+// including its defining header. WALRUS_LOG below resolves only through
+// a transitive include, which breaks the moment the intermediate header
+// drops it — include what you use.
+//
+// lint-expect: iwyu-common
+
+#include "common/metrics.h"  // does NOT provide WALRUS_LOG
+
+namespace corpus {
+
+void Report(double seconds) {
+  WALRUS_LOG(Info) << "took " << seconds << "s";  // flagged: no logging.h
+}
+
+}  // namespace corpus

@@ -1,0 +1,18 @@
+// walrus-lint self-test corpus. Known-bad: registers a metric whose name
+// is missing from the operations catalog (corpus stand-in:
+// operations.md next to this file). New metrics must land with docs.
+//
+// lint-expect: metric-docs
+
+#include "common/metrics.h"
+
+namespace corpus {
+
+void Record() {
+  // Not documented anywhere: flagged.
+  Metrics().GetCounter("walrus.corpus.undocumented")->Increment();
+  // Documented in the corpus catalog (plain entry): clean.
+  Metrics().GetCounter("walrus.corpus.lookups")->Increment();
+}
+
+}  // namespace corpus

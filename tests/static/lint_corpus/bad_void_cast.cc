@@ -1,0 +1,20 @@
+// walrus-lint self-test corpus. Known-bad: laundering a call's return
+// value through a (void) cast. With Status/Result marked [[nodiscard]]
+// and -Werror=unused-result, a void cast is the only way to silently
+// drop an error, so the spelling is banned on calls. (The cast of a plain
+// variable below is the legal unused-binding idiom and must NOT fire.)
+//
+// lint-expect: discarded-status
+
+#include "common/status.h"
+
+namespace corpus {
+
+Status MightFail();
+
+void Caller(int unused_arg) {
+  (void)unused_arg;    // legal: silences -Wunused-parameter, no call
+  (void)MightFail();   // flagged: discards a Status-returning call
+}
+
+}  // namespace corpus

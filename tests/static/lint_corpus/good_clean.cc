@@ -1,0 +1,39 @@
+// walrus-lint self-test corpus. Known-good: exercises the surface of
+// every rule the legal way and must produce zero findings — annotated
+// sync.h locking, a named-then-logged Status, documented metric names
+// (one via the family shorthand, one via the <i> placeholder), a
+// side-effect-free WALRUS_DCHECK, and direct includes for every common/
+// macro used.
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace corpus {
+
+Status MightFail();
+
+class GoodCitizen {
+ public:
+  void Record(int shard) {
+    WALRUS_DCHECK(shard >= 0);  // clean: pure predicate
+    MutexLock lock(mu_);
+    ++count_;
+    Metrics().GetCounter("walrus.corpus.hits")->Increment();
+    Metrics()
+        .GetCounter("walrus.corpus.shard.s" + std::to_string(shard))
+        ->Increment();
+    Status status = MightFail();
+    if (!status.ok()) {
+      WALRUS_LOG(Warning) << "corpus op failed: " << status;
+    }
+  }
+
+ private:
+  Mutex mu_;
+  int count_ WALRUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Negative-compilation test for the common/sync.h thread-safety contracts.
+#
+# Each tsa/bad_*.cc file encodes one locking mistake (unguarded read,
+# unheld REQUIRES, EXCLUDES self-deadlock) and must be REJECTED by a
+# clang -Wthread-safety -Werror=thread-safety syntax-only compile — and
+# rejected *for a thread-safety reason*, not some unrelated error.
+# tsa/good_*.cc files use the same annotations correctly and must be
+# ACCEPTED. This pins both directions: the analysis actually fires, and
+# the wrappers don't produce false positives on the sanctioned patterns.
+#
+# Only Clang implements the analysis. With any other compiler (or none)
+# the test exits 77, which ctest maps to SKIPPED via SKIP_RETURN_CODE;
+# the clang CI job is the gate of record.
+#
+# Usage: thread_safety_compile_test.sh <cxx-compiler> <src-include-dir>
+set -u
+
+CXX="${1:?usage: $0 <cxx-compiler> <src-include-dir>}"
+SRC_DIR="${2:?usage: $0 <cxx-compiler> <src-include-dir>}"
+CORPUS_DIR="$(cd "$(dirname "$0")" && pwd)/tsa"
+
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: $CXX is not clang; thread-safety analysis unavailable"
+  exit 77
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -I"$SRC_DIR"
+       -Wthread-safety -Werror=thread-safety)
+failures=0
+
+for bad in "$CORPUS_DIR"/bad_*.cc; do
+  name="$(basename "$bad")"
+  if out="$("$CXX" "${FLAGS[@]}" "$bad" 2>&1)"; then
+    echo "FAIL: $name compiled cleanly; the analysis missed its bug"
+    failures=$((failures + 1))
+  elif ! grep -q "thread-safety" <<<"$out"; then
+    echo "FAIL: $name was rejected, but not for a thread-safety reason:"
+    echo "$out" | head -5
+    failures=$((failures + 1))
+  else
+    echo "ok: $name rejected by -Wthread-safety"
+  fi
+done
+
+for good in "$CORPUS_DIR"/good_*.cc; do
+  name="$(basename "$good")"
+  if out="$("$CXX" "${FLAGS[@]}" "$good" 2>&1)"; then
+    echo "ok: $name accepted"
+  else
+    echo "FAIL: $name must compile clean under -Werror=thread-safety:"
+    echo "$out" | head -10
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "thread_safety_compile_test: $failures failure(s)"
+  exit 1
+fi
+echo "thread_safety_compile_test: all corpus files behaved"

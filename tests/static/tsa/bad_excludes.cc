@@ -1,0 +1,30 @@
+// Thread-safety negative-compilation corpus: this file MUST FAIL a
+// clang -Wthread-safety -Werror=thread-safety build. Calling a
+// WALRUS_EXCLUDES(mu) method while already holding mu is the
+// self-deadlock pattern (std::mutex is non-reentrant): the callee will
+// block forever trying to re-acquire the caller's lock.
+
+#include "common/sync.h"
+
+namespace walrus {
+
+class Registry {
+ public:
+  void Clear() WALRUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    count_ = 0;
+  }
+
+  // ERROR: holds mu_ across a call into Clear(), which excludes mu_.
+  void Reset() {
+    MutexLock lock(mu_);
+    count_ = -1;
+    Clear();
+  }
+
+ private:
+  Mutex mu_;
+  int count_ WALRUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace walrus

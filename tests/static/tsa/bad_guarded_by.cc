@@ -1,0 +1,26 @@
+// Thread-safety negative-compilation corpus: this file MUST FAIL a
+// clang -Wthread-safety -Werror=thread-safety build
+// (thread_safety_compile_test.sh asserts the rejection). Reading a
+// WALRUS_GUARDED_BY field without holding its mutex is the core error
+// the analysis exists to catch.
+
+#include "common/sync.h"
+
+namespace walrus {
+
+class Counter {
+ public:
+  void Increment() {
+    MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // ERROR: reads value_ without acquiring mu_.
+  int Get() const { return value_; }
+
+ private:
+  mutable Mutex mu_;
+  int value_ WALRUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace walrus

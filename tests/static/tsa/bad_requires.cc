@@ -1,0 +1,22 @@
+// Thread-safety negative-compilation corpus: this file MUST FAIL a
+// clang -Wthread-safety -Werror=thread-safety build. Calling a
+// WALRUS_REQUIRES(mu) *Locked() helper without holding the mutex breaks
+// the caller-locks contract the annotation declares.
+
+#include "common/sync.h"
+
+namespace walrus {
+
+class Queue {
+ public:
+  // ERROR: calls EmptyLocked() without acquiring mu_ first.
+  bool Empty() const { return EmptyLocked(); }
+
+ private:
+  bool EmptyLocked() const WALRUS_REQUIRES(mu_) { return size_ == 0; }
+
+  mutable Mutex mu_;
+  int size_ WALRUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace walrus

@@ -1,0 +1,39 @@
+// Thread-safety negative-compilation corpus: this file MUST PASS a
+// clang -Wthread-safety -Werror=thread-safety build — it uses every
+// annotation the way the codebase does (guarded fields, a REQUIRES
+// helper, an EXCLUDES public surface, an explicit while-loop condition
+// wait). If this file stops compiling, the wrappers in common/sync.h
+// regressed, not the corpus.
+
+#include "common/sync.h"
+
+namespace walrus {
+
+class BoundedCounter {
+ public:
+  void Increment() WALRUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++value_;
+    changed_.NotifyAll();
+  }
+
+  int WaitUntilAtLeast(int threshold) WALRUS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    // Condition waits are explicit while loops: TSA analyzes lambda
+    // predicate bodies as standalone functions, so the wait-with-
+    // predicate overload cannot prove the guarded access is locked.
+    while (!AtLeastLocked(threshold)) changed_.Wait(lock);
+    return value_;
+  }
+
+ private:
+  bool AtLeastLocked(int threshold) const WALRUS_REQUIRES(mu_) {
+    return value_ >= threshold;
+  }
+
+  mutable Mutex mu_;
+  CondVar changed_;
+  int value_ WALRUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace walrus
