@@ -3,6 +3,8 @@
 //   walrus_client <host> <port> ping
 //   walrus_client <host> <port> query [--trace] <image.ppm> [epsilon] [top_k]
 //   walrus_client <host> <port> scene [--trace] <image.ppm> <x> <y> <w> <h> [epsilon]
+//   walrus_client <host> <port> insert <id> <image.ppm> [name]
+//   walrus_client <host> <port> delete <id>
 //   walrus_client <host> <port> stats
 //   walrus_client <host> <port> metrics [--json]
 //   walrus_client <host> <port> shutdown
@@ -25,6 +27,9 @@ int Usage() {
                "[epsilon] [top_k]\n"
                "  walrus_client <host> <port> scene [--trace] <image.ppm> "
                "<x> <y> <w> <h> [epsilon]\n"
+               "  walrus_client <host> <port> insert <id> <image.ppm> "
+               "[name]\n"
+               "  walrus_client <host> <port> delete <id>\n"
                "  walrus_client <host> <port> stats\n"
                "  walrus_client <host> <port> metrics [--json]\n"
                "  walrus_client <host> <port> shutdown\n");
@@ -115,6 +120,58 @@ int main(int argc, char** argv) {
               : 100.0 * static_cast<double>(stats->result_cache_hits) /
                     static_cast<double>(lookups));
     }
+    if (stats->has_ingest) {
+      std::printf("ingest       %llu inserts, %llu deletes, %llu merges\n",
+                  static_cast<unsigned long long>(stats->ingest.inserts),
+                  static_cast<unsigned long long>(stats->ingest.deletes),
+                  static_cast<unsigned long long>(stats->ingest.merges));
+      std::printf("delta        %llu images, %llu tombstones\n",
+                  static_cast<unsigned long long>(stats->ingest.delta_images),
+                  static_cast<unsigned long long>(stats->ingest.tombstones));
+      std::printf(
+          "wal          %llu records, %llu bytes appended, %llu syncs, "
+          "synced lsn %llu, file %llu bytes\n",
+          static_cast<unsigned long long>(stats->ingest.wal_records),
+          static_cast<unsigned long long>(stats->ingest.wal_bytes),
+          static_cast<unsigned long long>(stats->ingest.wal_syncs),
+          static_cast<unsigned long long>(stats->ingest.wal_synced_lsn),
+          static_cast<unsigned long long>(stats->ingest.wal_file_bytes));
+    }
+    return 0;
+  }
+
+  if (command == "insert") {
+    if (argc < 6) return Usage();
+    uint64_t id = std::strtoull(argv[4], nullptr, 10);
+    auto image = walrus::ReadPnm(argv[5]);
+    if (!image.ok()) {
+      std::fprintf(stderr, "reading %s failed: %s\n", argv[5],
+                   image.status().ToString().c_str());
+      return 1;
+    }
+    std::string name = argc > 6 ? argv[6] : argv[5];
+    walrus::WallTimer timer;
+    walrus::Status status = client->InsertImage(id, name, *image);
+    if (!status.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("inserted image %llu (%.2f ms, durable)\n",
+                static_cast<unsigned long long>(id), timer.ElapsedMillis());
+    return 0;
+  }
+
+  if (command == "delete") {
+    if (argc < 5) return Usage();
+    uint64_t id = std::strtoull(argv[4], nullptr, 10);
+    walrus::WallTimer timer;
+    walrus::Status status = client->DeleteImage(id);
+    if (!status.ok()) {
+      std::fprintf(stderr, "delete failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("deleted image %llu (%.2f ms, durable)\n",
+                static_cast<unsigned long long>(id), timer.ElapsedMillis());
     return 0;
   }
 

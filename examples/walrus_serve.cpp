@@ -2,12 +2,22 @@
 // the framed TCP protocol to walrus_client and library clients.
 //
 //   walrus_serve <index_prefix> [port] [workers] [max_pending]
-//                [--shards N] [--cache M]
+//                [--shards N] [--cache M] [--wal-dir DIR]
+//                [--merge-threshold K]
 //
 // --shards N   repartition the index across N parallel shards (hash-routed
 //              by image id; identical rankings, lower per-query latency)
 // --cache M    LRU result cache of M entries in front of the query
 //              pipeline (invalidated on mutation; METRICS shows hit ratio)
+// --wal-dir DIR
+//              serve a durable live engine rooted at DIR: online
+//              INSERT_IMAGE / DELETE_IMAGE are accepted, logged to
+//              DIR/wal.log before acknowledgment, and replayed on restart.
+//              A fresh DIR is seeded from <index_prefix>; an existing DIR
+//              wins over the prefix (pass the same prefix, it is ignored).
+// --merge-threshold K
+//              fold the in-memory delta into the on-disk base once it holds
+//              K pending mutations (default 64; 0 = never automatically)
 //
 // Example session (see also examples/walrus_client.cpp):
 //   ./build/examples/walrus_cli generate /tmp/db 100
@@ -16,6 +26,7 @@
 //   ./build/examples/walrus_client 127.0.0.1 7788 query /tmp/db/img_3.ppm
 //   ./build/examples/walrus_client 127.0.0.1 7788 shutdown
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,10 +34,13 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "common/metrics.h"
 #include "core/index.h"
 #include "core/sharded_index.h"
 #include "server/server.h"
+#include "wal/live_index.h"
 
 namespace {
 
@@ -45,12 +59,19 @@ int main(int argc, char** argv) {
   // positional interface keeps working unchanged.
   int num_shards = 1;
   size_t cache_capacity = 0;
+  std::string wal_dir;
+  size_t merge_threshold = 64;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       num_shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0 && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--merge-threshold") == 0 &&
+               i + 1 < argc) {
+      merge_threshold = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // Reject unknown flags instead of letting them fall through as
       // positionals (a stray "--port 7788" would otherwise silently parse
@@ -65,7 +86,8 @@ int main(int argc, char** argv) {
   if (positional.empty() || num_shards < 1) {
     std::fprintf(stderr,
                  "usage: walrus_serve <index_prefix> [port] [workers] "
-                 "[max_pending] [--shards N] [--cache M]\n");
+                 "[max_pending] [--shards N] [--cache M] [--wal-dir DIR] "
+                 "[--merge-threshold K]\n");
     return 2;
   }
   auto index = OpenAny(positional[0]);
@@ -86,7 +108,26 @@ int main(int argc, char** argv) {
   // without sharding still goes through ShardedIndex (num_shards=1 adds no
   // fan-out overhead: shard 0 runs on the calling thread).
   std::unique_ptr<walrus::QueryEngine> engine;
-  if (num_shards > 1 || cache_capacity > 0) {
+  std::unique_ptr<walrus::LiveIndex> live;
+  if (!wal_dir.empty()) {
+    if (::mkdir(wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "mkdir %s failed: %s\n", wal_dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    walrus::LiveIndex::Options live_options;
+    live_options.num_shards = num_shards;
+    live_options.cache_capacity = cache_capacity;
+    live_options.merge_threshold = merge_threshold;
+    auto opened = walrus::LiveIndex::Open(wal_dir, index->params(),
+                                          live_options, &*index);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open live index at %s failed: %s\n",
+                   wal_dir.c_str(), opened.status().ToString().c_str());
+      return 1;
+    }
+    live = std::move(*opened);
+  } else if (num_shards > 1 || cache_capacity > 0) {
     walrus::ShardedIndex::Options shard_options;
     shard_options.num_shards = num_shards;
     shard_options.cache_capacity = cache_capacity;
@@ -102,7 +143,10 @@ int main(int argc, char** argv) {
     engine = std::make_unique<walrus::SingleIndexEngine>(*index);
   }
 
-  walrus::WalrusServer server(*engine, options);
+  const walrus::QueryEngine& query_engine =
+      live != nullptr ? static_cast<const walrus::QueryEngine&>(*live)
+                      : *engine;
+  walrus::WalrusServer server(query_engine, live.get(), options);
   walrus::Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
@@ -111,9 +155,16 @@ int main(int argc, char** argv) {
   std::printf(
       "walrusd: %zu images, %zu regions (%s backend, %d shard(s), cache "
       "%zu) on port %u\n",
-      engine->ImageCount(), engine->RegionCount(),
-      index->is_paged() ? "paged" : "in-memory", num_shards, cache_capacity,
-      server.port());
+      query_engine.ImageCount(), query_engine.RegionCount(),
+      live != nullptr ? "live" : (index->is_paged() ? "paged" : "in-memory"),
+      num_shards, cache_capacity, server.port());
+  if (live != nullptr) {
+    std::printf("walrusd: live ingest on (wal dir %s, generation %llu, "
+                "merge threshold %zu)\n",
+                wal_dir.c_str(),
+                static_cast<unsigned long long>(live->generation()),
+                merge_threshold);
+  }
   std::printf("walrusd: send a SHUTDOWN request to stop\n");
   server.Wait();  // returns after a client SHUTDOWN, having drained
 
@@ -139,6 +190,17 @@ int main(int argc, char** argv) {
             ? 0.0
             : 100.0 * static_cast<double>(stats.result_cache_hits) /
                   static_cast<double>(lookups));
+  }
+  if (stats.has_ingest) {
+    std::printf(
+        "walrusd: ingested %llu inserts, %llu deletes, %llu merges; WAL "
+        "%llu records / %llu bytes / %llu syncs\n",
+        static_cast<unsigned long long>(stats.ingest.inserts),
+        static_cast<unsigned long long>(stats.ingest.deletes),
+        static_cast<unsigned long long>(stats.ingest.merges),
+        static_cast<unsigned long long>(stats.ingest.wal_records),
+        static_cast<unsigned long long>(stats.ingest.wal_bytes),
+        static_cast<unsigned long long>(stats.ingest.wal_syncs));
   }
   std::printf("walrusd: final metrics registry state:\n%s",
               walrus::RenderMetricsText(

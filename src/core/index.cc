@@ -33,20 +33,59 @@ Status WalrusIndex::AddImage(uint64_t image_id, const std::string& name,
   if (catalog_.FindImage(image_id) != nullptr) {
     return Status::AlreadyExists("image id " + std::to_string(image_id));
   }
-  WALRUS_ASSIGN_OR_RETURN(std::vector<Region> regions,
-                          ExtractRegions(image, params_, stats));
+  WALRUS_ASSIGN_OR_RETURN(
+      ImageRecord record,
+      ExtractImageRecord(params_, image_id, name, image, stats));
+  return AddImageRecord(std::move(record));
+}
 
+Result<ImageRecord> WalrusIndex::ExtractImageRecord(const WalrusParams& params,
+                                                    uint64_t image_id,
+                                                    const std::string& name,
+                                                    const ImageF& image,
+                                                    ExtractionStats* stats) {
+  if (image_id >= (uint64_t{1} << 48)) {
+    return Status::InvalidArgument(
+        "image id " + std::to_string(image_id) +
+        " does not fit the 48-bit region payload");
+  }
+  WALRUS_ASSIGN_OR_RETURN(std::vector<Region> regions,
+                          ExtractRegions(image, params, stats));
   ImageRecord record;
   record.image_id = image_id;
   record.name = name;
   record.width = static_cast<uint32_t>(image.width());
   record.height = static_cast<uint32_t>(image.height());
   record.regions.reserve(regions.size());
-  bool use_bbox = params_.signature_kind == RegionSignatureKind::kBoundingBox;
   for (const Region& region : regions) {
-    tree_.Insert(region.IndexRect(use_bbox),
-                 EncodeRegionPayload(image_id, region.region_id));
     record.regions.push_back(region.ToRecord());
+  }
+  return record;
+}
+
+Status WalrusIndex::AddImageRecord(ImageRecord record) {
+  if (is_paged()) {
+    return Status::Unimplemented("paged index is read-only");
+  }
+  if (catalog_.FindImage(record.image_id) != nullptr) {
+    return Status::AlreadyExists("image id " +
+                                 std::to_string(record.image_id));
+  }
+  if (record.image_id >= (uint64_t{1} << 48)) {
+    return Status::InvalidArgument(
+        "image id " + std::to_string(record.image_id) +
+        " does not fit the 48-bit region payload");
+  }
+  bool use_bbox = params_.signature_kind == RegionSignatureKind::kBoundingBox;
+  for (const RegionRecord& region : record.regions) {
+    if (region.region_id >= (1u << 16)) {
+      return Status::InvalidArgument(
+          "region id " + std::to_string(region.region_id) +
+          " does not fit the 16-bit region payload");
+    }
+    Rect rect = use_bbox ? Rect::Bounds(region.bbox_lo, region.bbox_hi)
+                         : Rect::Point(region.centroid);
+    tree_.Insert(rect, EncodeRegionPayload(record.image_id, region.region_id));
   }
   WALRUS_RETURN_IF_ERROR(catalog_.AddImage(std::move(record)));
   if (DeepChecksEnabled()) return ValidateConsistency();

@@ -92,6 +92,24 @@ class WalrusIndex {
   /// region entries in the R*-tree. NotFound when the id is not indexed.
   [[nodiscard]] Status RemoveImage(uint64_t image_id);
 
+  /// Region extraction + record assembly without touching any index: the
+  /// live-ingest path (wal/live_index.h) runs this outside its locks, logs
+  /// the record to the WAL, and applies it with AddImageRecord. Rejects
+  /// image ids that do not fit the packed 48-bit R*-tree payload with
+  /// InvalidArgument (wire input reaches here, so this must not be a
+  /// contract check).
+  [[nodiscard]] static Result<ImageRecord> ExtractImageRecord(
+      const WalrusParams& params, uint64_t image_id, const std::string& name,
+      const ImageF& image, ExtractionStats* stats = nullptr);
+
+  /// Indexes an already-extracted record: every region signature goes into
+  /// the R*-tree with exactly the rect FromRecords would bulk-load for it,
+  /// so an index grown by AddImageRecord answers probes identically to one
+  /// rebuilt offline from the same records. AlreadyExists on a duplicate
+  /// id; InvalidArgument when an id or region id overflows the packed
+  /// payload; Unimplemented on a paged (read-only) index.
+  [[nodiscard]] Status AddImageRecord(ImageRecord record);
+
   /// One image of a batch insert.
   struct PendingImage {
     uint64_t image_id = 0;

@@ -1,0 +1,63 @@
+#ifndef WALRUS_CORE_INGEST_ENGINE_H_
+#define WALRUS_CORE_INGEST_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "image/image.h"
+
+namespace walrus {
+
+/// Ingest-side counters surfaced by walrusd STATS next to EngineStats
+/// (DESIGN.md section 14). WAL watermarks are absolute; the rest are
+/// cumulative since the engine opened its log.
+struct IngestStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  /// Delta-into-base merges completed.
+  uint64_t merges = 0;
+  /// Images currently living in the in-memory delta index.
+  uint64_t delta_images = 0;
+  /// Base images currently masked by a tombstone.
+  uint64_t tombstones = 0;
+  /// WAL records appended since open (inserts + deletes, pre-merge).
+  uint64_t wal_records = 0;
+  /// WAL bytes appended since open.
+  uint64_t wal_bytes = 0;
+  /// fsync batches the log has completed.
+  uint64_t wal_syncs = 0;
+  /// Highest LSN guaranteed durable.
+  uint64_t wal_synced_lsn = 0;
+  /// Current WAL file size in bytes.
+  uint64_t wal_file_bytes = 0;
+};
+
+/// Abstract mutation surface: what the server needs from "something that
+/// accepts online inserts and deletes", independent of how durability is
+/// implemented. The live engine (wal/live_index.h) implements this next to
+/// QueryEngine; a server without one answers mutation opcodes with
+/// Unimplemented. Implementations must support concurrent calls from many
+/// threads, concurrently with queries.
+class IngestEngine {
+ public:
+  virtual ~IngestEngine() = default;
+
+  /// Extracts regions from `image` and indexes them under `image_id`,
+  /// durably (the call returns OK only once the mutation would survive a
+  /// crash). AlreadyExists when the id is live in the engine.
+  [[nodiscard]] virtual Status InsertImage(uint64_t image_id,
+                                           const std::string& name,
+                                           const ImageF& image) = 0;
+
+  /// Durably removes the image with `image_id` from query results.
+  /// NotFound when the id is not live.
+  [[nodiscard]] virtual Status DeleteImage(uint64_t image_id) = 0;
+
+  virtual IngestStats IngestStatsSnapshot() const = 0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_CORE_INGEST_ENGINE_H_

@@ -83,6 +83,27 @@ Result<RemoteQueryResult> WalrusClient::SceneQuery(
   return RunQuery(Opcode::kSceneQuery, image, &scene, options);
 }
 
+Status WalrusClient::InsertImage(uint64_t image_id, const std::string& name,
+                                 const ImageF& image) {
+  BinaryWriter body;
+  body.PutU64(image_id);
+  body.PutString(name);
+  EncodeImage(image, &body);
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(Opcode::kInsertImage, body.buffer()));
+  (void)payload;
+  return Status::OK();
+}
+
+Status WalrusClient::DeleteImage(uint64_t image_id) {
+  BinaryWriter body;
+  body.PutU64(image_id);
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          RoundTrip(Opcode::kDeleteImage, body.buffer()));
+  (void)payload;
+  return Status::OK();
+}
+
 Result<ServerStats> WalrusClient::Stats() {
   WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
                           RoundTrip(Opcode::kStats, {}));

@@ -43,6 +43,15 @@ class WalrusClient {
                                        const PixelRect& scene,
                                        const QueryOptions& options);
 
+  /// Durable remote insert (v4): ships the raw image; the server extracts
+  /// regions and indexes them under `image_id`. OK means the mutation is
+  /// on disk. Unimplemented against a read-only server.
+  [[nodiscard]] Status InsertImage(uint64_t image_id, const std::string& name,
+                                   const ImageF& image);
+
+  /// Durable remote delete (v4). NotFound when `image_id` is not live.
+  [[nodiscard]] Status DeleteImage(uint64_t image_id);
+
   /// Fetches the server's counters.
   [[nodiscard]] Result<ServerStats> Stats();
 

@@ -31,6 +31,10 @@ const char* OpcodeName(Opcode opcode) {
       return "SHUTDOWN";
     case Opcode::kMetrics:
       return "METRICS";
+    case Opcode::kInsertImage:
+      return "INSERT_IMAGE";
+    case Opcode::kDeleteImage:
+      return "DELETE_IMAGE";
   }
   return "UNKNOWN";
 }
@@ -430,6 +434,19 @@ void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer) {
   writer->PutU64(stats.result_cache_misses);
   writer->PutU64(stats.result_cache_entries);
   writer->PutU64(stats.result_cache_capacity);
+  writer->PutU8(stats.has_ingest ? 1 : 0);
+  if (stats.has_ingest) {
+    writer->PutU64(stats.ingest.inserts);
+    writer->PutU64(stats.ingest.deletes);
+    writer->PutU64(stats.ingest.merges);
+    writer->PutU64(stats.ingest.delta_images);
+    writer->PutU64(stats.ingest.tombstones);
+    writer->PutU64(stats.ingest.wal_records);
+    writer->PutU64(stats.ingest.wal_bytes);
+    writer->PutU64(stats.ingest.wal_syncs);
+    writer->PutU64(stats.ingest.wal_synced_lsn);
+    writer->PutU64(stats.ingest.wal_file_bytes);
+  }
 }
 
 Result<ServerStats> DecodeServerStats(BinaryReader* reader) {
@@ -466,6 +483,24 @@ Result<ServerStats> DecodeServerStats(BinaryReader* reader) {
   WALRUS_ASSIGN_OR_RETURN(stats.result_cache_misses, reader->GetU64());
   WALRUS_ASSIGN_OR_RETURN(stats.result_cache_entries, reader->GetU64());
   WALRUS_ASSIGN_OR_RETURN(stats.result_cache_capacity, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(uint8_t has_ingest, reader->GetU8());
+  if (has_ingest > 1) {
+    return Status::Corruption("server stats: bad ingest presence flag " +
+                              std::to_string(has_ingest));
+  }
+  stats.has_ingest = has_ingest != 0;
+  if (stats.has_ingest) {
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.inserts, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.deletes, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.merges, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.delta_images, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.tombstones, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.wal_records, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.wal_bytes, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.wal_syncs, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.wal_synced_lsn, reader->GetU64());
+    WALRUS_ASSIGN_OR_RETURN(stats.ingest.wal_file_bytes, reader->GetU64());
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include "common/serialize.h"
 #include "common/status.h"
 #include "common/trace.h"
+#include "core/ingest_engine.h"
 #include "core/query.h"
 #include "core/region_extractor.h"
 #include "image/image.h"
@@ -40,7 +41,10 @@ inline constexpr uint32_t kProtocolMagic = 0x57414C52;  // "WALR"
 /// v3: QueryStats gained result_cache_hit; ServerStats gained the shard
 /// fan-out section (num_shards, per-shard probe counts) and result-cache
 /// counters.
-inline constexpr uint8_t kProtocolVersion = 3;
+/// v4: the INSERT_IMAGE and DELETE_IMAGE mutation opcodes were added
+/// (answered with Unimplemented by read-only servers); ServerStats gained
+/// the ingest/WAL section.
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr size_t kFrameTrailerBytes = 4;
 /// Upper bound on a frame body; larger length prefixes are rejected before
@@ -54,8 +58,10 @@ enum class Opcode : uint8_t {
   kStats = 3,       // server counters snapshot
   kShutdown = 4,    // graceful server shutdown (drains in-flight requests)
   kMetrics = 5,     // process-global metrics registry snapshot
+  kInsertImage = 6,  // image id + name + image -> durable online insert (v4)
+  kDeleteImage = 7,  // image id -> durable online delete (v4)
 };
-inline constexpr int kNumOpcodes = 6;
+inline constexpr int kNumOpcodes = 8;
 
 /// Stable display name for an opcode ("QUERY", "PING", ...).
 const char* OpcodeName(Opcode opcode);
@@ -144,6 +150,10 @@ struct ServerStats {
   uint64_t result_cache_misses = 0;
   uint64_t result_cache_entries = 0;
   uint64_t result_cache_capacity = 0;
+  /// Ingest/WAL section (v4): present only when the server fronts a live
+  /// (mutable) engine; read-only servers send has_ingest = false.
+  bool has_ingest = false;
+  IngestStats ingest;
 };
 void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer);
 Result<ServerStats> DecodeServerStats(BinaryReader* reader);

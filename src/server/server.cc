@@ -71,6 +71,13 @@ WalrusServer::WalrusServer(const QueryEngine& engine, ServerOptions options)
   for (auto& counter : latency_.counts) counter.store(0);
 }
 
+WalrusServer::WalrusServer(const QueryEngine& engine, IngestEngine* ingest,
+                           ServerOptions options)
+    : engine_(engine), ingest_(ingest), options_(std::move(options)) {
+  for (auto& counter : requests_by_opcode_) counter.store(0);
+  for (auto& counter : latency_.counts) counter.store(0);
+}
+
 WalrusServer::~WalrusServer() {
   if (started_ && !joined_) Stop();
 }
@@ -344,6 +351,44 @@ void WalrusServer::ExecuteRequest(
     case Opcode::kMetrics:
       EncodeMetricsSnapshot(MetricsRegistry::Global().Snapshot(), &payload);
       break;
+    case Opcode::kInsertImage: {
+      uint64_t image_id = 0;
+      std::string name;
+      ImageF image;
+      Status decoded = [&]() -> Status {
+        WALRUS_ASSIGN_OR_RETURN(image_id, reader.GetU64());
+        WALRUS_ASSIGN_OR_RETURN(name, reader.GetString());
+        WALRUS_ASSIGN_OR_RETURN(image, DecodeImage(&reader));
+        return Status::OK();
+      }();
+      if (!decoded.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        status = decoded;
+        break;
+      }
+      if (ingest_ == nullptr) {
+        status = Status::Unimplemented(
+            "server is read-only (started without --wal-dir)");
+        break;
+      }
+      status = ingest_->InsertImage(image_id, name, image);
+      break;
+    }
+    case Opcode::kDeleteImage: {
+      Result<uint64_t> image_id = reader.GetU64();
+      if (!image_id.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        status = image_id.status();
+        break;
+      }
+      if (ingest_ == nullptr) {
+        status = Status::Unimplemented(
+            "server is read-only (started without --wal-dir)");
+        break;
+      }
+      status = ingest_->DeleteImage(*image_id);
+      break;
+    }
   }
   if (!status.ok()) {
     // The same failure context discipline as ExecuteQueryBatch: name the
@@ -399,6 +444,10 @@ ServerStats WalrusServer::Snapshot() const {
   stats.result_cache_misses = engine_stats.result_cache_misses;
   stats.result_cache_entries = engine_stats.result_cache_entries;
   stats.result_cache_capacity = engine_stats.result_cache_capacity;
+  if (ingest_ != nullptr) {
+    stats.has_ingest = true;
+    stats.ingest = ingest_->IngestStatsSnapshot();
+  }
   return stats;
 }
 

@@ -68,6 +68,14 @@ class WalrusServer {
   /// (`--shards N` builds a ShardedIndex and hands it here). `engine` must
   /// outlive the server; it is queried concurrently and never mutated.
   WalrusServer(const QueryEngine& engine, ServerOptions options);
+
+  /// Serves a mutable engine: queries go to `engine`, INSERT_IMAGE /
+  /// DELETE_IMAGE go to `ingest` (the live engine implements both
+  /// interfaces — `walrus_serve --wal-dir` passes the same object twice).
+  /// `ingest` may be nullptr, which answers mutations with Unimplemented;
+  /// otherwise it must outlive the server and support concurrent calls.
+  WalrusServer(const QueryEngine& engine, IngestEngine* ingest,
+               ServerOptions options);
   ~WalrusServer();
 
   WalrusServer(const WalrusServer&) = delete;
@@ -133,6 +141,8 @@ class WalrusServer {
   /// Set only by the WalrusIndex convenience ctor; engine_ points at it.
   std::unique_ptr<SingleIndexEngine> owned_engine_;
   const QueryEngine& engine_;
+  /// Mutation surface, or nullptr for a read-only server.
+  IngestEngine* const ingest_ = nullptr;
   ServerOptions options_;
   uint16_t port_ = 0;
 

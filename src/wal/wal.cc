@@ -1,0 +1,339 @@
+#include "wal/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/serialize.h"
+
+namespace walrus {
+
+namespace {
+
+/// Registry mirrors (OPERATIONS.md metrics catalog, "Live ingest" table).
+struct WalMetrics {
+  Counter* appends;
+  Counter* bytes;
+  Counter* syncs;
+  Counter* replayed_records;
+  Counter* dropped_tail_bytes;
+  Counter* resets;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      WalMetrics m;
+      m.appends = registry.GetCounter("walrus.wal.appends");
+      m.bytes = registry.GetCounter("walrus.wal.bytes");
+      m.syncs = registry.GetCounter("walrus.wal.syncs");
+      m.replayed_records = registry.GetCounter("walrus.wal.replayed_records");
+      m.dropped_tail_bytes =
+          registry.GetCounter("walrus.wal.dropped_tail_bytes");
+      m.resets = registry.GetCounter("walrus.wal.resets");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IOError(op + " " + path + ": " + std::strerror(errno));
+}
+
+/// write() the whole buffer, retrying on EINTR / short writes.
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FsyncFd(int fd, const std::string& path) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return ErrnoStatus("fsync", path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeWalHeader(uint64_t start_lsn) {
+  BinaryWriter writer;
+  writer.PutU32(kWalMagic);
+  writer.PutU8(kWalFormatVersion);
+  writer.PutU8(0);
+  writer.PutU8(0);
+  writer.PutU8(0);
+  writer.PutU64(start_lsn);
+  writer.PutU32(Crc32(writer.buffer().data(), writer.size()));
+  WALRUS_CHECK_EQ(writer.size(), kWalHeaderBytes);
+  return writer.TakeBuffer();
+}
+
+std::vector<uint8_t> EncodeWalRecord(uint64_t lsn, WalRecordType type,
+                                     const std::vector<uint8_t>& body) {
+  WALRUS_CHECK_LE(body.size(), kMaxWalRecordBytes);
+  BinaryWriter writer;
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutU64(lsn);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutBytes(body.data(), body.size());
+  writer.PutU32(Crc32(writer.buffer().data(), writer.size()));
+  return writer.TakeBuffer();
+}
+
+Result<WalScan> WriteAheadLog::ScanBytes(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kWalHeaderBytes) {
+    return Status::Corruption("wal: file shorter than its header (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  BinaryReader header(bytes.data(), kWalHeaderBytes);
+  WALRUS_ASSIGN_OR_RETURN(uint32_t magic, header.GetU32());
+  if (magic != kWalMagic) return Status::Corruption("wal: bad magic");
+  WALRUS_ASSIGN_OR_RETURN(uint8_t version, header.GetU8());
+  if (version != kWalFormatVersion) {
+    return Status::Corruption("wal: unsupported format version " +
+                              std::to_string(version));
+  }
+  for (int i = 0; i < 3; ++i) {
+    WALRUS_ASSIGN_OR_RETURN(uint8_t reserved, header.GetU8());
+    if (reserved != 0) return Status::Corruption("wal: nonzero reserved");
+  }
+  WalScan scan;
+  WALRUS_ASSIGN_OR_RETURN(scan.start_lsn, header.GetU64());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t header_crc, header.GetU32());
+  if (header_crc != Crc32(bytes.data(), kWalHeaderBytes - 4)) {
+    return Status::Corruption("wal: header checksum mismatch");
+  }
+
+  // Record scan: every exit from this loop -- short length field, torn
+  // body, oversized length, CRC mismatch, non-sequential LSN -- truncates
+  // the log at the last record that fully verified. Only the prefix below
+  // `pos` was ever acknowledged as durable in a consistent state.
+  size_t pos = kWalHeaderBytes;
+  uint64_t expected_lsn = scan.start_lsn;
+  while (bytes.size() - pos >= kWalRecordOverhead) {
+    BinaryReader frame(bytes.data() + pos, bytes.size() - pos);
+    // The reads below cannot fail: remaining >= kWalRecordOverhead.
+    uint32_t body_len = frame.GetU32().value();
+    if (body_len > kMaxWalRecordBytes) break;
+    size_t total = kWalRecordOverhead + body_len;
+    if (bytes.size() - pos < total) break;  // torn tail
+    BinaryReader trailer(bytes.data() + pos + total - 4, 4);
+    uint32_t stored_crc = trailer.GetU32().value();
+    if (stored_crc != Crc32(bytes.data() + pos, total - 4)) break;
+    WalRecord record;
+    record.lsn = frame.GetU64().value();
+    if (record.lsn != expected_lsn) break;
+    uint8_t raw_type = frame.GetU8().value();
+    if (raw_type != static_cast<uint8_t>(WalRecordType::kInsertImage) &&
+        raw_type != static_cast<uint8_t>(WalRecordType::kDeleteImage)) {
+      break;  // unknown type: written by a future format; stop trusting
+    }
+    record.type = static_cast<WalRecordType>(raw_type);
+    record.body.resize(body_len);
+    if (body_len > 0) {
+      Status copied = frame.GetBytes(record.body.data(), body_len);
+      WALRUS_CHECK(copied.ok()) << copied;  // bounds proven above
+    }
+    scan.records.push_back(std::move(record));
+    pos += total;
+    ++expected_lsn;
+  }
+  scan.valid_bytes = pos;
+  scan.dropped_bytes = bytes.size() - pos;
+  return scan;
+}
+
+Result<WalScan> WriteAheadLog::ScanFile(const std::string& path) {
+  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return ScanBytes(bytes);
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, int fd, uint64_t next_lsn,
+                             uint64_t file_bytes)
+    : path_(std::move(path)),
+      fd_(fd),
+      next_lsn_(next_lsn),
+      appended_lsn_(next_lsn - 1),
+      synced_lsn_(next_lsn - 1),
+      file_bytes_(file_bytes) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path, WalScan* scan) {
+  WALRUS_CHECK(scan != nullptr);
+  *scan = WalScan{};
+
+  bool exists = ::access(path.c_str(), F_OK) == 0;
+  if (!exists) {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) return ErrnoStatus("create", path);
+    std::vector<uint8_t> header = EncodeWalHeader(/*start_lsn=*/1);
+    Status written = WriteAll(fd, header.data(), header.size(), path);
+    if (written.ok()) written = FsyncFd(fd, path);
+    if (!written.ok()) {
+      ::close(fd);
+      return written;
+    }
+    WALRUS_RETURN_IF_ERROR(SyncParentDir(path));
+    scan->valid_bytes = kWalHeaderBytes;
+    return std::unique_ptr<WriteAheadLog>(
+        new WriteAheadLog(path, fd, /*next_lsn=*/1, kWalHeaderBytes));
+  }
+
+  WALRUS_ASSIGN_OR_RETURN(*scan, ScanFile(path));
+  int fd = ::open(path.c_str(), O_RDWR, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  if (scan->dropped_bytes > 0) {
+    // Drop the torn/corrupt tail so new appends extend the valid prefix
+    // instead of burying garbage mid-file.
+    if (::ftruncate(fd, static_cast<off_t>(scan->valid_bytes)) != 0) {
+      Status status = ErrnoStatus("ftruncate", path);
+      ::close(fd);
+      return status;
+    }
+    Status synced = FsyncFd(fd, path);
+    if (!synced.ok()) {
+      ::close(fd);
+      return synced;
+    }
+    WALRUS_LOG(Warning) << "wal: dropped " << scan->dropped_bytes
+                        << " torn-tail byte(s) from " << path;
+    WalMetrics::Get().dropped_tail_bytes->Increment(scan->dropped_bytes);
+  }
+  if (::lseek(fd, static_cast<off_t>(scan->valid_bytes), SEEK_SET) < 0) {
+    Status status = ErrnoStatus("lseek", path);
+    ::close(fd);
+    return status;
+  }
+  WalMetrics::Get().replayed_records->Increment(scan->records.size());
+  uint64_t next_lsn = scan->records.empty()
+                          ? scan->start_lsn
+                          : scan->records.back().lsn + 1;
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, next_lsn, scan->valid_bytes));
+}
+
+Result<uint64_t> WriteAheadLog::Append(WalRecordType type,
+                                       const std::vector<uint8_t>& body) {
+  if (body.size() > kMaxWalRecordBytes) {
+    return Status::InvalidArgument("wal: record body of " +
+                                   std::to_string(body.size()) +
+                                   " bytes exceeds the frame limit");
+  }
+  MutexLock lock(mu_);
+  uint64_t lsn = next_lsn_;
+  std::vector<uint8_t> frame = EncodeWalRecord(lsn, type, body);
+  WALRUS_RETURN_IF_ERROR(WriteAll(fd_, frame.data(), frame.size(), path_));
+  ++next_lsn_;
+  appended_lsn_ = lsn;
+  file_bytes_ += frame.size();
+  ++appended_records_;
+  appended_bytes_ += frame.size();
+  WalMetrics::Get().appends->Increment();
+  WalMetrics::Get().bytes->Increment(frame.size());
+  return lsn;
+}
+
+Status WriteAheadLog::Commit(uint64_t lsn) {
+  for (;;) {
+    uint64_t target;
+    {
+      MutexLock lock(mu_);
+      // Wait while someone else's fsync is in flight: it may already
+      // cover our LSN (group commit), and two fsyncs cannot usefully
+      // overlap on one descriptor anyway.
+      while (synced_lsn_ < lsn && sync_in_progress_) sync_cv_.Wait(lock);
+      if (synced_lsn_ >= lsn) return Status::OK();
+      WALRUS_CHECK_LE(lsn, appended_lsn_);  // commit of an unappended LSN
+      sync_in_progress_ = true;
+      target = appended_lsn_;
+    }
+    // Leader: sync outside the lock so appenders are never blocked on
+    // storage. Everything appended before the fsync call is covered.
+    Status synced = FsyncFd(fd_, path_);
+    {
+      MutexLock lock(mu_);
+      sync_in_progress_ = false;
+      if (synced.ok()) {
+        if (target > synced_lsn_) synced_lsn_ = target;
+        ++syncs_;
+        WalMetrics::Get().syncs->Increment();
+      }
+      sync_cv_.NotifyAll();
+      if (!synced.ok()) return synced;
+      if (synced_lsn_ >= lsn) return Status::OK();
+    }
+  }
+}
+
+Status WriteAheadLog::Reset(uint64_t start_lsn) {
+  MutexLock lock(mu_);
+  while (sync_in_progress_) sync_cv_.Wait(lock);
+  if (::ftruncate(fd_, 0) != 0) return ErrnoStatus("ftruncate", path_);
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return ErrnoStatus("lseek", path_);
+  std::vector<uint8_t> header = EncodeWalHeader(start_lsn);
+  WALRUS_RETURN_IF_ERROR(WriteAll(fd_, header.data(), header.size(), path_));
+  WALRUS_RETURN_IF_ERROR(FsyncFd(fd_, path_));
+  next_lsn_ = start_lsn;
+  appended_lsn_ = start_lsn - 1;
+  synced_lsn_ = start_lsn - 1;
+  file_bytes_ = kWalHeaderBytes;
+  WalMetrics::Get().resets->Increment();
+  return Status::OK();
+}
+
+WalStats WriteAheadLog::Stats() const {
+  MutexLock lock(mu_);
+  WalStats stats;
+  stats.appended_records = appended_records_;
+  stats.appended_bytes = appended_bytes_;
+  stats.syncs = syncs_;
+  stats.synced_lsn = synced_lsn_;
+  stats.next_lsn = next_lsn_;
+  stats.file_bytes = file_bytes_;
+  return stats;
+}
+
+Status SyncFileForDurability(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  Status synced = FsyncFd(fd, path);
+  ::close(fd);
+  return synced;
+}
+
+Status SyncParentDir(const std::string& path_in_dir) {
+  std::string dir = ".";
+  size_t slash = path_in_dir.find_last_of('/');
+  if (slash != std::string::npos) dir = path_in_dir.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  Status synced = FsyncFd(fd, dir);
+  ::close(fd);
+  return synced;
+}
+
+}  // namespace walrus

@@ -1,3 +1,5 @@
+#include <sys/stat.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +19,7 @@
 #include "eval/ground_truth.h"
 #include "eval/metrics.h"
 #include "image/dataset.h"
+#include "wal/live_index.h"
 
 // Golden file checked into the repo; the build injects its source-tree path
 // so the test can both read it and regenerate it in place.
@@ -278,6 +281,100 @@ TEST_F(GoldenRegressionTest, ShardedRetrievalMetricsMatchGolden) {
           << key << " (shards=" << num_shards << ")";
     }
   }
+}
+
+std::string FreshLiveDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::string command = "rm -rf " + dir;
+  if (std::system(command.c_str()) != 0) ADD_FAILURE() << "cleanup failed";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// Live-ingest acceptance (DESIGN.md section 14): seed a live index with
+/// two thirds of the golden corpus, ingest the rest online — including a
+/// delete + re-insert and a mid-stream durable merge — and require the
+/// pinned workload's metrics to match an offline build of all 36 images
+/// EXACTLY. Online arrival order, WAL replay framing, tombstone filtering,
+/// and base/delta composition must not move a single bit.
+void RunLiveIngestGoldenCheck(int num_shards, const char* dir_name,
+                              const std::vector<LabeledImage>& dataset,
+                              const GroundTruth& truth,
+                              const WalrusIndex& offline) {
+  constexpr size_t kSeedImages = 24;
+  WalrusIndex seed(offline.params());
+  for (size_t i = 0; i < kSeedImages; ++i) {
+    const LabeledImage& scene = dataset[i];
+    ASSERT_TRUE(seed.AddImage(static_cast<uint64_t>(scene.id),
+                              "scene_" + std::to_string(scene.id), scene.image)
+                    .ok());
+  }
+
+  LiveIndex::Options options;
+  options.num_shards = num_shards;
+  options.merge_threshold = 0;  // merges happen only where the test says
+  auto live =
+      LiveIndex::Open(FreshLiveDir(dir_name), offline.params(), options, &seed);
+  ASSERT_TRUE(live.ok()) << live.status();
+
+  for (size_t i = kSeedImages; i < dataset.size(); ++i) {
+    const LabeledImage& scene = dataset[i];
+    ASSERT_TRUE((*live)
+                    ->InsertImage(static_cast<uint64_t>(scene.id),
+                                  "scene_" + std::to_string(scene.id),
+                                  scene.image)
+                    .ok());
+    if (i == kSeedImages + 5) {
+      // A base image leaves and comes back through the tombstone path...
+      ASSERT_TRUE((*live)->DeleteImage(7).ok());
+      ASSERT_TRUE((*live)
+                      ->InsertImage(7, "scene_7", dataset[7].image)
+                      .ok());
+      // ...then everything so far is folded into base generation 2, so the
+      // remaining inserts land in a fresh delta on top of a merged base.
+      ASSERT_TRUE((*live)->Merge().ok());
+    }
+  }
+  ASSERT_EQ((*live)->ImageCount(), dataset.size());
+
+  SingleIndexEngine single(offline);
+  MetricMap expected = ComputeActualMetrics(single, dataset, truth);
+  MetricMap actual = ComputeActualMetrics(**live, dataset, truth);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [key, value] : expected) {
+    auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << key;
+    // Exact equality: live ingest must not move a single bit.
+    EXPECT_EQ(it->second, value) << key << " (shards=" << num_shards << ")";
+  }
+
+  Result<MetricMap> golden = LoadGolden(WALRUS_GOLDEN_FILE);
+  if (golden.ok()) {
+    constexpr double kTolerance = 1e-6;
+    for (const auto& [key, value] : *golden) {
+      auto it = actual.find(key);
+      ASSERT_NE(it, actual.end()) << key;
+      EXPECT_NEAR(it->second, value, kTolerance)
+          << key << " (shards=" << num_shards << ")";
+    }
+  }
+}
+
+TEST_F(GoldenRegressionTest, LiveIngestRetrievalMetricsMatchGolden) {
+  RunLiveIngestGoldenCheck(1, "golden_live_single", *dataset_, *truth_,
+                           *index_);
+}
+
+/// Sharded-base variant: the live composition over a partitioned base must
+/// hold the same bit-identity. WALRUS_GOLDEN_SHARDS overrides the count.
+TEST_F(GoldenRegressionTest, LiveIngestShardedRetrievalMetricsMatchGolden) {
+  int num_shards = 4;
+  if (const char* env = std::getenv("WALRUS_GOLDEN_SHARDS")) {
+    num_shards = std::atoi(env);
+    ASSERT_GE(num_shards, 1);
+  }
+  RunLiveIngestGoldenCheck(num_shards, "golden_live_sharded", *dataset_,
+                           *truth_, *index_);
 }
 
 /// The workload itself must stay sane regardless of the pinned numbers:

@@ -1,0 +1,208 @@
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "core/query_engine.h"
+#include "image/dataset.h"
+#include "wal/live_index.h"
+
+namespace walrus {
+namespace {
+
+/// SIGKILL crash-recovery property test. A forked child ingests images
+/// into a live index and records each *acknowledged* mutation in an ack
+/// file (fsync'd append, so the ack itself is durable evidence). The
+/// parent kills the child with SIGKILL at an arbitrary point -- possibly
+/// mid-append, mid-fsync, or mid-merge -- and then reopens the directory.
+/// The properties:
+///
+///   1. Recovery always succeeds: a torn WAL tail or a half-finished merge
+///      never corrupts the directory.
+///   2. Durability: every acknowledged insert is present after recovery
+///      (InsertImage returned OK => the mutation survives the crash).
+///   3. Bounded anticipation: at most one unacknowledged insert may
+///      surface (the single in-flight record the kill interrupted).
+///   4. Bit-identity: the recovered engine ranks exactly like an offline
+///      index rebuilt from the recovered live set.
+
+constexpr int kChildInserts = 28;
+constexpr uint64_t kFirstId = 100;
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 32;
+  p.slide_step = 8;
+  return p;
+}
+
+std::vector<LabeledImage> MakeDataset() {
+  DatasetParams dp;
+  dp.num_images = 10;
+  dp.width = 64;
+  dp.height = 64;
+  dp.seed = 987;
+  return GenerateDataset(dp);
+}
+
+/// Image every inserted id maps to (deterministic, shared by child and
+/// parent so the parent can rebuild the offline reference).
+const ImageF& ImageForId(const std::vector<LabeledImage>& dataset,
+                         uint64_t id) {
+  return dataset[static_cast<size_t>(id) % dataset.size()].image;
+}
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::string command = "rm -rf " + dir;
+  if (std::system(command.c_str()) != 0) ADD_FAILURE() << "cleanup failed";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// Child process body: ingest until killed. Never returns normally unless
+/// it finishes every insert first. Uses only async-crash-safe plumbing (no
+/// gtest) and _exit so no parent state is double-flushed.
+void ChildIngestLoop(const std::string& dir, const std::string& ack_path) {
+  std::vector<LabeledImage> dataset = MakeDataset();
+  LiveIndex::Options options;
+  options.num_shards = 2;
+  options.merge_threshold = 6;  // crash windows include background merges
+  auto live = LiveIndex::Open(dir, TestParams(), options);
+  if (!live.ok()) _exit(3);
+  int ack_fd = ::open(ack_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (ack_fd < 0) _exit(4);
+  for (int i = 0; i < kChildInserts; ++i) {
+    uint64_t id = kFirstId + static_cast<uint64_t>(i);
+    Status status = (*live)->InsertImage(id, "crash", ImageForId(dataset, id));
+    if (!status.ok()) _exit(5);
+    // The insert is durable; make the ack durable too before moving on.
+    char line[32];
+    int n = std::snprintf(line, sizeof(line), "%llu\n",
+                          static_cast<unsigned long long>(id));
+    if (::write(ack_fd, line, static_cast<size_t>(n)) != n) _exit(6);
+    if (::fsync(ack_fd) != 0) _exit(7);
+  }
+  (*live)->WaitForMerge();
+  _exit(0);
+}
+
+std::vector<uint64_t> ReadAcks(const std::string& ack_path) {
+  std::vector<uint64_t> acks;
+  FILE* f = std::fopen(ack_path.c_str(), "r");
+  if (f == nullptr) return acks;
+  unsigned long long id = 0;
+  while (std::fscanf(f, "%llu", &id) == 1) acks.push_back(id);
+  std::fclose(f);
+  return acks;
+}
+
+class WalCrashRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalCrashRecoveryTest, SigkillMidIngestLosesNoAcknowledgedMutation) {
+  const int kill_after_acks = GetParam();
+  std::string dir =
+      FreshDir("wal_crash_" + std::to_string(kill_after_acks));
+  std::string ack_path = dir + ".acks";
+  std::remove(ack_path.c_str());
+
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    ChildIngestLoop(dir, ack_path);  // never returns
+  }
+
+  // Kill as soon as the child has acknowledged enough inserts. The exact
+  // instant is scheduler noise, which is the point: the kill lands at an
+  // arbitrary offset inside append/fsync/merge.
+  for (;;) {
+    if (static_cast<int>(ReadAcks(ack_path).size()) >= kill_after_acks) break;
+    int wstatus = 0;
+    pid_t done = ::waitpid(child, &wstatus, WNOHANG);
+    if (done == child) {
+      // Child finished everything before we could kill it; the run
+      // degenerates to clean-shutdown recovery, which must also hold.
+      ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0)
+          << "child failed with status " << wstatus;
+      child = -1;
+      break;
+    }
+    ::usleep(2000);
+  }
+  if (child > 0) {
+    ASSERT_EQ(::kill(child, SIGKILL), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus)) << "child was not killed";
+  }
+
+  std::vector<uint64_t> acked = ReadAcks(ack_path);
+  ASSERT_GE(static_cast<int>(acked.size()),
+            child == -1 ? kChildInserts : kill_after_acks);
+
+  // Property 1: recovery succeeds.
+  LiveIndex::Options options;
+  options.num_shards = 2;
+  options.merge_threshold = 0;  // audit the recovered state as-is
+  auto recovered = LiveIndex::Open(dir, TestParams(), options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+
+  // Property 2: every acknowledged insert survived.
+  for (uint64_t id : acked) {
+    EXPECT_TRUE((*recovered)->ContainsImage(id))
+        << "acked insert " << id << " lost by the crash";
+  }
+
+  // Property 3: at most the single in-flight insert surfaces unacked.
+  std::vector<uint64_t> live_ids;
+  for (int i = 0; i < kChildInserts; ++i) {
+    uint64_t id = kFirstId + static_cast<uint64_t>(i);
+    if ((*recovered)->ContainsImage(id)) live_ids.push_back(id);
+  }
+  EXPECT_LE(live_ids.size(), acked.size() + 1);
+  EXPECT_EQ((*recovered)->ImageCount(), live_ids.size());
+
+  // Property 4: the recovered engine ranks bit-identically to an offline
+  // rebuild of the recovered live set.
+  std::vector<LabeledImage> dataset = MakeDataset();
+  WalrusIndex offline(TestParams());
+  for (uint64_t id : live_ids) {
+    ASSERT_TRUE(offline.AddImage(id, "crash", ImageForId(dataset, id)).ok());
+  }
+  SingleIndexEngine reference(offline);
+  QueryOptions q;
+  q.epsilon = 0.09f;
+  for (size_t i = 0; i < dataset.size(); i += 2) {
+    auto expected = reference.RunQuery(dataset[i].image, q);
+    auto actual = (*recovered)->RunQuery(dataset[i].image, q);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    ASSERT_EQ(expected->size(), actual->size()) << "query " << i;
+    for (size_t r = 0; r < expected->size(); ++r) {
+      EXPECT_EQ((*expected)[r].image_id, (*actual)[r].image_id)
+          << "query " << i << " rank " << r;
+      EXPECT_EQ((*expected)[r].similarity, (*actual)[r].similarity)
+          << "query " << i << " rank " << r;
+    }
+  }
+}
+
+/// Three kill points: early (WAL barely started), mid (first background
+/// merge in flight), late (several merges done). Values are ack counts.
+INSTANTIATE_TEST_SUITE_P(KillPoints, WalCrashRecoveryTest,
+                         ::testing::Values(2, 7, 16));
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,231 @@
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/serialize.h"
+#include "wal/wal.h"
+
+namespace walrus {
+namespace {
+
+/// WAL recovery fuzz suite, mirroring the wire-protocol fuzz discipline
+/// (tests/server): build a valid log, mangle it every way a crash or a bad
+/// disk can, and require that recovery (a) never crashes or over-reads,
+/// (b) keeps exactly the records before the first invalid byte, and
+/// (c) reports what it dropped.
+
+std::string TempPath(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// A valid log: header + `n` records with bodies of varying size.
+std::vector<uint8_t> BuildLog(int n, uint64_t start_lsn = 1) {
+  std::vector<uint8_t> bytes = EncodeWalHeader(start_lsn);
+  for (int i = 0; i < n; ++i) {
+    std::vector<uint8_t> body(static_cast<size_t>(i * 7 % 23),
+                              static_cast<uint8_t>(i));
+    WalRecordType type =
+        i % 3 == 0 ? WalRecordType::kDeleteImage : WalRecordType::kInsertImage;
+    std::vector<uint8_t> record =
+        EncodeWalRecord(start_lsn + static_cast<uint64_t>(i), type, body);
+    bytes.insert(bytes.end(), record.begin(), record.end());
+  }
+  return bytes;
+}
+
+void WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  ASSERT_TRUE(WriteFileBytes(path, bytes).ok());
+}
+
+TEST(WalFuzzTest, CleanLogScansFully) {
+  std::string path = TempPath("wal_fuzz_clean.log");
+  std::vector<uint8_t> bytes = BuildLog(17);
+  WriteFile(path, bytes);
+  auto scan = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->records.size(), 17u);
+  EXPECT_EQ(scan->valid_bytes, bytes.size());
+  EXPECT_EQ(scan->dropped_bytes, 0u);
+}
+
+TEST(WalFuzzTest, TornTailTruncatesToLastFullRecord) {
+  std::vector<uint8_t> full = BuildLog(8);
+  std::vector<uint8_t> seven = BuildLog(7);
+  // Cut anywhere strictly inside the 8th record: the first 7 survive.
+  for (size_t cut = seven.size() + 1; cut < full.size(); cut += 3) {
+    std::string path = TempPath("wal_fuzz_torn.log");
+    WriteFile(path, std::vector<uint8_t>(full.begin(),
+                                         full.begin() + static_cast<long>(cut)));
+    auto scan = WriteAheadLog::ScanFile(path);
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut << ": " << scan.status();
+    EXPECT_EQ(scan->records.size(), 7u) << "cut=" << cut;
+    EXPECT_EQ(scan->valid_bytes, seven.size()) << "cut=" << cut;
+    EXPECT_EQ(scan->dropped_bytes, cut - seven.size()) << "cut=" << cut;
+  }
+}
+
+TEST(WalFuzzTest, BitFlipEndsPrefixAtTheFlippedRecord) {
+  std::vector<uint8_t> clean = BuildLog(10);
+  std::vector<uint8_t> prefix_sizes;
+  // Record boundaries: scan the clean log once to find them.
+  std::vector<size_t> boundaries;  // offset past record i
+  {
+    size_t pos = kWalHeaderBytes;
+    for (int i = 0; i < 10; ++i) {
+      uint32_t body_len = static_cast<uint32_t>(clean[pos]) |
+                          static_cast<uint32_t>(clean[pos + 1]) << 8 |
+                          static_cast<uint32_t>(clean[pos + 2]) << 16 |
+                          static_cast<uint32_t>(clean[pos + 3]) << 24;
+      pos += kWalRecordOverhead + body_len;
+      boundaries.push_back(pos);
+    }
+    ASSERT_EQ(pos, clean.size());
+  }
+
+  Rng rng(0xF1295EED);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<uint8_t> corrupted = clean;
+    size_t flip = kWalHeaderBytes +
+                  static_cast<size_t>(rng.NextInt(
+                      0, static_cast<int>(clean.size() - kWalHeaderBytes) - 1));
+    corrupted[flip] ^= static_cast<uint8_t>(1 << rng.NextInt(0, 7));
+
+    std::string path = TempPath("wal_fuzz_flip.log");
+    WriteFile(path, corrupted);
+    auto scan = WriteAheadLog::ScanFile(path);
+    ASSERT_TRUE(scan.ok()) << "flip at " << flip << ": " << scan.status();
+
+    // Which record did the flip land in?
+    size_t hit = 0;
+    while (boundaries[hit] <= flip) ++hit;
+    // Every record before it survives verbatim; the flipped one and
+    // everything after are dropped (the CRC or framing no longer checks
+    // out, and once framing is lost nothing later can be trusted).
+    ASSERT_EQ(scan->records.size(), hit) << "flip at " << flip;
+    for (size_t i = 0; i < hit; ++i) {
+      EXPECT_EQ(scan->records[i].lsn, i + 1);
+    }
+    size_t expected_valid = hit == 0 ? kWalHeaderBytes : boundaries[hit - 1];
+    EXPECT_EQ(scan->valid_bytes, expected_valid) << "flip at " << flip;
+    EXPECT_EQ(scan->dropped_bytes, clean.size() - expected_valid);
+  }
+}
+
+TEST(WalFuzzTest, MidRecordTruncationAtEveryOffsetNeverCrashes) {
+  std::vector<uint8_t> clean = BuildLog(5);
+  for (size_t len = kWalHeaderBytes; len <= clean.size(); ++len) {
+    std::string path = TempPath("wal_fuzz_trunc.log");
+    WriteFile(path,
+              std::vector<uint8_t>(clean.begin(),
+                                   clean.begin() + static_cast<long>(len)));
+    auto scan = WriteAheadLog::ScanFile(path);
+    ASSERT_TRUE(scan.ok()) << "len=" << len << ": " << scan.status();
+    EXPECT_EQ(scan->valid_bytes + scan->dropped_bytes, len);
+    // Replayable prefix only: every surviving record is sequential.
+    for (size_t i = 0; i < scan->records.size(); ++i) {
+      EXPECT_EQ(scan->records[i].lsn, i + 1);
+    }
+  }
+}
+
+TEST(WalFuzzTest, TruncatedOrCorruptHeaderIsAnError) {
+  std::vector<uint8_t> clean = BuildLog(3);
+  // Shorter than a header: scan must fail, not invent an empty log.
+  for (size_t len = 0; len < kWalHeaderBytes; len += 5) {
+    std::string path = TempPath("wal_fuzz_short.log");
+    WriteFile(path,
+              std::vector<uint8_t>(clean.begin(),
+                                   clean.begin() + static_cast<long>(len)));
+    EXPECT_FALSE(WriteAheadLog::ScanFile(path).ok()) << "len=" << len;
+  }
+  // A flipped bit anywhere in the header invalidates its CRC.
+  for (size_t flip = 0; flip < kWalHeaderBytes; ++flip) {
+    std::vector<uint8_t> corrupted = clean;
+    corrupted[flip] ^= 0x40;
+    std::string path = TempPath("wal_fuzz_badheader.log");
+    WriteFile(path, corrupted);
+    EXPECT_FALSE(WriteAheadLog::ScanFile(path).ok()) << "flip=" << flip;
+  }
+}
+
+TEST(WalFuzzTest, LsnGapEndsThePrefix) {
+  std::vector<uint8_t> bytes = EncodeWalHeader(1);
+  auto r1 = EncodeWalRecord(1, WalRecordType::kInsertImage, {0x01});
+  auto r3 = EncodeWalRecord(3, WalRecordType::kInsertImage, {0x03});
+  bytes.insert(bytes.end(), r1.begin(), r1.end());
+  bytes.insert(bytes.end(), r3.begin(), r3.end());  // gap: 2 missing
+  std::string path = TempPath("wal_fuzz_gap.log");
+  WriteFile(path, bytes);
+  auto scan = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].lsn, 1u);
+  EXPECT_EQ(scan->dropped_bytes, r3.size());
+}
+
+TEST(WalFuzzTest, UnknownRecordTypeEndsThePrefix) {
+  std::vector<uint8_t> bytes = EncodeWalHeader(1);
+  auto good = EncodeWalRecord(1, WalRecordType::kInsertImage, {0xAA});
+  auto bad = EncodeWalRecord(2, static_cast<WalRecordType>(0x7F), {0xBB});
+  bytes.insert(bytes.end(), good.begin(), good.end());
+  bytes.insert(bytes.end(), bad.begin(), bad.end());
+  std::string path = TempPath("wal_fuzz_type.log");
+  WriteFile(path, bytes);
+  auto scan = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].lsn, 1u);
+}
+
+TEST(WalFuzzTest, OversizedLengthPrefixEndsScanWithoutAllocating) {
+  std::vector<uint8_t> bytes = EncodeWalHeader(1);
+  auto good = EncodeWalRecord(1, WalRecordType::kInsertImage, {0xAA});
+  bytes.insert(bytes.end(), good.begin(), good.end());
+  // A fake record claiming a 4 GB body: the scan must stop at the length
+  // prefix rather than trying to read (or allocate) past the file.
+  size_t garbage_at = bytes.size();
+  for (int i = 0; i < 32; ++i) bytes.push_back(0xFF);
+  std::string path = TempPath("wal_fuzz_len.log");
+  WriteFile(path, bytes);
+  auto scan = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->valid_bytes, garbage_at);
+  EXPECT_EQ(scan->dropped_bytes, 32u);
+}
+
+/// End-to-end recovery property: Open() on a log with a torn tail truncates
+/// the file in place and appends cleanly after the surviving prefix.
+TEST(WalFuzzTest, OpenAfterTornTailTruncatesAndResumesAppending) {
+  std::vector<uint8_t> full = BuildLog(6);
+  std::vector<uint8_t> five = BuildLog(5);
+  std::string path = TempPath("wal_fuzz_reopen.log");
+  WriteFile(path, std::vector<uint8_t>(
+                      full.begin(),
+                      full.begin() + static_cast<long>(full.size() - 2)));
+
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_EQ(scan.records.size(), 5u);
+  auto lsn = (*wal)->Append(WalRecordType::kDeleteImage, {0x42});
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 6u);
+  ASSERT_TRUE((*wal)->Commit(*lsn).ok());
+
+  auto rescanned = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(rescanned.ok()) << rescanned.status();
+  ASSERT_EQ(rescanned->records.size(), 6u);
+  EXPECT_EQ(rescanned->records[5].lsn, 6u);
+  EXPECT_EQ(rescanned->records[5].body, std::vector<uint8_t>{0x42});
+  EXPECT_EQ(rescanned->valid_bytes, five.size() + rescanned->records[5].body.size() +
+                                        kWalRecordOverhead);
+  EXPECT_EQ(rescanned->dropped_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace walrus

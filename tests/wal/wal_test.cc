@@ -1,0 +1,169 @@
+#include "wal/wal.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+
+namespace walrus {
+namespace {
+
+std::string TempWalPath(const char* name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<uint8_t> Body(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+TEST(WalTest, CreatesEmptyLogWithHeaderOnly) {
+  std::string path = TempWalPath("wal_create.log");
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.dropped_bytes, 0u);
+
+  WalStats stats = (*wal)->Stats();
+  EXPECT_EQ(stats.next_lsn, 1u);
+  EXPECT_EQ(stats.synced_lsn, 0u);
+  EXPECT_EQ(stats.file_bytes, kWalHeaderBytes);
+}
+
+TEST(WalTest, AppendCommitReopenReplaysEverything) {
+  std::string path = TempWalPath("wal_roundtrip.log");
+  {
+    WalScan scan;
+    auto wal = WriteAheadLog::Open(path, &scan);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    auto lsn1 = (*wal)->Append(WalRecordType::kInsertImage, Body({1, 2, 3}));
+    ASSERT_TRUE(lsn1.ok()) << lsn1.status();
+    EXPECT_EQ(*lsn1, 1u);
+    auto lsn2 = (*wal)->Append(WalRecordType::kDeleteImage, Body({9}));
+    ASSERT_TRUE(lsn2.ok()) << lsn2.status();
+    EXPECT_EQ(*lsn2, 2u);
+    ASSERT_TRUE((*wal)->Commit(*lsn2).ok());
+    WalStats stats = (*wal)->Stats();
+    EXPECT_EQ(stats.appended_records, 2u);
+    EXPECT_GE(stats.synced_lsn, 2u);
+  }
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].lsn, 1u);
+  EXPECT_EQ(scan.records[0].type, WalRecordType::kInsertImage);
+  EXPECT_EQ(scan.records[0].body, Body({1, 2, 3}));
+  EXPECT_EQ(scan.records[1].lsn, 2u);
+  EXPECT_EQ(scan.records[1].type, WalRecordType::kDeleteImage);
+  // Appends continue from the replayed watermark.
+  auto lsn3 = (*wal)->Append(WalRecordType::kInsertImage, {});
+  ASSERT_TRUE(lsn3.ok());
+  EXPECT_EQ(*lsn3, 3u);
+}
+
+TEST(WalTest, CommitIsIdempotentAndCoversEarlierLsns) {
+  std::string path = TempWalPath("wal_commit.log");
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  auto lsn1 = (*wal)->Append(WalRecordType::kInsertImage, Body({1}));
+  auto lsn2 = (*wal)->Append(WalRecordType::kInsertImage, Body({2}));
+  ASSERT_TRUE(lsn1.ok() && lsn2.ok());
+  // Committing the later LSN makes the earlier one durable too.
+  ASSERT_TRUE((*wal)->Commit(*lsn2).ok());
+  ASSERT_TRUE((*wal)->Commit(*lsn1).ok());
+  ASSERT_TRUE((*wal)->Commit(*lsn2).ok());
+  EXPECT_GE((*wal)->Stats().synced_lsn, 2u);
+}
+
+TEST(WalTest, ConcurrentAppendersGetDistinctSequentialLsns) {
+  std::string path = TempWalPath("wal_concurrent.log");
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&wal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto lsn = (*wal)->Append(WalRecordType::kInsertImage,
+                                  Body({static_cast<uint8_t>(t)}));
+        ASSERT_TRUE(lsn.ok()) << lsn.status();
+        ASSERT_TRUE((*wal)->Commit(*lsn).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  WalStats stats = (*wal)->Stats();
+  EXPECT_EQ(stats.appended_records,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.synced_lsn, static_cast<uint64_t>(kThreads * kPerThread));
+  // Group commit: with 200 concurrent commits there must be far fewer
+  // fsyncs than records if batching works at all -- but at least one.
+  EXPECT_GE(stats.syncs, 1u);
+
+  auto rescanned = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(rescanned.ok()) << rescanned.status();
+  ASSERT_EQ(rescanned->records.size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 0; i < rescanned->records.size(); ++i) {
+    EXPECT_EQ(rescanned->records[i].lsn, i + 1);
+  }
+}
+
+TEST(WalTest, ResetStartsFreshAtGivenLsn) {
+  std::string path = TempWalPath("wal_reset.log");
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kInsertImage, {}).ok());
+  }
+  ASSERT_TRUE((*wal)->Commit(5).ok());
+  ASSERT_TRUE((*wal)->Reset(6).ok());
+
+  WalStats stats = (*wal)->Stats();
+  EXPECT_EQ(stats.next_lsn, 6u);
+  EXPECT_EQ(stats.file_bytes, kWalHeaderBytes);
+
+  auto lsn = (*wal)->Append(WalRecordType::kDeleteImage, Body({1}));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 6u);
+  ASSERT_TRUE((*wal)->Commit(*lsn).ok());
+
+  auto rescanned = WriteAheadLog::ScanFile(path);
+  ASSERT_TRUE(rescanned.ok()) << rescanned.status();
+  EXPECT_EQ(rescanned->start_lsn, 6u);
+  ASSERT_EQ(rescanned->records.size(), 1u);
+  EXPECT_EQ(rescanned->records[0].lsn, 6u);
+}
+
+TEST(WalTest, OversizedAppendIsRejected) {
+  std::string path = TempWalPath("wal_oversize.log");
+  WalScan scan;
+  auto wal = WriteAheadLog::Open(path, &scan);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  std::vector<uint8_t> huge(kMaxWalRecordBytes + 1, 0xAB);
+  auto lsn = (*wal)->Append(WalRecordType::kInsertImage, huge);
+  EXPECT_EQ(lsn.status().code(), StatusCode::kInvalidArgument);
+  // The reject must not burn the LSN.
+  EXPECT_EQ((*wal)->Stats().next_lsn, 1u);
+}
+
+TEST(WalTest, ScanMissingFileIsError) {
+  auto scan = WriteAheadLog::ScanFile(TempWalPath("wal_missing.log"));
+  EXPECT_FALSE(scan.ok());
+}
+
+}  // namespace
+}  // namespace walrus
