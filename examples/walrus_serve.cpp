@@ -3,10 +3,21 @@
 //
 //   walrus_serve <index_prefix> [port] [workers] [max_pending]
 //                [--shards N] [--cache M] [--wal-dir DIR]
-//                [--merge-threshold K]
+//                [--merge-threshold K] [--reactor-threads N]
+//                [--max-conn-outbound-bytes B] [--drain-timeout-ms T]
 //
 // --shards N   repartition the index across N parallel shards (hash-routed
 //              by image id; identical rankings, lower per-query latency)
+// --reactor-threads N
+//              epoll event-loop threads driving connection I/O (default:
+//              hardware concurrency; connections pin round-robin)
+// --max-conn-outbound-bytes B
+//              per-connection backpressure budget: stop reading from a
+//              connection once B response bytes are queued unwritten
+//              (default 4 MiB)
+// --drain-timeout-ms T
+//              at shutdown, force-close connections whose queued responses
+//              a slow peer has not read within T ms (default 5000)
 // --cache M    LRU result cache of M entries in front of the query
 //              pipeline (invalidated on mutation; METRICS shows hit ratio)
 // --wal-dir DIR
@@ -61,6 +72,9 @@ int main(int argc, char** argv) {
   size_t cache_capacity = 0;
   std::string wal_dir;
   size_t merge_threshold = 64;
+  int reactor_threads = 0;
+  long long max_conn_outbound_bytes = -1;
+  int drain_timeout_ms = -1;
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -72,6 +86,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--merge-threshold") == 0 &&
                i + 1 < argc) {
       merge_threshold = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reactor-threads") == 0 &&
+               i + 1 < argc) {
+      reactor_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-conn-outbound-bytes") == 0 &&
+               i + 1 < argc) {
+      max_conn_outbound_bytes = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      drain_timeout_ms = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       // Reject unknown flags instead of letting them fall through as
       // positionals (a stray "--port 7788" would otherwise silently parse
@@ -87,7 +110,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: walrus_serve <index_prefix> [port] [workers] "
                  "[max_pending] [--shards N] [--cache M] [--wal-dir DIR] "
-                 "[--merge-threshold K]\n");
+                 "[--merge-threshold K] [--reactor-threads N] "
+                 "[--max-conn-outbound-bytes B] [--drain-timeout-ms T]\n");
     return 2;
   }
   auto index = OpenAny(positional[0]);
@@ -103,6 +127,12 @@ int main(int argc, char** argv) {
   }
   if (positional.size() > 2) options.num_workers = std::atoi(positional[2]);
   if (positional.size() > 3) options.max_pending = std::atoi(positional[3]);
+  options.reactor_threads = reactor_threads;
+  if (max_conn_outbound_bytes >= 0) {
+    options.max_conn_outbound_bytes =
+        static_cast<size_t>(max_conn_outbound_bytes);
+  }
+  if (drain_timeout_ms >= 0) options.drain_timeout_ms = drain_timeout_ms;
 
   // The sharded engine repartitions the opened catalog in memory; a cache
   // without sharding still goes through ShardedIndex (num_shards=1 adds no

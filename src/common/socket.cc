@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 namespace walrus {
@@ -129,5 +131,47 @@ Status WriteFull(int fd, const void* buf, size_t n) {
 }
 
 void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::IOError(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IOError(Errno("fcntl(F_SETFL, O_NONBLOCK)"));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(int fd, void* buf, size_t n) {
+  for (;;) {
+    ssize_t got = ::recv(fd, buf, n, 0);
+    if (got > 0) return static_cast<size_t>(got);
+    if (got == 0) return Status::NotFound("connection closed");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("recv"));
+  }
+}
+
+Result<size_t> WritevSome(int fd, const IoSlice* slices, int count) {
+  // IoSlice mirrors iovec's layout on purpose, but iovec's base pointer is
+  // non-const, so build the kernel-facing array explicitly.
+  iovec iov[kMaxWritevSlices];
+  if (count > kMaxWritevSlices) count = kMaxWritevSlices;
+  for (int i = 0; i < count; ++i) {
+    iov[i].iov_base = const_cast<void*>(slices[i].data);
+    iov[i].iov_len = slices[i].size;
+  }
+  msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<size_t>(count);
+  for (;;) {
+    ssize_t put = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (put >= 0) return static_cast<size_t>(put);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    if (errno == EINTR) continue;
+    return Status::IOError(Errno("sendmsg"));
+  }
+}
 
 }  // namespace walrus

@@ -71,6 +71,39 @@ class UniqueFd {
 /// (it returns the connection-closed status). Used for graceful teardown.
 void ShutdownRead(int fd);
 
+// ---- Nonblocking primitives (the epoll reactor's I/O surface) -----------
+
+/// Puts the descriptor into O_NONBLOCK mode. Every socket owned by a
+/// reactor event loop goes through this before registration.
+[[nodiscard]] Status SetNonBlocking(int fd);
+
+/// Nonblocking read of at most `n` bytes. Returns the byte count (> 0),
+/// or 0 when the socket has no data right now (EAGAIN/EWOULDBLOCK -- wait
+/// for the next EPOLLIN). An orderly peer close surfaces as NotFound
+/// ("connection closed"), any other failure as IOError. Retries EINTR.
+[[nodiscard]] Result<size_t> ReadSome(int fd, void* buf, size_t n);
+
+/// Forward declaration-free iovec mirror for scatter-gather writes, so
+/// this header does not leak <sys/uio.h> into every include site. Layout
+/// matches struct iovec and is converted internally.
+struct IoSlice {
+  const void* data = nullptr;
+  size_t size = 0;
+};
+
+/// WritevSome submits at most this many slices per call (callers with more
+/// queued frames simply come back around -- the syscall is already
+/// amortized well past this point).
+inline constexpr int kMaxWritevSlices = 64;
+
+/// Nonblocking scatter-gather write (sendmsg with MSG_NOSIGNAL): writes
+/// as much of the `count` slices as the socket accepts (slices beyond
+/// kMaxWritevSlices wait for the next call), returning the byte count
+/// (possibly 0 when the send buffer is full -- wait for EPOLLOUT). A dead
+/// peer yields IOError, never SIGPIPE. Retries EINTR.
+[[nodiscard]] Result<size_t> WritevSome(int fd, const IoSlice* slices,
+                                        int count);
+
 }  // namespace walrus
 
 #endif  // WALRUS_COMMON_SOCKET_H_

@@ -9,12 +9,15 @@ Result<WalrusClient> WalrusClient::Connect(const std::string& host,
   return WalrusClient(std::move(fd));
 }
 
-Result<std::vector<uint8_t>> WalrusClient::RoundTrip(
-    Opcode opcode, const std::vector<uint8_t>& body) {
+Result<uint64_t> WalrusClient::Send(Opcode opcode,
+                                    const std::vector<uint8_t>& body) {
   uint64_t request_id = next_request_id_++;
   std::vector<uint8_t> frame = EncodeFrame(opcode, request_id, body);
   WALRUS_RETURN_IF_ERROR(WriteFull(fd_.get(), frame.data(), frame.size()));
+  return request_id;
+}
 
+Result<RemoteResponse> WalrusClient::ReceiveResponse() {
   std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
   WALRUS_RETURN_IF_ERROR(
       ReadFull(fd_.get(), header_bytes.data(), header_bytes.size()));
@@ -34,19 +37,29 @@ Result<std::vector<uint8_t>> WalrusClient::RoundTrip(
   if (stored != FrameCrc(header_bytes.data(), response)) {
     return Status::Corruption("client: response CRC mismatch");
   }
-  if (header.request_id != request_id) {
+
+  RemoteResponse out;
+  out.request_id = header.request_id;
+  out.opcode = header.opcode;
+  BinaryReader reader(response);
+  WALRUS_RETURN_IF_ERROR(DecodeResponseStatus(&reader, &out.status));
+  if (out.status.ok()) {
+    out.payload.assign(response.begin() + reader.position(), response.end());
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> WalrusClient::RoundTrip(
+    Opcode opcode, const std::vector<uint8_t>& body) {
+  WALRUS_ASSIGN_OR_RETURN(uint64_t request_id, Send(opcode, body));
+  WALRUS_ASSIGN_OR_RETURN(RemoteResponse response, ReceiveResponse());
+  if (response.request_id != request_id) {
     return Status::Corruption(
-        "client: response id " + std::to_string(header.request_id) +
+        "client: response id " + std::to_string(response.request_id) +
         " does not match request id " + std::to_string(request_id));
   }
-
-  BinaryReader reader(response);
-  Status remote;
-  WALRUS_RETURN_IF_ERROR(DecodeResponseStatus(&reader, &remote));
-  WALRUS_RETURN_IF_ERROR(remote);
-  // Hand back only the payload that follows the status section.
-  return std::vector<uint8_t>(response.begin() + reader.position(),
-                              response.end());
+  WALRUS_RETURN_IF_ERROR(response.status);
+  return std::move(response.payload);
 }
 
 Status WalrusClient::Ping() {
@@ -56,16 +69,27 @@ Status WalrusClient::Ping() {
   return Status::OK();
 }
 
-Result<RemoteQueryResult> WalrusClient::RunQuery(Opcode opcode,
-                                                 const ImageF& image,
-                                                 const PixelRect* scene,
-                                                 const QueryOptions& options) {
+namespace {
+
+std::vector<uint8_t> EncodeQueryBody(const ImageF& image,
+                                     const PixelRect* scene,
+                                     const QueryOptions& options) {
   BinaryWriter body;
   EncodeQueryOptions(options, &body);
   if (scene != nullptr) EncodePixelRect(*scene, &body);
   EncodeImage(image, &body);
-  WALRUS_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                          RoundTrip(opcode, body.buffer()));
+  return body.TakeBuffer();
+}
+
+}  // namespace
+
+Result<RemoteQueryResult> WalrusClient::RunQuery(Opcode opcode,
+                                                 const ImageF& image,
+                                                 const PixelRect* scene,
+                                                 const QueryOptions& options) {
+  WALRUS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> payload,
+      RoundTrip(opcode, EncodeQueryBody(image, scene, options)));
   BinaryReader reader(payload);
   RemoteQueryResult result;
   WALRUS_ASSIGN_OR_RETURN(result.matches, DecodeMatches(&reader));
@@ -123,6 +147,75 @@ Status WalrusClient::Shutdown() {
                           RoundTrip(Opcode::kShutdown, {}));
   (void)payload;
   return Status::OK();
+}
+
+Result<uint64_t> WalrusClient::SendPing() { return Send(Opcode::kPing, {}); }
+
+Result<uint64_t> WalrusClient::SendQuery(const ImageF& image,
+                                         const QueryOptions& options) {
+  return Send(Opcode::kQuery, EncodeQueryBody(image, nullptr, options));
+}
+
+Result<uint64_t> WalrusClient::SendSceneQuery(const ImageF& image,
+                                              const PixelRect& scene,
+                                              const QueryOptions& options) {
+  return Send(Opcode::kSceneQuery, EncodeQueryBody(image, &scene, options));
+}
+
+Result<uint64_t> WalrusClient::SendStats() {
+  return Send(Opcode::kStats, {});
+}
+
+Result<uint64_t> WalrusClient::SendInsertImage(uint64_t image_id,
+                                               const std::string& name,
+                                               const ImageF& image) {
+  BinaryWriter body;
+  body.PutU64(image_id);
+  body.PutString(name);
+  EncodeImage(image, &body);
+  return Send(Opcode::kInsertImage, body.buffer());
+}
+
+Result<uint64_t> WalrusClient::SendDeleteImage(uint64_t image_id) {
+  BinaryWriter body;
+  body.PutU64(image_id);
+  return Send(Opcode::kDeleteImage, body.buffer());
+}
+
+Result<RemoteQueryResult> WalrusClient::ParseQueryResult(
+    const RemoteResponse& response) {
+  WALRUS_RETURN_IF_ERROR(response.status);
+  BinaryReader reader(response.payload);
+  RemoteQueryResult result;
+  WALRUS_ASSIGN_OR_RETURN(result.matches, DecodeMatches(&reader));
+  WALRUS_ASSIGN_OR_RETURN(result.stats, DecodeQueryStats(&reader));
+  return result;
+}
+
+Result<std::vector<RemoteQueryResult>> WalrusClient::QueryPipelined(
+    const std::vector<ImageF>& images, const QueryOptions& options) {
+  std::vector<uint64_t> ids;
+  ids.reserve(images.size());
+  for (const ImageF& image : images) {
+    WALRUS_ASSIGN_OR_RETURN(uint64_t id, SendQuery(image, options));
+    ids.push_back(id);
+  }
+  std::vector<RemoteQueryResult> results;
+  results.reserve(images.size());
+  for (uint64_t id : ids) {
+    WALRUS_ASSIGN_OR_RETURN(RemoteResponse response, ReceiveResponse());
+    if (response.request_id != id) {
+      // The ordering guarantee is part of the protocol contract; a
+      // mismatch here means the server reordered pipelined responses.
+      return Status::Corruption(
+          "pipelined response id " + std::to_string(response.request_id) +
+          " arrived out of order (expected " + std::to_string(id) + ")");
+    }
+    WALRUS_ASSIGN_OR_RETURN(RemoteQueryResult result,
+                            ParseQueryResult(response));
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace walrus

@@ -16,10 +16,27 @@ struct RemoteQueryResult {
   QueryStats stats;
 };
 
-/// Blocking client for walrusd: one TCP connection, one outstanding request
-/// at a time (request ids still increment and are verified on every reply,
-/// so a protocol desync surfaces as Corruption instead of crossed
-/// responses). Not thread-safe; give each thread its own client.
+/// One response frame received off a pipelined connection: the echoed
+/// request id (match it to the Send* return value), the server's embedded
+/// status, and the payload that follows it (empty unless status is OK).
+struct RemoteResponse {
+  uint64_t request_id = 0;
+  Opcode opcode = Opcode::kPing;
+  Status status;
+  std::vector<uint8_t> payload;
+};
+
+/// Blocking client for walrusd over one TCP connection. Two usage modes:
+///
+/// - Lockstep: the named calls (Ping, Query, Stats, ...) send one request
+///   and block for its reply, verifying the request-id echo.
+/// - Pipelined: Send* enqueues a request frame and returns immediately
+///   with its request id; ReceiveResponse() blocks for the next response
+///   frame. The server guarantees responses come back in request order,
+///   so interleaving K Send* calls with K ReceiveResponse() calls gets K
+///   requests executing concurrently over one connection.
+///
+/// Not thread-safe; give each thread its own client.
 class WalrusClient {
  public:
   /// Connects to a walrusd at `host:port` (numeric IPv4).
@@ -63,8 +80,44 @@ class WalrusClient {
   /// before exiting). OK means the server acknowledged.
   [[nodiscard]] Status Shutdown();
 
+  // ---- Pipelining surface -----------------------------------------------
+
+  /// Each Send* writes one request frame and returns its request id
+  /// without waiting for the reply; pair with ReceiveResponse().
+  [[nodiscard]] Result<uint64_t> SendPing();
+  [[nodiscard]] Result<uint64_t> SendQuery(const ImageF& image,
+                                           const QueryOptions& options);
+  [[nodiscard]] Result<uint64_t> SendSceneQuery(const ImageF& image,
+                                                const PixelRect& scene,
+                                                const QueryOptions& options);
+  [[nodiscard]] Result<uint64_t> SendStats();
+  [[nodiscard]] Result<uint64_t> SendInsertImage(uint64_t image_id,
+                                                 const std::string& name,
+                                                 const ImageF& image);
+  [[nodiscard]] Result<uint64_t> SendDeleteImage(uint64_t image_id);
+
+  /// Blocks for the next response frame on the wire. Frame-level failures
+  /// (CRC mismatch, truncated stream) fail the call; the server's own
+  /// status for the request lands in RemoteResponse::status, so an
+  /// OVERLOADED or error reply is still a successful receive.
+  [[nodiscard]] Result<RemoteResponse> ReceiveResponse();
+
+  /// Decodes a QUERY/SCENE_QUERY response payload.
+  [[nodiscard]] static Result<RemoteQueryResult> ParseQueryResult(
+      const RemoteResponse& response);
+
+  /// Convenience: ships every query back-to-back, then collects the
+  /// responses — N queries for one connection's round-trip latency.
+  /// Responses are verified to come back in request order.
+  [[nodiscard]] Result<std::vector<RemoteQueryResult>> QueryPipelined(
+      const std::vector<ImageF>& images, const QueryOptions& options);
+
  private:
   explicit WalrusClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  /// Writes one request frame; returns its request id.
+  [[nodiscard]] Result<uint64_t> Send(Opcode opcode,
+                                      const std::vector<uint8_t>& body);
 
   /// Sends one request frame and returns the response body after the
   /// frame-level checks (CRC, request id echo) and the embedded status

@@ -58,6 +58,41 @@ std::vector<uint8_t> EncodeFrame(Opcode opcode, uint64_t request_id,
   return frame;
 }
 
+FrameParts MakeFrameParts(Opcode opcode, uint64_t request_id,
+                          std::vector<std::vector<uint8_t>> body_chunks) {
+  FrameParts parts;
+  parts.body = std::move(body_chunks);
+  size_t body_bytes = 0;
+  for (const std::vector<uint8_t>& chunk : parts.body) {
+    body_bytes += chunk.size();
+  }
+
+  uint8_t* h = parts.header.data();
+  h[0] = static_cast<uint8_t>(kProtocolMagic);
+  h[1] = static_cast<uint8_t>(kProtocolMagic >> 8);
+  h[2] = static_cast<uint8_t>(kProtocolMagic >> 16);
+  h[3] = static_cast<uint8_t>(kProtocolMagic >> 24);
+  h[4] = kProtocolVersion;
+  h[5] = static_cast<uint8_t>(opcode);
+  h[6] = 0;  // reserved
+  h[7] = 0;
+  for (int i = 0; i < 8; ++i) {
+    h[8 + i] = static_cast<uint8_t>(request_id >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    h[16 + i] = static_cast<uint8_t>(body_bytes >> (8 * i));
+  }
+
+  uint32_t crc = Crc32Extend(0, parts.header.data(), kFrameHeaderBytes);
+  for (const std::vector<uint8_t>& chunk : parts.body) {
+    crc = Crc32Extend(crc, chunk.data(), chunk.size());
+  }
+  for (int i = 0; i < 4; ++i) {
+    parts.trailer[i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  return parts;
+}
+
 Status DecodeFrameHeader(const uint8_t* data, FrameHeader* out) {
   if (ReadU32Le(data) != kProtocolMagic) {
     return Status::Corruption("frame: bad magic");

@@ -1,6 +1,7 @@
 #ifndef WALRUS_SERVER_PROTOCOL_H_
 #define WALRUS_SERVER_PROTOCOL_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -77,6 +78,30 @@ struct FrameHeader {
 /// Builds a complete frame: header + body + CRC-32 trailer.
 std::vector<uint8_t> EncodeFrame(Opcode opcode, uint64_t request_id,
                                  const std::vector<uint8_t>& body);
+
+/// A frame held as scatter-gather segments: the fixed header, any number
+/// of body chunks (concatenated on the wire), and the CRC-32 trailer.
+/// This is the reactor's response representation -- the chunks are handed
+/// to writev as-is, so a multi-megabyte QUERY payload is framed and
+/// written without ever being copied into one contiguous buffer.
+struct FrameParts {
+  std::array<uint8_t, kFrameHeaderBytes> header = {};
+  std::vector<std::vector<uint8_t>> body;
+  std::array<uint8_t, kFrameTrailerBytes> trailer = {};
+
+  size_t TotalBytes() const {
+    size_t n = kFrameHeaderBytes + kFrameTrailerBytes;
+    for (const std::vector<uint8_t>& chunk : body) n += chunk.size();
+    return n;
+  }
+};
+
+/// Frames `body_chunks` (taken by move) under the given opcode/request id.
+/// The CRC trailer is computed incrementally with Crc32Extend over header
+/// then chunks, so the bytes on the wire are identical to
+/// EncodeFrame(opcode, request_id, concat(body_chunks)).
+FrameParts MakeFrameParts(Opcode opcode, uint64_t request_id,
+                          std::vector<std::vector<uint8_t>> body_chunks);
 
 /// Parses the fixed-size header (`data` must hold kFrameHeaderBytes).
 /// Corruption on bad magic (framing lost: the caller must drop the

@@ -1,0 +1,470 @@
+#include "server/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+namespace walrus {
+
+// ---------------------------------------------------------------------------
+// ReactorConn
+
+ReactorConn::ReactorConn(UniqueFd fd, EventLoop* loop, ReactorStats* stats,
+                         const ReactorOptions& options)
+    : fd_(std::move(fd)), loop_(loop), stats_(stats), options_(options) {
+  stats_->connections->Add(1);
+}
+
+ReactorConn::~ReactorConn() {
+  stats_->connections->Add(-1);
+  // Whatever never reached the wire stops counting as queued.
+  MutexLock lock(mutex_);
+  if (outbound_bytes_ > 0) {
+    stats_->queue_bytes->Add(-static_cast<int64_t>(outbound_bytes_));
+    outbound_bytes_ = 0;
+  }
+}
+
+size_t ReactorConn::PendingInput(const uint8_t** data) const {
+  *data = input_.data() + input_consumed_;
+  return input_.size() - input_consumed_;
+}
+
+void ReactorConn::ConsumeInput(size_t n) {
+  input_consumed_ += n;
+  // Reclaim the parsed prefix once it dominates the buffer, so a long-lived
+  // pipelined connection doesn't grow its input buffer without bound.
+  if (input_consumed_ == input_.size()) {
+    input_.clear();
+    input_consumed_ = 0;
+  } else if (input_consumed_ > (64u << 10) &&
+             input_consumed_ >= input_.size() / 2) {
+    input_.erase(input_.begin(),
+                 input_.begin() + static_cast<ptrdiff_t>(input_consumed_));
+    input_consumed_ = 0;
+  }
+}
+
+void ReactorConn::BeginRequest() {
+  {
+    MutexLock lock(mutex_);
+    ++in_flight_;
+  }
+  stats_->in_flight->Add(1);
+}
+
+void ReactorConn::CloseAfterFlush() {
+  {
+    MutexLock lock(mutex_);
+    close_after_flush_ = true;
+  }
+  loop_->Notify(shared_from_this());
+}
+
+void ReactorConn::Respond(uint64_t seq, FrameParts frame,
+                          bool ends_in_flight) {
+  {
+    MutexLock lock(mutex_);
+    if (ends_in_flight) --in_flight_;
+    if (!closed_) {
+      size_t bytes = frame.TotalBytes();
+      completed_.emplace(seq, std::move(frame));
+      outbound_bytes_ += bytes;
+      stats_->queue_bytes->Add(static_cast<int64_t>(bytes));
+      PromoteLocked();
+    }
+  }
+  if (ends_in_flight) stats_->in_flight->Add(-1);
+  loop_->Notify(shared_from_this());
+}
+
+void ReactorConn::PromoteLocked() {
+  for (auto it = completed_.find(next_flush_seq_); it != completed_.end();
+       it = completed_.find(next_flush_seq_)) {
+    outbound_.push_back(std::move(it->second));
+    completed_.erase(it);
+    ++next_flush_seq_;
+  }
+}
+
+bool ReactorConn::FlushLocked() {
+  while (!outbound_.empty()) {
+    // Gather slices from the queued frames, skipping the already-written
+    // prefix of the front frame.
+    IoSlice slices[kMaxWritevSlices];
+    int n = 0;
+    size_t skip = front_offset_;
+    for (const FrameParts& frame : outbound_) {
+      if (n >= kMaxWritevSlices) break;
+      const size_t segment_count = 2 + frame.body.size();
+      for (size_t seg = 0; seg < segment_count && n < kMaxWritevSlices;
+           ++seg) {
+        const uint8_t* data;
+        size_t size;
+        if (seg == 0) {
+          data = frame.header.data();
+          size = frame.header.size();
+        } else if (seg <= frame.body.size()) {
+          data = frame.body[seg - 1].data();
+          size = frame.body[seg - 1].size();
+        } else {
+          data = frame.trailer.data();
+          size = frame.trailer.size();
+        }
+        if (skip >= size) {
+          skip -= size;
+          continue;
+        }
+        slices[n].data = data + skip;
+        slices[n].size = size - skip;
+        skip = 0;
+        ++n;
+      }
+    }
+    if (n == 0) break;
+    Result<size_t> put = WritevSome(fd_.get(), slices, n);
+    if (!put.ok()) return false;
+    if (*put == 0) break;  // send buffer full: wait for EPOLLOUT
+    stats_->bytes_out->fetch_add(*put, std::memory_order_relaxed);
+    stats_->queue_bytes->Add(-static_cast<int64_t>(*put));
+    outbound_bytes_ -= *put;
+    size_t remaining = *put;
+    while (remaining > 0) {
+      FrameParts& front = outbound_.front();
+      size_t left = front.TotalBytes() - front_offset_;
+      if (remaining >= left) {
+        remaining -= left;
+        front_offset_ = 0;
+        outbound_.pop_front();
+      } else {
+        front_offset_ += remaining;
+        remaining = 0;
+      }
+    }
+  }
+  return true;
+}
+
+void ReactorConn::UpdateBackpressureLocked() {
+  if (!read_paused_ && outbound_bytes_ > options_.max_conn_outbound_bytes) {
+    read_paused_ = true;
+    stats_->stalled_reads->Increment();
+  } else if (read_paused_ &&
+             outbound_bytes_ <= options_.max_conn_outbound_bytes / 2) {
+    read_paused_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+EventLoop::EventLoop(FrameSink* sink, ReactorStats* stats,
+                     ReactorOptions options)
+    : sink_(sink), stats_(stats), options_(options) {
+  epoll_fd_ = UniqueFd(::epoll_create1(0));
+  wake_fd_ = UniqueFd(::eventfd(0, EFD_NONBLOCK));
+  if (!epoll_fd_.valid() || !wake_fd_.valid()) return;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    return;
+  }
+  thread_ = std::thread([this] { Run(); });
+}
+
+EventLoop::~EventLoop() {
+  if (thread_.joinable()) {
+    BeginDrain();
+    FinishDrain(0);
+    Join();
+  }
+}
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_.get(), &one, sizeof(one));
+  static_cast<void>(ignored);  // EAGAIN means a wakeup is already pending
+}
+
+void EventLoop::Adopt(UniqueFd fd) {
+  {
+    MutexLock lock(mutex_);
+    intake_.push_back(std::move(fd));
+  }
+  Wake();
+}
+
+void EventLoop::Notify(std::shared_ptr<ReactorConn> conn) {
+  if (conn == nullptr) return;
+  {
+    MutexLock lock(mutex_);
+    wake_queue_.push_back(std::move(conn));
+  }
+  Wake();
+}
+
+void EventLoop::BeginDrain() {
+  MutexLock lock(mutex_);
+  draining_ = true;
+  Wake();
+  while (!drain_applied_) drain_cv_.Wait(lock);
+}
+
+void EventLoop::FinishDrain(int drain_deadline_ms) {
+  {
+    MutexLock lock(mutex_);
+    finish_drain_ = true;
+    drain_deadline_ms_ = drain_deadline_ms;
+  }
+  Wake();
+}
+
+void EventLoop::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::AddConnection(UniqueFd fd) {
+  if (!SetNonBlocking(fd.get()).ok()) return;  // peer is already gone
+  if (options_.so_sndbuf_bytes > 0) {
+    // Best-effort: a connection that keeps the kernel default just hits
+    // backpressure later.
+    int bytes = options_.so_sndbuf_bytes;
+    int rc = ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &bytes,
+                          sizeof(bytes));
+    static_cast<void>(rc);
+  }
+  int raw = fd.get();
+  auto conn =
+      std::make_shared<ReactorConn>(std::move(fd), this, stats_, options_);
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = raw;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, raw, &ev) != 0) return;
+  conn->epoll_mask_ = EPOLLIN;
+  conn->in_epoll_ = true;
+  conns_.emplace(raw, std::move(conn));
+}
+
+void EventLoop::HandleReadable(const std::shared_ptr<ReactorConn>& conn) {
+  size_t budget = options_.read_chunk_budget;
+  bool got_bytes = false;
+  bool eof = false;
+  bool dead = false;
+  while (budget > 0) {
+    {
+      MutexLock lock(conn->mutex_);
+      if (conn->read_paused_ || conn->close_after_flush_ || conn->closed_ ||
+          conn->peer_eof_) {
+        break;
+      }
+    }
+    uint8_t chunk[16 << 10];
+    size_t want = sizeof(chunk) < budget ? sizeof(chunk) : budget;
+    Result<size_t> got = ReadSome(conn->fd(), chunk, want);
+    if (!got.ok()) {
+      if (got.status().code() == StatusCode::kNotFound) {
+        eof = true;  // orderly close: flush what we owe, then tear down
+      } else {
+        dead = true;  // reset: nothing more can reach the peer
+      }
+      break;
+    }
+    if (*got == 0) break;  // drained the socket for now
+    conn->input_.insert(conn->input_.end(), chunk, chunk + *got);
+    got_bytes = true;
+    budget -= *got;
+    if (*got < want) break;
+  }
+  if (got_bytes) sink_->OnInput(conn);
+  if (eof) {
+    MutexLock lock(conn->mutex_);
+    conn->peer_eof_ = true;
+  }
+  if (dead) {
+    MutexLock lock(conn->mutex_);
+    conn->closed_ = true;
+  }
+}
+
+void EventLoop::UpdateConnection(const std::shared_ptr<ReactorConn>& conn) {
+  if (conn->fd() < 0) return;
+  auto registered = conns_.find(conn->fd());
+  // The fd number may have been reused by a newer connection between a
+  // worker's Notify and this wakeup; only act on the live registration.
+  if (registered == conns_.end() || registered->second != conn) return;
+  bool want_in = false;
+  bool want_out = false;
+  bool close_now = false;
+  bool drain_reads;
+  {
+    MutexLock lock(mutex_);
+    drain_reads = draining_;
+  }
+  {
+    MutexLock lock(conn->mutex_);
+    if (!conn->closed_) {
+      conn->PromoteLocked();
+      if (!conn->FlushLocked()) conn->closed_ = true;
+    }
+    if (conn->closed_) {
+      close_now = true;
+    } else {
+      conn->UpdateBackpressureLocked();
+      want_out = !conn->outbound_.empty();
+      bool done = (conn->close_after_flush_ || conn->peer_eof_) &&
+                  conn->in_flight_ == 0 && !want_out &&
+                  conn->completed_.empty();
+      if (done) {
+        conn->closed_ = true;
+        close_now = true;
+      } else {
+        want_in = !conn->read_paused_ && !conn->close_after_flush_ &&
+                  !conn->peer_eof_ && !drain_reads;
+      }
+    }
+  }
+  if (close_now) {
+    CloseConnection(conn);
+    return;
+  }
+  uint32_t mask = (want_in ? EPOLLIN : 0u) | (want_out ? EPOLLOUT : 0u);
+  if (mask != conn->epoll_mask_) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = mask;
+    ev.data.fd = conn->fd();
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd(), &ev) == 0) {
+      conn->epoll_mask_ = mask;
+    }
+  }
+}
+
+void EventLoop::CloseConnection(const std::shared_ptr<ReactorConn>& conn) {
+  int raw = conn->fd();
+  if (raw < 0) return;
+  auto it = conns_.find(raw);
+  if (it == conns_.end()) return;
+  if (conn->in_epoll_) {
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, raw, nullptr);
+    conn->in_epoll_ = false;
+  }
+  {
+    MutexLock lock(conn->mutex_);
+    conn->closed_ = true;
+  }
+  conn->fd_.Close();
+  conns_.erase(it);
+}
+
+void EventLoop::Run() {
+  using Clock = std::chrono::steady_clock;
+  bool drain_ack_pending = false;
+  bool finishing = false;
+  Clock::time_point finish_deadline{};
+  epoll_event events[128];
+  for (;;) {
+    int timeout_ms = finishing ? 10 : -1;
+    int n = ::epoll_wait(epoll_fd_.get(), events,
+                         static_cast<int>(std::size(events)), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed: nothing sane left to do
+    }
+    if (n > 0) stats_->wakeups->Increment();
+
+    // Drain cross-thread state under the loop lock.
+    std::vector<UniqueFd> intake;
+    std::vector<std::shared_ptr<ReactorConn>> woken;
+    {
+      MutexLock lock(mutex_);
+      intake.swap(intake_);
+      woken.swap(wake_queue_);
+      if (draining_ && !drain_applied_) drain_ack_pending = true;
+      if (finish_drain_ && !finishing) {
+        finishing = true;
+        finish_deadline =
+            Clock::now() + std::chrono::milliseconds(drain_deadline_ms_);
+      }
+    }
+
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == wake_fd_.get()) {
+        uint64_t count;
+        while (::read(wake_fd_.get(), &count, sizeof(count)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(events[i].data.fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<ReactorConn> conn = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        MutexLock lock(conn->mutex_);
+        conn->closed_ = true;
+      } else if (events[i].events & EPOLLIN) {
+        HandleReadable(conn);
+      }
+      UpdateConnection(conn);
+    }
+
+    for (UniqueFd& fd : intake) AddConnection(std::move(fd));
+    for (const std::shared_ptr<ReactorConn>& conn : woken) {
+      UpdateConnection(conn);
+    }
+
+    if (drain_ack_pending) {
+      // Deregister read interest everywhere, then acknowledge: after the
+      // notify below, no byte is read and no frame is parsed, so the
+      // server can drain its worker pool without a dispatch racing in.
+      std::vector<std::shared_ptr<ReactorConn>> all;
+      all.reserve(conns_.size());
+      for (const auto& entry : conns_) all.push_back(entry.second);
+      for (const std::shared_ptr<ReactorConn>& conn : all) {
+        UpdateConnection(conn);
+      }
+      drain_ack_pending = false;
+      MutexLock lock(mutex_);
+      drain_applied_ = true;
+      drain_cv_.NotifyAll();
+    }
+
+    if (finishing) {
+      bool expired = Clock::now() >= finish_deadline;
+      std::vector<std::shared_ptr<ReactorConn>> all;
+      all.reserve(conns_.size());
+      for (const auto& entry : conns_) all.push_back(entry.second);
+      for (const std::shared_ptr<ReactorConn>& conn : all) {
+        if (expired) {
+          MutexLock lock(conn->mutex_);
+          conn->closed_ = true;
+        } else {
+          // Responses are all enqueued by now (the pool is drained);
+          // anything fully flushed can close.
+          MutexLock lock(conn->mutex_);
+          conn->PromoteLocked();
+          if (conn->outbound_.empty() && conn->completed_.empty()) {
+            conn->closed_ = true;
+          }
+        }
+        UpdateConnection(conn);
+      }
+      if (conns_.empty()) break;
+    }
+  }
+  // Force-close whatever is left (epoll failure or deadline path).
+  std::vector<std::shared_ptr<ReactorConn>> all;
+  all.reserve(conns_.size());
+  for (const auto& entry : conns_) all.push_back(entry.second);
+  for (const std::shared_ptr<ReactorConn>& conn : all) CloseConnection(conn);
+}
+
+}  // namespace walrus

@@ -1,0 +1,229 @@
+#ifndef WALRUS_SERVER_REACTOR_H_
+#define WALRUS_SERVER_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/socket.h"
+#include "common/sync.h"
+#include "server/protocol.h"
+
+namespace walrus {
+
+class EventLoop;
+
+/// Metric surface of the reactor tier (walrus.server.reactor.* in
+/// docs/OPERATIONS.md). The server resolves the registry pointers once at
+/// Start() and hands this struct to every loop; `bytes_out` feeds the
+/// server's STATS counter from the flush path.
+struct ReactorStats {
+  Counter* wakeups = nullptr;        // walrus.server.reactor.wakeups
+  Counter* stalled_reads = nullptr;  // walrus.server.reactor.stalled_reads
+  Gauge* queue_bytes = nullptr;      // walrus.server.reactor.queue_bytes
+  Gauge* in_flight = nullptr;        // walrus.server.reactor.in_flight
+  Gauge* connections = nullptr;      // walrus.server.reactor.connections
+  std::atomic<uint64_t>* bytes_out = nullptr;
+};
+
+/// Reactor knobs, split from ServerOptions so the loops do not depend on
+/// the server header.
+struct ReactorOptions {
+  /// Per-connection outbound-queue byte budget: once queued-but-unwritten
+  /// responses exceed it the loop stops reading from that connection
+  /// (backpressure) until the queue drains below half the budget.
+  size_t max_conn_outbound_bytes = 4u << 20;
+  /// Bytes read from one connection per loop wakeup before yielding to
+  /// the other connections on the loop (fairness under pipelining).
+  size_t read_chunk_budget = 256u << 10;
+  /// When > 0, cap each connection's kernel send buffer (SO_SNDBUF) to
+  /// roughly this many bytes. Bounds kernel-side memory per slow peer and
+  /// makes the outbound-queue backpressure engage at a predictable point
+  /// instead of after the kernel autotunes multi-megabyte buffers.
+  int so_sndbuf_bytes = 0;
+};
+
+/// One accepted connection, owned by exactly one EventLoop. All socket
+/// I/O and input parsing happen on that loop's thread; worker threads only
+/// deliver completed responses through Respond(), which is why the locked
+/// section is a queue handoff and never a syscall made off-loop.
+///
+/// Pipelining contract: every request parsed from this connection claims
+/// the next sequence number (AllocateSeq) in arrival order, and responses
+/// enter the outbound byte stream strictly in sequence order no matter
+/// which worker finishes first -- out-of-order completions park in
+/// `completed_` until the head of the line arrives.
+class ReactorConn : public std::enable_shared_from_this<ReactorConn> {
+ public:
+  ReactorConn(UniqueFd fd, EventLoop* loop, ReactorStats* stats,
+              const ReactorOptions& options);
+  ~ReactorConn();
+
+  ReactorConn(const ReactorConn&) = delete;
+  ReactorConn& operator=(const ReactorConn&) = delete;
+
+  // ---- Parse-side surface (loop thread only) ---------------------------
+
+  /// Unconsumed buffered input; returns the byte count and points `*data`
+  /// at the first unconsumed byte.
+  size_t PendingInput(const uint8_t** data) const;
+
+  /// Marks `n` bytes of pending input as consumed (a parsed frame).
+  void ConsumeInput(size_t n);
+
+  /// Claims the next response slot in request-arrival order.
+  uint64_t AllocateSeq() { return next_seq_++; }
+
+  /// Declares a request in flight (dispatched to the worker pool). Its
+  /// Respond() must pass ends_in_flight = true.
+  void BeginRequest() WALRUS_EXCLUDES(mutex_);
+
+  /// Stops reading and closes the connection once every allocated
+  /// response slot has been written out (framing lost / fatal frame).
+  void CloseAfterFlush() WALRUS_EXCLUDES(mutex_);
+
+  // ---- Completion surface (any thread) ---------------------------------
+
+  /// Delivers the response for slot `seq`. Safe from worker threads; wakes
+  /// the owning loop to flush. `ends_in_flight` pairs with BeginRequest().
+  void Respond(uint64_t seq, FrameParts frame, bool ends_in_flight)
+      WALRUS_EXCLUDES(mutex_);
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  friend class EventLoop;
+
+  /// Moves consecutive completed responses into the outbound queue.
+  void PromoteLocked() WALRUS_REQUIRES(mutex_);
+
+  /// Drains the outbound queue with scatter-gather writes until the
+  /// socket would block or the queue empties. Returns false when the peer
+  /// is gone (write error) and the connection must be torn down.
+  bool FlushLocked() WALRUS_REQUIRES(mutex_);
+
+  /// Applies the backpressure watermarks to read_paused_.
+  void UpdateBackpressureLocked() WALRUS_REQUIRES(mutex_);
+
+  UniqueFd fd_;
+  EventLoop* const loop_;
+  ReactorStats* const stats_;
+  const ReactorOptions options_;
+
+  // Loop-thread-only state (no lock): the input buffer the parser works
+  // on, the allocator for response sequence numbers (assigned during
+  // parsing), and the cached epoll interest mask.
+  std::vector<uint8_t> input_;
+  size_t input_consumed_ = 0;
+  uint64_t next_seq_ = 0;
+  uint32_t epoll_mask_ = 0;
+  bool in_epoll_ = false;
+
+  Mutex mutex_;
+  /// Responses being written, in sequence order; front may be partially
+  /// sent (front_offset_ bytes of it are already on the wire).
+  std::deque<FrameParts> outbound_ WALRUS_GUARDED_BY(mutex_);
+  size_t front_offset_ WALRUS_GUARDED_BY(mutex_) = 0;
+  size_t outbound_bytes_ WALRUS_GUARDED_BY(mutex_) = 0;
+  /// Completed responses whose predecessors are still executing.
+  std::map<uint64_t, FrameParts> completed_ WALRUS_GUARDED_BY(mutex_);
+  uint64_t next_flush_seq_ WALRUS_GUARDED_BY(mutex_) = 0;
+  int in_flight_ WALRUS_GUARDED_BY(mutex_) = 0;
+  bool read_paused_ WALRUS_GUARDED_BY(mutex_) = false;
+  bool close_after_flush_ WALRUS_GUARDED_BY(mutex_) = false;
+  bool peer_eof_ WALRUS_GUARDED_BY(mutex_) = false;
+  bool closed_ WALRUS_GUARDED_BY(mutex_) = false;
+};
+
+/// Frame-parsing callback the server implements. Invoked on the loop
+/// thread whenever a connection has new buffered input; the implementation
+/// consumes complete frames (ConsumeInput) and leaves partial ones for the
+/// next wakeup.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void OnInput(const std::shared_ptr<ReactorConn>& conn) = 0;
+};
+
+/// One epoll event loop: owns an epoll set, an eventfd for cross-thread
+/// wakeups, and the connections pinned to it. The loop thread is the only
+/// thread that touches epoll, reads sockets, writes sockets, or parses
+/// frames; other threads communicate through Adopt()/Notify() (lock +
+/// eventfd) only.
+///
+/// Lifecycle: the constructor spawns the thread; teardown is a two-phase
+/// drain driven by the server's Wait() -- BeginDrain() (synchronous: no
+/// frame is parsed after it returns, so no new request can be dispatched),
+/// then once the worker pool has drained, FinishDrain(deadline) lets the
+/// loop flush every queued-but-unwritten response before closing sockets,
+/// force-closing whatever a dead-slow peer has not read by the deadline.
+class EventLoop {
+ public:
+  EventLoop(FrameSink* sink, ReactorStats* stats, ReactorOptions options);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when the epoll + eventfd setup succeeded and the thread runs.
+  bool ok() const { return thread_.joinable(); }
+
+  /// Hands a freshly accepted socket to this loop (any thread).
+  void Adopt(UniqueFd fd) WALRUS_EXCLUDES(mutex_);
+
+  /// Schedules `conn` for flush/interest maintenance on the loop thread
+  /// (any thread; called by Respond / CloseAfterFlush).
+  void Notify(std::shared_ptr<ReactorConn> conn) WALRUS_EXCLUDES(mutex_);
+
+  /// Stops reading on every connection and blocks until the loop thread
+  /// has acknowledged -- after return, no further OnInput fires.
+  void BeginDrain() WALRUS_EXCLUDES(mutex_);
+
+  /// Lets the loop flush outstanding responses and exit. The loop thread
+  /// force-closes unflushed connections after `drain_deadline_ms` (from
+  /// now) and terminates; Join() reaps it.
+  void FinishDrain(int drain_deadline_ms) WALRUS_EXCLUDES(mutex_);
+
+  void Join();
+
+ private:
+  void Run() WALRUS_EXCLUDES(mutex_);
+  void Wake();
+  void AddConnection(UniqueFd fd);
+  /// Reads available bytes (up to the fairness budget) and parses.
+  void HandleReadable(const std::shared_ptr<ReactorConn>& conn);
+  /// Flush + epoll-interest recomputation + close-if-done for one conn.
+  void UpdateConnection(const std::shared_ptr<ReactorConn>& conn);
+  void CloseConnection(const std::shared_ptr<ReactorConn>& conn);
+
+  FrameSink* const sink_;
+  ReactorStats* const stats_;
+  const ReactorOptions options_;
+
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;  // eventfd
+  std::thread thread_;
+
+  // Loop-thread-only: the connections pinned to this loop, keyed by fd.
+  std::unordered_map<int, std::shared_ptr<ReactorConn>> conns_;
+
+  Mutex mutex_;
+  CondVar drain_cv_;
+  std::vector<UniqueFd> intake_ WALRUS_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<ReactorConn>> wake_queue_
+      WALRUS_GUARDED_BY(mutex_);
+  bool draining_ WALRUS_GUARDED_BY(mutex_) = false;
+  bool drain_applied_ WALRUS_GUARDED_BY(mutex_) = false;
+  bool finish_drain_ WALRUS_GUARDED_BY(mutex_) = false;
+  int drain_deadline_ms_ WALRUS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_SERVER_REACTOR_H_

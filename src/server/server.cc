@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/status.h"
@@ -86,6 +87,35 @@ Status WalrusServer::Start() {
   WALRUS_ASSIGN_OR_RETURN(listen_fd_,
                           ListenTcp(options_.host, options_.port));
   WALRUS_ASSIGN_OR_RETURN(port_, SocketLocalPort(listen_fd_.get()));
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  reactor_stats_.wakeups =
+      registry.GetCounter("walrus.server.reactor.wakeups");
+  reactor_stats_.stalled_reads =
+      registry.GetCounter("walrus.server.reactor.stalled_reads");
+  reactor_stats_.queue_bytes =
+      registry.GetGauge("walrus.server.reactor.queue_bytes");
+  reactor_stats_.in_flight =
+      registry.GetGauge("walrus.server.reactor.in_flight");
+  reactor_stats_.connections =
+      registry.GetGauge("walrus.server.reactor.connections");
+  reactor_stats_.bytes_out = &bytes_out_;
+
+  ReactorOptions reactor_options;
+  reactor_options.max_conn_outbound_bytes = options_.max_conn_outbound_bytes;
+  reactor_options.so_sndbuf_bytes = options_.so_sndbuf_bytes;
+  int num_loops = options_.reactor_threads > 0 ? options_.reactor_threads
+                                               : ThreadPool::DefaultThreads();
+  for (int i = 0; i < num_loops; ++i) {
+    auto loop =
+        std::make_unique<EventLoop>(this, &reactor_stats_, reactor_options);
+    if (!loop->ok()) {
+      loops_.clear();
+      return Status::IOError("failed to start reactor event loop (epoll)");
+    }
+    loops_.push_back(std::move(loop));
+  }
+
   int workers = options_.num_workers > 0 ? options_.num_workers
                                          : ThreadPool::DefaultThreads();
   pool_ = std::make_unique<ThreadPool>(workers);
@@ -94,7 +124,8 @@ Status WalrusServer::Start() {
   EngineStats engine_stats = engine_.Stats();
   WALRUS_LOG(Info) << "walrusd serving " << engine_.ImageCount()
                    << " images on " << options_.host << ":" << port_ << " ("
-                   << engine_stats.num_shards << " shard(s), " << workers
+                   << engine_stats.num_shards << " shard(s), " << num_loops
+                   << " reactor loop(s), " << workers
                    << " workers, admission bound " << options_.max_pending
                    << ")";
   return Status::OK();
@@ -128,28 +159,23 @@ void WalrusServer::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_.Close();
 
-  // 2. Unblock every connection reader; they finish dispatching whatever
-  // they had already framed and exit. No new requests after this.
-  std::vector<std::shared_ptr<Connection>> conns;
-  std::vector<std::thread> threads;
-  {
-    MutexLock lock(conn_mutex_);
-    conns = connections_;
-    threads.swap(conn_threads_);
-  }
-  for (const auto& conn : conns) ShutdownRead(conn->fd.get());
-  for (std::thread& t : threads) t.join();
+  // 2. Quiesce the read side. BeginDrain is a synchronous handshake: when
+  // it returns, that loop parses no further frame, so no new request can
+  // reach the pool behind the drain below.
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->BeginDrain();
 
-  // 3. Drain: every admitted request executes and its response is written
-  // (connections are still open for writing).
+  // 3. Drain: every admitted request executes and its response is queued.
   pool_->Wait();
   pool_.reset();
 
-  // 4. Now the sockets can go.
-  {
-    MutexLock lock(conn_mutex_);
-    connections_.clear();
+  // 4. Flush: the loops write out every queued-but-unwritten response
+  // (this is what makes SHUTDOWN's own reply reach the client), bounded by
+  // the drain timeout for peers that stopped reading, then exit.
+  for (const std::unique_ptr<EventLoop>& loop : loops_) {
+    loop->FinishDrain(options_.drain_timeout_ms);
   }
+  for (const std::unique_ptr<EventLoop>& loop : loops_) loop->Join();
+  loops_.clear();
   joined_ = true;
 }
 
@@ -165,137 +191,130 @@ void WalrusServer::AcceptLoop() {
       continue;
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto conn = std::make_shared<Connection>();
-    conn->fd = std::move(*accepted);
-    MutexLock lock(conn_mutex_);
-    if (stopping_.load(std::memory_order_acquire)) return;
-    connections_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn] { ConnectionLoop(std::move(conn)); });
+    loops_[next_loop_]->Adopt(std::move(*accepted));
+    next_loop_ = (next_loop_ + 1) % loops_.size();
   }
 }
 
-void WalrusServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
-  ReadFrames(conn);
-  // The reader is done with this connection (peer hung up, shutdown, or a
-  // framing error). Drop the registry's reference: the socket closes as
-  // soon as the last in-flight worker has written its response, so clients
-  // see EOF promptly instead of at server stop.
-  MutexLock lock(conn_mutex_);
-  connections_.erase(
-      std::remove(connections_.begin(), connections_.end(), conn),
-      connections_.end());
-}
-
-void WalrusServer::ReadFrames(const std::shared_ptr<Connection>& conn) {
-  std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+void WalrusServer::OnInput(const std::shared_ptr<ReactorConn>& conn) {
   for (;;) {
-    Status read = ReadFull(conn->fd.get(), header_bytes.data(),
-                           header_bytes.size());
-    if (!read.ok()) return;  // orderly close, peer reset, or shutdown
+    const uint8_t* data;
+    size_t avail = conn->PendingInput(&data);
+    if (avail < kFrameHeaderBytes) return;  // partial header: wait
 
     FrameHeader header;
-    Status parsed = DecodeFrameHeader(header_bytes.data(), &header);
+    Status parsed = DecodeFrameHeader(data, &header);
     if (parsed.code() == StatusCode::kCorruption) {
       // Bad magic: the byte stream is not frame-aligned, so nothing after
-      // this point can be trusted. Error the request id we can't know
-      // (0) and drop the connection.
+      // this point can be trusted. Error the request id we can't know (0)
+      // and drop the connection -- after every prior response has been
+      // written (the error reply takes the next sequence slot, so it
+      // flushes behind them).
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      WriteResponse(conn, FrameHeader{}, parsed, {});
+      Respond(conn, conn->AllocateSeq(), FrameHeader{}, parsed, {}, false);
+      conn->CloseAfterFlush();
       return;
     }
     if (!parsed.ok() && header.body_length > kMaxBodyBytes) {
-      // Oversized body length: reading past it to resync would let a peer
-      // stream gigabytes at us; reply and close.
+      // Oversized body length: buffering past it to resync would let a
+      // peer stream gigabytes at us; reply and close.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      WriteResponse(conn, header, parsed, {});
+      Respond(conn, conn->AllocateSeq(), header, parsed, {}, false);
+      conn->CloseAfterFlush();
       return;
     }
 
-    // The frame boundary is intact from here on: consume body + trailer so
-    // any further errors cost only this request, not the connection.
-    std::vector<uint8_t> body(header.body_length);
-    if (header.body_length > 0) {
-      Status body_read = ReadFull(conn->fd.get(), body.data(), body.size());
-      if (!body_read.ok()) return;  // truncated frame: peer went away
-    }
-    uint8_t trailer[kFrameTrailerBytes];
-    if (!ReadFull(conn->fd.get(), trailer, sizeof(trailer)).ok()) return;
-    bytes_in_.fetch_add(
-        kFrameHeaderBytes + header.body_length + kFrameTrailerBytes,
-        std::memory_order_relaxed);
+    const size_t frame_bytes =
+        kFrameHeaderBytes + header.body_length + kFrameTrailerBytes;
+    if (avail < frame_bytes) return;  // partial frame: wait for more bytes
+
+    // The whole frame is buffered and its boundary is intact: any further
+    // error costs only this request, not the connection.
+    const uint8_t* body_data = data + kFrameHeaderBytes;
+    const uint8_t* trailer = body_data + header.body_length;
+    bytes_in_.fetch_add(frame_bytes, std::memory_order_relaxed);
 
     uint32_t stored = static_cast<uint32_t>(trailer[0]) |
                       static_cast<uint32_t>(trailer[1]) << 8 |
                       static_cast<uint32_t>(trailer[2]) << 16 |
                       static_cast<uint32_t>(trailer[3]) << 24;
-    if (stored != FrameCrc(header_bytes.data(), body)) {
+    uint32_t actual = Crc32Extend(Crc32Extend(0, data, kFrameHeaderBytes),
+                                  body_data, header.body_length);
+    if (stored != actual) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      WriteResponse(conn, header,
-                    Status::Corruption("frame: CRC-32 trailer mismatch"), {});
+      Respond(conn, conn->AllocateSeq(), header,
+              Status::Corruption("frame: CRC-32 trailer mismatch"), {},
+              false);
+      conn->ConsumeInput(frame_bytes);
       continue;
     }
     if (!parsed.ok()) {  // unsupported version, boundary intact
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      WriteResponse(conn, header, parsed, {});
+      Respond(conn, conn->AllocateSeq(), header, parsed, {}, false);
+      conn->ConsumeInput(frame_bytes);
       continue;
     }
     if (!KnownOpcode(header.opcode)) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      WriteResponse(conn, header,
-                    Status::InvalidArgument(
-                        "frame: unknown opcode " +
-                        std::to_string(static_cast<int>(header.opcode))),
-                    {});
+      Respond(conn, conn->AllocateSeq(), header,
+              Status::InvalidArgument(
+                  "frame: unknown opcode " +
+                  std::to_string(static_cast<int>(header.opcode))),
+              {}, false);
+      conn->ConsumeInput(frame_bytes);
       continue;
     }
 
     requests_by_opcode_[static_cast<int>(header.opcode)].fetch_add(
         1, std::memory_order_relaxed);
+    std::vector<uint8_t> body(body_data, body_data + header.body_length);
+    conn->ConsumeInput(frame_bytes);
     DispatchRequest(conn, header, std::move(body));
   }
 }
 
-void WalrusServer::DispatchRequest(const std::shared_ptr<Connection>& conn,
+void WalrusServer::DispatchRequest(const std::shared_ptr<ReactorConn>& conn,
                                    const FrameHeader& header,
                                    std::vector<uint8_t> body) {
-  // Bounded admission: claim a slot or reject right here on the reader
+  // Bounded admission: claim a slot or reject right here on the loop
   // thread, so an overloaded server answers OVERLOADED in O(1) instead of
-  // stacking work it cannot serve.
+  // stacking work it cannot serve. The rejection still claims a sequence
+  // slot, so a pipelining client sees it in request order.
   int before = pending_.fetch_add(1, std::memory_order_acq_rel);
   if (before >= options_.max_pending) {
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     rejected_overload_.fetch_add(1, std::memory_order_relaxed);
-    WriteResponse(
-        conn, header,
-        Status::Unavailable("OVERLOADED: admission queue full (" +
-                            std::to_string(options_.max_pending) +
-                            " in flight)"),
-        {});
+    Respond(conn, conn->AllocateSeq(), header,
+            Status::Unavailable("OVERLOADED: admission queue full (" +
+                                std::to_string(options_.max_pending) +
+                                " in flight)"),
+            {}, false);
     return;
   }
+  uint64_t seq = conn->AllocateSeq();
+  conn->BeginRequest();
   auto admitted = Clock::now();
-  auto shared_body =
-      std::make_shared<std::vector<uint8_t>>(std::move(body));
-  pool_->Submit([this, conn, header, shared_body, admitted] {
-    ExecuteRequest(conn, header, *shared_body, admitted);
+  auto shared_body = std::make_shared<std::vector<uint8_t>>(std::move(body));
+  pool_->Submit([this, conn, seq, header, shared_body, admitted] {
+    ExecuteRequest(conn, seq, header, *shared_body, admitted);
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   });
 }
 
-void WalrusServer::ExecuteRequest(
-    const std::shared_ptr<Connection>& conn, const FrameHeader& header,
-    const std::vector<uint8_t>& body, Clock::time_point admitted) {
+void WalrusServer::ExecuteRequest(const std::shared_ptr<ReactorConn>& conn,
+                                  uint64_t seq, const FrameHeader& header,
+                                  const std::vector<uint8_t>& body,
+                                  Clock::time_point admitted) {
   if (options_.deadline_ms > 0 &&
       Clock::now() - admitted >=
           std::chrono::milliseconds(options_.deadline_ms)) {
     deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    WriteResponse(conn, header,
-                  Status::DeadlineExceeded(
-                      "request spent over " +
-                      std::to_string(options_.deadline_ms) +
-                      "ms in the admission queue"),
-                  {});
+    Respond(conn, seq, header,
+            Status::DeadlineExceeded(
+                "request spent over " +
+                std::to_string(options_.deadline_ms) +
+                "ms in the admission queue"),
+            {}, true);
     return;
   }
   if (options_.execution_delay_ms > 0) {
@@ -397,29 +416,29 @@ void WalrusServer::ExecuteRequest(
                                   " request " +
                                   std::to_string(header.request_id));
   }
-  WriteResponse(conn, header, status, payload.buffer());
+  Respond(conn, seq, header, status, payload.TakeBuffer(), true);
   double seconds =
       std::chrono::duration<double>(Clock::now() - admitted).count();
   latency_.Record(seconds);
   RequestSecondsHistogram()->Observe(seconds);
 }
 
-void WalrusServer::WriteResponse(const std::shared_ptr<Connection>& conn,
-                                 const FrameHeader& header,
-                                 const Status& status,
-                                 const std::vector<uint8_t>& payload) {
-  BinaryWriter body;
-  EncodeResponseStatus(status, &body);
+void WalrusServer::Respond(const std::shared_ptr<ReactorConn>& conn,
+                           uint64_t seq, const FrameHeader& header,
+                           const Status& status,
+                           std::vector<uint8_t> payload,
+                           bool ends_in_flight) {
+  BinaryWriter status_section;
+  EncodeResponseStatus(status, &status_section);
+  std::vector<std::vector<uint8_t>> chunks;
+  chunks.reserve(2);
+  chunks.push_back(status_section.TakeBuffer());
   if (status.ok() && !payload.empty()) {
-    body.PutBytes(payload.data(), payload.size());
+    chunks.push_back(std::move(payload));  // zero-copy into the writev path
   }
-  std::vector<uint8_t> frame =
-      EncodeFrame(header.opcode, header.request_id, body.buffer());
-  MutexLock lock(conn->write_mutex);
-  if (WriteFull(conn->fd.get(), frame.data(), frame.size()).ok()) {
-    bytes_out_.fetch_add(frame.size(), std::memory_order_relaxed);
-  }
-  // A failed write means the peer is gone; its reader will notice EOF.
+  conn->Respond(
+      seq, MakeFrameParts(header.opcode, header.request_id, std::move(chunks)),
+      ends_in_flight);
 }
 
 ServerStats WalrusServer::Snapshot() const {

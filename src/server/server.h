@@ -15,6 +15,7 @@
 #include "core/index.h"
 #include "core/query_engine.h"
 #include "server/protocol.h"
+#include "server/reactor.h"
 
 namespace walrus {
 
@@ -27,6 +28,9 @@ struct ServerOptions {
   uint16_t port = 0;
   /// Worker threads executing requests; 0 = hardware concurrency.
   int num_workers = 0;
+  /// Reactor event-loop threads (each owns an epoll set; connections are
+  /// pinned round-robin); 0 = hardware concurrency.
+  int reactor_threads = 0;
   /// Admission bound: maximum requests admitted (queued + executing) at
   /// once. Requests beyond it are rejected immediately with an OVERLOADED
   /// (Unavailable) reply instead of queueing unboundedly.
@@ -35,6 +39,19 @@ struct ServerOptions {
   /// request still waiting in the queue when it expires is answered with
   /// DeadlineExceeded instead of executing. 0 disables.
   int deadline_ms = 0;
+  /// Per-connection backpressure budget: once this many response bytes are
+  /// queued but unwritten on one connection, its event loop stops reading
+  /// from it (the kernel receive buffer then pushes back on the peer)
+  /// until the queue drains below half the budget.
+  size_t max_conn_outbound_bytes = 4u << 20;
+  /// Graceful-drain bound: at shutdown, connections whose queued responses
+  /// a slow peer has not read within this window are force-closed.
+  int drain_timeout_ms = 5000;
+  /// When > 0, cap each connection's kernel send buffer (SO_SNDBUF) to
+  /// roughly this many bytes. Bounds kernel memory per slow peer and makes
+  /// the outbound-queue backpressure engage predictably instead of after
+  /// the kernel autotunes multi-megabyte buffers. 0 keeps the default.
+  int so_sndbuf_bytes = 0;
   /// Test hook: every request handler sleeps this long before executing
   /// (makes overload/deadline/drain behaviour deterministic in tests).
   int execution_delay_ms = 0;
@@ -44,21 +61,29 @@ struct ServerOptions {
 /// (in-memory or paged) to many concurrent connections over the framed
 /// binary protocol in server/protocol.h.
 ///
-/// Architecture: one accept thread; one reader thread per connection that
-/// frames and validates requests; a shared ThreadPool executing them under
-/// a bounded admission queue. Responses are written by the worker threads
-/// under a per-connection write lock, so a pipelining client may see
-/// replies out of order (match on request id). Malformed frames with an
-/// intact frame boundary (bad CRC, unsupported version, unknown opcode,
-/// undecodable body) error the single request and keep the connection; a
-/// lost boundary (bad magic, oversized body length) errors and closes it.
-/// The process never goes down on peer input.
+/// Architecture (DESIGN.md section 15): one accept thread hands sockets to
+/// a fixed set of epoll event loops (ServerOptions::reactor_threads); each
+/// connection is pinned to one loop, which does all its socket I/O and
+/// frame parsing on nonblocking descriptors. Decoded requests pass bounded
+/// admission and execute on a shared ThreadPool; responses are queued per
+/// connection and written back by the owning loop with scatter-gather
+/// writes (writev), so slow peers never block a worker thread.
+///
+/// Pipelining: a client may keep any number of requests in flight on one
+/// connection; responses come back in request order (each request claims a
+/// sequence number at parse time, and completions are reordered before
+/// hitting the wire). Malformed frames with an intact frame boundary (bad
+/// CRC, unsupported version, unknown opcode, undecodable body) error the
+/// single request and keep the connection; a lost boundary (bad magic,
+/// oversized body length) errors and closes it -- after every prior
+/// response has been written. The process never goes down on peer input.
 ///
 /// Lifecycle: Start() begins serving; Wait() blocks until a stop is
-/// requested (RequestStop(), a SHUTDOWN request, or Stop()) and then drains
-/// gracefully -- in-flight requests finish and their responses are written
-/// before connections close.
-class WalrusServer {
+/// requested (RequestStop(), a SHUTDOWN request, or Stop()) and then
+/// drains gracefully -- in-flight requests finish AND every
+/// queued-but-unwritten response is flushed (bounded by
+/// ServerOptions::drain_timeout_ms) before connections close.
+class WalrusServer : public FrameSink {
  public:
   /// `index` must outlive the server and is queried concurrently; it is
   /// never mutated. Serves through an internally owned SingleIndexEngine.
@@ -76,12 +101,13 @@ class WalrusServer {
   /// otherwise it must outlive the server and support concurrent calls.
   WalrusServer(const QueryEngine& engine, IngestEngine* ingest,
                ServerOptions options);
-  ~WalrusServer();
+  ~WalrusServer() override;
 
   WalrusServer(const WalrusServer&) = delete;
   WalrusServer& operator=(const WalrusServer&) = delete;
 
-  /// Binds, listens, and spawns the accept loop and worker pool.
+  /// Binds, listens, and spawns the accept thread, event loops, and
+  /// worker pool.
   Status Start();
 
   /// The bound port (valid after Start; resolves ephemeral binds).
@@ -92,8 +118,8 @@ class WalrusServer {
   void RequestStop() WALRUS_EXCLUDES(stop_mutex_);
 
   /// Blocks until a stop is requested, then tears down: stops accepting,
-  /// unblocks connection readers, drains in-flight requests, writes their
-  /// responses, and joins every thread. Call from the owning thread.
+  /// stops reading, drains in-flight requests, flushes every queued
+  /// response, and joins every thread. Call from the owning thread.
   void Wait();
 
   /// RequestStop() + Wait().
@@ -114,29 +140,27 @@ class WalrusServer {
     double QuantileMs(double q) const;
   };
 
-  /// One accepted connection. Workers and the reader share it through
-  /// shared_ptr; the write mutex serializes response frames.
-  struct Connection {
-    UniqueFd fd;
-    Mutex write_mutex;
-  };
+  void AcceptLoop();
 
-  void AcceptLoop() WALRUS_EXCLUDES(conn_mutex_);
-  void ConnectionLoop(std::shared_ptr<Connection> conn);
-  /// Frame-reading loop body; returns when the connection is done.
-  void ReadFrames(const std::shared_ptr<Connection>& conn);
+  /// FrameSink: parses complete frames out of `conn`'s input buffer on
+  /// the owning loop thread and dispatches them. Implements the error
+  /// taxonomy in the class comment.
+  void OnInput(const std::shared_ptr<ReactorConn>& conn) override;
+
   /// Admission control + dispatch of one well-framed request.
-  void DispatchRequest(const std::shared_ptr<Connection>& conn,
+  void DispatchRequest(const std::shared_ptr<ReactorConn>& conn,
                        const FrameHeader& header, std::vector<uint8_t> body);
-  /// Executes a request on a worker thread and writes the response.
-  void ExecuteRequest(const std::shared_ptr<Connection>& conn,
+  /// Executes a request on a worker thread; returns the response frame's
+  /// body chunks ([status section, payload]) for sequence slot `seq`.
+  void ExecuteRequest(const std::shared_ptr<ReactorConn>& conn, uint64_t seq,
                       const FrameHeader& header,
                       const std::vector<uint8_t>& body,
                       std::chrono::steady_clock::time_point admitted);
-  /// Encodes and writes one response frame (status + payload body).
-  void WriteResponse(const std::shared_ptr<Connection>& conn,
-                     const FrameHeader& header, const Status& status,
-                     const std::vector<uint8_t>& payload);
+  /// Enqueues a response frame for slot `seq` (status + optional payload).
+  /// `payload` is moved into the frame's scatter-gather chunks uncopied.
+  void Respond(const std::shared_ptr<ReactorConn>& conn, uint64_t seq,
+               const FrameHeader& header, const Status& status,
+               std::vector<uint8_t> payload, bool ends_in_flight);
 
   /// Set only by the WalrusIndex convenience ctor; engine_ points at it.
   std::unique_ptr<SingleIndexEngine> owned_engine_;
@@ -149,11 +173,10 @@ class WalrusServer {
   UniqueFd listen_fd_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
-
-  Mutex conn_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_
-      WALRUS_GUARDED_BY(conn_mutex_);
-  std::vector<std::thread> conn_threads_ WALRUS_GUARDED_BY(conn_mutex_);
+  /// The reactor: event loops owning epoll sets and pinned connections.
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  size_t next_loop_ = 0;  // accept-thread only: round-robin pinning
+  ReactorStats reactor_stats_;
 
   Mutex stop_mutex_;
   CondVar stop_cv_;

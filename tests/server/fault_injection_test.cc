@@ -1,0 +1,488 @@
+// Network fault-injection tests for the epoll reactor: a real walrusd
+// attacked over loopback by FlakySocket clients that fragment, stall,
+// truncate, and corrupt the byte stream in seeded, reproducible ways.
+// The acceptance bar, whatever the fault schedule:
+//
+//   - the server answers every complete request, in request order;
+//   - a malformed or truncated frame never crashes or wedges the process;
+//   - torn-down connections release their reactor slot and their fd
+//     (no leaks, measured against /proc/self/fd and the
+//     walrus.server.reactor.connections gauge);
+//   - backpressure stalls reads instead of buffering without bound, and
+//     stalled responses are still delivered once the peer drains.
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/socket.h"
+#include "core/index.h"
+#include "image/dataset.h"
+#include "flaky_socket.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 32;
+  p.slide_step = 8;
+  return p;
+}
+
+/// Open descriptors in this process (the in-process server's sockets
+/// included), minus the directory fd used for the scan itself.
+int CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count - 1;
+}
+
+int64_t ReactorConnectionsGauge() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricValue* metric =
+      snapshot.Find("walrus.server.reactor.connections");
+  return metric == nullptr ? 0 : metric->gauge;
+}
+
+uint64_t ReactorStalledReads() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricValue* metric =
+      snapshot.Find("walrus.server.reactor.stalled_reads");
+  return metric == nullptr ? 0 : metric->counter;
+}
+
+/// Polls `pred` until it holds or `timeout_ms` elapses (connection
+/// teardown is asynchronous: the loop thread notices EOF/RST on its next
+/// epoll wake, so leak checks must wait, not sample instantly).
+bool PollUntil(const std::function<bool()>& pred, int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Recomputes the CRC trailer after a deliberate header/body patch, so the
+/// frame exercises the targeted check instead of failing CRC first.
+void FixCrc(std::vector<uint8_t>* frame) {
+  std::vector<uint8_t> body(frame->begin() + kFrameHeaderBytes,
+                            frame->end() - kFrameTrailerBytes);
+  uint32_t crc = FrameCrc(frame->data(), body);
+  (*frame)[frame->size() - 4] = static_cast<uint8_t>(crc & 0xFF);
+  (*frame)[frame->size() - 3] = static_cast<uint8_t>((crc >> 8) & 0xFF);
+  (*frame)[frame->size() - 2] = static_cast<uint8_t>((crc >> 16) & 0xFF);
+  (*frame)[frame->size() - 1] = static_cast<uint8_t>((crc >> 24) & 0xFF);
+}
+
+Status ResponseStatus(const FlakyFrame& frame) {
+  BinaryReader reader(frame.body);
+  Status remote;
+  Status decoded = DecodeResponseStatus(&reader, &remote);
+  if (!decoded.ok()) return decoded;
+  return remote;
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetParams dp;
+    dp.num_images = 6;
+    dp.width = 48;
+    dp.height = 48;
+    dp.seed = 41;
+    dataset_ = GenerateDataset(dp);
+    index_ = std::make_unique<WalrusIndex>(TestParams());
+    for (const LabeledImage& scene : dataset_) {
+      ASSERT_TRUE(index_
+                      ->AddImage(static_cast<uint64_t>(scene.id), "img",
+                                 scene.image)
+                      .ok());
+    }
+  }
+
+  std::vector<LabeledImage> dataset_;
+  std::unique_ptr<WalrusIndex> index_;
+};
+
+// A request torn at every possible byte boundary must still be parsed
+// once the remainder arrives: the reactor's frame assembly cannot assume
+// any alignment between read(2) returns and frame boundaries.
+TEST_F(FaultInjectionTest, EveryByteBoundarySplitStillAnswers) {
+  WalrusServer server(*index_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  FlakySocket::Options fopts;
+  fopts.seed = 11;
+  fopts.max_chunk_bytes = 64;  // each half goes out in one or two writes
+  auto sock = FlakySocket::Connect(server.port(), fopts);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+
+  const size_t frame_bytes = kFrameHeaderBytes + kFrameTrailerBytes;
+  for (size_t cut = 1; cut < frame_bytes; ++cut) {
+    std::vector<uint8_t> frame =
+        EncodeFrame(Opcode::kPing, /*request_id=*/cut, {});
+    std::vector<uint8_t> head(frame.begin(), frame.begin() + cut);
+    std::vector<uint8_t> tail(frame.begin() + cut, frame.end());
+    ASSERT_TRUE(sock->SendChunked(head).ok());
+    // Give the reactor a chance to observe (and buffer) the torn prefix.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(sock->SendChunked(tail).ok());
+    auto reply = sock->ReadFrame();
+    ASSERT_TRUE(reply.ok()) << "cut at byte " << cut << ": "
+                            << reply.status();
+    EXPECT_EQ(reply->header.request_id, cut);
+    EXPECT_TRUE(ResponseStatus(*reply).ok());
+  }
+  sock->Close();
+  server.Stop();
+}
+
+// Mid-frame disconnects -- both orderly FIN and hard RST -- must release
+// the connection slot and the file descriptor every time. A leak here is
+// how a reactor dies in production: each flaky client strands one fd
+// until accept(2) starts failing.
+TEST_F(FaultInjectionTest, MidFrameDisconnectLeaksNoSlotsOrFds) {
+  WalrusServer server(*index_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int64_t gauge_before = ReactorConnectionsGauge();
+  const int fds_before = CountOpenFds();
+  ASSERT_GT(fds_before, 0);
+
+  // A query-sized frame with a body we never finish sending.
+  std::vector<uint8_t> body(512);
+  Rng body_rng(17);
+  for (uint8_t& b : body) b = static_cast<uint8_t>(body_rng.NextInt(0, 255));
+  std::vector<uint8_t> frame = EncodeFrame(Opcode::kQuery, 5, body);
+
+  int torn = 0;
+  for (size_t cut = 1; cut < frame.size(); cut += 29, ++torn) {
+    FlakySocket::Options fopts;
+    fopts.seed = 1000 + cut;
+    auto sock = FlakySocket::Connect(server.port(), fopts);
+    ASSERT_TRUE(sock.ok()) << sock.status();
+    ASSERT_TRUE(sock->SendPrefix(frame, cut).ok());
+    if (cut % 2 == 0) {
+      sock->Abort();  // RST: the reactor sees EPOLLERR, not orderly EOF
+    } else {
+      sock->Close();  // FIN: orderly EOF mid-frame
+    }
+  }
+  ASSERT_GT(torn, 10);
+
+  // Every torn connection must disappear from the reactor and the fd
+  // table once the loop notices the hangup.
+  EXPECT_TRUE(PollUntil(
+      [&] { return ReactorConnectionsGauge() == gauge_before; }, 5000))
+      << "reactor connection slots leaked: gauge "
+      << ReactorConnectionsGauge() << " vs baseline " << gauge_before;
+  EXPECT_TRUE(PollUntil([&] { return CountOpenFds() <= fds_before; }, 5000))
+      << "fds leaked: " << CountOpenFds() << " vs baseline " << fds_before;
+
+  // The server is still healthy for well-behaved clients.
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_TRUE(client->Ping().ok());
+  server.Stop();
+}
+
+// A slow-loris connection drip-feeding one byte at a time must not stall
+// other clients: the reactor multiplexes, so one slow reader costs its
+// own connection latency and nothing else.
+TEST_F(FaultInjectionTest, SlowLorisDoesNotBlockOtherClients) {
+  WalrusServer server(*index_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> loris_ok{false};
+  std::thread loris([&] {
+    FlakySocket::Options fopts;
+    fopts.seed = 23;
+    fopts.max_chunk_bytes = 1;
+    fopts.inter_chunk_delay_us = 2000;  // ~50 ms to trickle out one ping
+    auto sock = FlakySocket::Connect(server.port(), fopts);
+    if (!sock.ok()) return;
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 77, {});
+    if (!sock->SendChunked(frame).ok()) return;
+    auto reply = sock->ReadFrame();
+    loris_ok = reply.ok() && reply->header.request_id == 77 &&
+               ResponseStatus(*reply).ok();
+  });
+
+  // While the loris trickles, a normal client round-trips freely.
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(client->Ping().ok()) << "ping " << i << " blocked";
+  }
+  loris.join();
+  // The drip-fed request itself still completes correctly.
+  EXPECT_TRUE(loris_ok.load());
+  server.Stop();
+}
+
+// Seeded random fragmentation of a deep pipeline: 60 requests split at
+// arbitrary boundaries must come back as 60 in-order responses.
+TEST_F(FaultInjectionTest, RandomChunkedPipelineStaysOrdered) {
+  ServerOptions options;
+  options.num_workers = 4;
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  FlakySocket::Options fopts;
+  fopts.seed = 31;
+  fopts.max_chunk_bytes = 5;
+  auto sock = FlakySocket::Connect(server.port(), fopts);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+
+  constexpr uint64_t kRequests = 60;
+  std::vector<uint8_t> burst;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, i, {});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(sock->SendChunked(burst).ok());
+
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto reply = sock->ReadFrame();
+    ASSERT_TRUE(reply.ok()) << "response " << i << ": " << reply.status();
+    EXPECT_EQ(reply->header.request_id, i) << "pipelined reply reordered";
+    EXPECT_TRUE(ResponseStatus(*reply).ok());
+  }
+  sock->Close();
+  server.Stop();
+}
+
+// An EAGAIN storm: the client shrinks its receive window and stops
+// reading, so the server's writes stall with multi-KB responses queued.
+// The reactor must pause reading that connection (bounded memory, visible
+// as stalled_reads) rather than buffer without limit, then deliver every
+// response in order once the client drains.
+TEST_F(FaultInjectionTest, BackpressureStormDeliversEverythingInOrder) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_conn_outbound_bytes = 8192;  // tiny budget: stall fast
+  options.so_sndbuf_bytes = 4096;  // keep the kernel from absorbing it all
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t stalled_before = ReactorStalledReads();
+
+  FlakySocket::Options fopts;
+  fopts.seed = 47;
+  fopts.max_chunk_bytes = 512;
+  fopts.recv_buffer_bytes = 2048;  // keep the peer window tiny
+  auto sock = FlakySocket::Connect(server.port(), fopts);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+
+  // METRICS responses are multi-KB; 32 of them overflow both the receive
+  // window and the 8 KiB outbound budget many times over.
+  constexpr uint64_t kRequests = 32;
+  std::vector<uint8_t> burst;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kMetrics, i, {});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(sock->SendChunked(burst).ok());
+
+  // Refuse to read while the storm queues up server-side.
+  EXPECT_TRUE(PollUntil(
+      [&] { return ReactorStalledReads() > stalled_before; }, 5000))
+      << "backpressure never paused the connection's reads";
+
+  // Now drain: every response arrives, in order, none dropped.
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto reply = sock->ReadFrame();
+    ASSERT_TRUE(reply.ok()) << "response " << i << ": " << reply.status();
+    EXPECT_EQ(reply->header.request_id, i);
+    EXPECT_TRUE(ResponseStatus(*reply).ok());
+  }
+  sock->Close();
+  server.Stop();
+}
+
+// ---- Protocol fuzz under pipelining -------------------------------------
+
+class ProtocolPipelineFuzzTest : public FaultInjectionTest {};
+
+// Random sequences of valid and malformed frames, fragmented at random
+// boundaries. Contract under fuzz:
+//   - recoverable garbage (bad CRC, bad version, unknown opcode) earns an
+//     error reply and the connection keeps serving;
+//   - unrecoverable garbage (bad magic, oversized length) earns an error
+//     reply followed by connection close;
+//   - every reply arrives in request order; the process never crashes or
+//     hangs; protocol_errors counts every malformed frame.
+TEST_F(ProtocolPipelineFuzzTest, RandomFrameSequencesNeverCrashOrReorder) {
+  ServerOptions options;
+  options.num_workers = 2;
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const uint64_t errors_before = server.Snapshot().protocol_errors;
+  uint64_t malformed_sent = 0;
+
+  for (uint64_t round = 0; round < 20; ++round) {
+    Rng rng(900 + round);
+    FlakySocket::Options fopts;
+    fopts.seed = round;
+    fopts.max_chunk_bytes = static_cast<size_t>(rng.NextInt(1, 9));
+    auto sock = FlakySocket::Connect(server.port(), fopts);
+    ASSERT_TRUE(sock.ok()) << sock.status();
+
+    struct Expectation {
+      uint64_t request_id;
+      bool expect_ok;
+    };
+    std::vector<Expectation> expected;
+    std::vector<uint8_t> burst;
+
+    const int num_frames = rng.NextInt(4, 10);
+    for (int f = 0; f < num_frames; ++f) {
+      const uint64_t id = round * 100 + static_cast<uint64_t>(f) + 1;
+      std::vector<uint8_t> frame;
+      switch (rng.NextInt(0, 6)) {
+        case 0:
+        case 1:
+        case 2:  // valid ping
+          frame = EncodeFrame(Opcode::kPing, id, {});
+          expected.push_back({id, true});
+          break;
+        case 3:  // valid stats
+          frame = EncodeFrame(Opcode::kStats, id, {});
+          expected.push_back({id, true});
+          break;
+        case 4:  // corrupt CRC: recoverable, error reply, stay open
+          frame = EncodeFrame(Opcode::kPing, id, {1, 2, 3});
+          frame[frame.size() - 1] ^= 0xFF;
+          expected.push_back({id, false});
+          ++malformed_sent;
+          break;
+        case 5:  // unsupported version: recoverable
+          frame = EncodeFrame(Opcode::kPing, id, {});
+          frame[4] = 0x63;
+          FixCrc(&frame);
+          expected.push_back({id, false});
+          ++malformed_sent;
+          break;
+        case 6:  // unknown opcode: recoverable
+          frame = EncodeFrame(static_cast<Opcode>(0x77), id, {});
+          expected.push_back({id, false});
+          ++malformed_sent;
+          break;
+      }
+      burst.insert(burst.end(), frame.begin(), frame.end());
+    }
+    ASSERT_TRUE(sock->SendChunked(burst).ok()) << "round " << round;
+
+    for (size_t i = 0; i < expected.size(); ++i) {
+      auto reply = sock->ReadFrame();
+      ASSERT_TRUE(reply.ok()) << "round " << round << " reply " << i << ": "
+                              << reply.status();
+      EXPECT_EQ(reply->header.request_id, expected[i].request_id)
+          << "round " << round << " reply " << i << " out of order";
+      EXPECT_EQ(ResponseStatus(*reply).ok(), expected[i].expect_ok)
+          << "round " << round << " reply " << i;
+    }
+
+    // Every other round, finish with unrecoverable garbage: bad magic is
+    // detected from the 20-byte header alone, so sending just the header
+    // leaves nothing in flight to race the server's close. The error
+    // reply cannot echo an id (the header was never trusted): id 0.
+    if (round % 2 == 0) {
+      std::vector<uint8_t> bad =
+          EncodeFrame(Opcode::kPing, round * 100 + 99, {});
+      bad[0] ^= 0xFF;
+      ASSERT_TRUE(sock->SendPrefix(bad, kFrameHeaderBytes).ok())
+          << "round " << round;
+      ++malformed_sent;
+      auto reply = sock->ReadFrame();
+      ASSERT_TRUE(reply.ok()) << "round " << round << " bad-magic reply: "
+                              << reply.status();
+      EXPECT_EQ(reply->header.request_id, 0u);
+      EXPECT_FALSE(ResponseStatus(*reply).ok());
+      // After the error reply to unrecoverable garbage: EOF, not limbo.
+      auto past_eof = sock->ReadFrame();
+      EXPECT_FALSE(past_eof.ok()) << "round " << round
+                                  << ": connection survived bad magic";
+    }
+    sock->Close();
+  }
+
+  EXPECT_EQ(server.Snapshot().protocol_errors - errors_before,
+            malformed_sent);
+  ASSERT_GT(malformed_sent, 0u) << "fuzz never generated a malformed frame";
+
+  // The process is intact: a well-behaved client still gets service.
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  EXPECT_TRUE(client->Ping().ok());
+  server.Stop();
+}
+
+// Saturating a tiny admission queue through one pipelined connection must
+// produce OVERLOADED replies in-sequence with the successes -- rejection
+// is not permission to reorder.
+TEST_F(ProtocolPipelineFuzzTest, OverloadRepliesStayOrdered) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_pending = 2;
+  options.execution_delay_ms = 5;  // hold the worker so the queue fills
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  FlakySocket::Options fopts;
+  fopts.seed = 53;
+  fopts.max_chunk_bytes = 48;
+  auto sock = FlakySocket::Connect(server.port(), fopts);
+  ASSERT_TRUE(sock.ok()) << sock.status();
+
+  constexpr uint64_t kRequests = 40;
+  std::vector<uint8_t> burst;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, i, {});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(sock->SendChunked(burst).ok());
+
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto reply = sock->ReadFrame();
+    ASSERT_TRUE(reply.ok()) << "response " << i << ": " << reply.status();
+    EXPECT_EQ(reply->header.request_id, i)
+        << "OVERLOADED reply broke response ordering";
+    Status remote = ResponseStatus(*reply);
+    if (remote.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(remote.code(), StatusCode::kUnavailable) << remote;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(accepted + rejected, kRequests);
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u) << "admission queue never overflowed";
+  EXPECT_EQ(server.Snapshot().rejected_overload, rejected);
+  sock->Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace walrus

@@ -1,0 +1,169 @@
+#ifndef WALRUS_TESTS_SERVER_FLAKY_SOCKET_H_
+#define WALRUS_TESTS_SERVER_FLAKY_SOCKET_H_
+
+// Client-side fault-injection transport for reactor tests. A FlakySocket
+// connects to a walrusd like any client but misbehaves on purpose, in
+// seeded, reproducible ways:
+//
+//   - SendChunked splits the byte stream at random boundaries (TCP_NODELAY
+//     is set, so each chunk lands as its own segment and the server's
+//     reader observes genuinely partial frames);
+//   - inter_chunk_delay_us paces the chunks, turning a request into a
+//     slow-loris drip-feed;
+//   - recv_buffer_bytes shrinks SO_RCVBUF before connecting, so a client
+//     that stops reading forces the server's writev into EAGAIN and its
+//     outbound queue into backpressure;
+//   - SendPrefix + Abort cut the connection mid-frame (Abort uses
+//     SO_LINGER 0, so the close is an RST, the rudest teardown a peer
+//     can deliver).
+//
+// Every fault is driven by the caller's seed: a failing test prints the
+// seed, and re-running with it replays the identical byte schedule.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/socket.h"
+#include "server/protocol.h"
+
+namespace walrus {
+
+/// One response frame read off a FlakySocket, CRC already verified.
+struct FlakyFrame {
+  FrameHeader header;
+  std::vector<uint8_t> body;
+};
+
+class FlakySocket {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Each send(2) carries 1..max_chunk_bytes bytes.
+    size_t max_chunk_bytes = 7;
+    /// Sleep between chunks (slow-loris pacing). 0 = back-to-back.
+    int inter_chunk_delay_us = 0;
+    /// When > 0, shrink SO_RCVBUF to roughly this before connecting so
+    /// unread responses stall the server's writes.
+    int recv_buffer_bytes = 0;
+  };
+
+  [[nodiscard]] static Result<FlakySocket> Connect(uint16_t port,
+                                                   const Options& options) {
+    UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) return Status::IOError("flaky socket: socket(2) failed");
+    if (options.recv_buffer_bytes > 0) {
+      int bytes = options.recv_buffer_bytes;
+      if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &bytes,
+                       sizeof(bytes)) != 0) {
+        return Status::IOError("flaky socket: SO_RCVBUF failed");
+      }
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1) {
+      return Status::IOError("flaky socket: inet_pton failed");
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      return Status::IOError("flaky socket: connect failed");
+    }
+    // Without NODELAY the kernel would coalesce our tiny chunks and the
+    // server would never see the partial frames we are trying to inject.
+    int one = 1;
+    if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one)) != 0) {
+      return Status::IOError("flaky socket: TCP_NODELAY failed");
+    }
+    return FlakySocket(std::move(fd), options);
+  }
+
+  /// Writes all of `bytes`, split at seeded random boundaries.
+  [[nodiscard]] Status SendChunked(const std::vector<uint8_t>& bytes) {
+    return SendPrefix(bytes, bytes.size());
+  }
+
+  /// Writes only the first `n` bytes of `bytes` (chunked), then returns --
+  /// pair with Abort() or Close() for a mid-frame cut.
+  [[nodiscard]] Status SendPrefix(const std::vector<uint8_t>& bytes,
+                                  size_t n) {
+    size_t sent = 0;
+    while (sent < n) {
+      size_t chunk = static_cast<size_t>(rng_.NextInt(
+          1, static_cast<int>(options_.max_chunk_bytes)));
+      if (chunk > n - sent) chunk = n - sent;
+      WALRUS_RETURN_IF_ERROR(WriteFull(fd_.get(), bytes.data() + sent, chunk));
+      sent += chunk;
+      if (options_.inter_chunk_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.inter_chunk_delay_us));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Blocks for one whole response frame and verifies its CRC.
+  [[nodiscard]] Result<FlakyFrame> ReadFrame() {
+    std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+    WALRUS_RETURN_IF_ERROR(
+        ReadFull(fd_.get(), header_bytes.data(), header_bytes.size()));
+    FlakyFrame frame;
+    WALRUS_RETURN_IF_ERROR(
+        DecodeFrameHeader(header_bytes.data(), &frame.header));
+    frame.body.resize(frame.header.body_length);
+    if (!frame.body.empty()) {
+      WALRUS_RETURN_IF_ERROR(
+          ReadFull(fd_.get(), frame.body.data(), frame.body.size()));
+    }
+    uint8_t trailer[kFrameTrailerBytes];
+    WALRUS_RETURN_IF_ERROR(ReadFull(fd_.get(), trailer, sizeof(trailer)));
+    uint32_t stored = static_cast<uint32_t>(trailer[0]) |
+                      static_cast<uint32_t>(trailer[1]) << 8 |
+                      static_cast<uint32_t>(trailer[2]) << 16 |
+                      static_cast<uint32_t>(trailer[3]) << 24;
+    if (stored != FrameCrc(header_bytes.data(), frame.body)) {
+      return Status::Corruption("flaky socket: response CRC mismatch");
+    }
+    return frame;
+  }
+
+  /// Hard abort: SO_LINGER 0 turns the close into an RST, so the server
+  /// sees an error (not an orderly EOF) on its next read or write.
+  void Abort() {
+    if (!fd_.valid()) return;
+    struct linger hard = {};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    fd_.Close();
+  }
+
+  /// Orderly close (FIN).
+  void Close() { fd_.Close(); }
+
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  FlakySocket(UniqueFd fd, const Options& options)
+      : fd_(std::move(fd)), options_(options), rng_(options.seed) {
+    if (options_.max_chunk_bytes == 0) options_.max_chunk_bytes = 1;
+  }
+
+  UniqueFd fd_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace walrus
+
+#endif  // WALRUS_TESTS_SERVER_FLAKY_SOCKET_H_

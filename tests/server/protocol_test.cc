@@ -459,6 +459,44 @@ TEST(ProtocolFuzzTest, TruncatedValidEncodingsFailCleanly) {
   }
 }
 
+TEST(ProtocolTest, FramePartsMatchContiguousEncodingByteForByte) {
+  // MakeFrameParts is the reactor's scatter-gather encoder; the wire bytes
+  // must be indistinguishable from EncodeFrame over the concatenated body,
+  // whatever the chunking. Cover empty bodies, single chunks, empty chunks
+  // interleaved with data, and many small chunks.
+  const std::vector<std::vector<std::vector<uint8_t>>> chunkings = {
+      {},
+      {{}},
+      {{9, 8, 7}},
+      {{}, {1}, {}, {2, 3, 4}, {}},
+      {{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}},
+      {{0xAA, 0xBB}, {}, {0xCC}},
+  };
+  uint64_t request_id = 7000;
+  for (const auto& chunks : chunkings) {
+    std::vector<uint8_t> flat;
+    for (const auto& chunk : chunks) {
+      flat.insert(flat.end(), chunk.begin(), chunk.end());
+    }
+    std::vector<uint8_t> contiguous =
+        EncodeFrame(Opcode::kQuery, request_id, flat);
+
+    FrameParts parts = MakeFrameParts(Opcode::kQuery, request_id,
+                                      std::vector<std::vector<uint8_t>>(
+                                          chunks));
+    ASSERT_EQ(parts.TotalBytes(), contiguous.size());
+    std::vector<uint8_t> gathered(parts.header.begin(), parts.header.end());
+    for (const auto& chunk : parts.body) {
+      gathered.insert(gathered.end(), chunk.begin(), chunk.end());
+    }
+    gathered.insert(gathered.end(), parts.trailer.begin(),
+                    parts.trailer.end());
+    EXPECT_EQ(gathered, contiguous)
+        << "chunking with " << chunks.size() << " chunk(s) diverged";
+    ++request_id;
+  }
+}
+
 TEST(ProtocolTest, Crc32ExtendComposes) {
   std::vector<uint8_t> a = {1, 2, 3};
   std::vector<uint8_t> b = {4, 5, 6, 7};

@@ -7,8 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -16,9 +23,11 @@
 #include "common/socket.h"
 #include "core/index.h"
 #include "core/query.h"
+#include "core/sharded_index.h"
 #include "image/dataset.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "wal/live_index.h"
 
 namespace walrus {
 namespace {
@@ -618,6 +627,291 @@ TEST_F(WalrusServerTest, StopIsIdempotentAndDestructorSafe) {
   server.reset();      // destructor after explicit stop: fine
   // And a never-started server destructs cleanly too.
   WalrusServer unstarted(*index_, ServerOptions{});
+}
+
+// ---- Pipelining conformance ---------------------------------------------
+
+// The pipelining acceptance test: K requests in flight on one connection,
+// responses in request order and byte-identical to serial execution.
+TEST_F(WalrusServerTest, PipelinedQueriesArriveInOrderAndMatchSerial) {
+  ServerOptions options;
+  options.num_workers = 4;  // out-of-order completion is the point
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  QueryOptions query_options;
+  query_options.epsilon = 0.085f;
+  query_options.collect_pairs = true;
+
+  constexpr int kPipelined = 9;
+  std::vector<ImageF> images;
+  for (int q = 0; q < kPipelined; ++q) {
+    images.push_back(dataset_[q % dataset_.size()].image);
+  }
+  // QueryPipelined fails with Corruption if any response id comes back
+  // out of request order.
+  auto remote = client->QueryPipelined(images, query_options);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  ASSERT_EQ(remote->size(), images.size());
+  for (int q = 0; q < kPipelined; ++q) {
+    auto local = ExecuteQuery(*index_, images[q], query_options);
+    ASSERT_TRUE(local.ok()) << local.status();
+    EXPECT_EQ(MatchBytes((*remote)[q].matches), MatchBytes(*local))
+        << "pipelined query " << q << " diverged from serial execution";
+  }
+  server.Stop();
+}
+
+// Mixed opcodes (PING / QUERY / STATS) pipelined on one connection still
+// come back strictly in request order, even though a PING behind a QUERY
+// finishes executing first.
+TEST_F(WalrusServerTest, PipelinedMixedOpcodesStayOrdered) {
+  ServerOptions options;
+  options.num_workers = 4;
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  QueryOptions query_options;
+  std::vector<uint64_t> ids;
+  for (int round = 0; round < 4; ++round) {
+    auto query_id = client->SendQuery(dataset_[round].image, query_options);
+    ASSERT_TRUE(query_id.ok()) << query_id.status();
+    ids.push_back(*query_id);
+    auto ping_id = client->SendPing();
+    ASSERT_TRUE(ping_id.ok()) << ping_id.status();
+    ids.push_back(*ping_id);
+    auto stats_id = client->SendStats();
+    ASSERT_TRUE(stats_id.ok()) << stats_id.status();
+    ids.push_back(*stats_id);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto response = client->ReceiveResponse();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->request_id, ids[i])
+        << "response " << i << " out of order";
+    EXPECT_TRUE(response->status.ok()) << response->status;
+  }
+  server.Stop();
+}
+
+// Pipelined mutations against a live engine: with a single worker the
+// requests execute serially in arrival order, so INSERT -> QUERY ->
+// DELETE -> QUERY observes the insert exactly in between.
+TEST_F(WalrusServerTest, PipelinedMutationsExecuteInArrivalOrder) {
+  std::string dir = ::testing::TempDir() + "/walrus_server_pipeline_wal";
+  ASSERT_TRUE(::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST);
+  LiveIndex::Options live_options;
+  live_options.merge_threshold = 0;
+  auto live = LiveIndex::Open(dir, TestParams(), live_options, index_.get());
+  ASSERT_TRUE(live.ok()) << live.status();
+
+  ServerOptions options;
+  options.num_workers = 1;  // serial execution: pipelined order IS the order
+  WalrusServer server(**live, live->get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const uint64_t new_id = 9000;
+  const ImageF& novel = dataset_[0].image;
+  QueryOptions query_options;
+  query_options.epsilon = 0.085f;
+
+  std::vector<uint64_t> ids;
+  auto push = [&](Result<uint64_t> id) {
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  };
+  push(client->SendInsertImage(new_id, "novel", novel));
+  push(client->SendQuery(novel, query_options));
+  push(client->SendDeleteImage(new_id));
+  push(client->SendQuery(novel, query_options));
+
+  std::vector<RemoteResponse> responses;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto response = client->ReceiveResponse();
+    ASSERT_TRUE(response.ok()) << response.status();
+    EXPECT_EQ(response->request_id, ids[i]) << "response " << i;
+    responses.push_back(std::move(*response));
+  }
+  EXPECT_TRUE(responses[0].status.ok()) << responses[0].status;  // insert
+  EXPECT_TRUE(responses[2].status.ok()) << responses[2].status;  // delete
+
+  auto with_insert = WalrusClient::ParseQueryResult(responses[1]);
+  ASSERT_TRUE(with_insert.ok()) << with_insert.status();
+  auto after_delete = WalrusClient::ParseQueryResult(responses[3]);
+  ASSERT_TRUE(after_delete.ok()) << after_delete.status();
+  auto contains = [&](const std::vector<QueryMatch>& matches) {
+    for (const QueryMatch& match : matches) {
+      if (match.image_id == new_id) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(with_insert->matches))
+      << "query pipelined behind the insert missed the inserted image";
+  EXPECT_FALSE(contains(after_delete->matches))
+      << "query pipelined behind the delete still sees the deleted image";
+  server.Stop();
+}
+
+// Pipelined queries through an 8-shard engine stay byte-identical to the
+// single-index pipeline (the reactor sits in front of the same fan-out).
+TEST_F(WalrusServerTest, PipelinedShardedQueriesStayByteIdentical) {
+  ShardedIndex::Options shard_options;
+  shard_options.num_shards = 8;
+  auto sharded = ShardedIndex::Partition(*index_, shard_options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+
+  WalrusServer server(*sharded, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = WalrusClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  QueryOptions options;
+  options.epsilon = 0.085f;
+  std::vector<ImageF> images;
+  for (int q = 0; q < 6; ++q) images.push_back(dataset_[q].image);
+  auto remote = client->QueryPipelined(images, options);
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  for (size_t q = 0; q < images.size(); ++q) {
+    auto local = ExecuteQuery(*index_, images[q], options);
+    ASSERT_TRUE(local.ok()) << local.status();
+    EXPECT_EQ(MatchBytes((*remote)[q].matches), MatchBytes(*local))
+        << "sharded pipelined query " << q;
+  }
+  server.Stop();
+}
+
+// A malformed frame (bad magic) mid-pipeline: every response for the
+// requests before it arrives intact and in order, then the error reply,
+// then the connection closes.
+TEST_F(WalrusServerTest, MidPipelineBadMagicPreservesPriorResponses) {
+  ServerOptions options;
+  options.num_workers = 2;
+  options.execution_delay_ms = 30;  // keep the good requests in flight
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+  constexpr uint64_t kGood = 3;
+  std::vector<uint8_t> burst;
+  for (uint64_t i = 0; i < kGood; ++i) {
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 100 + i, {});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  std::vector<uint8_t> bad = EncodeFrame(Opcode::kPing, 999, {});
+  bad[0] ^= 0xFF;  // framing lost from here
+  burst.insert(burst.end(), bad.begin(), bad.end());
+  ASSERT_TRUE(WriteFull(fd->get(), burst.data(), burst.size()).ok());
+
+  // The three good pings answer OK, in order, despite the poison behind
+  // them already being buffered server-side.
+  for (uint64_t i = 0; i < kGood; ++i) {
+    std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+    ASSERT_TRUE(
+        ReadFull(fd->get(), header_bytes.data(), header_bytes.size()).ok());
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(header_bytes.data(), &header).ok());
+    EXPECT_EQ(header.request_id, 100 + i) << "response " << i;
+    std::vector<uint8_t> body(header.body_length);
+    ASSERT_TRUE(ReadFull(fd->get(), body.data(), body.size()).ok());
+    uint8_t trailer[kFrameTrailerBytes];
+    ASSERT_TRUE(ReadFull(fd->get(), trailer, sizeof(trailer)).ok());
+    BinaryReader reader(body);
+    Status remote;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &remote).ok());
+    EXPECT_TRUE(remote.ok()) << remote;
+  }
+  // Then the Corruption reply for the poisoned frame, then EOF.
+  {
+    std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+    ASSERT_TRUE(
+        ReadFull(fd->get(), header_bytes.data(), header_bytes.size()).ok());
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(header_bytes.data(), &header).ok());
+    std::vector<uint8_t> body(header.body_length);
+    ASSERT_TRUE(ReadFull(fd->get(), body.data(), body.size()).ok());
+    uint8_t trailer[kFrameTrailerBytes];
+    ASSERT_TRUE(ReadFull(fd->get(), trailer, sizeof(trailer)).ok());
+    BinaryReader reader(body);
+    Status remote;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &remote).ok());
+    EXPECT_EQ(remote.code(), StatusCode::kCorruption) << remote;
+  }
+  uint8_t byte;
+  EXPECT_FALSE(ReadFull(fd->get(), &byte, 1).ok());
+  server.Stop();
+}
+
+// Regression for the drain bug: shutdown must flush responses that are
+// queued but not yet written, not just wait for in-flight handlers. A
+// tiny client receive buffer keeps most of the 16 METRICS responses
+// queued server-side when Stop() begins; all 16 must still arrive.
+TEST_F(WalrusServerTest, StopFlushesQueuedResponsesToSlowReader) {
+  ServerOptions options;
+  options.num_workers = 2;
+  WalrusServer server(*index_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  ASSERT_TRUE(fd.valid());
+  // Shrink the receive window before connecting so the server's writes
+  // stall with data still queued in its per-connection outbound queue.
+  int tiny = 2048;
+  ASSERT_EQ(::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  constexpr uint64_t kRequests = 16;
+  std::vector<uint8_t> burst;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    // METRICS responses are multi-KB: 16 of them cannot fit in the tiny
+    // receive window, so they pile up in the outbound queue.
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kMetrics, i, {});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(WriteFull(fd.get(), burst.data(), burst.size()).ok());
+
+  // Let the workers execute and the outbound queue fill, then stop the
+  // server while the client has read nothing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::thread stopper([&] { server.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Every response must still arrive, in order, followed by EOF.
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+    ASSERT_TRUE(
+        ReadFull(fd.get(), header_bytes.data(), header_bytes.size()).ok())
+        << "response " << i << " lost in shutdown";
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(header_bytes.data(), &header).ok());
+    EXPECT_EQ(header.request_id, i);
+    std::vector<uint8_t> body(header.body_length);
+    ASSERT_TRUE(ReadFull(fd.get(), body.data(), body.size()).ok());
+    uint8_t trailer[kFrameTrailerBytes];
+    ASSERT_TRUE(ReadFull(fd.get(), trailer, sizeof(trailer)).ok());
+    BinaryReader reader(body);
+    Status remote;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &remote).ok());
+    EXPECT_TRUE(remote.ok()) << remote;
+  }
+  uint8_t byte;
+  EXPECT_FALSE(ReadFull(fd.get(), &byte, 1).ok());
+  stopper.join();
 }
 
 }  // namespace
