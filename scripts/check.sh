@@ -63,7 +63,7 @@ cmake -B build-tsan -S . \
   -DWALRUS_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
 if ! ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'ThreadPool|ParallelIndex|QueryBatch|PagedConcurrency|WalrusServer|MalformedFrame|MetricsConcurrency|ShardedIndex|ResultCache|BatchedProbe|WalTest|WalCrashRecovery|LiveIndex|FaultInjection|ProtocolPipelineFuzz' >/dev/null; then
+    -R 'ThreadPool|ParallelIndex|QueryBatch|PagedConcurrency|WalrusServer|MalformedFrame|MetricsConcurrency|ShardedIndex|ResultCache|BatchedProbe|WalTest|WalCrashRecovery|LiveIndex|FaultInjection|ProtocolPipelineFuzz|SignatureFilter' >/dev/null; then
   echo "check.sh: FAIL: concurrency tests under TSan" >&2
   failures=1
 fi

@@ -1,5 +1,6 @@
 #include "core/index.h"
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <unordered_map>
@@ -87,7 +88,9 @@ Status WalrusIndex::AddImageRecord(ImageRecord record) {
                          : Rect::Point(region.centroid);
     tree_.Insert(rect, EncodeRegionPayload(record.image_id, region.region_id));
   }
+  const uint64_t image_id = record.image_id;
   WALRUS_RETURN_IF_ERROR(catalog_.AddImage(std::move(record)));
+  signatures_.AddImage(*catalog_.FindImage(image_id));
   if (DeepChecksEnabled()) return ValidateConsistency();
   return Status::OK();
 }
@@ -147,6 +150,7 @@ Status WalrusIndex::AddImages(std::vector<PendingImage> images,
       record.regions.push_back(region.ToRecord());
     }
     WALRUS_RETURN_IF_ERROR(catalog_.AddImage(std::move(record)));
+    signatures_.AddImage(*catalog_.FindImage(pending.image_id));
   }
   if (bulk) {
     tree_ = RStarTree::BulkLoad(params_.SignatureDim(),
@@ -174,6 +178,7 @@ Status WalrusIndex::RemoveImage(uint64_t image_id) {
                             std::to_string(expected));
   }
   WALRUS_RETURN_IF_ERROR(catalog_.RemoveImage(image_id));
+  signatures_.RemoveImage(image_id);
   if (DeepChecksEnabled()) return ValidateConsistency();
   return Status::OK();
 }
@@ -186,6 +191,7 @@ Result<WalrusIndex> WalrusIndex::FromRecords(
   }
   index.tree_ = RStarTree::BulkLoad(index.params_.SignatureDim(),
                                     index.CatalogEntries());
+  index.signatures_.Rebuild(index.catalog_);
   if (DeepChecksEnabled()) {
     WALRUS_RETURN_IF_ERROR(index.ValidateConsistency());
   }
@@ -313,6 +319,34 @@ std::vector<std::pair<Rect, uint64_t>> WalrusIndex::CatalogEntries() const {
 Status WalrusIndex::ValidateConsistency() const {
   WALRUS_RETURN_IF_ERROR(catalog_.Validate());
 
+  // The signature tier must shadow the catalog exactly: every region's
+  // stored thermometer words (persisted and resident) must equal the words
+  // recomputed from its centroid -- the admissibility proof assumes the
+  // signature is a pure function of the centroid the exact test reads.
+  for (const ImageRecord& record : catalog_.images()) {
+    for (const RegionRecord& region : record.regions) {
+      const std::vector<uint64_t> expected_sig =
+          ComputeSignature(region.centroid);
+      if (!region.signature.empty() && region.signature != expected_sig) {
+        return Status::Internal(
+            "index: persisted signature of image " +
+            std::to_string(record.image_id) + " region " +
+            std::to_string(region.region_id) +
+            " disagrees with its centroid quantization");
+      }
+      const uint64_t* row =
+          signatures_.SignatureRow(record.image_id, region.region_id);
+      if (row == nullptr ||
+          !std::equal(expected_sig.begin(), expected_sig.end(), row)) {
+        return Status::Internal(
+            "index: signature store row of image " +
+            std::to_string(record.image_id) + " region " +
+            std::to_string(region.region_id) +
+            " is missing or disagrees with the catalog");
+      }
+    }
+  }
+
   // Every catalog region, keyed by its packed payload. Pointers into
   // `expected` stay valid: the vector is not resized past this point.
   std::vector<std::pair<Rect, uint64_t>> expected = CatalogEntries();
@@ -404,6 +438,7 @@ Result<WalrusIndex> WalrusIndex::OpenPaged(const std::string& path_prefix) {
                           Catalog::LoadFromFile(path_prefix + ".catalog"));
   WalrusIndex index(params);
   index.catalog_ = std::move(catalog);
+  index.signatures_.Rebuild(index.catalog_);
   index.disk_tree_.emplace(std::move(tree));
   return index;
 }
@@ -430,6 +465,7 @@ Result<WalrusIndex> WalrusIndex::Open(const std::string& path_prefix) {
   WalrusIndex index(params);
   index.tree_ = std::move(tree);
   index.catalog_ = std::move(catalog);
+  index.signatures_.Rebuild(index.catalog_);
   return index;
 }
 

@@ -8,6 +8,7 @@
 #include "core/params.h"
 #include "core/region.h"
 #include "core/region_extractor.h"
+#include "core/signature_filter.h"
 #include "image/image.h"
 #include "spatial/rstar_tree.h"
 #include "storage/catalog.h"
@@ -46,6 +47,10 @@ class WalrusIndex {
   /// The in-memory R*-tree. Empty when the index was opened paged
   /// (is_paged()); use ProbeRange/ProbeNearest, which dispatch correctly.
   const RStarTree& tree() const { return tree_; }
+
+  /// The binary prefilter tier (core/signature_filter.h), maintained in
+  /// lockstep with the catalog by every mutation and load path.
+  const SignatureStore& signatures() const { return signatures_; }
 
   /// True when region probes are served from the on-disk page tree.
   bool is_paged() const { return disk_tree_.has_value(); }
@@ -176,6 +181,7 @@ class WalrusIndex {
   WalrusParams params_;
   Catalog catalog_;
   RStarTree tree_;
+  SignatureStore signatures_;
   std::optional<DiskRStarTree> disk_tree_;
 };
 

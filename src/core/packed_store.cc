@@ -21,6 +21,20 @@ PackedSignatureStore PackedSignatureStore::FromCentroids(
   return store;
 }
 
+void PackedBitSignatures::Reset(int count, int words_per_sig) {
+  count_ = count;
+  words_per_sig_ = words_per_sig;
+  const size_t need = static_cast<size_t>(count) * words_per_sig;
+  if (planes_.size() < need) planes_.resize(need);
+}
+
+void PackedBitSignatures::SetRow(int e, const uint64_t* row) {
+  WALRUS_CHECK(e >= 0 && e < count_);
+  for (int w = 0; w < words_per_sig_; ++w) {
+    planes_[static_cast<size_t>(w) * count_ + e] = row[w];
+  }
+}
+
 PackedSignatureStore PackedSignatureStore::FromBoundingBoxes(
     const std::vector<Region>& regions) {
   PackedSignatureStore store;

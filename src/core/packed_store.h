@@ -52,6 +52,40 @@ class PackedSignatureStore {
   std::vector<float> hi_;
 };
 
+/// Binary region signatures re-laid as contiguous SoA 64-bit word planes
+/// for the Hamming kernels (batch_hamming / batch_signature_lb in
+/// common/simd.h): word plane w occupies u64s [w * count, (w + 1) * count),
+/// so signature e of all entries sits at offset e of each plane and the
+/// AVX2 kernel streams four adjacent entries per step. `stride()` equals
+/// `count()`; kernels handle tails internally, so no padding is stored.
+///
+/// The persistent SignatureStore (core/signature_filter.h) keeps rows AoS
+/// because the filter gathers scattered slots; this class is the per-batch
+/// transpose buffer those gathers fill. Reset() + SetRow() reuse one
+/// allocation across probe batches.
+class PackedBitSignatures {
+ public:
+  PackedBitSignatures() = default;
+
+  /// Clears to `count` signatures of `words_per_sig` words each (entries
+  /// uninitialized until SetRow), growing the backing store as needed.
+  void Reset(int count, int words_per_sig);
+
+  /// Scatter row `e` (words_per_sig contiguous u64s, AoS) into the planes.
+  void SetRow(int e, const uint64_t* row);
+
+  int count() const { return count_; }
+  int words_per_sig() const { return words_per_sig_; }
+  /// Distance in u64s between consecutive word planes.
+  int stride() const { return count_; }
+  const uint64_t* planes() const { return planes_.data(); }
+
+ private:
+  int count_ = 0;
+  int words_per_sig_ = 0;
+  std::vector<uint64_t> planes_;
+};
+
 }  // namespace walrus
 
 #endif  // WALRUS_CORE_PACKED_STORE_H_

@@ -45,7 +45,13 @@ inline constexpr uint32_t kProtocolMagic = 0x57414C52;  // "WALR"
 /// v4: the INSERT_IMAGE and DELETE_IMAGE mutation opcodes were added
 /// (answered with Unimplemented by read-only servers); ServerStats gained
 /// the ingest/WAL section.
-inline constexpr uint8_t kProtocolVersion = 4;
+/// v5: QueryOptions gained batched_probe + signature_prefilter (so clients
+/// can A/B the probe paths remotely); QueryStats gained filter_seconds and
+/// the prefilter candidate counters. First version with a back-compat
+/// window: v4 frames are still accepted and answered in v4 (the v5 fields
+/// are simply not transmitted; the server applies its own defaults).
+inline constexpr uint8_t kProtocolVersion = 5;
+inline constexpr uint8_t kMinSupportedProtocolVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 20;
 inline constexpr size_t kFrameTrailerBytes = 4;
 /// Upper bound on a frame body; larger length prefixes are rejected before
@@ -75,9 +81,12 @@ struct FrameHeader {
   uint32_t body_length = 0;
 };
 
-/// Builds a complete frame: header + body + CRC-32 trailer.
+/// Builds a complete frame: header + body + CRC-32 trailer. `version`
+/// stamps the header byte; the caller must have encoded the body with the
+/// matching codec version.
 std::vector<uint8_t> EncodeFrame(Opcode opcode, uint64_t request_id,
-                                 const std::vector<uint8_t>& body);
+                                 const std::vector<uint8_t>& body,
+                                 uint8_t version = kProtocolVersion);
 
 /// A frame held as scatter-gather segments: the fixed header, any number
 /// of body chunks (concatenated on the wire), and the CRC-32 trailer.
@@ -101,11 +110,13 @@ struct FrameParts {
 /// then chunks, so the bytes on the wire are identical to
 /// EncodeFrame(opcode, request_id, concat(body_chunks)).
 FrameParts MakeFrameParts(Opcode opcode, uint64_t request_id,
-                          std::vector<std::vector<uint8_t>> body_chunks);
+                          std::vector<std::vector<uint8_t>> body_chunks,
+                          uint8_t version = kProtocolVersion);
 
 /// Parses the fixed-size header (`data` must hold kFrameHeaderBytes).
 /// Corruption on bad magic (framing lost: the caller must drop the
-/// connection); InvalidArgument on an unsupported version or an oversized
+/// connection); InvalidArgument on a version outside
+/// [kMinSupportedProtocolVersion, kProtocolVersion] or an oversized
 /// body length (frame boundary may still be recoverable for the version
 /// case). Unknown opcodes are *not* rejected here so the connection can
 /// skip the body and answer with an error.
@@ -121,8 +132,13 @@ Status DecodeResponseStatus(BinaryReader* reader, Status* remote);
 
 // ---- Body payload encodings (shared by server, client, and tests) -------
 
-void EncodeQueryOptions(const QueryOptions& options, BinaryWriter* writer);
-Result<QueryOptions> DecodeQueryOptions(BinaryReader* reader);
+/// Body codecs take the negotiated frame version: a server answering a v4
+/// request encodes/decodes v4 bodies (the v5 fields stay at their
+/// defaults), a v5 peer gets the full layout.
+void EncodeQueryOptions(const QueryOptions& options, BinaryWriter* writer,
+                        uint8_t version = kProtocolVersion);
+Result<QueryOptions> DecodeQueryOptions(BinaryReader* reader,
+                                        uint8_t version = kProtocolVersion);
 
 /// Planar float image; dimensions are validated on decode (kMaxImageSide,
 /// channel count 1..4) before any plane allocation.
@@ -137,8 +153,10 @@ void EncodeMatches(const std::vector<QueryMatch>& matches,
                    BinaryWriter* writer);
 Result<std::vector<QueryMatch>> DecodeMatches(BinaryReader* reader);
 
-void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer);
-Result<QueryStats> DecodeQueryStats(BinaryReader* reader);
+void EncodeQueryStats(const QueryStats& stats, BinaryWriter* writer,
+                      uint8_t version = kProtocolVersion);
+Result<QueryStats> DecodeQueryStats(BinaryReader* reader,
+                                    uint8_t version = kProtocolVersion);
 
 /// Query span tree (QueryStats::spans when QueryOptions::collect_trace is
 /// set). Nesting deeper than kMaxTraceDepth is rejected on decode.
@@ -179,9 +197,16 @@ struct ServerStats {
   /// (mutable) engine; read-only servers send has_ingest = false.
   bool has_ingest = false;
   IngestStats ingest;
+  /// Signature prefilter funnel (v5): cumulative walrus.prefilter.*
+  /// counters of this process (all zero when the tier never ran).
+  uint64_t prefilter_candidates_in = 0;
+  uint64_t prefilter_pruned = 0;
+  uint64_t prefilter_candidates_out = 0;
 };
-void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer);
-Result<ServerStats> DecodeServerStats(BinaryReader* reader);
+void EncodeServerStats(const ServerStats& stats, BinaryWriter* writer,
+                       uint8_t version = kProtocolVersion);
+Result<ServerStats> DecodeServerStats(BinaryReader* reader,
+                                      uint8_t version = kProtocolVersion);
 
 }  // namespace walrus
 

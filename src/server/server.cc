@@ -334,7 +334,8 @@ void WalrusServer::ExecuteRequest(const std::shared_ptr<ReactorConn>& conn,
       PixelRect scene;
       ImageF image;
       Status decoded = [&]() -> Status {
-        WALRUS_ASSIGN_OR_RETURN(query_options, DecodeQueryOptions(&reader));
+        WALRUS_ASSIGN_OR_RETURN(query_options,
+                                DecodeQueryOptions(&reader, header.version));
         if (header.opcode == Opcode::kSceneQuery) {
           WALRUS_ASSIGN_OR_RETURN(scene, DecodePixelRect(&reader));
         }
@@ -358,11 +359,11 @@ void WalrusServer::ExecuteRequest(const std::shared_ptr<ReactorConn>& conn,
         break;
       }
       EncodeMatches(*matches, &payload);
-      EncodeQueryStats(stats, &payload);
+      EncodeQueryStats(stats, &payload, header.version);
       break;
     }
     case Opcode::kStats:
-      EncodeServerStats(Snapshot(), &payload);
+      EncodeServerStats(Snapshot(), &payload, header.version);
       break;
     case Opcode::kShutdown:
       RequestStop();
@@ -436,9 +437,18 @@ void WalrusServer::Respond(const std::shared_ptr<ReactorConn>& conn,
   if (status.ok() && !payload.empty()) {
     chunks.push_back(std::move(payload));  // zero-copy into the writev path
   }
-  conn->Respond(
-      seq, MakeFrameParts(header.opcode, header.request_id, std::move(chunks)),
-      ends_in_flight);
+  // Answer in the requester's protocol version so a v4 client can decode
+  // the response. Out-of-range versions (error replies to frames we
+  // rejected) are clamped to something a current client can parse.
+  uint8_t version = header.version;
+  if (version < kMinSupportedProtocolVersion ||
+      version > kProtocolVersion) {
+    version = kProtocolVersion;
+  }
+  conn->Respond(seq,
+                MakeFrameParts(header.opcode, header.request_id,
+                               std::move(chunks), version),
+                ends_in_flight);
 }
 
 ServerStats WalrusServer::Snapshot() const {
@@ -467,6 +477,13 @@ ServerStats WalrusServer::Snapshot() const {
     stats.has_ingest = true;
     stats.ingest = ingest_->IngestStatsSnapshot();
   }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  stats.prefilter_candidates_in =
+      registry.GetCounter("walrus.prefilter.candidates_in")->Value();
+  stats.prefilter_pruned =
+      registry.GetCounter("walrus.prefilter.pruned")->Value();
+  stats.prefilter_candidates_out =
+      registry.GetCounter("walrus.prefilter.candidates_out")->Value();
   return stats;
 }
 

@@ -16,6 +16,8 @@ void RegionRecord::Serialize(BinaryWriter* writer) const {
   writer->PutU32(static_cast<uint32_t>(bitmap.size()));
   writer->PutBytes(bitmap.data(), bitmap.size());
   writer->PutU64(window_count);
+  writer->PutU32(static_cast<uint32_t>(signature.size()));
+  for (uint64_t word : signature) writer->PutU64(word);
 }
 
 Result<RegionRecord> RegionRecord::Deserialize(BinaryReader* reader) {
@@ -30,6 +32,11 @@ Result<RegionRecord> RegionRecord::Deserialize(BinaryReader* reader) {
   r.bitmap.resize(bitmap_bytes);
   WALRUS_RETURN_IF_ERROR(reader->GetBytes(r.bitmap.data(), bitmap_bytes));
   WALRUS_ASSIGN_OR_RETURN(r.window_count, reader->GetU64());
+  WALRUS_ASSIGN_OR_RETURN(uint32_t signature_words, reader->GetU32());
+  r.signature.resize(signature_words);
+  for (uint32_t i = 0; i < signature_words; ++i) {
+    WALRUS_ASSIGN_OR_RETURN(r.signature[i], reader->GetU64());
+  }
   return r;
 }
 

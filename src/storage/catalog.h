@@ -30,6 +30,10 @@ struct RegionRecord {
   uint32_t bitmap_side = 0;
   /// Number of sliding windows clustered into this region.
   uint64_t window_count = 0;
+  /// Binary prefilter signature: one 64-bit thermometer word per centroid
+  /// dimension (core/signature_filter.h). A pure function of `centroid`;
+  /// empty records (legacy catalogs) are recomputed on load.
+  std::vector<uint64_t> signature;
 
   void Serialize(BinaryWriter* writer) const;
   static Result<RegionRecord> Deserialize(BinaryReader* reader);

@@ -548,6 +548,7 @@ Result<std::vector<QueryMatch>> LiveIndex::RunPipelineLive(
   int64_t regions_retrieved = 0;
   size_t distinct_images = 0;
   double probe_seconds = 0.0;
+  double filter_seconds = 0.0;
   double match_seconds = 0.0;
 
   auto fold_diag = [&](const ProbeDiagnostics& diag) {
@@ -556,6 +557,11 @@ Result<std::vector<QueryMatch>> LiveIndex::RunPipelineLive(
     total.pages_read += diag.pages_read;
     total.cache_hits += diag.cache_hits;
     total.cache_misses += diag.cache_misses;
+    total.prefilter_candidates_in += diag.prefilter_candidates_in;
+    total.prefilter_pruned += diag.prefilter_pruned;
+    total.prefilter_candidates_out += diag.prefilter_candidates_out;
+    // Parts run serially here, so the signature-tier slices sum.
+    filter_seconds += diag.filter_seconds;
   };
 
   if (knn) {
@@ -647,7 +653,9 @@ Result<std::vector<QueryMatch>> LiveIndex::RunPipelineLive(
       WallTimer probe_timer;
       Result<std::vector<CandidateImage>> candidates =
           ProbeCandidates(part, query_regions, options, &diag);
-      probe_seconds += probe_timer.ElapsedSeconds();
+      // Keep stages disjoint: the signature tier timed itself inside the
+      // probe call and is reported via filter_seconds.
+      probe_seconds += probe_timer.ElapsedSeconds() - diag.filter_seconds;
       WALRUS_RETURN_IF_ERROR(candidates.status());
       fold_diag(diag);
       if (filter_tombstones && !tombstones_.empty()) {
@@ -700,8 +708,12 @@ Result<std::vector<QueryMatch>> LiveIndex::RunPipelineLive(
     stats->distinct_images = static_cast<int>(distinct_images);
     stats->seconds += timer.ElapsedSeconds();
     stats->probe_seconds = probe_seconds;
+    stats->filter_seconds = filter_seconds;
     stats->match_seconds = match_seconds;
     stats->rank_seconds = rank_seconds;
+    stats->prefilter_candidates_in = total.prefilter_candidates_in;
+    stats->prefilter_pruned = total.prefilter_pruned;
+    stats->prefilter_candidates_out = total.prefilter_candidates_out;
     stats->nodes_visited = total.nodes_visited;
     stats->pages_read = total.pages_read;
     stats->cache_hits = total.cache_hits;

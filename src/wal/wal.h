@@ -37,7 +37,10 @@ namespace walrus {
 /// leaves a half record -- therefore truncate cleanly to the last record
 /// whose CRC verifies; nothing after the first invalid byte is trusted.
 inline constexpr uint32_t kWalMagic = 0x4C415757;  // "WWAL" on disk
-inline constexpr uint8_t kWalFormatVersion = 1;
+/// v2: kInsertImage bodies carry the per-region binary signature words
+/// (storage/catalog.h RegionRecord::signature). v1 files are rejected
+/// cleanly at open rather than misparsed.
+inline constexpr uint8_t kWalFormatVersion = 2;
 inline constexpr size_t kWalHeaderBytes = 20;
 /// Fixed bytes around a record body: length + LSN + type + CRC trailer.
 inline constexpr size_t kWalRecordOverhead = 17;

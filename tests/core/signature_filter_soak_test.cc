@@ -1,0 +1,155 @@
+// TSan concurrency soak for the binary-signature prefilter tier: reader
+// threads run prefiltered queries against shared engines while a writer
+// thread live-inserts images (SignatureStore::AddImage on the delta) and
+// triggers background merges. Run under scripts/check.sh's TSan build via
+// the 'SignatureFilter' filter.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include "core/index.h"
+#include "core/query.h"
+#include "core/sharded_index.h"
+#include "image/dataset.h"
+#include "wal/live_index.h"
+
+namespace walrus {
+namespace {
+
+WalrusParams TestParams() {
+  WalrusParams p;
+  p.min_window = 16;
+  p.max_window = 32;
+  p.slide_step = 8;
+  return p;
+}
+
+/// Fresh (empty) per-test directory under the gtest temp root.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string file = entry->d_name;
+      if (file != "." && file != "..") {
+        std::remove((dir + "/" + file).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+class SignatureFilterSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetParams dp;
+    dp.num_images = 16;
+    dp.width = 64;
+    dp.height = 64;
+    dp.seed = 20260808;
+    dataset_ = GenerateDataset(dp);
+  }
+
+  QueryOptions PrefilterOptions() const {
+    QueryOptions options;
+    options.epsilon = 0.12f;
+    options.signature_prefilter = true;
+    return options;
+  }
+
+  std::vector<LabeledImage> dataset_;
+};
+
+// Sharded engine: concurrent readers all take the prefilter path through
+// each shard's shared SignatureStore (read-only rows + per-query scratch).
+TEST_F(SignatureFilterSoakTest, ConcurrentShardedQueries) {
+  auto single = std::make_unique<WalrusIndex>(TestParams());
+  for (const LabeledImage& scene : dataset_) {
+    ASSERT_TRUE(single
+                    ->AddImage(static_cast<uint64_t>(scene.id), "img",
+                               scene.image)
+                    .ok());
+  }
+  ShardedIndex::Options shard_options;
+  shard_options.num_shards = 4;
+  auto sharded = ShardedIndex::Partition(*single, shard_options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+
+  const QueryOptions options = PrefilterOptions();
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 10;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const ImageF& image = dataset_[(t + q) % dataset_.size()].image;
+        QueryStats stats;
+        auto result = sharded->RunQuery(image, options, &stats);
+        if (!result.ok() || stats.prefilter_candidates_in <= 0) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+// Live engine: readers query with the prefilter on while a writer inserts
+// images — every insert computes delta signatures on the fly — and the
+// merge threshold forces background base/delta swaps mid-soak.
+TEST_F(SignatureFilterSoakTest, ConcurrentLiveInsertsAndQueries) {
+  std::string dir = FreshDir("signature_filter_soak");
+  auto seed = std::make_unique<WalrusIndex>(TestParams());
+  constexpr int kSeedImages = 8;
+  for (int id = 0; id < kSeedImages; ++id) {
+    ASSERT_TRUE(seed->AddImage(static_cast<uint64_t>(id), "img",
+                               dataset_[static_cast<size_t>(id)].image)
+                    .ok());
+  }
+  LiveIndex::Options live_options;
+  live_options.merge_threshold = 3;
+  auto live = LiveIndex::Open(dir, TestParams(), live_options, seed.get());
+  ASSERT_TRUE(live.ok()) << live.status();
+
+  const QueryOptions options = PrefilterOptions();
+  constexpr int kReaders = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kReaders + 1, 0);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < 12; ++q) {
+        const ImageF& image = dataset_[(t + q) % dataset_.size()].image;
+        QueryStats stats;
+        auto result = (*live)->RunQuery(image, options, &stats);
+        if (!result.ok()) ++failures[t];
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int id = kSeedImages; id < static_cast<int>(dataset_.size()); ++id) {
+      Status status = (*live)->InsertImage(
+          static_cast<uint64_t>(id), "img",
+          dataset_[static_cast<size_t>(id)].image);
+      if (!status.ok()) ++failures[kReaders];
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  for (size_t t = 0; t < failures.size(); ++t) EXPECT_EQ(failures[t], 0) << t;
+
+  (*live)->WaitForMerge();
+  EXPECT_EQ((*live)->ImageCount(), dataset_.size());
+}
+
+}  // namespace
+}  // namespace walrus

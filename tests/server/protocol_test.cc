@@ -105,6 +105,8 @@ TEST(ProtocolTest, QueryOptionsRoundTrip) {
   options.top_k = 9;
   options.collect_pairs = true;
   options.collect_trace = true;
+  options.batched_probe = false;         // non-default
+  options.signature_prefilter = false;   // non-default
 
   BinaryWriter writer;
   EncodeQueryOptions(options, &writer);
@@ -121,6 +123,45 @@ TEST(ProtocolTest, QueryOptionsRoundTrip) {
   EXPECT_EQ(decoded->top_k, options.top_k);
   EXPECT_EQ(decoded->collect_pairs, options.collect_pairs);
   EXPECT_EQ(decoded->collect_trace, options.collect_trace);
+  EXPECT_EQ(decoded->batched_probe, options.batched_probe);
+  EXPECT_EQ(decoded->signature_prefilter, options.signature_prefilter);
+}
+
+TEST(ProtocolTest, QueryOptionsV4OmitsProbeKnobsAndDecodesToDefaults) {
+  QueryOptions options;
+  options.batched_probe = false;
+  options.signature_prefilter = false;
+
+  // A v4 body does not carry the probe knobs at all...
+  BinaryWriter v4;
+  EncodeQueryOptions(options, &v4, /*version=*/4);
+  BinaryWriter v5;
+  EncodeQueryOptions(options, &v5, /*version=*/5);
+  EXPECT_EQ(v5.size(), v4.size() + 2);
+
+  // ...so a v4 decode applies this side's defaults (both true).
+  BinaryReader reader(v4.buffer());
+  auto decoded = DecodeQueryOptions(&reader, /*version=*/4);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->batched_probe);
+  EXPECT_TRUE(decoded->signature_prefilter);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ProtocolTest, FrameHeaderAcceptsSupportedVersionWindow) {
+  for (uint8_t version = kMinSupportedProtocolVersion;
+       version <= kProtocolVersion; ++version) {
+    std::vector<uint8_t> frame = EncodeFrame(Opcode::kPing, 7, {}, version);
+    FrameHeader header;
+    ASSERT_TRUE(DecodeFrameHeader(frame.data(), &header).ok())
+        << "version " << static_cast<int>(version);
+    EXPECT_EQ(header.version, version);
+  }
+  std::vector<uint8_t> old_frame =
+      EncodeFrame(Opcode::kPing, 7, {}, kMinSupportedProtocolVersion - 1);
+  FrameHeader header;
+  EXPECT_EQ(DecodeFrameHeader(old_frame.data(), &header).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ProtocolTest, ImageRoundTrip) {
@@ -215,6 +256,9 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   stats.connections_accepted = 9;
   stats.latency_p50_ms = 1.5;
   stats.latency_p99_ms = 20.0;
+  stats.prefilter_candidates_in = 549735;
+  stats.prefilter_pruned = 342000;
+  stats.prefilter_candidates_out = 109395;
 
   BinaryWriter writer;
   EncodeServerStats(stats, &writer);
@@ -231,6 +275,25 @@ TEST(ProtocolTest, ServerStatsRoundTrip) {
   EXPECT_EQ(decoded->connections_accepted, 9u);
   EXPECT_EQ(decoded->latency_p50_ms, 1.5);
   EXPECT_EQ(decoded->latency_p99_ms, 20.0);
+  EXPECT_EQ(decoded->prefilter_candidates_in, 549735u);
+  EXPECT_EQ(decoded->prefilter_pruned, 342000u);
+  EXPECT_EQ(decoded->prefilter_candidates_out, 109395u);
+  EXPECT_EQ(reader.remaining(), 0u);
+
+  // v4 encoding is a byte-identical prefix: the prefilter funnel is a v5
+  // tail, and a v4 decode of a v4 payload leaves the fields at zero.
+  BinaryWriter v4;
+  EncodeServerStats(stats, &v4, 4);
+  ASSERT_EQ(writer.size(), v4.size() + 3 * 8);
+  EXPECT_TRUE(std::equal(v4.buffer().begin(), v4.buffer().end(),
+                         writer.buffer().begin()));
+  BinaryReader v4_reader(v4.buffer());
+  auto v4_decoded = DecodeServerStats(&v4_reader, 4);
+  ASSERT_TRUE(v4_decoded.ok());
+  EXPECT_EQ(v4_decoded->prefilter_candidates_in, 0u);
+  EXPECT_EQ(v4_decoded->prefilter_pruned, 0u);
+  EXPECT_EQ(v4_decoded->prefilter_candidates_out, 0u);
+  EXPECT_EQ(v4_reader.remaining(), 0u);
 }
 
 TEST(ProtocolTest, QueryStatsRoundTripCarriesStageBreakdown) {
@@ -248,6 +311,10 @@ TEST(ProtocolTest, QueryStatsRoundTripCarriesStageBreakdown) {
   stats.pages_read = 13;
   stats.cache_hits = 9;
   stats.cache_misses = 4;
+  stats.filter_seconds = 0.0078125;
+  stats.prefilter_candidates_in = 36649;
+  stats.prefilter_pruned = 28000;
+  stats.prefilter_candidates_out = 7293;
   TraceSpan extract;
   extract.name = "extract";
   extract.start_seconds = 0.0;
@@ -281,6 +348,26 @@ TEST(ProtocolTest, QueryStatsRoundTripCarriesStageBreakdown) {
   ASSERT_EQ(decoded->spans[0].children.size(), 1u);
   EXPECT_EQ(decoded->spans[0].children[0].name, "wavelet");
   EXPECT_EQ(decoded->spans[0].children[0].start_seconds, 0.01);
+  EXPECT_EQ(decoded->filter_seconds, 0.0078125);
+  EXPECT_EQ(decoded->prefilter_candidates_in, 36649);
+  EXPECT_EQ(decoded->prefilter_pruned, 28000);
+  EXPECT_EQ(decoded->prefilter_candidates_out, 7293);
+
+  // The v4 encoding is a byte-identical prefix of the v5 one: the new
+  // fields ride strictly after the frozen v4 layout, so a v4 peer's
+  // decoder never sees them.
+  BinaryWriter v4;
+  EncodeQueryStats(stats, &v4, /*version=*/4);
+  ASSERT_EQ(writer.size(), v4.size() + 8 + 3 * 8);
+  EXPECT_TRUE(std::equal(v4.buffer().begin(), v4.buffer().end(),
+                         writer.buffer().begin()));
+  BinaryReader v4_reader(v4.buffer());
+  auto v4_decoded = DecodeQueryStats(&v4_reader, /*version=*/4);
+  ASSERT_TRUE(v4_decoded.ok());
+  EXPECT_EQ(v4_decoded->probe_seconds, 0.0625);
+  EXPECT_EQ(v4_decoded->filter_seconds, 0.0);
+  EXPECT_EQ(v4_decoded->prefilter_candidates_in, 0);
+  EXPECT_EQ(v4_reader.remaining(), 0u);
 }
 
 TEST(ProtocolTest, TraceSpansRoundTripEmpty) {

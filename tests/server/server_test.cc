@@ -298,6 +298,52 @@ TEST_F(WalrusServerTest, ErrorRepliesNameTheRequest) {
   server.Stop();
 }
 
+// A v4 client (previous protocol revision) is still served: the server
+// decodes the v4 body, runs the query, and answers in v4 — the response
+// frame is stamped v4 and carries no v5 stats tail.
+TEST_F(WalrusServerTest, V4QueryFrameIsAnsweredInV4) {
+  WalrusServer server(*index_, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto fd = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+
+  QueryOptions options;
+  options.epsilon = 0.085f;
+  BinaryWriter body;
+  EncodeQueryOptions(options, &body, /*version=*/4);
+  EncodeImage(dataset_[0].image, &body);
+  std::vector<uint8_t> frame =
+      EncodeFrame(Opcode::kQuery, 41, body.TakeBuffer(), /*version=*/4);
+  ASSERT_TRUE(WriteFull(fd->get(), frame.data(), frame.size()).ok());
+
+  std::vector<uint8_t> header_bytes(kFrameHeaderBytes);
+  ASSERT_TRUE(
+      ReadFull(fd->get(), header_bytes.data(), header_bytes.size()).ok());
+  FrameHeader header;
+  ASSERT_TRUE(DecodeFrameHeader(header_bytes.data(), &header).ok());
+  EXPECT_EQ(header.version, 4);
+  EXPECT_EQ(header.request_id, 41u);
+  std::vector<uint8_t> response(header.body_length);
+  ASSERT_TRUE(ReadFull(fd->get(), response.data(), response.size()).ok());
+  uint8_t trailer[kFrameTrailerBytes];
+  ASSERT_TRUE(ReadFull(fd->get(), trailer, sizeof(trailer)).ok());
+
+  BinaryReader reader(response);
+  Status remote;
+  ASSERT_TRUE(DecodeResponseStatus(&reader, &remote).ok());
+  ASSERT_TRUE(remote.ok()) << remote;
+  auto matches = DecodeMatches(&reader);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  auto stats = DecodeQueryStats(&reader, /*version=*/4);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // The v4 decode consumed the whole body: no v5 tail was transmitted.
+  EXPECT_EQ(reader.remaining(), 0u);
+  // And the query actually ran: it found the indexed copy of the image.
+  ASSERT_FALSE(matches->empty());
+  EXPECT_EQ((*matches)[0].image_id, static_cast<uint64_t>(dataset_[0].id));
+  server.Stop();
+}
+
 // ---- Protocol robustness: the malformed-frame suite ---------------------
 
 class MalformedFrameTest : public WalrusServerTest {
